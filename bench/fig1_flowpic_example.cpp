@@ -1,0 +1,49 @@
+// Regenerates Fig. 1 of the paper: "Example of a packet time series
+// transformed into a flowpic representation for a randomly selected YouTube
+// flow in the UCDAVIS19 dataset" at 32x32, 64x64 and 1500x1500 resolutions
+// (heatmaps log-scaled, darker shades = higher packet counts).
+#include "fptc/flowpic/flowpic.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+#include "fptc/util/heatmap.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main()
+{
+    using namespace fptc;
+
+    std::cout << "=== Fig. 1: packet time series -> flowpic (YouTube flow) ===\n\n";
+
+    // A randomly selected YouTube flow (class index 4).
+    trafficgen::UcdavisOptions options;
+    util::Rng rng(1234);
+    const auto profile = trafficgen::ucdavis19_profile(4, /*human_shift=*/false);
+    const auto flow = trafficgen::generate_flow(profile, 4, rng);
+
+    // Left-most plot of Fig. 1: the raw packet time series.
+    std::cout << "packet time series (first 30 packets of " << flow.packets.size() << "):\n";
+    std::cout << "      time(s)   size(B)  dir\n";
+    for (std::size_t i = 0; i < flow.packets.size() && i < 30; ++i) {
+        const auto& p = flow.packets[i];
+        std::printf("  %10.4f  %7d  %s\n", p.timestamp, p.size,
+                    p.direction == flow::Direction::downstream ? "down" : "up");
+    }
+    std::cout << '\n';
+
+    for (const std::size_t resolution : {std::size_t{32}, std::size_t{64}, std::size_t{1500}}) {
+        flowpic::FlowpicConfig config;
+        config.resolution = resolution;
+        const auto pic = flowpic::Flowpic::from_flow(flow, config);
+        std::printf("flowpic %zux%zu (time bin %.1f ms, size bin %.1f B, %d packets tallied):\n",
+                    resolution, resolution, 1e3 * flowpic::time_bin_width(config),
+                    flowpic::size_bin_width(config), static_cast<int>(pic.total_mass()));
+        util::HeatmapOptions render;
+        render.max_side = 32; // large resolutions are downsampled for display
+        std::cout << util::render_heatmap(pic.counts(), resolution, resolution, render) << '\n';
+    }
+
+    std::cout << "note: at 32x32 over 15 s the paper quotes 469.8 ms time bins and 46 B size\n"
+                 "bins; the vertical stripes match the bursty video chunks of the series.\n";
+    return 0;
+}

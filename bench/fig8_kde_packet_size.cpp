@@ -1,0 +1,71 @@
+// Regenerates Fig. 8: "Kernel density estimation of the per-class packet
+// size distributions" across the three UCDAVIS19 partitions.  The paper's
+// point: "While script is perfectly overlapped with the pretraining split,
+// Google search for human has an evident shift".  Next to the ASCII curves
+// we print the total-variation distance of each partition's KDE to the
+// pretraining KDE, making the shift quantitative.
+#include "fptc/core/campaign.hpp"
+#include "fptc/stats/kde.hpp"
+#include "fptc/util/heatmap.hpp"
+#include "fptc/util/table.hpp"
+
+#include <iostream>
+#include <vector>
+
+namespace {
+
+using namespace fptc;
+
+std::vector<double> packet_sizes_of_class(const flow::Dataset& dataset, std::size_t label)
+{
+    std::vector<double> sizes;
+    for (const auto& f : dataset.flows) {
+        if (f.label != label) {
+            continue;
+        }
+        for (const auto& packet : f.packets) {
+            sizes.push_back(static_cast<double>(packet.size));
+        }
+    }
+    return sizes;
+}
+
+} // namespace
+
+int main()
+{
+    using namespace fptc;
+
+    const auto data = core::load_ucdavis();
+    constexpr std::size_t kGrid = 200;
+
+    std::cout << "=== Fig. 8: per-class packet-size KDE across partitions ===\n\n";
+
+    util::Table distances("Total-variation distance of each partition's packet-size KDE "
+                          "to the pretraining KDE");
+    distances.set_header({"Class", "script vs pretraining", "human vs pretraining"});
+
+    for (std::size_t label = 0; label < data.num_classes(); ++label) {
+        const auto pretraining_sizes = packet_sizes_of_class(data.pretraining, label);
+        const auto script_sizes = packet_sizes_of_class(data.script, label);
+        const auto human_sizes = packet_sizes_of_class(data.human, label);
+
+        const auto pre_kde = stats::gaussian_kde(pretraining_sizes, 0.0, 1500.0, kGrid, 25.0);
+        const auto script_kde = stats::gaussian_kde(script_sizes, 0.0, 1500.0, kGrid, 25.0);
+        const auto human_kde = stats::gaussian_kde(human_sizes, 0.0, 1500.0, kGrid, 25.0);
+
+        std::cout << "--- " << data.pretraining.class_names[label] << " ---\n";
+        std::cout << "pretraining:\n" << util::render_curve(pre_kde.xs, pre_kde.ys, 72, 8);
+        std::cout << "script:\n" << util::render_curve(script_kde.xs, script_kde.ys, 72, 8);
+        std::cout << "human:\n" << util::render_curve(human_kde.xs, human_kde.ys, 72, 8) << '\n';
+
+        distances.add_row({data.pretraining.class_names[label],
+                           util::format_double(stats::curve_distance(pre_kde, script_kde), 3),
+                           util::format_double(stats::curve_distance(pre_kde, human_kde), 3)});
+    }
+
+    std::cout << distances.to_string() << '\n';
+    std::cout << "paper: script overlaps pretraining for every class; for human, Google\n"
+                 "search shows an evident shift (and Google music a distribution change).\n";
+    return 0;
+}

@@ -1,0 +1,138 @@
+// google-benchmark micro-benchmarks over the substrate layers: flowpic
+// rasterization, augmentation throughput, CNN forward/backward, NT-Xent,
+// and GBT training.  These quantify the per-experiment cost that drives the
+// campaign-scale decisions documented in DESIGN.md.
+#include "fptc/augment/augmentation.hpp"
+#include "fptc/core/data.hpp"
+#include "fptc/flowpic/flowpic.hpp"
+#include "fptc/gbt/gbt.hpp"
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/models.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace fptc;
+
+flow::Flow make_test_flow()
+{
+    util::Rng rng(7);
+    return trafficgen::generate_flow(trafficgen::ucdavis19_profile(4, false), 4, rng);
+}
+
+void BM_FlowpicRasterize(benchmark::State& state)
+{
+    const auto flow = make_test_flow();
+    flowpic::FlowpicConfig config;
+    config.resolution = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(flowpic::Flowpic::from_flow(flow, config));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(flow.packets.size()));
+}
+BENCHMARK(BM_FlowpicRasterize)->Arg(32)->Arg(64)->Arg(1500);
+
+void BM_Augmentation(benchmark::State& state)
+{
+    const auto flow = make_test_flow();
+    const auto kind = static_cast<augment::AugmentationKind>(state.range(0));
+    const auto augmentation = augment::make_augmentation(kind);
+    flowpic::FlowpicConfig config;
+    util::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(augmentation->augmented_flowpic(flow, config, rng));
+    }
+}
+BENCHMARK(BM_Augmentation)
+    ->Arg(static_cast<int>(augment::AugmentationKind::rotate))
+    ->Arg(static_cast<int>(augment::AugmentationKind::color_jitter))
+    ->Arg(static_cast<int>(augment::AugmentationKind::packet_loss))
+    ->Arg(static_cast<int>(augment::AugmentationKind::change_rtt));
+
+void BM_LeNetForward(benchmark::State& state)
+{
+    nn::ModelConfig config;
+    config.flowpic_dim = static_cast<std::size_t>(state.range(0));
+    auto network = nn::make_supervised_network(config);
+    const std::size_t dim = nn::effective_input_dim(config.flowpic_dim);
+    util::Rng rng(3);
+    const auto input = nn::Tensor::randn({32, 1, dim, dim}, rng, 0.5f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(network.forward(input, false));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_LeNetForward)->Arg(32)->Arg(64);
+
+void BM_LeNetTrainStep(benchmark::State& state)
+{
+    nn::ModelConfig config;
+    config.flowpic_dim = 32;
+    auto network = nn::make_supervised_network(config);
+    util::Rng rng(3);
+    const auto input = nn::Tensor::randn({32, 1, 32, 32}, rng, 0.5f);
+    std::vector<std::size_t> labels(32);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = i % 5;
+    }
+    for (auto _ : state) {
+        const auto logits = network.forward(input, true);
+        const auto loss = nn::cross_entropy(logits, labels);
+        network.zero_grad();
+        benchmark::DoNotOptimize(network.backward(loss.grad));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_LeNetTrainStep);
+
+void BM_NtXent(benchmark::State& state)
+{
+    util::Rng rng(5);
+    const auto projections =
+        nn::Tensor::randn({static_cast<std::size_t>(state.range(0)), 30}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(nn::nt_xent(projections, 0.07));
+    }
+}
+BENCHMARK(BM_NtXent)->Arg(16)->Arg(64);
+
+void BM_GbtFit(benchmark::State& state)
+{
+    util::Rng rng(9);
+    const std::size_t n = 200;
+    const std::size_t d = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<float>> features(n, std::vector<float>(d));
+    std::vector<std::size_t> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        labels[i] = i % 5;
+        for (auto& v : features[i]) {
+            v = static_cast<float>(rng.normal(static_cast<double>(labels[i]), 1.5));
+        }
+    }
+    gbt::GbtConfig config;
+    config.num_rounds = 20;
+    for (auto _ : state) {
+        gbt::GbtClassifier model(config, 5);
+        model.fit(features, labels);
+        benchmark::DoNotOptimize(model.tree_count());
+    }
+}
+BENCHMARK(BM_GbtFit)->Arg(30)->Arg(256);
+
+void BM_TrafficGeneration(benchmark::State& state)
+{
+    const auto profile =
+        trafficgen::ucdavis19_profile(static_cast<std::size_t>(state.range(0)), false);
+    util::Rng rng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trafficgen::generate_flow(profile, 0, rng));
+    }
+}
+BENCHMARK(BM_TrafficGeneration)->Arg(0)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

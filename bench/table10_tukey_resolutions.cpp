@@ -1,0 +1,78 @@
+// Regenerates Table 10 (App. F): "Performance comparison across
+// augmentations for different flowpic sizes. P-values extracted from Tukey's
+// post-hoc test at a 0.05 significance level."  The paper uses this test to
+// justify pooling the 32x32 and 64x64 populations in the Fig. 5 ranking
+// (p = 0.57 between them) while keeping 1500x1500 apart (p < 1e-5).
+//
+// We treat every (augmentation, split, seed) experiment's accuracy as one
+// observation of its resolution's population.  The 1500x1500 population is
+// emulated by the pre-pooled pipeline (see DESIGN.md) and is generated only
+// under FPTC_FULL; otherwise a surrogate population with the paper's
+// reported offset is synthesized from the 32x32 runs so the statistical
+// machinery is still exercised end-to-end.
+#include "fptc/core/campaign.hpp"
+#include "fptc/stats/tukey.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/log.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main()
+{
+    using namespace fptc;
+
+    const auto scale = util::resolve_scale(5, 3, /*default_splits=*/2, /*default_seeds=*/1);
+    const auto data = core::load_ucdavis();
+
+    std::cout << "=== Table 10 (App. F): Tukey HSD across flowpic resolutions ===\n\n";
+
+    // Populations: script accuracies of every (augmentation, split, seed).
+    std::vector<std::vector<double>> populations;
+    std::vector<std::string> names;
+
+    std::vector<std::size_t> resolutions = {32, 64};
+    if (scale.full) {
+        resolutions.push_back(1500);
+    }
+    for (const auto resolution : resolutions) {
+        core::SupervisedOptions options;
+        options.flowpic.resolution = resolution;
+        options.max_epochs = scale.max_epochs;
+        options.augment_copies = scale.full ? 10 : 2;
+        std::vector<double> population;
+        for (const auto augmentation : augment::all_augmentations()) {
+            for (int split = 0; split < scale.splits; ++split) {
+                for (int seed = 0; seed < scale.seeds; ++seed) {
+                    const auto run = core::run_ucdavis_supervised(
+                        data, augmentation, 1000 + static_cast<std::uint64_t>(split),
+                        50 + static_cast<std::uint64_t>(seed), options);
+                    population.push_back(100.0 * run.script_accuracy());
+                }
+            }
+            util::log_info("table10: res " + std::to_string(resolution) + " " +
+                           std::string(augment::augmentation_name(augmentation)) + " done");
+        }
+        populations.push_back(std::move(population));
+        names.push_back(std::to_string(resolution) + "x" + std::to_string(resolution));
+    }
+
+    if (!scale.full) {
+        // Surrogate 1500x1500 population: the paper reports it ~1.5-2 points
+        // below 32x32 on script (Table 4); shift the 32x32 population so the
+        // Tukey pipeline runs over three groups as in Table 10.
+        std::vector<double> surrogate = populations[0];
+        for (auto& v : surrogate) {
+            v -= 1.8;
+        }
+        populations.push_back(std::move(surrogate));
+        names.emplace_back("1500x1500 (surrogate; run FPTC_FULL=1 for trained population)");
+    }
+
+    const auto result = stats::tukey_hsd(populations, 0.05);
+    std::cout << stats::render_tukey_table(result, names) << '\n';
+
+    std::cout << "paper reference: 32x32 vs 64x64 p = 0.57 (not different); both differ from\n"
+                 "1500x1500 (p = 1.93e-6 and 1.04e-8) — justifying pooling 32+64 in Fig. 5.\n";
+    return 0;
+}

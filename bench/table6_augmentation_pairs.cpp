@@ -1,0 +1,85 @@
+// Regenerates Table 6: "Comparing the fine-tuning performance when using
+// different pairs of augmentation for pretraining (32x32 resolution,
+// fine-tuning on 10 samples only)" — the paper's small-scale ablation of
+// SimCLR view-pair choices: the Ref-Paper's pair (Change RTT + Time shift)
+// against pairs mixing time-series and image transformations.
+//
+// Paper takeaway: "despite the punctual differences between pairs ... all
+// pairs are qualitatively equivalent".
+#include "fptc/core/campaign.hpp"
+#include "fptc/stats/descriptive.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/log.hpp"
+#include "fptc/util/table.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main()
+{
+    using namespace fptc;
+    using augment::AugmentationKind;
+
+    const auto scale = util::resolve_scale(5, 5, /*default_splits=*/2, /*default_seeds=*/1);
+    const int finetune_seeds = scale.full ? 5 : 2;
+    const auto data = core::load_ucdavis();
+
+    struct Pair {
+        AugmentationKind first;
+        AugmentationKind second;
+        const char* note;
+    };
+    const Pair pairs[] = {
+        {AugmentationKind::change_rtt, AugmentationKind::time_shift, "(pair used in the Ref-Paper)"},
+        {AugmentationKind::packet_loss, AugmentationKind::color_jitter, ""},
+        {AugmentationKind::change_rtt, AugmentationKind::color_jitter, ""},
+        {AugmentationKind::color_jitter, AugmentationKind::rotate, ""},
+    };
+
+    std::cout << "=== Table 6: SimCLR pre-training augmentation pairs ===\n"
+              << "(" << scale.splits << " splits x " << scale.seeds << " SimCLR seeds x "
+              << finetune_seeds << " fine-tune seeds per pair; 10 samples/class fine-tune)\n\n";
+
+    util::Table table("Fine-tune accuracy per pre-training augmentation pair (32x32)");
+    table.set_header({"1st augment.", "2nd augment.", "script", "human"});
+
+    for (const auto& pair : pairs) {
+        std::vector<double> script_scores;
+        std::vector<double> human_scores;
+
+        core::SimClrOptions options;
+        options.first = pair.first;
+        options.second = pair.second;
+
+        for (int split = 0; split < scale.splits; ++split) {
+            for (int simclr_seed = 0; simclr_seed < scale.seeds; ++simclr_seed) {
+                for (int ft_seed = 0; ft_seed < finetune_seeds; ++ft_seed) {
+                    const auto run = core::run_ucdavis_simclr(
+                        data, 1000 + static_cast<std::uint64_t>(split),
+                        70 + static_cast<std::uint64_t>(simclr_seed),
+                        90 + static_cast<std::uint64_t>(ft_seed), options);
+                    script_scores.push_back(100.0 * run.script_accuracy());
+                    human_scores.push_back(100.0 * run.human_accuracy());
+                }
+            }
+        }
+        util::log_info("table6: pair (" + std::string(augment::augmentation_name(pair.first)) +
+                       ", " + std::string(augment::augmentation_name(pair.second)) + ") done");
+
+        const auto script_ci = stats::mean_ci(script_scores);
+        const auto human_ci = stats::mean_ci(human_scores);
+        table.add_row({std::string(augment::augmentation_name(pair.first)) +
+                           (pair.note[0] != '\0' ? "*" : ""),
+                       std::string(augment::augmentation_name(pair.second)) +
+                           (pair.note[0] != '\0' ? "*" : ""),
+                       util::format_mean_ci(script_ci.mean, script_ci.half_width),
+                       util::format_mean_ci(human_ci.mean, human_ci.half_width)});
+    }
+    table.add_footnote("(*) pair of augmentations used in the Ref-Paper.");
+
+    std::cout << table.to_string() << '\n';
+    std::cout << "paper reference: Change RTT+Time shift 92.18±0.31 / 74.69±1.13; the best\n"
+                 "alternative pair (Change RTT+Color jitter) 92.38±0.32 / 74.33±1.26 — all\n"
+                 "pairs qualitatively equivalent.\n";
+    return 0;
+}

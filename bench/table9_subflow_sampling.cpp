@@ -1,0 +1,99 @@
+// Regenerates Table 9 (App. D.3) and the related Fig. 9/10: the
+// reproduction of Rezaei & Liu [33] on UCDAVIS19 — "Macro-average accuracy
+// with different retraining dataset and different sampling methods":
+// fixed-step / random / incremental subflow sampling, self-supervised
+// regression pre-training on the whole pretraining partition, 3-layer
+// classifier fine-tuned with 10 labeled flows, tested on script and human.
+//
+// Paper shape: Incre > Rand > Fixed on script (ours: 96.22 / 94.63 / 87.11)
+// and a ~5% drop on human for incremental (92.56), confirming both [33]'s
+// ranking and the (milder) human data shift under a time-series input.
+#include "fptc/core/campaign.hpp"
+#include "fptc/stats/descriptive.hpp"
+#include "fptc/subflow/subflow.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/log.hpp"
+#include "fptc/util/table.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main()
+{
+    using namespace fptc;
+
+    const auto scale = util::resolve_scale(1, 3, /*default_splits=*/1, /*default_seeds=*/2);
+    const auto data = core::load_ucdavis();
+
+    std::cout << "=== Table 9 (App. D.3): reproduction of Rezaei & Liu's sampling methods ===\n"
+              << "(" << scale.seeds << " seeds per cell; fine-tuning with 10 labeled flows)\n\n";
+
+    const subflow::SamplingMethod methods[] = {
+        subflow::SamplingMethod::fixed_step,
+        subflow::SamplingMethod::random,
+        subflow::SamplingMethod::incremental,
+    };
+
+    util::Table table("Macro-average accuracy per sampling method (fine-tune on 10 flows)");
+    table.set_header({"finetune on", "Fixed", "Rand", "Incre"});
+
+    std::vector<std::string> script_row = {"script"};
+    std::vector<std::string> human_row = {"human"};
+    util::Table perclass("Fig. 10: per-class accuracy on human (incremental sampling)");
+    perclass.set_header({"Class", "accuracy (%)"});
+
+    for (const auto method : methods) {
+        std::vector<double> script_scores;
+        std::vector<double> human_scores;
+        for (int seed = 0; seed < scale.seeds; ++seed) {
+            subflow::SubflowModelConfig config;
+            config.seed = 33 + static_cast<std::uint64_t>(seed);
+            subflow::SubflowModel model(config, data.num_classes(), method);
+            const double pretrain_mse = model.pretrain(data.pretraining.flows);
+            // Fine-tune on 10 labeled flows drawn from the test partitions,
+            // as in [33] ("We only use this dataset to test the same model").
+            (void)model.finetune(data.script, 10, 500 + static_cast<std::uint64_t>(seed));
+            const auto script_confusion = model.evaluate(data.script);
+            const auto human_confusion = model.evaluate(data.human);
+            // Macro-average accuracy = mean of per-class recalls.
+            const auto macro = [](const stats::ConfusionMatrix& m) {
+                const auto recall = m.per_class_recall();
+                double total = 0.0;
+                for (const double r : recall) {
+                    total += r;
+                }
+                return 100.0 * total / static_cast<double>(recall.size());
+            };
+            script_scores.push_back(macro(script_confusion));
+            human_scores.push_back(macro(human_confusion));
+            util::log_info("table9: " + subflow::sampling_method_name(method) + " seed " +
+                           std::to_string(seed) + " pretrain-mse " +
+                           util::format_double(pretrain_mse, 4) + " -> script " +
+                           util::format_double(script_scores.back()) + " human " +
+                           util::format_double(human_scores.back()));
+
+            if (method == subflow::SamplingMethod::incremental && seed == 0) {
+                const auto recall = human_confusion.per_class_recall();
+                for (std::size_t c = 0; c < recall.size(); ++c) {
+                    perclass.add_row({data.human.class_names[c],
+                                      util::format_double(100.0 * recall[c], 1)});
+                }
+            }
+        }
+        const auto script_ci = stats::mean_ci(script_scores);
+        const auto human_ci = stats::mean_ci(human_scores);
+        script_row.push_back(util::format_mean_ci(script_ci.mean, script_ci.half_width));
+        human_row.push_back(util::format_mean_ci(human_ci.mean, human_ci.half_width));
+    }
+    table.add_row(script_row);
+    table.add_row(human_row);
+    table.add_footnote("Fixed: fixed-step sampling; Rand: random sampling; Incre: incremental "
+                       "sampling (one consecutive window).");
+
+    std::cout << table.to_string() << '\n';
+    std::cout << perclass.to_string() << '\n';
+    std::cout << "paper reference (ours columns): script 87.11 / 94.63 / 96.22, human 82.60 /\n"
+                 "87.29 / 92.56 — incremental sampling is the best strategy, and the human\n"
+                 "drop is much milder than with flowpic input.\n";
+    return 0;
+}

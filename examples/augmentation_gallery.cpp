@@ -1,0 +1,89 @@
+// Augmentation gallery: one flow, all 7 strategies, rendered side by side.
+//
+// Visual companion to Tables 4/8 — shows what each augmentation actually
+// does to a flowpic: Change RTT stretches/compresses the time axis, Time
+// shift translates it, Packet loss thins the counts, Rotate/Flip/Jitter act
+// in image space.  Also prints the quantitative deltas (mass and center of
+// gravity) per strategy.
+#include "fptc/augment/augmentation.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+#include "fptc/util/heatmap.hpp"
+#include "fptc/util/table.hpp"
+
+#include <cmath>
+#include <iostream>
+
+namespace {
+
+using namespace fptc;
+
+struct PicStats {
+    double mass = 0.0;
+    double time_center = 0.0; ///< mass-weighted mean column
+    double size_center = 0.0; ///< mass-weighted mean row
+};
+
+PicStats stats_of(const flowpic::Flowpic& pic)
+{
+    PicStats s;
+    const std::size_t n = pic.resolution();
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const double v = pic.at(r, c);
+            s.mass += v;
+            s.time_center += v * static_cast<double>(c);
+            s.size_center += v * static_cast<double>(r);
+        }
+    }
+    if (s.mass > 0.0) {
+        s.time_center /= s.mass;
+        s.size_center /= s.mass;
+    }
+    return s;
+}
+
+} // namespace
+
+int main()
+{
+    using namespace fptc;
+
+    std::cout << "Augmentation gallery (one Google Music flow, 32x32 flowpics)\n"
+              << "=============================================================\n\n";
+
+    // Google Music has the clearest visual structure (the audio-chunk
+    // stripes), so transformations are easy to spot.
+    util::Rng flow_rng(2024);
+    const auto profile = trafficgen::ucdavis19_profile(2, /*human_shift=*/false);
+    const auto flow = trafficgen::generate_flow(profile, 2, flow_rng);
+    std::cout << "source flow: " << flow.packets.size() << " packets over "
+              << flow.duration() << " s\n\n";
+
+    const flowpic::FlowpicConfig config{.resolution = 32};
+    const auto original = flowpic::Flowpic::from_flow(flow, config);
+    const auto reference = stats_of(original);
+
+    util::Table table("Effect of each strategy on flowpic mass and center of gravity");
+    table.set_header({"Strategy", "mass", "Δtime center (cols)", "Δsize center (rows)"});
+
+    util::HeatmapOptions render;
+    render.show_scale = false;
+
+    for (const auto kind : augment::all_augmentations()) {
+        const auto augmentation = augment::make_augmentation(kind);
+        util::Rng rng(7);
+        const auto pic = augmentation->augmented_flowpic(flow, config, rng);
+        const auto s = stats_of(pic);
+        std::cout << "--- " << augmentation->name() << " ---\n"
+                  << util::render_heatmap(pic.counts(), 32, 32, render);
+        table.add_row({std::string(augmentation->name()), util::format_double(s.mass, 0),
+                       util::format_double(s.time_center - reference.time_center, 2),
+                       util::format_double(s.size_center - reference.size_center, 2)});
+    }
+
+    std::cout << '\n' << table.to_string() << '\n';
+    std::cout << "reading guide: Time shift moves the time center; Change RTT re-spaces the\n"
+              << "stripes; Packet loss reduces mass; Rotate bleeds mass across size rows —\n"
+              << "which is why it breaks sparse datasets like MIRAGE-19 (Table 8).\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Few-shot contrastive learning end to end (paper Sec. 4.4 / Table 5).
+//
+// 1. Pre-train a SimCLR network on 100 unlabeled flows per class with the
+//    Change RTT + Time shift view pair (NT-Xent, temperature 0.07).
+// 2. Freeze the representation and fine-tune a linear classifier with
+//    1, 3, 5 and 10 labeled samples per class — the sensitivity sweep the
+//    Ref-Paper reports ("93.4% accuracy with only 3 samples, and 94.5% with
+//    10 samples" on script).
+// 3. Save and reload the pre-trained trunk to show the artifact workflow.
+#include "fptc/core/campaign.hpp"
+#include "fptc/nn/serialize.hpp"
+#include "fptc/util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main()
+{
+    using namespace fptc;
+
+    std::cout << "Few-shot contrastive learning (SimCLR + linear fine-tuning)\n"
+              << "============================================================\n\n";
+
+    const auto data = core::load_ucdavis();
+    const auto split = flow::fixed_per_class_split(data.pretraining, 100, /*seed=*/1);
+    std::vector<flow::Flow> pool;
+    for (const auto i : split.train) {
+        pool.push_back(data.pretraining.flows[i]);
+    }
+    std::cout << "unlabeled pre-training pool: " << pool.size() << " flows (100 per class)\n";
+
+    // --- SimCLR pre-training ------------------------------------------------
+    nn::ModelConfig model_config;
+    model_config.num_classes = data.num_classes();
+    model_config.with_dropout = false; // the paper's own conclusion (Table 5)
+    model_config.projection_dim = 30;
+    auto network = nn::make_simclr_network(model_config);
+
+    const augment::ViewPairGenerator views; // Change RTT + Time shift
+    core::SimClrConfig pretrain_config;
+    pretrain_config.max_epochs = 10;
+    const auto pretrain = core::pretrain_simclr(network, pool, views, pretrain_config);
+    std::printf("pre-trained for %d epochs; contrastive top-5 accuracy %.1f%%, NT-Xent %.3f\n\n",
+                pretrain.epochs_run, 100.0 * pretrain.best_top5_accuracy, pretrain.final_loss);
+
+    // --- Few-shot fine-tuning sweep ------------------------------------------
+    const auto script_set = core::rasterize(data.script.flows, views.config());
+    const auto human_set = core::rasterize(data.human.flows, views.config());
+    const auto script_embedded = core::embed_set(network, script_set);
+    const auto human_embedded = core::embed_set(network, human_set);
+
+    util::Table table("Fine-tuning sensitivity to the number of labeled samples per class");
+    table.set_header({"samples/class", "script acc (%)", "human acc (%)"});
+
+    flow::Dataset pool_dataset;
+    pool_dataset.class_names = data.pretraining.class_names;
+    pool_dataset.flows = pool;
+
+    for (const std::size_t shots : {std::size_t{1}, std::size_t{3}, std::size_t{5}, std::size_t{10}}) {
+        // Labeled subset from the pool.
+        util::Rng rng(1000 + shots);
+        std::vector<flow::Flow> labeled;
+        for (std::size_t label = 0; label < pool_dataset.num_classes(); ++label) {
+            auto indices = pool_dataset.indices_of_class(label);
+            rng.shuffle(indices);
+            for (std::size_t i = 0; i < shots && i < indices.size(); ++i) {
+                labeled.push_back(pool_dataset.flows[indices[i]]);
+            }
+        }
+        const auto train_embedded =
+            core::embed_set(network, core::rasterize(labeled, views.config()));
+
+        auto head = nn::make_finetune_head(model_config);
+        (void)core::train_head(head, train_embedded, core::finetune_config(7));
+        const auto script_cm = core::evaluate_head(head, script_embedded, data.num_classes());
+        const auto human_cm = core::evaluate_head(head, human_embedded, data.num_classes());
+        table.add_row({std::to_string(shots),
+                       util::format_double(100.0 * script_cm.accuracy(), 1),
+                       util::format_double(100.0 * human_cm.accuracy(), 1)});
+    }
+    std::cout << table.to_string() << '\n';
+    std::cout << "expected shape: accuracy grows with shots and saturates around 10; human\n"
+              << "stays below script (the data shift persists through the latent space).\n\n";
+
+    // --- Artifact workflow ----------------------------------------------------
+    const std::string path = "/tmp/fptc_simclr_trunk.bin";
+    nn::save_network(network.trunk, path);
+    auto restored = nn::make_simclr_network(model_config);
+    nn::load_network(restored.trunk, path);
+    std::cout << "pre-trained trunk saved to and restored from " << path << " ("
+              << network.trunk.parameter_count() << " parameters)\n";
+    return 0;
+}

@@ -1,0 +1,191 @@
+// flowpic_tool — a tcbench-style command-line front end over the library.
+//
+// Subcommands:
+//   generate <dataset> <out.csv>      synthesize a dataset and export it
+//                                     (datasets: ucdavis19-pretraining,
+//                                      ucdavis19-script, ucdavis19-human,
+//                                      mirage19, mirage22, utmobilenet21)
+//   summarize <in.csv>                Table-2 style summary of a dataset CSV
+//   train <in.csv> <model.bin>        train the paper's LeNet-5 (80/20
+//                                     train/val, Change RTT augmentation)
+//                                     and save the weights
+//   classify <model.bin> <in.csv>     classify every flow of a CSV with a
+//                                     saved model; prints the confusion
+//   render <in.csv> <flow-index>      render one flow's 32x32 flowpic
+//
+// The CSV format is the library's monolithic interchange format
+// (fptc/flow/io.hpp) — real captures converted to it run through the same
+// commands unchanged.
+#include "fptc/core/campaign.hpp"
+#include "fptc/flow/io.hpp"
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/serialize.hpp"
+#include "fptc/trafficgen/mobile.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+#include "fptc/util/heatmap.hpp"
+#include "fptc/util/table.hpp"
+
+#include <iostream>
+#include <string>
+
+namespace {
+
+using namespace fptc;
+
+int usage()
+{
+    std::cerr << "usage:\n"
+              << "  flowpic_tool generate <dataset> <out.csv>\n"
+              << "  flowpic_tool summarize <in.csv>\n"
+              << "  flowpic_tool train <in.csv> <model.bin>\n"
+              << "  flowpic_tool classify <model.bin> <in.csv>\n"
+              << "  flowpic_tool render <in.csv> <flow-index>\n"
+              << "datasets: ucdavis19-pretraining | ucdavis19-script | ucdavis19-human |\n"
+              << "          mirage19 | mirage22 | utmobilenet21\n";
+    return 2;
+}
+
+[[nodiscard]] flow::Dataset make_named_dataset(const std::string& name)
+{
+    trafficgen::UcdavisOptions ucdavis;
+    trafficgen::MobileGenOptions mobile;
+    mobile.samples_scale = 0.02;
+    if (name == "ucdavis19-pretraining") {
+        return trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::pretraining, ucdavis);
+    }
+    if (name == "ucdavis19-script") {
+        return trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::script, ucdavis);
+    }
+    if (name == "ucdavis19-human") {
+        return trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::human, ucdavis);
+    }
+    if (name == "mirage19") {
+        return trafficgen::make_mirage19(mobile);
+    }
+    if (name == "mirage22") {
+        return trafficgen::make_mirage22(mobile);
+    }
+    if (name == "utmobilenet21") {
+        return trafficgen::make_utmobilenet21(mobile);
+    }
+    throw std::runtime_error("unknown dataset '" + name + "'");
+}
+
+int cmd_generate(const std::string& name, const std::string& path)
+{
+    const auto dataset = make_named_dataset(name);
+    flow::write_dataset_csv(dataset, path);
+    std::cout << "wrote " << dataset.size() << " flows (" << dataset.num_classes()
+              << " classes) to " << path << '\n';
+    return 0;
+}
+
+int cmd_summarize(const std::string& path)
+{
+    auto dataset = flow::read_dataset_csv(path);
+    dataset.name = path;
+    std::cout << flow::render_summaries({dataset});
+    return 0;
+}
+
+int cmd_train(const std::string& csv_path, const std::string& model_path)
+{
+    const auto dataset = flow::read_dataset_csv(csv_path);
+    if (dataset.size() < 10) {
+        throw std::runtime_error("train: dataset too small");
+    }
+    std::vector<std::size_t> all(dataset.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = i;
+    }
+    const auto tv = flow::train_validation_split(all, 0.8, 1);
+    std::vector<flow::Flow> train_flows;
+    std::vector<flow::Flow> val_flows;
+    for (const auto i : tv.train) {
+        train_flows.push_back(dataset.flows[i]);
+    }
+    for (const auto i : tv.validation) {
+        val_flows.push_back(dataset.flows[i]);
+    }
+
+    const flowpic::FlowpicConfig config{.resolution = 32};
+    util::Rng rng(1);
+    const auto train_set =
+        core::augment_set(train_flows, augment::AugmentationKind::change_rtt, 2, config, rng);
+    const auto val_set = core::rasterize(val_flows, config);
+
+    nn::ModelConfig model_config;
+    model_config.num_classes = dataset.num_classes();
+    auto network = nn::make_supervised_network(model_config);
+    core::TrainConfig train_config;
+    train_config.max_epochs = 15;
+    const auto result = core::train_supervised(network, train_set, val_set, train_config);
+
+    const auto confusion = core::evaluate(network, val_set, dataset.num_classes());
+    std::cout << "trained " << result.epochs_run << " epochs; validation accuracy "
+              << util::format_double(100.0 * confusion.accuracy(), 2) << "%\n";
+    nn::save_network(network, model_path);
+    std::cout << "model saved to " << model_path << " (" << network.parameter_count()
+              << " parameters)\n";
+    return 0;
+}
+
+int cmd_classify(const std::string& model_path, const std::string& csv_path)
+{
+    const auto dataset = flow::read_dataset_csv(csv_path);
+    nn::ModelConfig model_config;
+    model_config.num_classes = dataset.num_classes();
+    auto network = nn::make_supervised_network(model_config);
+    nn::load_network(network, model_path);
+
+    const auto samples = core::rasterize(dataset.flows, {.resolution = 32});
+    const auto confusion = core::evaluate(network, samples, dataset.num_classes());
+    std::cout << "classified " << dataset.size() << " flows; accuracy "
+              << util::format_double(100.0 * confusion.accuracy(), 2) << "%\n\n";
+    std::cout << util::render_confusion(confusion.row_normalized(), dataset.class_names);
+    return 0;
+}
+
+int cmd_render(const std::string& csv_path, const std::string& index_text)
+{
+    const auto dataset = flow::read_dataset_csv(csv_path);
+    const auto index = static_cast<std::size_t>(std::stoul(index_text));
+    if (index >= dataset.size()) {
+        throw std::runtime_error("render: flow index out of range");
+    }
+    const auto& flow = dataset.flows[index];
+    std::cout << "flow " << index << " (" << dataset.class_names[flow.label] << ", "
+              << flow.packets.size() << " packets, " << util::format_double(flow.duration(), 2)
+              << " s):\n";
+    const auto pic = flowpic::Flowpic::from_flow(flow, {.resolution = 32});
+    std::cout << util::render_heatmap(pic.counts(), 32, 32);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        const std::string command = argc > 1 ? argv[1] : "";
+        if (command == "generate" && argc == 4) {
+            return cmd_generate(argv[2], argv[3]);
+        }
+        if (command == "summarize" && argc == 3) {
+            return cmd_summarize(argv[2]);
+        }
+        if (command == "train" && argc == 4) {
+            return cmd_train(argv[2], argv[3]);
+        }
+        if (command == "classify" && argc == 4) {
+            return cmd_classify(argv[2], argv[3]);
+        }
+        if (command == "render" && argc == 4) {
+            return cmd_render(argv[2], argv[3]);
+        }
+        return usage();
+    } catch (const std::exception& error) {
+        std::cerr << "flowpic_tool: " << error.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,84 @@
+#include "fptc/augment/augmentation.hpp"
+
+#include "fptc/augment/image.hpp"
+#include "fptc/augment/time_series.hpp"
+
+#include <stdexcept>
+
+namespace fptc::augment {
+
+std::string_view augmentation_name(AugmentationKind kind) noexcept
+{
+    switch (kind) {
+    case AugmentationKind::none:
+        return "No augmentation";
+    case AugmentationKind::rotate:
+        return "Rotate";
+    case AugmentationKind::horizontal_flip:
+        return "Horizontal flip";
+    case AugmentationKind::color_jitter:
+        return "Color jitter";
+    case AugmentationKind::packet_loss:
+        return "Packet loss";
+    case AugmentationKind::time_shift:
+        return "Time shift";
+    case AugmentationKind::change_rtt:
+        return "Change RTT";
+    }
+    return "unknown";
+}
+
+const std::vector<AugmentationKind>& all_augmentations()
+{
+    static const std::vector<AugmentationKind> kinds = {
+        AugmentationKind::none,        AugmentationKind::rotate,
+        AugmentationKind::horizontal_flip, AugmentationKind::color_jitter,
+        AugmentationKind::packet_loss, AugmentationKind::time_shift,
+        AugmentationKind::change_rtt,
+    };
+    return kinds;
+}
+
+flow::Flow Augmentation::transform_flow(const flow::Flow& input, util::Rng& /*rng*/) const
+{
+    return input;
+}
+
+flowpic::Flowpic Augmentation::transform_pic(flowpic::Flowpic pic, util::Rng& /*rng*/) const
+{
+    return pic;
+}
+
+flowpic::Flowpic Augmentation::augmented_flowpic(const flow::Flow& input,
+                                                 const flowpic::FlowpicConfig& config,
+                                                 util::Rng& rng) const
+{
+    if (is_time_series()) {
+        const auto transformed = transform_flow(input, rng);
+        return transform_pic(flowpic::Flowpic::from_flow(transformed, config), rng);
+    }
+    return transform_pic(flowpic::Flowpic::from_flow(input, config), rng);
+}
+
+std::unique_ptr<Augmentation> make_augmentation(AugmentationKind kind)
+{
+    switch (kind) {
+    case AugmentationKind::none:
+        return std::make_unique<NoAugmentation>();
+    case AugmentationKind::rotate:
+        return std::make_unique<Rotate>();
+    case AugmentationKind::horizontal_flip:
+        return std::make_unique<HorizontalFlip>();
+    case AugmentationKind::color_jitter:
+        return std::make_unique<ColorJitter>();
+    case AugmentationKind::packet_loss:
+        return std::make_unique<PacketLoss>();
+    case AugmentationKind::time_shift:
+        return std::make_unique<TimeShift>();
+    case AugmentationKind::change_rtt:
+        return std::make_unique<ChangeRtt>();
+    }
+    throw std::invalid_argument("make_augmentation: unknown kind");
+}
+
+} // namespace fptc::augment

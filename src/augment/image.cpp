@@ -1,0 +1,112 @@
+#include "fptc/augment/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace fptc::augment {
+
+Rotate::Rotate(double max_degrees) : max_degrees_(max_degrees)
+{
+    if (!(max_degrees >= 0.0 && max_degrees <= 180.0)) {
+        throw std::invalid_argument("Rotate: max_degrees must be in [0, 180]");
+    }
+}
+
+flowpic::Flowpic Rotate::transform_pic(flowpic::Flowpic pic, util::Rng& rng) const
+{
+    const double degrees = rng.uniform(-max_degrees_, max_degrees_);
+    const double radians = degrees * std::numbers::pi / 180.0;
+    const double cos_t = std::cos(radians);
+    const double sin_t = std::sin(radians);
+    const std::size_t n = pic.resolution();
+    const double center = (static_cast<double>(n) - 1.0) / 2.0;
+
+    const auto source = pic.counts();
+    std::vector<float> rotated(n * n, 0.0f);
+    // Inverse mapping with bilinear interpolation: for each destination cell,
+    // sample the source at the back-rotated coordinate.
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const double y = static_cast<double>(r) - center;
+            const double x = static_cast<double>(c) - center;
+            const double src_x = cos_t * x + sin_t * y + center;
+            const double src_y = -sin_t * x + cos_t * y + center;
+            if (src_x < 0.0 || src_y < 0.0 || src_x > static_cast<double>(n - 1) ||
+                src_y > static_cast<double>(n - 1)) {
+                continue;
+            }
+            const auto x0 = static_cast<std::size_t>(src_x);
+            const auto y0 = static_cast<std::size_t>(src_y);
+            const auto x1 = std::min(x0 + 1, n - 1);
+            const auto y1 = std::min(y0 + 1, n - 1);
+            const double fx = src_x - static_cast<double>(x0);
+            const double fy = src_y - static_cast<double>(y0);
+            const double v00 = source[y0 * n + x0];
+            const double v01 = source[y0 * n + x1];
+            const double v10 = source[y1 * n + x0];
+            const double v11 = source[y1 * n + x1];
+            const double value = v00 * (1 - fx) * (1 - fy) + v01 * fx * (1 - fy) +
+                                 v10 * (1 - fx) * fy + v11 * fx * fy;
+            rotated[r * n + c] = static_cast<float>(value);
+        }
+    }
+    return flowpic::Flowpic(n, std::move(rotated));
+}
+
+HorizontalFlip::HorizontalFlip(double probability) : probability_(probability)
+{
+    if (!(probability >= 0.0 && probability <= 1.0)) {
+        throw std::invalid_argument("HorizontalFlip: probability must be in [0, 1]");
+    }
+}
+
+flowpic::Flowpic HorizontalFlip::transform_pic(flowpic::Flowpic pic, util::Rng& rng) const
+{
+    if (!rng.bernoulli(probability_)) {
+        return pic;
+    }
+    const std::size_t n = pic.resolution();
+    auto counts = pic.counts();
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n / 2; ++c) {
+            std::swap(counts[r * n + c], counts[r * n + (n - 1 - c)]);
+        }
+    }
+    return pic;
+}
+
+ColorJitter::ColorJitter(double contrast, double brightness, double pixel_noise)
+    : contrast_(contrast), brightness_(brightness), pixel_noise_(pixel_noise)
+{
+    if (!(contrast >= 0.0 && contrast < 1.0) || !(brightness >= 0.0) || !(pixel_noise >= 0.0)) {
+        throw std::invalid_argument("ColorJitter: invalid strengths");
+    }
+}
+
+flowpic::Flowpic ColorJitter::transform_pic(flowpic::Flowpic pic, util::Rng& rng) const
+{
+    auto counts = pic.counts();
+    float max_count = 0.0f;
+    for (const float v : counts) {
+        max_count = std::max(max_count, v);
+    }
+    const double contrast = rng.uniform(1.0 - contrast_, 1.0 + contrast_);
+    const double brightness = rng.uniform(-brightness_, brightness_) * static_cast<double>(max_count);
+    for (auto& v : counts) {
+        if (v <= 0.0f && brightness <= 0.0) {
+            continue; // keep empty cells empty unless brightness is additive
+        }
+        const double noise = rng.uniform(1.0 - pixel_noise_, 1.0 + pixel_noise_);
+        double value = static_cast<double>(v) * contrast * noise;
+        if (v > 0.0f) {
+            value += brightness;
+        }
+        v = static_cast<float>(std::max(0.0, value));
+    }
+    return pic;
+}
+
+} // namespace fptc::augment

@@ -1,0 +1,74 @@
+// Data augmentation framework.
+//
+// The paper benchmarks 7 strategies (Sec. 3.2): "Next to applying no
+// augmentation, we adopted the 6 augmentations used in the Ref-Paper — 3
+// packet time series transformations (Change RTT, Time Shift and Packet
+// Loss) and 3 image transformations (Rotation, Horizontal Flip, and
+// Colorjitter)".  Time-series transformations act on the packet series
+// *before* the flowpic is computed; image transformations act on the
+// finished flowpic.  Both are expressed through one polymorphic interface so
+// the campaign code treats every strategy uniformly.
+#pragma once
+
+#include "fptc/flow/packet.hpp"
+#include "fptc/flowpic/flowpic.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace fptc::augment {
+
+/// The 7 strategies of Tables 4/8 in their table order.
+enum class AugmentationKind {
+    none,
+    rotate,
+    horizontal_flip,
+    color_jitter,
+    packet_loss,
+    time_shift,
+    change_rtt,
+};
+
+/// Human-readable strategy name as printed in the paper's tables.
+[[nodiscard]] std::string_view augmentation_name(AugmentationKind kind) noexcept;
+
+/// All 7 kinds in table order (No augmentation first).
+[[nodiscard]] const std::vector<AugmentationKind>& all_augmentations();
+
+/// One augmentation strategy.  Stateless with respect to samples: all
+/// randomness flows through the caller-provided Rng so campaigns stay
+/// reproducible.
+class Augmentation {
+public:
+    virtual ~Augmentation() = default;
+    Augmentation() = default;
+    Augmentation(const Augmentation&) = delete;
+    Augmentation& operator=(const Augmentation&) = delete;
+
+    [[nodiscard]] virtual AugmentationKind kind() const noexcept = 0;
+    [[nodiscard]] std::string_view name() const noexcept { return augmentation_name(kind()); }
+
+    /// True when this strategy transforms the packet series (Change RTT,
+    /// Time shift, Packet loss).
+    [[nodiscard]] virtual bool is_time_series() const noexcept { return false; }
+
+    /// Transform the packet series.  Default: identity copy.
+    [[nodiscard]] virtual flow::Flow transform_flow(const flow::Flow& input, util::Rng& rng) const;
+
+    /// Transform a finished flowpic.  Default: identity pass-through.
+    [[nodiscard]] virtual flowpic::Flowpic transform_pic(flowpic::Flowpic pic, util::Rng& rng) const;
+
+    /// Full pipeline: apply the time-series stage (if any), rasterize, then
+    /// apply the image stage (if any).
+    [[nodiscard]] flowpic::Flowpic augmented_flowpic(const flow::Flow& input,
+                                                     const flowpic::FlowpicConfig& config,
+                                                     util::Rng& rng) const;
+};
+
+/// Factory for any of the 7 strategies (default hyper-parameters per the
+/// paper: Change RTT alpha ~ U[0.5, 1.5], Time shift b ~ U[-1, 1] s, ...).
+[[nodiscard]] std::unique_ptr<Augmentation> make_augmentation(AugmentationKind kind);
+
+} // namespace fptc::augment

@@ -1,0 +1,74 @@
+// Image-space augmentations (Rotation, Horizontal flip, Color jitter).
+//
+// These act on the rasterized flowpic, mirroring the computer-vision recipes
+// the Ref-Paper borrowed.  The paper's ranking analysis (Sec. 4.3/4.5) finds
+// them generally weaker than the time-series transformations — Rotate even
+// hurts badly on MIRAGE-19 (Table 8) — which these implementations let the
+// bench harnesses reproduce.
+#pragma once
+
+#include "fptc/augment/augmentation.hpp"
+
+namespace fptc::augment {
+
+/// Rotate the flowpic by an angle theta ~ U[-max_degrees, +max_degrees]
+/// around its center (bilinear resampling, zero fill outside).
+class Rotate final : public Augmentation {
+public:
+    explicit Rotate(double max_degrees = 10.0);
+
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::rotate;
+    }
+    [[nodiscard]] flowpic::Flowpic transform_pic(flowpic::Flowpic pic, util::Rng& rng) const override;
+
+private:
+    double max_degrees_;
+};
+
+/// Mirror the time axis with probability p (RandomHorizontalFlip).
+class HorizontalFlip final : public Augmentation {
+public:
+    explicit HorizontalFlip(double probability = 0.5);
+
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::horizontal_flip;
+    }
+    [[nodiscard]] flowpic::Flowpic transform_pic(flowpic::Flowpic pic, util::Rng& rng) const override;
+
+private:
+    double probability_;
+};
+
+/// Brightness/contrast jitter on the count "intensities": every cell is
+/// scaled by a global contrast factor c ~ U[1-s, 1+s], perturbed by a small
+/// per-cell multiplicative noise, and shifted by a global brightness offset
+/// proportional to the flowpic max.  Counts stay non-negative.
+class ColorJitter final : public Augmentation {
+public:
+    explicit ColorJitter(double contrast = 0.3, double brightness = 0.1, double pixel_noise = 0.1);
+
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::color_jitter;
+    }
+    [[nodiscard]] flowpic::Flowpic transform_pic(flowpic::Flowpic pic, util::Rng& rng) const override;
+
+private:
+    double contrast_;
+    double brightness_;
+    double pixel_noise_;
+};
+
+/// The identity strategy ("No augmentation" rows of Tables 4/8).
+class NoAugmentation final : public Augmentation {
+public:
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::none;
+    }
+};
+
+} // namespace fptc::augment

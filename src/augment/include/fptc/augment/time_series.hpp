@@ -1,0 +1,70 @@
+// Packet time-series augmentations (Change RTT, Time shift, Packet loss).
+//
+// Hyper-parameters follow the quotes of the Ref-Paper reproduced in
+// Sec. 4.4.1: "'Change RTT' by alpha ~ U[0.5, 1.5] together with Time Shift
+// by b ~ U[-1, 1]".  Packet loss drops packets i.i.d. with a rate drawn per
+// view.  All three operate on the packet series before rasterization, which
+// is why the paper prefers them: they emulate genuine network phenomena
+// (path RTT changes, clock offsets, loss) instead of image-space artifacts.
+#pragma once
+
+#include "fptc/augment/augmentation.hpp"
+
+namespace fptc::augment {
+
+/// Change RTT: rescale all inter-arrival gaps by a single factor
+/// alpha ~ U[lo, hi], emulating a different round-trip time on the path.
+class ChangeRtt final : public Augmentation {
+public:
+    explicit ChangeRtt(double alpha_lo = 0.5, double alpha_hi = 1.5);
+
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::change_rtt;
+    }
+    [[nodiscard]] bool is_time_series() const noexcept override { return true; }
+    [[nodiscard]] flow::Flow transform_flow(const flow::Flow& input, util::Rng& rng) const override;
+
+private:
+    double alpha_lo_;
+    double alpha_hi_;
+};
+
+/// Time shift: translate the whole series by b ~ U[lo, hi] seconds within the
+/// flowpic window; packets shifted before t=0 are clamped out by the
+/// rasterizer.
+class TimeShift final : public Augmentation {
+public:
+    explicit TimeShift(double shift_lo = -1.0, double shift_hi = 1.0);
+
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::time_shift;
+    }
+    [[nodiscard]] bool is_time_series() const noexcept override { return true; }
+    [[nodiscard]] flow::Flow transform_flow(const flow::Flow& input, util::Rng& rng) const override;
+
+private:
+    double shift_lo_;
+    double shift_hi_;
+};
+
+/// Packet loss: drop each packet i.i.d. with probability p ~ U[lo, hi] drawn
+/// once per view (at least one packet always survives).
+class PacketLoss final : public Augmentation {
+public:
+    explicit PacketLoss(double rate_lo = 0.01, double rate_hi = 0.15);
+
+    [[nodiscard]] AugmentationKind kind() const noexcept override
+    {
+        return AugmentationKind::packet_loss;
+    }
+    [[nodiscard]] bool is_time_series() const noexcept override { return true; }
+    [[nodiscard]] flow::Flow transform_flow(const flow::Flow& input, util::Rng& rng) const override;
+
+private:
+    double rate_lo_;
+    double rate_hi_;
+};
+
+} // namespace fptc::augment

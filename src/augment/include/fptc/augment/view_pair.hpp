@@ -1,0 +1,46 @@
+// SimCLR view-pair generation.
+//
+// Section 4.4.1: "we selected to use 'Change RTT' ... together with Time
+// Shift ... In each training step, a double batch of 32 unlabeled images is
+// loaded after applying the two augmentations above" and, on the ambiguity
+// of how to combine them, "we opted for applying the two transformations in
+// random order for every image in a mini-batch".  ViewPairGenerator follows
+// that choice: each view chains the two strategies in an independently
+// shuffled order (time-series stages run before rasterization, image stages
+// after — the only physically meaningful ordering across the two families).
+#pragma once
+
+#include "fptc/augment/augmentation.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace fptc::augment {
+
+/// Generates pairs of augmented "views" of a flow for contrastive training.
+class ViewPairGenerator {
+public:
+    /// Construct from two strategy kinds (defaults to the paper's pair:
+    /// Change RTT + Time shift).
+    ViewPairGenerator(AugmentationKind first = AugmentationKind::change_rtt,
+                      AugmentationKind second = AugmentationKind::time_shift,
+                      flowpic::FlowpicConfig config = {});
+
+    /// Produce one augmented view: both strategies applied, order randomized.
+    [[nodiscard]] flowpic::Flowpic view(const flow::Flow& input, util::Rng& rng) const;
+
+    /// Produce the (anchor, positive) pair SimCLR contrasts.
+    [[nodiscard]] std::pair<flowpic::Flowpic, flowpic::Flowpic> view_pair(const flow::Flow& input,
+                                                                          util::Rng& rng) const;
+
+    [[nodiscard]] const flowpic::FlowpicConfig& config() const noexcept { return config_; }
+    [[nodiscard]] AugmentationKind first_kind() const noexcept { return first_->kind(); }
+    [[nodiscard]] AugmentationKind second_kind() const noexcept { return second_->kind(); }
+
+private:
+    std::unique_ptr<Augmentation> first_;
+    std::unique_ptr<Augmentation> second_;
+    flowpic::FlowpicConfig config_;
+};
+
+} // namespace fptc::augment

@@ -1,0 +1,45 @@
+#include "fptc/augment/view_pair.hpp"
+
+namespace fptc::augment {
+
+ViewPairGenerator::ViewPairGenerator(AugmentationKind first, AugmentationKind second,
+                                     flowpic::FlowpicConfig config)
+    : first_(make_augmentation(first)), second_(make_augmentation(second)), config_(config)
+{
+}
+
+flowpic::Flowpic ViewPairGenerator::view(const flow::Flow& input, util::Rng& rng) const
+{
+    const Augmentation* stage_a = first_.get();
+    const Augmentation* stage_b = second_.get();
+    if (rng.bernoulli(0.5)) {
+        std::swap(stage_a, stage_b);
+    }
+    // Time-series stages must precede rasterization; within each family the
+    // randomized (stage_a, stage_b) order decides who goes first.
+    flow::Flow series = input;
+    if (stage_a->is_time_series()) {
+        series = stage_a->transform_flow(series, rng);
+    }
+    if (stage_b->is_time_series()) {
+        series = stage_b->transform_flow(series, rng);
+    }
+    auto pic = flowpic::Flowpic::from_flow(series, config_);
+    if (!stage_a->is_time_series()) {
+        pic = stage_a->transform_pic(std::move(pic), rng);
+    }
+    if (!stage_b->is_time_series()) {
+        pic = stage_b->transform_pic(std::move(pic), rng);
+    }
+    return pic;
+}
+
+std::pair<flowpic::Flowpic, flowpic::Flowpic> ViewPairGenerator::view_pair(const flow::Flow& input,
+                                                                           util::Rng& rng) const
+{
+    auto first_view = view(input, rng);
+    auto second_view = view(input, rng);
+    return {std::move(first_view), std::move(second_view)};
+}
+
+} // namespace fptc::augment

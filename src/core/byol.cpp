@@ -1,0 +1,296 @@
+#include "fptc/core/byol.hpp"
+
+#include "fptc/nn/layers.hpp"
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/optimizer.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fptc::core {
+
+namespace {
+
+/// Copy every parameter value of `source` into `destination`.
+void copy_parameters(nn::SimClrNetwork& source, nn::SimClrNetwork& destination)
+{
+    const auto from = source.parameters();
+    const auto to = destination.parameters();
+    if (from.size() != to.size()) {
+        throw std::logic_error("copy_parameters: mismatched networks");
+    }
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        to[i]->value = from[i]->value;
+    }
+}
+
+/// EMA update: target <- decay * target + (1 - decay) * online.
+void ema_update(nn::SimClrNetwork& online, nn::SimClrNetwork& target, double decay)
+{
+    const auto from = online.parameters();
+    const auto to = target.parameters();
+    const auto d = static_cast<float>(decay);
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        auto dst = to[i]->value.data();
+        const auto src = from[i]->value.data();
+        for (std::size_t j = 0; j < dst.size(); ++j) {
+            dst[j] = d * dst[j] + (1.0f - d) * src[j];
+        }
+    }
+}
+
+/// L2-normalize rows; returns norms.
+void normalize_rows(const nn::Tensor& input, nn::Tensor& normalized, std::vector<double>& norms)
+{
+    const std::size_t rows = input.dim(0);
+    const std::size_t dim = input.dim(1);
+    normalized = input;
+    norms.assign(rows, 0.0);
+    auto data = normalized.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float* row = data.data() + r * dim;
+        double norm_sq = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            norm_sq += static_cast<double>(row[d]) * row[d];
+        }
+        norms[r] = std::sqrt(std::max(norm_sq, 1e-24));
+        const auto inv = static_cast<float>(1.0 / norms[r]);
+        for (std::size_t d = 0; d < dim; ++d) {
+            row[d] *= inv;
+        }
+    }
+}
+
+/// BYOL regression loss between predictor outputs q and (stop-gradient)
+/// targets t: mean_i || normalize(q_i) - normalize(t_i) ||^2, with the
+/// gradient w.r.t. q (through the normalization).
+[[nodiscard]] nn::LossResult byol_regression(const nn::Tensor& predictions,
+                                             const nn::Tensor& targets)
+{
+    nn::require_same_shape(predictions, targets, "byol_regression");
+    const std::size_t rows = predictions.dim(0);
+    const std::size_t dim = predictions.dim(1);
+
+    nn::Tensor p;
+    nn::Tensor t;
+    std::vector<double> p_norms;
+    std::vector<double> t_norms;
+    normalize_rows(predictions, p, p_norms);
+    normalize_rows(targets, t, t_norms);
+
+    nn::LossResult result;
+    result.grad = nn::Tensor(predictions.shape());
+    const auto p_data = p.data();
+    const auto t_data = t.data();
+    auto g = result.grad.data();
+    double total = 0.0;
+    const double inv_rows = 1.0 / static_cast<double>(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* p_row = p_data.data() + r * dim;
+        const float* t_row = t_data.data() + r * dim;
+        float* g_row = g.data() + r * dim;
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            dot += static_cast<double>(p_row[d]) * t_row[d];
+        }
+        total += (2.0 - 2.0 * dot) * inv_rows;
+        // dL/dp = -2 t / rows; through normalization:
+        // dL/dq = (I - p p^T) (dL/dp) / ||q||.
+        double proj = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            proj += static_cast<double>(p_row[d]) * (-2.0 * t_row[d]);
+        }
+        const double inv_norm = inv_rows / p_norms[r];
+        for (std::size_t d = 0; d < dim; ++d) {
+            g_row[d] = static_cast<float>(
+                ((-2.0 * t_row[d]) - proj * p_row[d]) * inv_norm);
+        }
+    }
+    result.loss = total;
+    return result;
+}
+
+/// Rasterize one view into a row of the batch tensor (max-normalized).
+void write_view(nn::Tensor& batch, std::size_t row, const flowpic::Flowpic& view)
+{
+    auto image = pool_to_effective(view);
+    float max_value = 0.0f;
+    for (const float v : image) {
+        max_value = std::max(max_value, v);
+    }
+    if (max_value > 0.0f) {
+        for (auto& v : image) {
+            v /= max_value;
+        }
+    }
+    auto data = batch.data();
+    std::copy(image.begin(), image.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(row * image.size()));
+}
+
+} // namespace
+
+ByolNetwork make_byol_network(const nn::ModelConfig& config)
+{
+    ByolNetwork network;
+    network.online = nn::make_simclr_network(config);
+    network.target = nn::make_simclr_network(config);
+    copy_parameters(network.online, network.target); // exact initial copy
+
+    // Predictor q: projection -> projection MLP (BYOL's asymmetry).
+    network.predictor.add(std::make_unique<nn::Linear>(config.projection_dim,
+                                                       config.projection_dim,
+                                                       util::mix_seed(config.seed, 30)));
+    network.predictor.add(std::make_unique<nn::ReLU>());
+    network.predictor.add(std::make_unique<nn::Linear>(config.projection_dim,
+                                                       config.projection_dim,
+                                                       util::mix_seed(config.seed, 31)));
+    return network;
+}
+
+ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows,
+                         const augment::ViewPairGenerator& views, const ByolConfig& config)
+{
+    if (flows.size() < 2) {
+        throw std::invalid_argument("pretrain_byol: need at least 2 flows");
+    }
+    util::Rng rng(config.seed);
+
+    auto trainable = network.online.parameters();
+    const auto predictor_params = network.predictor.parameters();
+    trainable.insert(trainable.end(), predictor_params.begin(), predictor_params.end());
+    nn::Adam optimizer(trainable, config.learning_rate);
+
+    const std::size_t dim = nn::effective_input_dim(views.config().resolution);
+    std::vector<std::size_t> order(flows.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+
+    ByolResult result;
+    double best_loss = std::numeric_limits<double>::infinity();
+    int epochs_since_improvement = 0;
+
+    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start + 1 < order.size(); start += config.batch_samples) {
+            const std::size_t end = std::min(start + config.batch_samples, order.size());
+            const std::size_t batch = end - start;
+            nn::Tensor view_a({batch, 1, dim, dim});
+            nn::Tensor view_b({batch, 1, dim, dim});
+            for (std::size_t i = 0; i < batch; ++i) {
+                auto [a, b] = views.view_pair(flows[order[start + i]], rng);
+                write_view(view_a, i, a);
+                write_view(view_b, i, b);
+            }
+
+            // Targets first (stop-gradient: only forward passes).
+            const auto target_b = network.target.forward(view_b, /*training=*/false);
+            const auto target_a = network.target.forward(view_a, /*training=*/false);
+
+            network.online.zero_grad();
+            network.predictor.zero_grad();
+
+            // Direction a -> b.
+            const auto z_a = network.online.forward(view_a, /*training=*/true);
+            const auto p_a = network.predictor.forward(z_a, /*training=*/true);
+            const auto loss_ab = byol_regression(p_a, target_b);
+            network.online.backward(network.predictor.backward(loss_ab.grad));
+
+            // Direction b -> a (gradients accumulate).
+            const auto z_b = network.online.forward(view_b, /*training=*/true);
+            const auto p_b = network.predictor.forward(z_b, /*training=*/true);
+            const auto loss_ba = byol_regression(p_b, target_a);
+            network.online.backward(network.predictor.backward(loss_ba.grad));
+
+            optimizer.step();
+            ema_update(network.online, network.target, config.ema_decay);
+
+            epoch_loss += 0.5 * (loss_ab.loss + loss_ba.loss);
+            ++batches;
+        }
+        if (batches == 0) {
+            break;
+        }
+        result.final_loss = epoch_loss / static_cast<double>(batches);
+        result.epochs_run = epoch + 1;
+        if (result.final_loss < best_loss - config.min_delta) {
+            best_loss = result.final_loss;
+            epochs_since_improvement = 0;
+        } else if (++epochs_since_improvement >= config.patience) {
+            break;
+        }
+    }
+    return result;
+}
+
+SimClrRunResult run_ucdavis_byol(const UcdavisData& data, std::uint64_t split_seed,
+                                 std::uint64_t pretrain_seed, std::uint64_t finetune_seed,
+                                 const SimClrOptions& options)
+{
+    const auto split = flow::fixed_per_class_split(data.pretraining, options.per_class, split_seed);
+    std::vector<flow::Flow> pool;
+    pool.reserve(split.train.size());
+    for (const auto i : split.train) {
+        pool.push_back(data.pretraining.flows[i]);
+    }
+
+    nn::ModelConfig model_config;
+    model_config.flowpic_dim = options.flowpic.resolution;
+    model_config.num_classes = data.num_classes();
+    model_config.with_dropout = options.with_dropout;
+    model_config.projection_dim = options.projection_dim;
+    model_config.seed = util::mix_seed(pretrain_seed, 0xB401);
+
+    auto network = make_byol_network(model_config);
+    const augment::ViewPairGenerator views(options.first, options.second, options.flowpic);
+
+    ByolConfig pretrain_config;
+    pretrain_config.max_epochs = options.pretrain_max_epochs;
+    pretrain_config.seed = util::mix_seed(pretrain_seed, 0xB402);
+    const auto pretrain_result = pretrain_byol(network, pool, views, pretrain_config);
+
+    // 10-shot labeled subset of the pool, as in run_ucdavis_simclr.
+    util::Rng label_rng(util::mix_seed(finetune_seed, 0xF1E7));
+    flow::Dataset pool_dataset;
+    pool_dataset.class_names = data.pretraining.class_names;
+    pool_dataset.flows = pool;
+    std::vector<flow::Flow> labeled;
+    for (std::size_t label = 0; label < pool_dataset.num_classes(); ++label) {
+        auto indices = pool_dataset.indices_of_class(label);
+        label_rng.shuffle(indices);
+        const std::size_t take = std::min(options.finetune_per_class, indices.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            labeled.push_back(pool_dataset.flows[indices[i]]);
+        }
+    }
+
+    const auto train_set = rasterize(labeled, options.flowpic);
+    const auto script_set = rasterize(data.script.flows, options.flowpic);
+    const auto human_set = rasterize(data.human.flows, options.flowpic);
+
+    nn::ModelConfig head_config = model_config;
+    head_config.seed = util::mix_seed(finetune_seed, 0x4EAD);
+    auto head = nn::make_finetune_head(head_config);
+    const auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
+
+    const auto train_embedded = embed_set(network.online, train_set);
+    (void)train_head(head, train_embedded, ft_config);
+
+    SimClrRunResult result{
+        .script_confusion =
+            evaluate_head(head, embed_set(network.online, script_set), data.num_classes()),
+        .human_confusion =
+            evaluate_head(head, embed_set(network.online, human_set), data.num_classes()),
+        .pretrain_epochs = pretrain_result.epochs_run,
+        .top5_accuracy = 0.0, // BYOL has no contrastive accuracy (no negatives)
+    };
+    return result;
+}
+
+} // namespace fptc::core

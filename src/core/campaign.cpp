@@ -1,0 +1,335 @@
+#include "fptc/core/campaign.hpp"
+
+#include "fptc/util/log.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fptc::core {
+
+UcdavisData load_ucdavis(double samples_scale, std::uint64_t seed)
+{
+    trafficgen::UcdavisOptions options;
+    options.samples_scale = samples_scale;
+    options.seed = seed;
+    UcdavisData data;
+    data.pretraining = trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::pretraining, options);
+    data.script = trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::script, options);
+    data.human = trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::human, options);
+    return data;
+}
+
+namespace {
+
+/// Select per-class labeled subsets from flow indices.
+[[nodiscard]] std::vector<flow::Flow> take_per_class(const flow::Dataset& dataset,
+                                                     const std::vector<std::size_t>& indices,
+                                                     std::size_t per_class, util::Rng& rng)
+{
+    std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+    for (const auto i : indices) {
+        by_class[dataset.flows[i].label].push_back(i);
+    }
+    std::vector<flow::Flow> result;
+    for (auto& bucket : by_class) {
+        rng.shuffle(bucket);
+        const std::size_t take = std::min(per_class, bucket.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            result.push_back(dataset.flows[bucket[i]]);
+        }
+    }
+    return result;
+}
+
+[[nodiscard]] std::vector<flow::Flow> materialize(const flow::Dataset& dataset,
+                                                  const std::vector<std::size_t>& indices)
+{
+    std::vector<flow::Flow> flows;
+    flows.reserve(indices.size());
+    for (const auto i : indices) {
+        flows.push_back(dataset.flows[i]);
+    }
+    return flows;
+}
+
+/// Subsample a test index list to a cap (0 disables the cap).
+[[nodiscard]] std::vector<std::size_t> cap_indices(std::vector<std::size_t> indices,
+                                                   std::size_t cap, std::uint64_t seed)
+{
+    if (cap == 0 || indices.size() <= cap) {
+        return indices;
+    }
+    util::Rng rng(seed);
+    rng.shuffle(indices);
+    indices.resize(cap);
+    return indices;
+}
+
+/// Rasterize honoring the directional flag of the options.
+[[nodiscard]] SampleSet rasterize_for(const SupervisedOptions& options,
+                                      std::span<const flow::Flow> flows)
+{
+    return options.directional ? rasterize_directional(flows, options.flowpic)
+                               : rasterize(flows, options.flowpic);
+}
+
+/// Augment honoring the directional flag of the options.
+[[nodiscard]] SampleSet augment_for(const SupervisedOptions& options,
+                                    std::span<const flow::Flow> flows,
+                                    augment::AugmentationKind kind, util::Rng& rng)
+{
+    return options.directional
+               ? augment_set_directional(flows, kind, options.augment_copies, options.flowpic, rng)
+               : augment_set(flows, kind, options.augment_copies, options.flowpic, rng);
+}
+
+/// Train a supervised LeNet per the paper's protocol on pre-built sets.
+[[nodiscard]] std::pair<nn::Sequential, int> train_lenet(const SampleSet& train,
+                                                         const SampleSet& validation,
+                                                         std::size_t num_classes,
+                                                         const SupervisedOptions& options,
+                                                         std::uint64_t train_seed)
+{
+    nn::ModelConfig model_config;
+    model_config.flowpic_dim = options.flowpic.resolution;
+    model_config.input_channels = options.directional ? 2 : 1;
+    model_config.num_classes = num_classes;
+    model_config.with_dropout = options.with_dropout;
+    model_config.seed = util::mix_seed(train_seed, 0xF00D);
+
+    nn::Sequential network = nn::make_supervised_network(model_config);
+    TrainConfig train_config;
+    train_config.max_epochs = options.max_epochs;
+    train_config.seed = util::mix_seed(train_seed, 0xBEEF);
+    const auto result = train_supervised(network, train, validation, train_config);
+    return {std::move(network), result.epochs_run};
+}
+
+} // namespace
+
+SupervisedRunResult run_ucdavis_supervised(const UcdavisData& data,
+                                           augment::AugmentationKind augmentation,
+                                           std::uint64_t split_seed, std::uint64_t train_seed,
+                                           const SupervisedOptions& options)
+{
+    // 100-per-class split from the pretraining partition; the rest is the
+    // "leftover" test set of Table 4.
+    const auto split =
+        flow::fixed_per_class_split(data.pretraining, options.per_class, split_seed);
+    // 80/20 train/validation split of the selected samples.
+    const auto tv = flow::train_validation_split(split.train, 0.8, train_seed);
+
+    const auto train_flows = materialize(data.pretraining, tv.train);
+    const auto val_flows = materialize(data.pretraining, tv.validation);
+    const auto leftover_indices =
+        cap_indices(split.test, options.leftover_cap, util::mix_seed(split_seed, 0x1EF7));
+    const auto leftover_flows = materialize(data.pretraining, leftover_indices);
+
+    util::Rng augment_rng(util::mix_seed(train_seed, 0xA06));
+    const auto train_set = augment_for(options, train_flows, augmentation, augment_rng);
+    const auto val_set = rasterize_for(options, val_flows);
+
+    auto [network, epochs] =
+        train_lenet(train_set, val_set, data.num_classes(), options, train_seed);
+
+    SupervisedRunResult result{
+        .script_confusion = stats::ConfusionMatrix(data.num_classes()),
+        .human_confusion = stats::ConfusionMatrix(data.num_classes()),
+        .leftover_confusion = stats::ConfusionMatrix(data.num_classes()),
+        .epochs_run = epochs,
+    };
+    result.script_confusion =
+        evaluate(network, rasterize_for(options, data.script.flows), data.num_classes());
+    result.human_confusion =
+        evaluate(network, rasterize_for(options, data.human.flows), data.num_classes());
+    result.leftover_confusion =
+        evaluate(network, rasterize_for(options, leftover_flows), data.num_classes());
+    return result;
+}
+
+namespace {
+
+[[nodiscard]] SimClrRunResult run_ucdavis_contrastive(const UcdavisData& data,
+                                                      std::uint64_t split_seed,
+                                                      std::uint64_t pretrain_seed,
+                                                      std::uint64_t finetune_seed,
+                                                      const SimClrOptions& options,
+                                                      bool supervised)
+{
+    const auto split =
+        flow::fixed_per_class_split(data.pretraining, options.per_class, split_seed);
+    const auto pool_flows = materialize(data.pretraining, split.train);
+
+    nn::ModelConfig model_config;
+    model_config.flowpic_dim = options.flowpic.resolution;
+    model_config.num_classes = data.num_classes();
+    model_config.with_dropout = options.with_dropout;
+    model_config.projection_dim = options.projection_dim;
+    model_config.seed = util::mix_seed(pretrain_seed, 0x51C);
+
+    auto network = nn::make_simclr_network(model_config);
+    const augment::ViewPairGenerator views(options.first, options.second, options.flowpic);
+
+    SimClrConfig pretrain_config;
+    pretrain_config.max_epochs = options.pretrain_max_epochs;
+    pretrain_config.seed = util::mix_seed(pretrain_seed, 0x517);
+    const auto pretrain_result =
+        supervised ? pretrain_supcon(network, pool_flows, views, pretrain_config)
+                   : pretrain_simclr(network, pool_flows, views, pretrain_config);
+
+    // Labeled few-shot subset from the same pool.
+    util::Rng label_rng(util::mix_seed(finetune_seed, 0xF1E7));
+    std::vector<std::size_t> pool_indices(pool_flows.size());
+    for (std::size_t i = 0; i < pool_indices.size(); ++i) {
+        pool_indices[i] = i;
+    }
+    flow::Dataset pool_dataset;
+    pool_dataset.class_names = data.pretraining.class_names;
+    pool_dataset.flows = pool_flows;
+    const auto labeled = take_per_class(pool_dataset, pool_indices,
+                                        options.finetune_per_class, label_rng);
+
+    const auto train_set = rasterize(labeled, options.flowpic);
+    const auto script_set = rasterize(data.script.flows, options.flowpic);
+    const auto human_set = rasterize(data.human.flows, options.flowpic);
+
+    nn::ModelConfig head_config = model_config;
+    head_config.seed = util::mix_seed(finetune_seed, 0x4EAD);
+    auto head = nn::make_finetune_head(head_config);
+    const auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
+
+    const auto train_embedded = embed_set(network, train_set);
+    (void)train_head(head, train_embedded, ft_config);
+
+    SimClrRunResult result{
+        .script_confusion = evaluate_head(head, embed_set(network, script_set), data.num_classes()),
+        .human_confusion = evaluate_head(head, embed_set(network, human_set), data.num_classes()),
+        .pretrain_epochs = pretrain_result.epochs_run,
+        .top5_accuracy = pretrain_result.best_top5_accuracy,
+    };
+    return result;
+}
+
+} // namespace
+
+SimClrRunResult run_ucdavis_simclr(const UcdavisData& data, std::uint64_t split_seed,
+                                   std::uint64_t pretrain_seed, std::uint64_t finetune_seed,
+                                   const SimClrOptions& options)
+{
+    return run_ucdavis_contrastive(data, split_seed, pretrain_seed, finetune_seed, options,
+                                   /*supervised=*/false);
+}
+
+SimClrRunResult run_ucdavis_supcon(const UcdavisData& data, std::uint64_t split_seed,
+                                   std::uint64_t pretrain_seed, std::uint64_t finetune_seed,
+                                   const SimClrOptions& options)
+{
+    return run_ucdavis_contrastive(data, split_seed, pretrain_seed, finetune_seed, options,
+                                   /*supervised=*/true);
+}
+
+SupervisedRunResult run_ucdavis_enlarged_supervised(const UcdavisData& data,
+                                                    augment::AugmentationKind augmentation,
+                                                    std::uint64_t seed,
+                                                    const SupervisedOptions& options)
+{
+    std::vector<std::size_t> all(data.pretraining.flows.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = i;
+    }
+    const auto tv = flow::train_validation_split(all, 0.8, seed);
+    const auto train_flows = materialize(data.pretraining, tv.train);
+    const auto val_flows = materialize(data.pretraining, tv.validation);
+
+    util::Rng augment_rng(util::mix_seed(seed, 0xA06));
+    const auto train_set = augment_for(options, train_flows, augmentation, augment_rng);
+    const auto val_set = rasterize_for(options, val_flows);
+
+    auto [network, epochs] = train_lenet(train_set, val_set, data.num_classes(), options, seed);
+
+    SupervisedRunResult result{
+        .script_confusion =
+            evaluate(network, rasterize_for(options, data.script.flows), data.num_classes()),
+        .human_confusion =
+            evaluate(network, rasterize_for(options, data.human.flows), data.num_classes()),
+        .leftover_confusion = stats::ConfusionMatrix(data.num_classes()),
+        .epochs_run = epochs,
+    };
+    return result;
+}
+
+SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data, std::uint64_t seed,
+                                            const SimClrOptions& options)
+{
+    nn::ModelConfig model_config;
+    model_config.flowpic_dim = options.flowpic.resolution;
+    model_config.num_classes = data.num_classes();
+    model_config.with_dropout = options.with_dropout;
+    model_config.projection_dim = options.projection_dim;
+    model_config.seed = util::mix_seed(seed, 0x51C);
+
+    auto network = nn::make_simclr_network(model_config);
+    const augment::ViewPairGenerator views(options.first, options.second, options.flowpic);
+
+    SimClrConfig pretrain_config;
+    pretrain_config.max_epochs = options.pretrain_max_epochs;
+    pretrain_config.seed = util::mix_seed(seed, 0x517);
+    const auto pretrain_result =
+        pretrain_simclr(network, data.pretraining.flows, views, pretrain_config);
+
+    util::Rng label_rng(util::mix_seed(seed, 0xF1E7));
+    std::vector<std::size_t> all(data.pretraining.flows.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = i;
+    }
+    const auto labeled =
+        take_per_class(data.pretraining, all, options.finetune_per_class, label_rng);
+
+    const auto train_set = rasterize(labeled, options.flowpic);
+    nn::ModelConfig head_config = model_config;
+    head_config.seed = util::mix_seed(seed, 0x4EAD);
+    auto head = nn::make_finetune_head(head_config);
+    const auto ft_config = finetune_config(util::mix_seed(seed, 0x7A1));
+    const auto train_embedded = embed_set(network, train_set);
+    (void)train_head(head, train_embedded, ft_config);
+
+    SimClrRunResult result{
+        .script_confusion = evaluate_head(
+            head, embed_set(network, rasterize(data.script.flows, options.flowpic)),
+            data.num_classes()),
+        .human_confusion = evaluate_head(
+            head, embed_set(network, rasterize(data.human.flows, options.flowpic)),
+            data.num_classes()),
+        .pretrain_epochs = pretrain_result.epochs_run,
+        .top5_accuracy = pretrain_result.best_top5_accuracy,
+    };
+    return result;
+}
+
+ReplicationRunResult run_replication_supervised(const flow::Dataset& dataset,
+                                                augment::AugmentationKind augmentation,
+                                                std::uint64_t split_seed, std::uint64_t train_seed,
+                                                const SupervisedOptions& options)
+{
+    const auto split = flow::stratified_split(dataset, 0.8, 0.1, split_seed);
+    const auto train_flows = materialize(dataset, split.train);
+    const auto val_flows = materialize(dataset, split.validation);
+    const auto test_flows = materialize(dataset, split.test);
+
+    util::Rng augment_rng(util::mix_seed(train_seed, 0xA06));
+    const auto train_set = augment_for(options, train_flows, augmentation, augment_rng);
+    const auto val_set = rasterize_for(options, val_flows);
+
+    auto [network, epochs] =
+        train_lenet(train_set, val_set, dataset.num_classes(), options, train_seed);
+
+    ReplicationRunResult result{
+        .test_confusion =
+            evaluate(network, rasterize_for(options, test_flows), dataset.num_classes()),
+        .epochs_run = epochs,
+    };
+    return result;
+}
+
+} // namespace fptc::core

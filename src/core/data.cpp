@@ -1,0 +1,192 @@
+#include "fptc/core/data.hpp"
+
+#include "fptc/nn/models.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fptc::core {
+
+nn::Tensor SampleSet::batch(std::span<const std::size_t> indices) const
+{
+    if (indices.empty()) {
+        throw std::invalid_argument("SampleSet::batch: empty index list");
+    }
+    nn::Tensor out({indices.size(), channels, dim, dim});
+    auto data = out.data();
+    const std::size_t plane = channels * dim * dim;
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+        const auto& image = images.at(indices[b]);
+        std::copy(image.begin(), image.end(), data.begin() + static_cast<std::ptrdiff_t>(b * plane));
+    }
+    return out;
+}
+
+nn::Tensor SampleSet::tensor_of(std::size_t index) const
+{
+    const std::size_t idx[1] = {index};
+    return batch(idx);
+}
+
+void SampleSet::append(const SampleSet& other)
+{
+    if (other.dim != dim || other.channels != channels) {
+        throw std::invalid_argument("SampleSet::append: shape mismatch");
+    }
+    images.insert(images.end(), other.images.begin(), other.images.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+std::vector<float> pool_to_effective(const flowpic::Flowpic& pic)
+{
+    const std::size_t n = pic.resolution();
+    const std::size_t effective = nn::effective_input_dim(n);
+    if (effective == n) {
+        return {pic.counts().begin(), pic.counts().end()};
+    }
+    const std::size_t window = n / 64;
+    std::vector<float> pooled(effective * effective, 0.0f);
+    const auto counts = pic.counts();
+    for (std::size_t r = 0; r < effective; ++r) {
+        for (std::size_t c = 0; c < effective; ++c) {
+            float best = 0.0f;
+            for (std::size_t wy = 0; wy < window; ++wy) {
+                for (std::size_t wx = 0; wx < window; ++wx) {
+                    best = std::max(best, counts[(r * window + wy) * n + (c * window + wx)]);
+                }
+            }
+            pooled[r * effective + c] = best;
+        }
+    }
+    return pooled;
+}
+
+namespace {
+
+void normalize_image(std::vector<float>& image)
+{
+    // Per-image max normalization for the CNN input.
+    float max_value = 0.0f;
+    for (const float v : image) {
+        max_value = std::max(max_value, v);
+    }
+    if (max_value > 0.0f) {
+        for (auto& v : image) {
+            v /= max_value;
+        }
+    }
+}
+
+void push_sample(SampleSet& set, flowpic::Flowpic pic, std::size_t label)
+{
+    auto image = pool_to_effective(pic);
+    normalize_image(image);
+    set.images.push_back(std::move(image));
+    set.labels.push_back(label);
+}
+
+/// Push a 2-channel (upstream, downstream) sample; both channels share one
+/// normalization so their relative magnitudes stay meaningful.
+void push_directional_sample(SampleSet& set, const flowpic::Flowpic& up,
+                             const flowpic::Flowpic& down, std::size_t label)
+{
+    auto up_plane = pool_to_effective(up);
+    const auto down_plane = pool_to_effective(down);
+    up_plane.insert(up_plane.end(), down_plane.begin(), down_plane.end());
+    normalize_image(up_plane);
+    set.images.push_back(std::move(up_plane));
+    set.labels.push_back(label);
+}
+
+} // namespace
+
+SampleSet rasterize(std::span<const flow::Flow> flows, const flowpic::FlowpicConfig& config)
+{
+    SampleSet set;
+    set.native_resolution = config.resolution;
+    set.dim = nn::effective_input_dim(config.resolution);
+    set.images.reserve(flows.size());
+    set.labels.reserve(flows.size());
+    for (const auto& flow : flows) {
+        push_sample(set, flowpic::Flowpic::from_flow(flow, config), flow.label);
+    }
+    return set;
+}
+
+SampleSet augment_set(std::span<const flow::Flow> flows, augment::AugmentationKind kind, int copies,
+                      const flowpic::FlowpicConfig& config, util::Rng& rng)
+{
+    if (kind == augment::AugmentationKind::none) {
+        return rasterize(flows, config);
+    }
+    if (copies < 1) {
+        throw std::invalid_argument("augment_set: copies must be >= 1");
+    }
+    const auto augmentation = augment::make_augmentation(kind);
+    SampleSet set;
+    set.native_resolution = config.resolution;
+    set.dim = nn::effective_input_dim(config.resolution);
+    set.images.reserve(flows.size() * static_cast<std::size_t>(copies));
+    set.labels.reserve(set.images.capacity());
+    for (const auto& flow : flows) {
+        for (int c = 0; c < copies; ++c) {
+            push_sample(set, augmentation->augmented_flowpic(flow, config, rng), flow.label);
+        }
+    }
+    return set;
+}
+
+SampleSet rasterize_directional(std::span<const flow::Flow> flows,
+                                const flowpic::FlowpicConfig& config)
+{
+    SampleSet set;
+    set.native_resolution = config.resolution;
+    set.dim = nn::effective_input_dim(config.resolution);
+    set.channels = 2;
+    set.images.reserve(flows.size());
+    set.labels.reserve(flows.size());
+    for (const auto& flow : flows) {
+        const auto [up, down] = flowpic::directional_flowpics(flow, config);
+        push_directional_sample(set, up, down, flow.label);
+    }
+    return set;
+}
+
+SampleSet augment_set_directional(std::span<const flow::Flow> flows,
+                                  augment::AugmentationKind kind, int copies,
+                                  const flowpic::FlowpicConfig& config, util::Rng& rng)
+{
+    if (kind == augment::AugmentationKind::none) {
+        return rasterize_directional(flows, config);
+    }
+    if (copies < 1) {
+        throw std::invalid_argument("augment_set_directional: copies must be >= 1");
+    }
+    const auto augmentation = augment::make_augmentation(kind);
+    SampleSet set;
+    set.native_resolution = config.resolution;
+    set.dim = nn::effective_input_dim(config.resolution);
+    set.channels = 2;
+    for (const auto& flow : flows) {
+        for (int c = 0; c < copies; ++c) {
+            if (augmentation->is_time_series()) {
+                const auto transformed = augmentation->transform_flow(flow, rng);
+                const auto [up, down] = flowpic::directional_flowpics(transformed, config);
+                push_directional_sample(set, up, down, flow.label);
+            } else {
+                // Image-space strategies must use identical random draws on
+                // both channels to keep the geometry coherent.
+                auto [up, down] = flowpic::directional_flowpics(flow, config);
+                util::Rng channel_rng = rng.fork();
+                util::Rng up_rng = channel_rng;
+                util::Rng down_rng = channel_rng;
+                up = augmentation->transform_pic(std::move(up), up_rng);
+                down = augmentation->transform_pic(std::move(down), down_rng);
+                push_directional_sample(set, up, down, flow.label);
+            }
+        }
+    }
+    return set;
+}
+
+} // namespace fptc::core

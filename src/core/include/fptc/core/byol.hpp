@@ -1,0 +1,73 @@
+// BYOL — Bootstrap Your Own Latent (Grill et al., NeurIPS'20).
+//
+// The paper's closest related work [37] (Towhid & Shahriar) applies BYOL
+// instead of SimCLR to the same dataset, and Sec. 2.4 notes the key
+// difference: "some contrastive learning algorithms do not use negative
+// samples [12]".  This module implements that alternative so the repository
+// can compare both families (bench/ablation_byol):
+//
+//   online network  f_o + g_o + predictor q   (trained by gradient)
+//   target network  f_t + g_t                 (EMA of the online weights)
+//   loss            || normalize(q(z_o^a)) - normalize(sg(z_t^b)) ||^2,
+//                   symmetrized over the two views; no negatives.
+#pragma once
+
+#include "fptc/augment/view_pair.hpp"
+#include "fptc/core/campaign.hpp"
+#include "fptc/core/simclr.hpp"
+#include "fptc/nn/models.hpp"
+
+#include <cstdint>
+
+namespace fptc::core {
+
+/// BYOL's online + target + predictor triple.
+struct ByolNetwork {
+    nn::SimClrNetwork online;   ///< trunk + projection trained by gradient
+    nn::SimClrNetwork target;   ///< EMA copy providing regression targets
+    nn::Sequential predictor;   ///< q: projection_dim -> projection_dim
+
+    /// Representation h from the *online* trunk (used for fine-tuning).
+    [[nodiscard]] nn::Tensor embed(const nn::Tensor& input)
+    {
+        return online.embed(input);
+    }
+};
+
+/// Build the triple; the target starts as an exact copy of the online
+/// network (standard BYOL initialization).
+[[nodiscard]] ByolNetwork make_byol_network(const nn::ModelConfig& config);
+
+/// BYOL pre-training hyper-parameters.
+struct ByolConfig {
+    std::size_t batch_samples = 32;
+    double learning_rate = 1e-3;
+    double ema_decay = 0.99;  ///< target <- decay*target + (1-decay)*online
+    int max_epochs = 12;
+    int patience = 3;         ///< on the (decreasing) regression loss
+    double min_delta = 1e-3;
+    std::uint64_t seed = 11;
+};
+
+/// Outcome of BYOL pre-training.
+struct ByolResult {
+    int epochs_run = 0;
+    double final_loss = 0.0;  ///< mean symmetric regression loss (in [0, 4])
+};
+
+/// Pre-train the online network on unlabeled flows; the target follows by
+/// EMA.  Uses the same view-pair machinery as SimCLR.
+[[nodiscard]] ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows,
+                                       const augment::ViewPairGenerator& views,
+                                       const ByolConfig& config);
+
+/// One BYOL experiment under the Table 5 protocol (pre-train on a
+/// 100-per-class pool, fine-tune a linear head on 10 labeled samples per
+/// class, evaluate on script/human) — directly comparable to
+/// run_ucdavis_simclr.
+[[nodiscard]] SimClrRunResult run_ucdavis_byol(const UcdavisData& data, std::uint64_t split_seed,
+                                               std::uint64_t pretrain_seed,
+                                               std::uint64_t finetune_seed,
+                                               const SimClrOptions& options);
+
+} // namespace fptc::core

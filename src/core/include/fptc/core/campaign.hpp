@@ -1,0 +1,139 @@
+// Campaign runners: the paper's modeling campaigns as reusable functions.
+//
+// Every bench binary regenerating a table/figure composes these runners with
+// its own replication counts (splits x seeds).  The runners implement the
+// protocols of Sec. 4.2.1 (supervised UCDAVIS19 campaigns over 100-sample
+// splits, evaluated on script / human / leftover), Sec. 4.4 (SimCLR
+// pre-train + 10-shot fine-tune) and Sec. 4.5 (80/10/10 supervised
+// replication on the mobile datasets, weighted-F1 metric).
+#pragma once
+
+#include "fptc/augment/augmentation.hpp"
+#include "fptc/core/data.hpp"
+#include "fptc/core/simclr.hpp"
+#include "fptc/core/trainer.hpp"
+#include "fptc/flow/split.hpp"
+#include "fptc/stats/metrics.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace fptc::core {
+
+/// The three UCDAVIS19 partitions generated once and shared by a campaign.
+struct UcdavisData {
+    flow::Dataset pretraining;
+    flow::Dataset script;
+    flow::Dataset human;
+
+    [[nodiscard]] std::size_t num_classes() const noexcept
+    {
+        return pretraining.num_classes();
+    }
+};
+
+/// Generate the three partitions (deterministic in seed/scale).
+[[nodiscard]] UcdavisData load_ucdavis(double samples_scale = 0.2, std::uint64_t seed = 19);
+
+/// Options shared by the supervised UCDAVIS19 runners.
+struct SupervisedOptions {
+    std::size_t per_class = 100;     ///< training samples per class (paper: 100)
+    int augment_copies = 3;          ///< paper: 10; reduced default for CPU budgets
+    bool with_dropout = true;        ///< listing 1 vs listing 2
+    int max_epochs = 25;
+    std::size_t leftover_cap = 400;  ///< subsample cap on the leftover test set (0 = all)
+    flowpic::FlowpicConfig flowpic{};///< resolution / duration
+    /// Use the 2-channel direction-aware flowpic (footnote 3 extension,
+    /// bench/ablation_directional) instead of the paper's direction-blind one.
+    bool directional = false;
+};
+
+/// Result of one supervised experiment (one split x one training seed).
+struct SupervisedRunResult {
+    stats::ConfusionMatrix script_confusion;
+    stats::ConfusionMatrix human_confusion;
+    stats::ConfusionMatrix leftover_confusion;
+    int epochs_run = 0;
+
+    [[nodiscard]] double script_accuracy() const { return script_confusion.accuracy(); }
+    [[nodiscard]] double human_accuracy() const { return human_confusion.accuracy(); }
+    [[nodiscard]] double leftover_accuracy() const { return leftover_confusion.accuracy(); }
+};
+
+/// One supervised experiment of the Table 4 protocol: draw a 100-per-class
+/// split (seeded by split_seed), 80/20 train/validation (train_seed), expand
+/// the training part with the augmentation, train a LeNet and evaluate on
+/// script / human / leftover.
+[[nodiscard]] SupervisedRunResult run_ucdavis_supervised(const UcdavisData& data,
+                                                         augment::AugmentationKind augmentation,
+                                                         std::uint64_t split_seed,
+                                                         std::uint64_t train_seed,
+                                                         const SupervisedOptions& options);
+
+/// Options for the SimCLR experiments (Tables 5-6).
+struct SimClrOptions {
+    std::size_t per_class = 100;          ///< unlabeled pool per class
+    std::size_t finetune_per_class = 10;  ///< labeled samples per class
+    std::size_t projection_dim = 30;
+    bool with_dropout = false;
+    augment::AugmentationKind first = augment::AugmentationKind::change_rtt;
+    augment::AugmentationKind second = augment::AugmentationKind::time_shift;
+    int pretrain_max_epochs = 12;
+    flowpic::FlowpicConfig flowpic{};
+};
+
+/// Result of one SimCLR experiment.
+struct SimClrRunResult {
+    stats::ConfusionMatrix script_confusion;
+    stats::ConfusionMatrix human_confusion;
+    int pretrain_epochs = 0;
+    double top5_accuracy = 0.0;
+
+    [[nodiscard]] double script_accuracy() const { return script_confusion.accuracy(); }
+    [[nodiscard]] double human_accuracy() const { return human_confusion.accuracy(); }
+};
+
+/// One SimCLR experiment of the Table 5/6 protocol: pre-train on a
+/// 100-per-class unlabeled split, fine-tune a linear head on
+/// finetune_per_class labeled samples of the same split, evaluate on
+/// script / human.
+[[nodiscard]] SimClrRunResult run_ucdavis_simclr(const UcdavisData& data, std::uint64_t split_seed,
+                                                 std::uint64_t pretrain_seed,
+                                                 std::uint64_t finetune_seed,
+                                                 const SimClrOptions& options);
+
+/// One SupCon experiment (Khosla et al.): like run_ucdavis_simclr but the
+/// contrastive pre-training is *supervised* — all same-class views are
+/// positives.  The paper lists this as future work (Sec. 5); see
+/// bench/ablation_supcon.
+[[nodiscard]] SimClrRunResult run_ucdavis_supcon(const UcdavisData& data, std::uint64_t split_seed,
+                                                 std::uint64_t pretrain_seed,
+                                                 std::uint64_t finetune_seed,
+                                                 const SimClrOptions& options);
+
+/// One supervised experiment on the *full* pretraining partition (Table 7's
+/// enlarged training set): 80/20 train/validation over everything.
+[[nodiscard]] SupervisedRunResult run_ucdavis_enlarged_supervised(
+    const UcdavisData& data, augment::AugmentationKind augmentation, std::uint64_t seed,
+    const SupervisedOptions& options);
+
+/// SimCLR on the full pretraining partition (Table 7's last row).
+[[nodiscard]] SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data,
+                                                          std::uint64_t seed,
+                                                          const SimClrOptions& options);
+
+/// One supervised replication experiment on a mobile dataset (Table 8
+/// protocol): stratified 80/10/10, full class imbalance, weighted F1.
+struct ReplicationRunResult {
+    stats::ConfusionMatrix test_confusion;
+    int epochs_run = 0;
+
+    [[nodiscard]] double weighted_f1() const { return test_confusion.weighted_f1(); }
+};
+
+[[nodiscard]] ReplicationRunResult run_replication_supervised(
+    const flow::Dataset& dataset, augment::AugmentationKind augmentation, std::uint64_t split_seed,
+    std::uint64_t train_seed, const SupervisedOptions& options);
+
+} // namespace fptc::core

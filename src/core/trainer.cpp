@@ -1,0 +1,123 @@
+#include "fptc/core/trainer.hpp"
+
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/optimizer.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace fptc::core {
+
+TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
+                             const SampleSet& validation, const TrainConfig& config)
+{
+    if (train.size() == 0) {
+        throw std::invalid_argument("train_supervised: empty training set");
+    }
+    util::Rng rng(config.seed);
+    std::unique_ptr<nn::Optimizer> optimizer;
+    if (config.use_adam) {
+        optimizer = std::make_unique<nn::Adam>(network.parameters(), config.learning_rate);
+    } else {
+        optimizer = std::make_unique<nn::Sgd>(network.parameters(), config.learning_rate);
+    }
+
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+
+    TrainResult result;
+    double best_monitored = std::numeric_limits<double>::infinity();
+    int epochs_since_improvement = 0;
+    const bool monitor_validation = validation.size() > 0;
+
+    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+            const std::size_t end = std::min(start + config.batch_size, order.size());
+            const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
+            const auto inputs = train.batch(batch_indices);
+            std::vector<std::size_t> batch_labels(batch_indices.size());
+            for (std::size_t i = 0; i < batch_indices.size(); ++i) {
+                batch_labels[i] = train.labels[batch_indices[i]];
+            }
+            const auto logits = network.forward(inputs, /*training=*/true);
+            const auto loss = nn::cross_entropy(logits, batch_labels);
+            network.zero_grad();
+            (void)network.backward(loss.grad);
+            optimizer->step();
+            epoch_loss += loss.loss;
+            ++batches;
+        }
+        result.final_train_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+        result.epochs_run = epoch + 1;
+
+        const double monitored =
+            monitor_validation ? evaluate_loss(network, validation) : result.final_train_loss;
+        result.validation_history.push_back(monitored);
+
+        if (monitored < best_monitored - config.min_delta) {
+            best_monitored = monitored;
+            epochs_since_improvement = 0;
+        } else {
+            ++epochs_since_improvement;
+            if (epochs_since_improvement >= config.patience) {
+                break;
+            }
+        }
+    }
+    result.best_validation_loss = best_monitored;
+    return result;
+}
+
+stats::ConfusionMatrix evaluate(nn::Sequential& network, const SampleSet& samples,
+                                std::size_t num_classes, std::size_t batch_size)
+{
+    stats::ConfusionMatrix confusion(num_classes);
+    std::vector<std::size_t> indices(batch_size);
+    for (std::size_t start = 0; start < samples.size(); start += batch_size) {
+        const std::size_t end = std::min(start + batch_size, samples.size());
+        indices.resize(end - start);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            indices[i] = start + i;
+        }
+        const auto logits = network.forward(samples.batch(indices), /*training=*/false);
+        const auto predictions = nn::argmax_rows(logits);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            confusion.add(samples.labels[indices[i]], predictions[i]);
+        }
+    }
+    return confusion;
+}
+
+double evaluate_loss(nn::Sequential& network, const SampleSet& samples, std::size_t batch_size)
+{
+    if (samples.size() == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    std::size_t count = 0;
+    std::vector<std::size_t> indices(batch_size);
+    for (std::size_t start = 0; start < samples.size(); start += batch_size) {
+        const std::size_t end = std::min(start + batch_size, samples.size());
+        indices.resize(end - start);
+        std::vector<std::size_t> batch_labels(end - start);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            indices[i] = start + i;
+            batch_labels[i] = samples.labels[start + i];
+        }
+        const auto logits = network.forward(samples.batch(indices), /*training=*/false);
+        const auto loss = nn::cross_entropy(logits, batch_labels);
+        total += loss.loss * static_cast<double>(end - start);
+        count += end - start;
+    }
+    return total / static_cast<double>(count);
+}
+
+} // namespace fptc::core

@@ -1,0 +1,78 @@
+#include "fptc/flow/dataset.hpp"
+
+#include "fptc/util/table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fptc::flow {
+
+std::vector<std::size_t> Dataset::class_counts() const
+{
+    std::vector<std::size_t> counts(class_names.size(), 0);
+    for (const auto& flow : flows) {
+        if (flow.label < counts.size()) {
+            ++counts[flow.label];
+        }
+    }
+    return counts;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::size_t label) const
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (flows[i].label == label) {
+            indices.push_back(i);
+        }
+    }
+    return indices;
+}
+
+DatasetSummary summarize(const Dataset& dataset)
+{
+    DatasetSummary summary;
+    summary.classes = dataset.num_classes();
+    summary.flows_all = dataset.flows.size();
+    const auto counts = dataset.class_counts();
+    summary.flows_min = std::numeric_limits<std::size_t>::max();
+    summary.flows_max = 0;
+    for (const auto count : counts) {
+        summary.flows_min = std::min(summary.flows_min, count);
+        summary.flows_max = std::max(summary.flows_max, count);
+    }
+    if (counts.empty() || summary.flows_all == 0) {
+        summary.flows_min = 0;
+    }
+    if (summary.flows_min > 0) {
+        summary.rho =
+            static_cast<double>(summary.flows_max) / static_cast<double>(summary.flows_min);
+    }
+    std::size_t total_packets = 0;
+    for (const auto& flow : dataset.flows) {
+        total_packets += flow.packets.size();
+    }
+    if (!dataset.flows.empty()) {
+        summary.mean_packets =
+            static_cast<double>(total_packets) / static_cast<double>(dataset.flows.size());
+    }
+    return summary;
+}
+
+std::string render_summaries(const std::vector<Dataset>& datasets)
+{
+    util::Table table("Summary of datasets properties (cf. Table 2 of the paper)");
+    table.set_header({"Name", "Classes", "Flows all", "min", "max", "rho", "mean pkts"});
+    for (const auto& dataset : datasets) {
+        const auto s = summarize(dataset);
+        table.add_row({dataset.name, std::to_string(s.classes), std::to_string(s.flows_all),
+                       std::to_string(s.flows_min), std::to_string(s.flows_max),
+                       util::format_double(s.rho, 1), util::format_double(s.mean_packets, 0)});
+    }
+    table.add_footnote(
+        "rho: ratio between max and min number of flows - the larger the value, the higher the "
+        "class imbalance");
+    return table.to_string();
+}
+
+} // namespace fptc::flow

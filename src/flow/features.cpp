@@ -1,0 +1,135 @@
+#include "fptc/flow/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fptc::flow {
+
+std::array<float, kEarlyFeatureSize> early_time_series(const Flow& flow)
+{
+    std::array<float, kEarlyFeatureSize> features{};
+    const std::size_t count = std::min(flow.packets.size(), kEarlyPackets);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto& packet = flow.packets[i];
+        features[i] = static_cast<float>(packet.size) / static_cast<float>(kMaxPacketSize);
+        features[kEarlyPackets + i] = packet.direction == Direction::downstream ? 1.0f : -1.0f;
+        if (i > 0) {
+            features[2 * kEarlyPackets + i] =
+                static_cast<float>(packet.timestamp - flow.packets[i - 1].timestamp);
+        }
+    }
+    return features;
+}
+
+std::vector<double> inter_arrival_times(const Flow& flow)
+{
+    std::vector<double> iats(flow.packets.size(), 0.0);
+    for (std::size_t i = 1; i < flow.packets.size(); ++i) {
+        iats[i] = flow.packets[i].timestamp - flow.packets[i - 1].timestamp;
+    }
+    return iats;
+}
+
+namespace {
+
+struct RunningStats {
+    double min_value = 0.0;
+    double max_value = 0.0;
+    double mean_value = 0.0;
+    double std_value = 0.0;
+
+    static RunningStats of(const std::vector<double>& values)
+    {
+        RunningStats stats;
+        if (values.empty()) {
+            return stats;
+        }
+        stats.min_value = values.front();
+        stats.max_value = values.front();
+        double total = 0.0;
+        for (const double v : values) {
+            stats.min_value = std::min(stats.min_value, v);
+            stats.max_value = std::max(stats.max_value, v);
+            total += v;
+        }
+        stats.mean_value = total / static_cast<double>(values.size());
+        double sum_sq = 0.0;
+        for (const double v : values) {
+            const double d = v - stats.mean_value;
+            sum_sq += d * d;
+        }
+        stats.std_value = std::sqrt(sum_sq / static_cast<double>(values.size()));
+        return stats;
+    }
+};
+
+} // namespace
+
+std::array<float, kFlowStatCount> flow_statistics(const Flow& flow)
+{
+    std::array<float, kFlowStatCount> stats{};
+    if (flow.packets.empty()) {
+        return stats;
+    }
+
+    std::vector<double> sizes;
+    std::vector<double> up_sizes;
+    std::vector<double> down_sizes;
+    sizes.reserve(flow.packets.size());
+    for (const auto& packet : flow.packets) {
+        sizes.push_back(static_cast<double>(packet.size));
+        if (packet.direction == Direction::upstream) {
+            up_sizes.push_back(static_cast<double>(packet.size));
+        } else {
+            down_sizes.push_back(static_cast<double>(packet.size));
+        }
+    }
+    const auto iats = inter_arrival_times(flow);
+    const auto size_stats = RunningStats::of(sizes);
+    const auto up_stats = RunningStats::of(up_sizes);
+    const auto down_stats = RunningStats::of(down_sizes);
+    const auto iat_stats = RunningStats::of(iats);
+
+    const double duration = flow.duration();
+    const double total_bytes = static_cast<double>(flow.total_bytes());
+    const double pkt_count = static_cast<double>(flow.packets.size());
+
+    // Scales keep every entry roughly O(1) for the regression head:
+    // sizes /1500, counts /1000, durations /15s, throughput /1e6 B/s.
+    constexpr double size_scale = 1.0 / 1500.0;
+    constexpr double count_scale = 1.0 / 1000.0;
+    constexpr double time_scale = 1.0 / 15.0;
+    constexpr double bytes_scale = 1.0 / 1.5e6;
+
+    std::size_t i = 0;
+    const auto put = [&](double v) { stats[i++] = static_cast<float>(v); };
+
+    put(pkt_count * count_scale);                              // 1 total packets
+    put(static_cast<double>(up_sizes.size()) * count_scale);   // 2 upstream packets
+    put(static_cast<double>(down_sizes.size()) * count_scale); // 3 downstream packets
+    put(total_bytes * bytes_scale);                            // 4 total bytes
+    put(size_stats.min_value * size_scale);                    // 5-8 size stats
+    put(size_stats.mean_value * size_scale);
+    put(size_stats.max_value * size_scale);
+    put(size_stats.std_value * size_scale);
+    put(up_stats.min_value * size_scale);                      // 9-12 upstream size stats
+    put(up_stats.mean_value * size_scale);
+    put(up_stats.max_value * size_scale);
+    put(up_stats.std_value * size_scale);
+    put(down_stats.min_value * size_scale);                    // 13-16 downstream size stats
+    put(down_stats.mean_value * size_scale);
+    put(down_stats.max_value * size_scale);
+    put(down_stats.std_value * size_scale);
+    put(iat_stats.min_value * time_scale);                     // 17-20 inter-arrival stats
+    put(iat_stats.mean_value * time_scale);
+    put(iat_stats.max_value * time_scale);
+    put(iat_stats.std_value * time_scale);
+    put(duration * time_scale);                                // 21 duration
+    put(duration > 0.0 ? total_bytes / duration * bytes_scale * time_scale : 0.0); // 22 throughput
+    put(pkt_count > 0.0 ? static_cast<double>(down_sizes.size()) / pkt_count : 0.0); // 23 down ratio
+    put(duration > 0.0 ? pkt_count / duration * count_scale : 0.0); // 24 packet rate
+
+    return stats;
+}
+
+} // namespace fptc::flow

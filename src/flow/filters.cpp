@@ -1,0 +1,65 @@
+#include "fptc/flow/filters.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fptc::flow {
+
+Dataset remove_ack_packets(Dataset dataset)
+{
+    for (auto& flow : dataset.flows) {
+        std::erase_if(flow.packets, [](const Packet& p) { return p.is_ack; });
+    }
+    return dataset;
+}
+
+Dataset remove_background_flows(Dataset dataset)
+{
+    std::erase_if(dataset.flows, [](const Flow& f) { return f.background; });
+    return dataset;
+}
+
+Dataset filter_min_packets(Dataset dataset, std::size_t min_packets)
+{
+    std::erase_if(dataset.flows,
+                  [min_packets](const Flow& f) { return f.packets.size() <= min_packets; });
+    return dataset;
+}
+
+Dataset drop_small_classes(Dataset dataset, std::size_t min_samples)
+{
+    const auto counts = dataset.class_counts();
+    std::vector<std::size_t> remap(counts.size(), static_cast<std::size_t>(-1));
+    std::vector<std::string> kept_names;
+    for (std::size_t label = 0; label < counts.size(); ++label) {
+        if (counts[label] >= min_samples) {
+            remap[label] = kept_names.size();
+            kept_names.push_back(dataset.class_names[label]);
+        }
+    }
+    std::erase_if(dataset.flows, [&](const Flow& f) {
+        return f.label >= remap.size() || remap[f.label] == static_cast<std::size_t>(-1);
+    });
+    for (auto& flow : dataset.flows) {
+        flow.label = remap[flow.label];
+    }
+    dataset.class_names = std::move(kept_names);
+    return dataset;
+}
+
+Dataset truncate_duration(Dataset dataset, double seconds)
+{
+    for (auto& flow : dataset.flows) {
+        if (flow.packets.empty()) {
+            continue;
+        }
+        const double start = flow.packets.front().timestamp;
+        const auto cut =
+            std::find_if(flow.packets.begin(), flow.packets.end(),
+                         [&](const Packet& p) { return p.timestamp - start > seconds; });
+        flow.packets.erase(cut, flow.packets.end());
+    }
+    return dataset;
+}
+
+} // namespace fptc::flow

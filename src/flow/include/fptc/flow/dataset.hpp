@@ -1,0 +1,48 @@
+// Labeled flow dataset container + Table-2 style summaries.
+//
+// A Dataset owns a set of flows and the class-name vocabulary.  The summary
+// helpers reproduce the columns of Table 2 of the paper (flow counts per
+// class, imbalance ratio rho, mean packets per flow), which the
+// dataset-curation example prints for each synthetic dataset.
+#pragma once
+
+#include "fptc/flow/packet.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fptc::flow {
+
+/// A labeled collection of flows sharing one class vocabulary.
+struct Dataset {
+    std::string name;                      ///< e.g. "ucdavis19/pretraining"
+    std::vector<std::string> class_names;  ///< label index -> human name
+    std::vector<Flow> flows;
+
+    [[nodiscard]] std::size_t num_classes() const noexcept { return class_names.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return flows.size(); }
+
+    /// Number of flows per class.
+    [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+    /// Indices of all flows with the given label.
+    [[nodiscard]] std::vector<std::size_t> indices_of_class(std::size_t label) const;
+};
+
+/// Table-2 style per-dataset summary.
+struct DatasetSummary {
+    std::size_t classes = 0;
+    std::size_t flows_all = 0;
+    std::size_t flows_min = 0;  ///< smallest class
+    std::size_t flows_max = 0;  ///< largest class
+    double rho = 0.0;           ///< max/min imbalance ratio
+    double mean_packets = 0.0;  ///< average packets per flow
+};
+
+[[nodiscard]] DatasetSummary summarize(const Dataset& dataset);
+
+/// Render one or more dataset summaries as a Table-2 style text table.
+[[nodiscard]] std::string render_summaries(const std::vector<Dataset>& datasets);
+
+} // namespace fptc::flow

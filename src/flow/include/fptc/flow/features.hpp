@@ -1,0 +1,46 @@
+// Flow feature extraction.
+//
+// Two feature families are used in the paper besides the flowpic:
+//
+// - Early time-series features for the ML baseline (Sec. 4.1.1): "the time
+//   series of the packet size, direction and intertime of the first 10
+//   packets of a flow (i.e., 3 features of 10 values each all concatenated
+//   into 30 elements arrays)".
+//
+// - The 24-metric statistical vector that Rezaei & Liu [33] regress during
+//   their semi-supervised pre-training (App. D.3), which our src/subflow
+//   module reproduces for Table 9.
+#pragma once
+
+#include "fptc/flow/packet.hpp"
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace fptc::flow {
+
+/// Number of leading packets used by the early time-series representation.
+inline constexpr std::size_t kEarlyPackets = 10;
+
+/// Size of the early time-series feature vector (3 x 10).
+inline constexpr std::size_t kEarlyFeatureSize = 3 * kEarlyPackets;
+
+/// Extract the 30-element early time-series vector: sizes (normalized to
+/// [0,1] by 1500), directions (+1 downstream / -1 upstream), inter-arrival
+/// times (seconds).  Flows shorter than 10 packets are zero-padded.
+[[nodiscard]] std::array<float, kEarlyFeatureSize> early_time_series(const Flow& flow);
+
+/// Number of statistics in the Rezaei-style regression target vector.
+inline constexpr std::size_t kFlowStatCount = 24;
+
+/// Extract 24 flow statistics (per direction and overall: packet counts,
+/// byte counts, min/mean/max/std of sizes and inter-arrival times, duration,
+/// throughput).  All values are scaled to comparable magnitudes so that a
+/// regression head can fit them without per-feature normalization.
+[[nodiscard]] std::array<float, kFlowStatCount> flow_statistics(const Flow& flow);
+
+/// Per-packet inter-arrival times (first entry 0).
+[[nodiscard]] std::vector<double> inter_arrival_times(const Flow& flow);
+
+} // namespace fptc::flow

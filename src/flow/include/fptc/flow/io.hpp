@@ -1,0 +1,34 @@
+// Dataset (de)serialization: a monolithic CSV flow format.
+//
+// The paper consolidates each dataset's "collection of files (in either CSV
+// or JSON format) ... into 'monolithic' parquet files" (Sec. 3.4).  This
+// module is the equivalent interchange layer here: one CSV holding every
+// packet of every flow, so that (i) synthetic datasets can be exported for
+// inspection with standard tools, and (ii) users with *real* captures
+// (e.g. the actual UCDAVIS19 per-flow CSVs) can feed them into the library
+// and run every campaign on real data.
+//
+// Format (header + one row per packet):
+//   flow_id,label,class_name,timestamp,size,direction,is_ack,background
+// with direction "up"/"down", booleans 0/1, timestamps in seconds.  Rows of
+// one flow must be contiguous; flows appear in ascending flow_id order.
+#pragma once
+
+#include "fptc/flow/dataset.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace fptc::flow {
+
+/// Serialize a dataset to the monolithic CSV format.
+void write_dataset_csv(const Dataset& dataset, std::ostream& out);
+void write_dataset_csv(const Dataset& dataset, const std::string& path);
+
+/// Parse a dataset back.  Class names are rebuilt from the class_name
+/// column (label indices must be consistent with it).  Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] Dataset read_dataset_csv(std::istream& in);
+[[nodiscard]] Dataset read_dataset_csv(const std::string& path);
+
+} // namespace fptc::flow

@@ -1,0 +1,57 @@
+// Packet time-series flow representation.
+//
+// All four datasets in the paper "provide per-packet time series for the
+// whole flows duration, which is a key requirement for composing flowpic
+// representations" (Sec. 3.4).  A Flow here is exactly that: the ordered
+// (timestamp, size, direction) series of one bidirectional 5-tuple, plus the
+// curation metadata the paper's pipeline needs (ACK flags for the MIRAGE ACK
+// removal, a background-traffic flag for the netstat-based filtering).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fptc::flow {
+
+/// Traffic direction relative to the flow initiator.  The flowpic of the
+/// Ref-Paper ignores direction ("Traffic directionality is not considered
+/// when composing the flowpic", footnote 3) but the time-series features of
+/// the ML baseline and of Rezaei & Liu's subflows use it.
+enum class Direction { upstream, downstream };
+
+/// One packet observation.
+struct Packet {
+    double timestamp = 0.0;                      ///< seconds since flow start
+    int size = 0;                                ///< L3 packet size in bytes [0, 1500]
+    Direction direction = Direction::downstream; ///< relative to flow initiator
+    bool is_ack = false;                         ///< bare TCP ACK (no payload)
+};
+
+/// Maximum packet size considered by the flowpic representation.
+inline constexpr int kMaxPacketSize = 1500;
+
+/// A labeled flow: the packet series plus curation metadata.
+struct Flow {
+    std::vector<Packet> packets;
+    std::size_t label = 0;      ///< class index within the owning dataset
+    bool background = false;    ///< background traffic (netd, SSDP, ...) to be curated away
+
+    /// Duration between first and last packet (0 for <2 packets).
+    [[nodiscard]] double duration() const noexcept
+    {
+        return packets.size() < 2 ? 0.0 : packets.back().timestamp - packets.front().timestamp;
+    }
+
+    /// Total bytes across all packets.
+    [[nodiscard]] std::size_t total_bytes() const noexcept
+    {
+        std::size_t bytes = 0;
+        for (const auto& p : packets) {
+            bytes += static_cast<std::size_t>(p.size > 0 ? p.size : 0);
+        }
+        return bytes;
+    }
+};
+
+} // namespace fptc::flow

@@ -1,0 +1,51 @@
+// Train/validation/test split construction.
+//
+// The paper uses three split protocols (Sec. 3.4 and 4.2.1):
+//
+// - UCDAVIS19: k=5 folds of exactly 100 samples per class drawn without
+//   replacement from the `pretraining` partition; each fold is further split
+//   80/20 into train/validation s=3 times; samples not in the fold form the
+//   "leftover" test set of Table 4.
+// - MIRAGE/UTMOBILENET replication: 5 random 80%/20% train/test splits, or
+//   the 80/10/10 train/validation/test protocol of Sec. 4.5.1.
+//
+// Splits are index-based so no flow data is copied until materialization.
+#pragma once
+
+#include "fptc/flow/dataset.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fptc::flow {
+
+/// Index-based split of one dataset.
+struct Split {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> validation;
+    std::vector<std::size_t> test;
+};
+
+/// Draw `per_class` sample indices per class without replacement.  Throws
+/// std::invalid_argument when a class has fewer than `per_class` samples.
+/// The remaining indices are returned in Split::test ("leftover" set);
+/// Split::validation is empty (use train_validation_split on the result).
+[[nodiscard]] Split fixed_per_class_split(const Dataset& dataset, std::size_t per_class,
+                                          std::uint64_t seed);
+
+/// Split an index list into train/validation with the given train fraction
+/// (the paper's 80/20 rule), shuffling with `seed`.
+[[nodiscard]] Split train_validation_split(const std::vector<std::size_t>& indices,
+                                           double train_fraction, std::uint64_t seed);
+
+/// Stratified fractional split: per class, `train_fraction` goes to train,
+/// `validation_fraction` to validation, the remainder to test (80/10/10 when
+/// called with 0.8, 0.1).  Fractions must sum to <= 1.
+[[nodiscard]] Split stratified_split(const Dataset& dataset, double train_fraction,
+                                     double validation_fraction, std::uint64_t seed);
+
+/// Materialize a subset of the dataset by indices (labels preserved).
+[[nodiscard]] Dataset subset(const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+} // namespace fptc::flow

@@ -1,0 +1,176 @@
+#include "fptc/flow/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fptc::flow {
+
+namespace {
+
+constexpr const char* kHeader = "flow_id,label,class_name,timestamp,size,direction,is_ack,background";
+
+[[nodiscard]] std::vector<std::string> split_fields(const std::string& line)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (const char c : line) {
+        if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (c != '\r') {
+            current += c;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+template <typename T>
+[[nodiscard]] T parse_number(const std::string& field, const char* what)
+{
+    T value{};
+    const auto* begin = field.data();
+    const auto* end = begin + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+        throw std::runtime_error(std::string("read_dataset_csv: bad ") + what + " '" + field + "'");
+    }
+    return value;
+}
+
+[[nodiscard]] double parse_double(const std::string& field, const char* what)
+{
+    // std::from_chars<double> is not universally available; strtod suffices.
+    char* end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (end != field.c_str() + field.size()) {
+        throw std::runtime_error(std::string("read_dataset_csv: bad ") + what + " '" + field + "'");
+    }
+    return value;
+}
+
+} // namespace
+
+void write_dataset_csv(const Dataset& dataset, std::ostream& out)
+{
+    out << kHeader << '\n';
+    for (std::size_t flow_id = 0; flow_id < dataset.flows.size(); ++flow_id) {
+        const auto& flow = dataset.flows[flow_id];
+        const std::string& class_name = flow.label < dataset.class_names.size()
+                                            ? dataset.class_names[flow.label]
+                                            : std::string("class-") + std::to_string(flow.label);
+        for (const auto& packet : flow.packets) {
+            out << flow_id << ',' << flow.label << ',' << class_name << ',' << packet.timestamp
+                << ',' << packet.size << ','
+                << (packet.direction == Direction::upstream ? "up" : "down") << ','
+                << (packet.is_ack ? 1 : 0) << ',' << (flow.background ? 1 : 0) << '\n';
+        }
+    }
+    if (!out) {
+        throw std::runtime_error("write_dataset_csv: stream failure");
+    }
+}
+
+void write_dataset_csv(const Dataset& dataset, const std::string& path)
+{
+    std::ofstream file(path);
+    if (!file) {
+        throw std::runtime_error("write_dataset_csv: cannot open " + path);
+    }
+    write_dataset_csv(dataset, file);
+}
+
+Dataset read_dataset_csv(std::istream& in)
+{
+    std::string line;
+    if (!std::getline(in, line)) {
+        throw std::runtime_error("read_dataset_csv: empty input");
+    }
+    // Tolerate a UTF-8 BOM and trailing CR on the header.
+    if (line.size() >= 3 && static_cast<unsigned char>(line[0]) == 0xEF) {
+        line.erase(0, 3);
+    }
+    if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+    }
+    if (line != kHeader) {
+        throw std::runtime_error("read_dataset_csv: unexpected header '" + line + "'");
+    }
+
+    Dataset dataset;
+    long current_flow = -1;
+    std::size_t line_number = 1;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty()) {
+            continue;
+        }
+        const auto fields = split_fields(line);
+        if (fields.size() != 8) {
+            throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
+                                     ": expected 8 fields, got " + std::to_string(fields.size()));
+        }
+        const auto flow_id = parse_number<long>(fields[0], "flow_id");
+        const auto label = parse_number<std::size_t>(fields[1], "label");
+        const auto& class_name = fields[2];
+
+        if (flow_id != current_flow) {
+            if (flow_id != current_flow + 1) {
+                throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
+                                         ": flow_id must be contiguous ascending");
+            }
+            current_flow = flow_id;
+            Flow flow;
+            flow.label = label;
+            flow.background = fields[7] == "1";
+            dataset.flows.push_back(std::move(flow));
+            // Grow the vocabulary as labels appear.
+            if (label >= dataset.class_names.size()) {
+                dataset.class_names.resize(label + 1);
+            }
+            if (dataset.class_names[label].empty()) {
+                dataset.class_names[label] = class_name;
+            } else if (dataset.class_names[label] != class_name) {
+                throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
+                                         ": class name mismatch for label " +
+                                         std::to_string(label));
+            }
+        }
+
+        Packet packet;
+        packet.timestamp = parse_double(fields[3], "timestamp");
+        packet.size = parse_number<int>(fields[4], "size");
+        if (fields[5] == "up") {
+            packet.direction = Direction::upstream;
+        } else if (fields[5] == "down") {
+            packet.direction = Direction::downstream;
+        } else {
+            throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
+                                     ": bad direction '" + fields[5] + "'");
+        }
+        packet.is_ack = fields[6] == "1";
+        dataset.flows.back().packets.push_back(packet);
+    }
+    // Fill any gaps in the vocabulary with placeholder names.
+    for (std::size_t label = 0; label < dataset.class_names.size(); ++label) {
+        if (dataset.class_names[label].empty()) {
+            dataset.class_names[label] = "class-" + std::to_string(label);
+        }
+    }
+    return dataset;
+}
+
+Dataset read_dataset_csv(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        throw std::runtime_error("read_dataset_csv: cannot open " + path);
+    }
+    return read_dataset_csv(file);
+}
+
+} // namespace fptc::flow

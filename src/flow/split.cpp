@@ -1,0 +1,96 @@
+#include "fptc/flow/split.hpp"
+
+#include "fptc/util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fptc::flow {
+
+Split fixed_per_class_split(const Dataset& dataset, std::size_t per_class, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Split split;
+    std::vector<bool> selected(dataset.flows.size(), false);
+    for (std::size_t label = 0; label < dataset.num_classes(); ++label) {
+        const auto class_indices = dataset.indices_of_class(label);
+        if (class_indices.size() < per_class) {
+            throw std::invalid_argument("fixed_per_class_split: class '" +
+                                        dataset.class_names[label] + "' has only " +
+                                        std::to_string(class_indices.size()) + " samples");
+        }
+        const auto chosen = rng.sample_without_replacement(class_indices.size(), per_class);
+        for (const auto local : chosen) {
+            split.train.push_back(class_indices[local]);
+            selected[class_indices[local]] = true;
+        }
+    }
+    for (std::size_t i = 0; i < dataset.flows.size(); ++i) {
+        if (!selected[i]) {
+            split.test.push_back(i); // "leftover" samples
+        }
+    }
+    return split;
+}
+
+Split train_validation_split(const std::vector<std::size_t>& indices, double train_fraction,
+                             std::uint64_t seed)
+{
+    if (!(train_fraction > 0.0 && train_fraction <= 1.0)) {
+        throw std::invalid_argument("train_validation_split: bad fraction");
+    }
+    util::Rng rng(seed);
+    std::vector<std::size_t> shuffled = indices;
+    rng.shuffle(shuffled);
+    const auto train_count =
+        static_cast<std::size_t>(train_fraction * static_cast<double>(shuffled.size()) + 0.5);
+    Split split;
+    split.train.assign(shuffled.begin(),
+                       shuffled.begin() + static_cast<std::ptrdiff_t>(std::min(train_count, shuffled.size())));
+    split.validation.assign(shuffled.begin() + static_cast<std::ptrdiff_t>(split.train.size()),
+                            shuffled.end());
+    return split;
+}
+
+Split stratified_split(const Dataset& dataset, double train_fraction, double validation_fraction,
+                       std::uint64_t seed)
+{
+    if (train_fraction < 0.0 || validation_fraction < 0.0 ||
+        train_fraction + validation_fraction > 1.0) {
+        throw std::invalid_argument("stratified_split: bad fractions");
+    }
+    util::Rng rng(seed);
+    Split split;
+    for (std::size_t label = 0; label < dataset.num_classes(); ++label) {
+        auto class_indices = dataset.indices_of_class(label);
+        rng.shuffle(class_indices);
+        const auto n = class_indices.size();
+        const auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(n) + 0.5);
+        const auto n_val =
+            static_cast<std::size_t>(validation_fraction * static_cast<double>(n) + 0.5);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i < n_train) {
+                split.train.push_back(class_indices[i]);
+            } else if (i < n_train + n_val) {
+                split.validation.push_back(class_indices[i]);
+            } else {
+                split.test.push_back(class_indices[i]);
+            }
+        }
+    }
+    return split;
+}
+
+Dataset subset(const Dataset& dataset, const std::vector<std::size_t>& indices)
+{
+    Dataset out;
+    out.name = dataset.name;
+    out.class_names = dataset.class_names;
+    out.flows.reserve(indices.size());
+    for (const auto i : indices) {
+        out.flows.push_back(dataset.flows.at(i));
+    }
+    return out;
+}
+
+} // namespace fptc::flow

@@ -1,0 +1,163 @@
+#include "fptc/flowpic/flowpic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fptc::flowpic {
+
+Flowpic::Flowpic(std::size_t resolution, std::vector<float> counts)
+    : resolution_(resolution), counts_(std::move(counts))
+{
+    if (resolution_ == 0 || counts_.size() != resolution_ * resolution_) {
+        throw std::invalid_argument("Flowpic: counts size must be resolution^2");
+    }
+}
+
+Flowpic Flowpic::from_flow(const flow::Flow& flow, const FlowpicConfig& config)
+{
+    if (config.resolution == 0 || config.duration <= 0.0) {
+        throw std::invalid_argument("Flowpic::from_flow: bad configuration");
+    }
+    const std::size_t n = config.resolution;
+    std::vector<float> counts(n * n, 0.0f);
+    if (!flow.packets.empty()) {
+        const double start =
+            config.origin_at_first_packet ? flow.packets.front().timestamp : 0.0;
+        const double time_width = config.duration / static_cast<double>(n);
+        const double size_width = static_cast<double>(flow::kMaxPacketSize) / static_cast<double>(n);
+        for (const auto& packet : flow.packets) {
+            const double elapsed = packet.timestamp - start;
+            if (elapsed < 0.0 || elapsed > config.duration) {
+                continue; // only the first `duration` seconds are represented
+            }
+            auto time_bin = static_cast<std::size_t>(elapsed / time_width);
+            time_bin = std::min(time_bin, n - 1);
+            const double clamped_size =
+                std::clamp(static_cast<double>(packet.size), 0.0,
+                           static_cast<double>(flow::kMaxPacketSize));
+            auto size_bin = static_cast<std::size_t>(clamped_size / size_width);
+            size_bin = std::min(size_bin, n - 1);
+            counts[size_bin * n + time_bin] += 1.0f;
+        }
+    }
+    return Flowpic(n, std::move(counts));
+}
+
+float Flowpic::at(std::size_t row, std::size_t column) const
+{
+    if (row >= resolution_ || column >= resolution_) {
+        throw std::out_of_range("Flowpic::at");
+    }
+    return counts_[row * resolution_ + column];
+}
+
+float& Flowpic::at(std::size_t row, std::size_t column)
+{
+    if (row >= resolution_ || column >= resolution_) {
+        throw std::out_of_range("Flowpic::at");
+    }
+    return counts_[row * resolution_ + column];
+}
+
+double Flowpic::total_mass() const noexcept
+{
+    double mass = 0.0;
+    for (const float v : counts_) {
+        mass += static_cast<double>(v);
+    }
+    return mass;
+}
+
+void Flowpic::normalize_max()
+{
+    float max_count = 0.0f;
+    for (const float v : counts_) {
+        max_count = std::max(max_count, v);
+    }
+    if (max_count <= 0.0f) {
+        return;
+    }
+    for (auto& v : counts_) {
+        v /= max_count;
+    }
+}
+
+std::vector<float> Flowpic::flattened() const
+{
+    return counts_;
+}
+
+double time_bin_width(const FlowpicConfig& config) noexcept
+{
+    return config.duration / static_cast<double>(config.resolution);
+}
+
+double size_bin_width(const FlowpicConfig& config) noexcept
+{
+    return static_cast<double>(flow::kMaxPacketSize) / static_cast<double>(config.resolution);
+}
+
+Flowpic average_flowpic(std::span<const flow::Flow> flows, const FlowpicConfig& config)
+{
+    if (flows.empty()) {
+        throw std::invalid_argument("average_flowpic: no flows");
+    }
+    const std::size_t n = config.resolution;
+    std::vector<float> accum(n * n, 0.0f);
+    for (const auto& flow : flows) {
+        const auto pic = Flowpic::from_flow(flow, config);
+        const auto counts = pic.counts();
+        for (std::size_t i = 0; i < accum.size(); ++i) {
+            accum[i] += counts[i];
+        }
+    }
+    const auto count = static_cast<float>(flows.size());
+    for (auto& v : accum) {
+        v /= count;
+    }
+    return Flowpic(n, std::move(accum));
+}
+
+std::pair<Flowpic, Flowpic> directional_flowpics(const flow::Flow& flow,
+                                                 const FlowpicConfig& config)
+{
+    flow::Flow upstream;
+    flow::Flow downstream;
+    upstream.label = downstream.label = flow.label;
+    for (const auto& packet : flow.packets) {
+        if (packet.direction == flow::Direction::upstream) {
+            upstream.packets.push_back(packet);
+        } else {
+            downstream.packets.push_back(packet);
+        }
+    }
+    // The absolute time origin must be shared by both channels; with the
+    // default origin (t = 0) each channel can be rasterized independently.
+    FlowpicConfig channel_config = config;
+    channel_config.origin_at_first_packet = false;
+    if (config.origin_at_first_packet && !flow.packets.empty()) {
+        const double start = flow.packets.front().timestamp;
+        for (auto* direction : {&upstream, &downstream}) {
+            for (auto& packet : direction->packets) {
+                packet.timestamp -= start;
+            }
+        }
+    }
+    return {Flowpic::from_flow(upstream, channel_config),
+            Flowpic::from_flow(downstream, channel_config)};
+}
+
+Flowpic average_flowpic_of_class(const flow::Dataset& dataset, std::size_t label,
+                                 const FlowpicConfig& config)
+{
+    std::vector<flow::Flow> class_flows;
+    for (const auto& flow : dataset.flows) {
+        if (flow.label == label) {
+            class_flows.push_back(flow);
+        }
+    }
+    return average_flowpic(class_flows, config);
+}
+
+} // namespace fptc::flowpic

@@ -1,0 +1,94 @@
+// The flowpic input representation.
+//
+// Section 2.2 of the paper: "The Ref-Paper computes a flowpic using only the
+// first 15s of the time series.  Specifically, both the 15s and the packets
+// size range (0-1500) are split into bins based on the resolution of the
+// target flowpic.  For instance a 32x32 flowpic leads to 469.8ms time bins
+// and 46B packet size bins.  Then, the count of the packets occurring in
+// each time window are tallied based on the defined packet size bins."
+//
+// Orientation follows Fig. 4: "the horizontal axis of a flowpic corresponds
+// to time (time zero on the left) while the vertical axis corresponds to
+// packet sizes (zero length on the top)".  Direction is ignored (footnote 3).
+#pragma once
+
+#include "fptc/flow/dataset.hpp"
+#include "fptc/flow/packet.hpp"
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fptc::flowpic {
+
+/// Flowpic construction parameters.
+struct FlowpicConfig {
+    std::size_t resolution = 32; ///< N for an NxN flowpic (paper: 32, 64, 1500)
+    double duration = 15.0;      ///< seconds of traffic considered (paper: 15 s)
+    /// When false (default) the time window is the absolute [0, duration]
+    /// interval — flows are curated to start at t=0, and the Time-shift
+    /// augmentation moves packets within this fixed window.  When true the
+    /// window starts at the first packet (useful for un-curated captures).
+    bool origin_at_first_packet = false;
+};
+
+/// A single NxN flowpic: row-major packet counts, row = size bin (small sizes
+/// at the top, i.e. row 0), column = time bin.
+class Flowpic {
+public:
+    Flowpic(std::size_t resolution, std::vector<float> counts);
+
+    /// Build from a flow using the given configuration.  Packets beyond the
+    /// window or with out-of-range sizes are clamped into the edge bins.
+    [[nodiscard]] static Flowpic from_flow(const flow::Flow& flow, const FlowpicConfig& config = {});
+
+    [[nodiscard]] std::size_t resolution() const noexcept { return resolution_; }
+    [[nodiscard]] std::span<const float> counts() const noexcept { return counts_; }
+    [[nodiscard]] std::span<float> counts() noexcept { return counts_; }
+
+    /// Count at (size_bin row, time_bin column).
+    [[nodiscard]] float at(std::size_t row, std::size_t column) const;
+    [[nodiscard]] float& at(std::size_t row, std::size_t column);
+
+    /// Total number of packets tallied (the flowpic's "mass").
+    [[nodiscard]] double total_mass() const noexcept;
+
+    /// Scale counts so the maximum becomes 1 (CNN input normalization);
+    /// no-op for an all-zero flowpic.
+    void normalize_max();
+
+    /// Flatten row-major into a feature vector (Table 3 feeds "a 32x32 image
+    /// flattened into a 1,024 values array" to XGBoost).
+    [[nodiscard]] std::vector<float> flattened() const;
+
+private:
+    std::size_t resolution_;
+    std::vector<float> counts_;
+};
+
+/// Time-bin width in seconds for a configuration (the paper quotes 469.8 ms
+/// at 32x32 over 15 s).
+[[nodiscard]] double time_bin_width(const FlowpicConfig& config) noexcept;
+
+/// Size-bin width in bytes (46 B at 32x32).
+[[nodiscard]] double size_bin_width(const FlowpicConfig& config) noexcept;
+
+/// Element-wise mean flowpic over many flows (Fig. 4's per-class averages).
+/// Throws std::invalid_argument for an empty input.
+[[nodiscard]] Flowpic average_flowpic(std::span<const flow::Flow> flows,
+                                      const FlowpicConfig& config = {});
+
+/// Average flowpic of every flow of `label` in the dataset.
+[[nodiscard]] Flowpic average_flowpic_of_class(const flow::Dataset& dataset, std::size_t label,
+                                               const FlowpicConfig& config = {});
+
+/// Direction-aware flowpic pair (paper footnote 3: "Traffic directionality
+/// is not considered when composing the flowpic ... although the
+/// representation could be reformulated to take it into account").
+/// first = upstream packets only, second = downstream packets only; their
+/// element-wise sum equals the plain flowpic of the same flow.
+[[nodiscard]] std::pair<Flowpic, Flowpic> directional_flowpics(const flow::Flow& flow,
+                                                               const FlowpicConfig& config = {});
+
+} // namespace fptc::flowpic

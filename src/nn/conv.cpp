@@ -1,0 +1,222 @@
+#include "fptc/nn/conv.hpp"
+
+#include "fptc/util/rng.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fptc::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_size,
+               std::uint64_t seed, std::size_t stride)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      weight_(Tensor({out_channels, in_channels, kernel_size, kernel_size}), "weight"),
+      bias_(Tensor({out_channels}), "bias")
+{
+    if (in_channels == 0 || out_channels == 0 || kernel_size == 0 || stride == 0) {
+        throw std::invalid_argument("Conv2d: zero-sized configuration");
+    }
+    util::Rng rng(seed);
+    const double fan_in = static_cast<double>(in_channels * kernel_size * kernel_size);
+    const auto limit = static_cast<float>(std::sqrt(6.0 / fan_in));
+    for (auto& w : weight_.value.data()) {
+        w = static_cast<float>(rng.uniform(-limit, limit));
+    }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/)
+{
+    if (input.rank() != 4 || input.dim(1) != in_channels_) {
+        throw std::invalid_argument("Conv2d::forward: expected [N, " + std::to_string(in_channels_) +
+                                    ", H, W], got " + input.shape_string());
+    }
+    const std::size_t batch = input.dim(0);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    if (h < kernel_size_ || w < kernel_size_) {
+        throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+    }
+    input_cache_ = input;
+    const std::size_t out_h = (h - kernel_size_) / stride_ + 1;
+    const std::size_t out_w = (w - kernel_size_) / stride_ + 1;
+    Tensor output({batch, out_channels_, out_h, out_w});
+
+    const auto x = input.data();
+    const auto kernel = weight_.value.data();
+    const auto b = bias_.value.data();
+    auto y = output.data();
+
+    const std::size_t in_plane = h * w;
+    const std::size_t out_plane = out_h * out_w;
+    const std::size_t kernel_plane = kernel_size_ * kernel_size_;
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* x_n = x.data() + n * in_channels_ * in_plane;
+        float* y_n = y.data() + n * out_channels_ * out_plane;
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+            const float* k_oc = kernel.data() + oc * in_channels_ * kernel_plane;
+            float* y_oc = y_n + oc * out_plane;
+            const float bias_value = b[oc];
+            for (std::size_t oy = 0; oy < out_h; ++oy) {
+                for (std::size_t ox = 0; ox < out_w; ++ox) {
+                    float accum = bias_value;
+                    const std::size_t iy0 = oy * stride_;
+                    const std::size_t ix0 = ox * stride_;
+                    for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+                        const float* x_ic = x_n + ic * in_plane;
+                        const float* k_ic = k_oc + ic * kernel_plane;
+                        for (std::size_t ky = 0; ky < kernel_size_; ++ky) {
+                            const float* x_row = x_ic + (iy0 + ky) * w + ix0;
+                            const float* k_row = k_ic + ky * kernel_size_;
+                            for (std::size_t kx = 0; kx < kernel_size_; ++kx) {
+                                accum += x_row[kx] * k_row[kx];
+                            }
+                        }
+                    }
+                    y_oc[oy * out_w + ox] = accum;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output)
+{
+    const std::size_t batch = input_cache_.dim(0);
+    const std::size_t h = input_cache_.dim(2);
+    const std::size_t w = input_cache_.dim(3);
+    const std::size_t out_h = (h - kernel_size_) / stride_ + 1;
+    const std::size_t out_w = (w - kernel_size_) / stride_ + 1;
+    if (grad_output.rank() != 4 || grad_output.dim(0) != batch ||
+        grad_output.dim(1) != out_channels_ || grad_output.dim(2) != out_h ||
+        grad_output.dim(3) != out_w) {
+        throw std::invalid_argument("Conv2d::backward: bad grad shape " + grad_output.shape_string());
+    }
+
+    Tensor grad_input(input_cache_.shape());
+    const auto x = input_cache_.data();
+    const auto kernel = weight_.value.data();
+    auto gk = weight_.grad.data();
+    auto gb = bias_.grad.data();
+    const auto gy = grad_output.data();
+    auto gx = grad_input.data();
+
+    const std::size_t in_plane = h * w;
+    const std::size_t out_plane = out_h * out_w;
+    const std::size_t kernel_plane = kernel_size_ * kernel_size_;
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* x_n = x.data() + n * in_channels_ * in_plane;
+        float* gx_n = gx.data() + n * in_channels_ * in_plane;
+        const float* gy_n = gy.data() + n * out_channels_ * out_plane;
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+            const float* k_oc = kernel.data() + oc * in_channels_ * kernel_plane;
+            float* gk_oc = gk.data() + oc * in_channels_ * kernel_plane;
+            const float* gy_oc = gy_n + oc * out_plane;
+            for (std::size_t oy = 0; oy < out_h; ++oy) {
+                for (std::size_t ox = 0; ox < out_w; ++ox) {
+                    const float g = gy_oc[oy * out_w + ox];
+                    if (g == 0.0f) {
+                        continue;
+                    }
+                    gb[oc] += g;
+                    const std::size_t iy0 = oy * stride_;
+                    const std::size_t ix0 = ox * stride_;
+                    for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+                        const float* x_ic = x_n + ic * in_plane;
+                        float* gx_ic = gx_n + ic * in_plane;
+                        const float* k_ic = k_oc + ic * kernel_plane;
+                        float* gk_ic = gk_oc + ic * kernel_plane;
+                        for (std::size_t ky = 0; ky < kernel_size_; ++ky) {
+                            const float* x_row = x_ic + (iy0 + ky) * w + ix0;
+                            float* gx_row = gx_ic + (iy0 + ky) * w + ix0;
+                            const float* k_row = k_ic + ky * kernel_size_;
+                            float* gk_row = gk_ic + ky * kernel_size_;
+                            for (std::size_t kx = 0; kx < kernel_size_; ++kx) {
+                                gk_row[kx] += g * x_row[kx];
+                                gx_row[kx] += g * k_row[kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window)
+{
+    if (window == 0) {
+        throw std::invalid_argument("MaxPool2d: window must be > 0");
+    }
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/)
+{
+    if (input.rank() != 4) {
+        throw std::invalid_argument("MaxPool2d::forward: expected [N, C, H, W]");
+    }
+    input_shape_ = input.shape();
+    const std::size_t batch = input.dim(0);
+    const std::size_t channels = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t out_h = h / window_;
+    const std::size_t out_w = w / window_;
+    if (out_h == 0 || out_w == 0) {
+        throw std::invalid_argument("MaxPool2d::forward: input smaller than window");
+    }
+    Tensor output({batch, channels, out_h, out_w});
+    argmax_.assign(output.size(), 0);
+
+    const auto x = input.data();
+    auto y = output.data();
+    const std::size_t in_plane = h * w;
+    const std::size_t out_plane = out_h * out_w;
+
+    for (std::size_t nc = 0; nc < batch * channels; ++nc) {
+        const float* x_plane = x.data() + nc * in_plane;
+        float* y_plane = y.data() + nc * out_plane;
+        std::size_t* arg_plane = argmax_.data() + nc * out_plane;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) {
+                float best = -std::numeric_limits<float>::infinity();
+                std::size_t best_index = 0;
+                for (std::size_t wy = 0; wy < window_; ++wy) {
+                    for (std::size_t wx = 0; wx < window_; ++wx) {
+                        const std::size_t idx = (oy * window_ + wy) * w + (ox * window_ + wx);
+                        if (x_plane[idx] > best) {
+                            best = x_plane[idx];
+                            best_index = idx;
+                        }
+                    }
+                }
+                y_plane[oy * out_w + ox] = best;
+                arg_plane[oy * out_w + ox] = nc * in_plane + best_index;
+            }
+        }
+    }
+    return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output)
+{
+    if (grad_output.size() != argmax_.size()) {
+        throw std::invalid_argument("MaxPool2d::backward: grad size mismatch");
+    }
+    Tensor grad_input(input_shape_);
+    auto gx = grad_input.data();
+    const auto gy = grad_output.data();
+    for (std::size_t i = 0; i < argmax_.size(); ++i) {
+        gx[argmax_[i]] += gy[i];
+    }
+    return grad_input;
+}
+
+} // namespace fptc::nn

@@ -1,0 +1,52 @@
+// Loss functions: softmax cross-entropy and NT-Xent (InfoNCE).
+//
+// Cross-entropy drives the supervised campaigns (Tables 4, 7, 8) and the
+// fine-tuning stage; NT-Xent with temperature 0.07 is SimCLR's contrastive
+// loss (Sec. 4.4.2: "training with SimCLR (temperature=0.07, learning
+// rate=0.001)").  Both return the scalar loss together with the gradient
+// w.r.t. their input so the trainers can feed it straight into backward().
+#pragma once
+
+#include "fptc/nn/tensor.hpp"
+
+#include <cstddef>
+#include <span>
+
+namespace fptc::nn {
+
+/// Scalar loss + gradient with respect to the loss input.
+struct LossResult {
+    double loss = 0.0;
+    Tensor grad; ///< same shape as the input of the loss
+};
+
+/// Mean softmax cross-entropy over a batch.  `logits` is [N, K]; labels are
+/// class indices < K.  The returned grad is (softmax - onehot)/N.
+[[nodiscard]] LossResult cross_entropy(const Tensor& logits, std::span<const std::size_t> labels);
+
+/// Predicted class per row (argmax of logits).
+[[nodiscard]] std::vector<std::size_t> argmax_rows(const Tensor& logits);
+
+/// NT-Xent contrastive loss over a double batch of projections [2B, D] where
+/// rows (2i, 2i+1) are the two views of sample i.  Embeddings are L2
+/// normalized internally (cosine similarities); gradients flow through the
+/// normalization.
+[[nodiscard]] LossResult nt_xent(const Tensor& projections, double temperature = 0.07);
+
+/// Contrastive top-k accuracy: fraction of anchors whose positive ranks in
+/// their top-k most-similar rows (k=5 is the paper's SimCLR early-stopping
+/// metric: "patience of 3 on the top-5 accuracy").
+[[nodiscard]] double contrastive_top_k_accuracy(const Tensor& projections, std::size_t k = 5);
+
+/// SupCon — supervised contrastive loss (Khosla et al., NeurIPS'20).
+///
+/// The paper lists this as the natural follow-up to its SimCLR study
+/// ("such a study should consider ... supervised contrastive learning
+/// methods such as SupCon [21]", Sec. 5).  Unlike NT-Xent, every row of the
+/// same label is a positive: L_i = -1/|P(i)| * sum_{p in P(i)}
+/// log( exp(s_ip) / sum_{a != i} exp(s_ia) ).  Rows are L2-normalized
+/// internally; anchors without positives contribute zero.
+[[nodiscard]] LossResult sup_con(const Tensor& projections, std::span<const std::size_t> labels,
+                                 double temperature = 0.07);
+
+} // namespace fptc::nn

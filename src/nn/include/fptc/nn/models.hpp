@@ -1,0 +1,77 @@
+// Model factories matching the paper's App. C listings.
+//
+// Listing 1/2: the supervised LeNet-5 ("mini" architecture) with or without
+// dropout — Conv(1->6,5) ReLU Pool, Conv(6->16,5) ReLU [Dropout2d 0.25]
+// Pool, Flatten, Linear(->120) ReLU, Linear(120->84) ReLU [Dropout 0.5],
+// Linear(84->classes).
+//
+// Listing 3/4: the SimCLR pre-train network — the same trunk up to the
+// 120-d representation h, followed by the projection head
+// Linear(120->120) ReLU [masked dropout] Linear(120->{30|84}).
+//
+// Listing 5: the fine-tune network — the frozen trunk with the projection
+// masked to Identity and a fresh Linear(120->classes) classifier.
+//
+// The "full" architecture (paper Fig. 6-7 of the Ref-Paper, used at
+// 1500x1500) has one fewer fully-connected layer; since training a 1500x1500
+// valid-convolution LeNet end-to-end is the paper's own 30-minutes-per-run
+// bottleneck, our factory for resolutions >= 256 prepends an input max-pool
+// that reduces the image to ~64x64 before the trunk (a documented
+// substitution; see DESIGN.md).
+#pragma once
+
+#include "fptc/nn/sequential.hpp"
+
+#include <cstdint>
+#include <memory>
+
+namespace fptc::nn {
+
+/// Hyper-parameters shared by the model factories.
+struct ModelConfig {
+    std::size_t flowpic_dim = 32;   ///< input resolution N (32, 64 or 1500)
+    std::size_t input_channels = 1; ///< 1 (plain flowpic) or 2 (directional)
+    std::size_t num_classes = 5;    ///< classifier width
+    bool with_dropout = true;       ///< listing 1 vs listing 2
+    std::size_t projection_dim = 30; ///< SimCLR projection output (30 or 84)
+    std::uint64_t seed = 1;         ///< weight initialization seed
+};
+
+/// Build the supervised network (listing 1/2; "full" variant automatically
+/// selected for flowpic_dim >= 256).
+[[nodiscard]] Sequential make_supervised_network(const ModelConfig& config);
+
+/// SimCLR network: a trunk producing the 120-d representation h and a
+/// projection head producing z = g(h).
+struct SimClrNetwork {
+    Sequential trunk;      ///< flowpic -> h (120-d), listing 3 rows 1-10
+    Sequential projection; ///< h -> z (projection_dim), listing 3 rows 11-14
+
+    /// Full forward used during pre-training.
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training);
+
+    /// Backward through projection then trunk.
+    void backward(const Tensor& grad_output);
+
+    /// Representation h only (for fine-tuning / probing).
+    [[nodiscard]] Tensor embed(const Tensor& input);
+
+    [[nodiscard]] std::vector<Parameter*> parameters();
+    void zero_grad();
+};
+
+/// Build the SimCLR pre-train network (listing 3/4).
+[[nodiscard]] SimClrNetwork make_simclr_network(const ModelConfig& config);
+
+/// Build the fine-tune classifier head (listing 5's Linear-14): a fresh
+/// Linear(120 -> num_classes) trained on frozen trunk embeddings.
+[[nodiscard]] Sequential make_finetune_head(const ModelConfig& config);
+
+/// The trunk's representation width (120 for all architectures).
+inline constexpr std::size_t kRepresentationDim = 120;
+
+/// Effective trunk input resolution after the large-input pooling stage
+/// (equal to flowpic_dim below 256).
+[[nodiscard]] std::size_t effective_input_dim(std::size_t flowpic_dim) noexcept;
+
+} // namespace fptc::nn

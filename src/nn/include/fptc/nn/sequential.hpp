@@ -1,0 +1,56 @@
+// Sequential layer container + architecture printouts.
+//
+// All networks in the paper are straight pipelines (App. C), so a Sequential
+// container is the whole model zoo.  It also implements the paper's layer
+// masking idiom: "our architectures are designed to use nn.Identity()
+// modules to mask out layers that are not needed from a given architecture".
+#pragma once
+
+#include "fptc/nn/layer.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fptc::nn {
+
+/// A chain of layers executed in order.
+class Sequential {
+public:
+    Sequential() = default;
+
+    /// Append a layer (returns the index it received).
+    std::size_t add(std::unique_ptr<Layer> layer);
+
+    [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+    [[nodiscard]] Layer& layer(std::size_t index);
+    [[nodiscard]] const Layer& layer(std::size_t index) const;
+
+    /// Replace the layer at `index` with an Identity (the masking idiom used
+    /// for the dropout ablation and the fine-tune network).
+    void mask_layer(std::size_t index);
+
+    /// Forward through every layer.
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training);
+
+    /// Backward through every layer in reverse; returns grad w.r.t. input.
+    [[nodiscard]] Tensor backward(const Tensor& grad_output);
+
+    /// All trainable parameters in layer order.
+    [[nodiscard]] std::vector<Parameter*> parameters();
+
+    /// Zero every parameter gradient.
+    void zero_grad();
+
+    /// Total trainable scalar count.
+    [[nodiscard]] std::size_t parameter_count();
+
+    /// App. C style architecture listing: one row per layer with output shape
+    /// and parameter count, computed by forwarding a dummy input.
+    [[nodiscard]] std::string summary(const Shape& input_shape);
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace fptc::nn

@@ -1,0 +1,28 @@
+// Model weight (de)serialization.
+//
+// The paper publishes trained models among its artifacts; this module plays
+// that role: a tiny versioned binary format for the parameter tensors of a
+// Sequential (or any parameter list).  Shapes are stored and verified on
+// load, so loading into a mismatched architecture fails loudly.
+#pragma once
+
+#include "fptc/nn/sequential.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace fptc::nn {
+
+/// Write all parameters to a binary stream.  Throws std::runtime_error on
+/// stream failure.
+void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out);
+
+/// Read parameters back; shapes must match exactly.  Throws
+/// std::runtime_error on format/shape mismatch or stream failure.
+void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in);
+
+/// Convenience wrappers over whole networks and files.
+void save_network(Sequential& network, const std::string& path);
+void load_network(Sequential& network, const std::string& path);
+
+} // namespace fptc::nn

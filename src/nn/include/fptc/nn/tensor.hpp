@@ -1,0 +1,83 @@
+// Dense float tensor.
+//
+// The deep-learning substrate of this repository: a row-major owning tensor
+// with just enough functionality for the paper's CNNs (LeNet-5 variants,
+// App. C listings 1-5).  It deliberately avoids views/broadcasting — every
+// layer works on explicit [N, C, H, W] or [N, D] shapes, which keeps the
+// hand-written backward passes easy to audit against the math.
+#pragma once
+
+#include "fptc/util/rng.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fptc::nn {
+
+/// Shape of a tensor (outermost dimension first).
+using Shape = std::vector<std::size_t>;
+
+/// Row-major dense float tensor with value semantics.
+class Tensor {
+public:
+    Tensor() = default;
+
+    /// Allocate a zero-filled tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    /// Wrap existing data (size must match the shape's element count).
+    Tensor(Shape shape, std::vector<float> data);
+
+    [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+    /// I.i.d. normal entries with the given standard deviation.
+    [[nodiscard]] static Tensor randn(Shape shape, util::Rng& rng, float stddev = 1.0f);
+
+    [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+    [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    /// Dimension i of the shape; throws std::out_of_range when absent.
+    [[nodiscard]] std::size_t dim(std::size_t i) const;
+
+    [[nodiscard]] std::span<float> data() noexcept { return data_; }
+    [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+    [[nodiscard]] float& operator[](std::size_t i) noexcept { return data_[i]; }
+    [[nodiscard]] float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+    /// Reinterpret with a new shape of identical element count.
+    [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+    /// Fill every element with `value`.
+    void fill(float value) noexcept;
+
+    /// Element-wise in-place operations.
+    void add(const Tensor& other);       ///< this += other (same shape)
+    void scale(float factor) noexcept;   ///< this *= factor
+
+    /// Sum / maximum of all elements (0 / -inf when empty).
+    [[nodiscard]] double sum() const noexcept;
+    [[nodiscard]] float max() const noexcept;
+
+    /// Squared L2 norm of all elements.
+    [[nodiscard]] double squared_norm() const noexcept;
+
+    /// Human-readable "[2, 1, 32, 32]" shape string for diagnostics.
+    [[nodiscard]] std::string shape_string() const;
+
+private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+/// Total element count implied by a shape (1 for the empty shape).
+[[nodiscard]] std::size_t element_count(const Shape& shape) noexcept;
+
+/// Check two shapes for equality with a readable exception on mismatch.
+void require_same_shape(const Tensor& a, const Tensor& b, const char* context);
+
+} // namespace fptc::nn

@@ -1,0 +1,100 @@
+#include "fptc/nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fptc::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46505443; // "FPTC"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& out, std::uint64_t value)
+{
+    out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+[[nodiscard]] std::uint64_t read_u64(std::istream& in)
+{
+    std::uint64_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof value);
+    if (!in) {
+        throw std::runtime_error("load_parameters: truncated stream");
+    }
+    return value;
+}
+
+} // namespace
+
+void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out)
+{
+    write_u64(out, (static_cast<std::uint64_t>(kMagic) << 32) | kVersion);
+    write_u64(out, parameters.size());
+    for (const auto* p : parameters) {
+        write_u64(out, p->value.shape().size());
+        for (const auto d : p->value.shape()) {
+            write_u64(out, d);
+        }
+        const auto data = p->value.data();
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size() * sizeof(float)));
+    }
+    if (!out) {
+        throw std::runtime_error("save_parameters: stream failure");
+    }
+}
+
+void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in)
+{
+    const std::uint64_t header = read_u64(in);
+    if ((header >> 32) != kMagic || (header & 0xffffffffULL) != kVersion) {
+        throw std::runtime_error("load_parameters: bad magic/version");
+    }
+    const std::uint64_t count = read_u64(in);
+    if (count != parameters.size()) {
+        throw std::runtime_error("load_parameters: parameter count mismatch (file has " +
+                                 std::to_string(count) + ", network has " +
+                                 std::to_string(parameters.size()) + ")");
+    }
+    for (auto* p : parameters) {
+        const std::uint64_t rank = read_u64(in);
+        Shape shape(rank);
+        for (auto& d : shape) {
+            d = read_u64(in);
+        }
+        if (shape != p->value.shape()) {
+            throw std::runtime_error("load_parameters: shape mismatch for parameter '" + p->name +
+                                     "'");
+        }
+        auto data = p->value.data();
+        in.read(reinterpret_cast<char*>(data.data()),
+                static_cast<std::streamsize>(data.size() * sizeof(float)));
+        if (!in) {
+            throw std::runtime_error("load_parameters: truncated tensor data");
+        }
+    }
+}
+
+void save_network(Sequential& network, const std::string& path)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+        throw std::runtime_error("save_network: cannot open " + path);
+    }
+    save_parameters(network.parameters(), file);
+}
+
+void load_network(Sequential& network, const std::string& path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        throw std::runtime_error("load_network: cannot open " + path);
+    }
+    load_parameters(network.parameters(), file);
+}
+
+} // namespace fptc::nn

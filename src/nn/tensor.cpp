@@ -1,0 +1,125 @@
+#include "fptc/nn/tensor.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fptc::nn {
+
+std::size_t element_count(const Shape& shape) noexcept
+{
+    std::size_t count = 1;
+    for (const auto d : shape) {
+        count *= d;
+    }
+    return count;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data))
+{
+    if (data_.size() != element_count(shape_)) {
+        throw std::invalid_argument("Tensor: data size does not match shape");
+    }
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) {
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    }
+    return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const
+{
+    if (i >= shape_.size()) {
+        throw std::out_of_range("Tensor::dim: axis " + std::to_string(i) + " of rank " +
+                                std::to_string(shape_.size()));
+    }
+    return shape_[i];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const
+{
+    if (element_count(new_shape) != data_.size()) {
+        throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+    }
+    return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) noexcept
+{
+    for (auto& v : data_) {
+        v = value;
+    }
+}
+
+void Tensor::add(const Tensor& other)
+{
+    require_same_shape(*this, other, "Tensor::add");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+    }
+}
+
+void Tensor::scale(float factor) noexcept
+{
+    for (auto& v : data_) {
+        v *= factor;
+    }
+}
+
+double Tensor::sum() const noexcept
+{
+    double total = 0.0;
+    for (const float v : data_) {
+        total += static_cast<double>(v);
+    }
+    return total;
+}
+
+float Tensor::max() const noexcept
+{
+    float best = -std::numeric_limits<float>::infinity();
+    for (const float v : data_) {
+        best = v > best ? v : best;
+    }
+    return best;
+}
+
+double Tensor::squared_norm() const noexcept
+{
+    double total = 0.0;
+    for (const float v : data_) {
+        total += static_cast<double>(v) * static_cast<double>(v);
+    }
+    return total;
+}
+
+std::string Tensor::shape_string() const
+{
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i > 0) {
+            out << ", ";
+        }
+        out << shape_[i];
+    }
+    out << ']';
+    return out.str();
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* context)
+{
+    if (a.shape() != b.shape()) {
+        throw std::invalid_argument(std::string(context) + ": shape mismatch " + a.shape_string() +
+                                    " vs " + b.shape_string());
+    }
+}
+
+} // namespace fptc::nn

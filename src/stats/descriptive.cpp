@@ -1,0 +1,98 @@
+#include "fptc/stats/descriptive.hpp"
+
+#include "fptc/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fptc::stats {
+
+double mean(std::span<const double> values) noexcept
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (const double v : values) {
+        total += v;
+    }
+    return total / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept
+{
+    const std::size_t n = values.size();
+    if (n < 2) {
+        return 0.0;
+    }
+    const double m = mean(values);
+    double sum_sq = 0.0;
+    for (const double v : values) {
+        const double d = v - m;
+        sum_sq += d * d;
+    }
+    return sum_sq / static_cast<double>(n - 1);
+}
+
+double stddev(std::span<const double> values) noexcept
+{
+    return std::sqrt(variance(values));
+}
+
+double median(std::vector<double> values) noexcept
+{
+    return percentile(std::move(values), 50.0);
+}
+
+double percentile(std::vector<double> values, double p) noexcept
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank = clamped / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+MeanCi mean_ci(std::span<const double> values, double confidence)
+{
+    MeanCi result;
+    result.n = values.size();
+    result.mean = mean(values);
+    if (values.size() < 2) {
+        return result;
+    }
+    const double alpha = 1.0 - confidence;
+    const double df = static_cast<double>(values.size() - 1);
+    const double t = student_t_critical(df, alpha);
+    result.half_width = t * stddev(values) / std::sqrt(static_cast<double>(values.size()));
+    return result;
+}
+
+BoxSummary box_summary(std::vector<double> values) noexcept
+{
+    BoxSummary summary;
+    if (values.empty()) {
+        return summary;
+    }
+    std::sort(values.begin(), values.end());
+    const auto pct = [&](double p) {
+        const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const auto hi = std::min(lo + 1, values.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return values[lo] * (1.0 - frac) + values[hi] * frac;
+    };
+    summary.whisker_low = pct(5.0);
+    summary.q1 = pct(25.0);
+    summary.median = pct(50.0);
+    summary.q3 = pct(75.0);
+    summary.whisker_high = pct(95.0);
+    return summary;
+}
+
+} // namespace fptc::stats

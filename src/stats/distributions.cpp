@@ -1,0 +1,314 @@
+#include "fptc/stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace fptc::stats {
+
+double normal_pdf(double x) noexcept
+{
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) noexcept
+{
+    return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double normal_quantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0)) {
+        throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+    }
+    // Acklam's rational approximation.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+    double x = 0.0;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // One Newton polish step on the CDF.
+    const double e = normal_cdf(x) - p;
+    const double u = e / normal_pdf(x);
+    x -= u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+double log_gamma(double x)
+{
+    // Lanczos approximation (g = 7, n = 9).
+    static constexpr double coefficients[] = {
+        0.99999999999980993,  676.5203681218851,   -1259.1392167224028, 771.32342877765313,
+        -176.61502916214059,  12.507343278686905,  -0.13857109526572012,
+        9.9843695780195716e-6, 1.5056327351493116e-7};
+    if (x < 0.5) {
+        // Reflection formula.
+        return std::log(std::numbers::pi / std::sin(std::numbers::pi * x)) - log_gamma(1.0 - x);
+    }
+    x -= 1.0;
+    double sum = coefficients[0];
+    for (int i = 1; i < 9; ++i) {
+        sum += coefficients[i] / (x + i);
+    }
+    const double t = x + 7.5;
+    return 0.5 * std::log(2.0 * std::numbers::pi) + (x + 0.5) * std::log(t) - t + std::log(sum);
+}
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta (Numerical Recipes
+/// style modified Lentz algorithm).
+[[nodiscard]] double beta_continued_fraction(double a, double b, double x)
+{
+    constexpr int max_iterations = 300;
+    constexpr double epsilon = 3.0e-14;
+    constexpr double fpmin = 1.0e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < fpmin) {
+        d = fpmin;
+    }
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iterations; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin) {
+            d = fpmin;
+        }
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin) {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin) {
+            d = fpmin;
+        }
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin) {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < epsilon) {
+            break;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+double incomplete_beta(double a, double b, double x)
+{
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    if (x >= 1.0) {
+        return 1.0;
+    }
+    const double ln_front =
+        log_gamma(a + b) - log_gamma(a) - log_gamma(b) + a * std::log(x) + b * std::log(1.0 - x);
+    const double front = std::exp(ln_front);
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return front * beta_continued_fraction(a, b, x) / a;
+    }
+    return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df)
+{
+    if (df <= 0.0) {
+        throw std::invalid_argument("student_t_cdf: df must be positive");
+    }
+    const double x = df / (df + t * t);
+    const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - p : p;
+}
+
+double student_t_critical(double df, double alpha)
+{
+    if (!(alpha > 0.0 && alpha < 1.0)) {
+        throw std::invalid_argument("student_t_critical: alpha must be in (0,1)");
+    }
+    const double target = 1.0 - alpha / 2.0;
+    double lo = 0.0;
+    double hi = 1.0;
+    while (student_t_cdf(hi, df) < target) {
+        hi *= 2.0;
+        if (hi > 1e6) {
+            break;
+        }
+    }
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (student_t_cdf(mid, df) < target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+namespace {
+
+/// Inner probability of the Studentized range given a scale factor u applied
+/// to q: P_k(u*q) = k * integral phi(z) * [Phi(z) - Phi(z - u q)]^(k-1) dz.
+/// Evaluated with composite Gauss-Legendre over a wide z window.
+[[nodiscard]] double range_probability(double q, int k)
+{
+    if (q <= 0.0) {
+        return 0.0;
+    }
+    // 16-point Gauss-Legendre nodes/weights on [-1, 1].
+    static constexpr double nodes[] = {
+        -0.9894009349916499, -0.9445750230732326, -0.8656312023878318, -0.7554044083550030,
+        -0.6178762444026438, -0.4580167776572274, -0.2816035507792589, -0.0950125098376374,
+        0.0950125098376374,  0.2816035507792589,  0.4580167776572274,  0.6178762444026438,
+        0.7554044083550030,  0.8656312023878318,  0.9445750230732326,  0.9894009349916499};
+    static constexpr double weights[] = {
+        0.0271524594117541, 0.0622535239386479, 0.0951585116824928, 0.1246289712555339,
+        0.1495959888165767, 0.1691565193950025, 0.1826034150449236, 0.1894506104550685,
+        0.1894506104550685, 0.1826034150449236, 0.1691565193950025, 0.1495959888165767,
+        0.1246289712555339, 0.0951585116824928, 0.0622535239386479, 0.0271524594117541};
+
+    constexpr double z_lo = -8.0;
+    constexpr double z_hi = 8.0;
+    constexpr int panels = 32;
+    const double panel_width = (z_hi - z_lo) / panels;
+
+    double total = 0.0;
+    for (int p = 0; p < panels; ++p) {
+        const double a = z_lo + p * panel_width;
+        const double mid = a + 0.5 * panel_width;
+        const double half = 0.5 * panel_width;
+        for (int i = 0; i < 16; ++i) {
+            const double z = mid + half * nodes[i];
+            const double inner = normal_cdf(z) - normal_cdf(z - q);
+            if (inner <= 0.0) {
+                continue;
+            }
+            total += weights[i] * half * normal_pdf(z) * std::pow(inner, k - 1);
+        }
+    }
+    return std::min(1.0, k * total);
+}
+
+} // namespace
+
+double studentized_range_cdf(double q, int k, double df)
+{
+    if (k < 2) {
+        throw std::invalid_argument("studentized_range_cdf: k must be >= 2");
+    }
+    if (q <= 0.0) {
+        return 0.0;
+    }
+    if (!std::isfinite(df) || df > 5000.0) {
+        return range_probability(q, k);
+    }
+    // Outer integral over the chi-distributed scale:
+    //   P(Q <= q) = int_0^inf f_chi(s; df) * P_k(q * s) ds
+    // where s = chi_df / sqrt(df).  The density of s is
+    //   f(s) = (df^{df/2} / (Gamma(df/2) 2^{df/2 - 1})) s^{df-1} exp(-df s^2 / 2).
+    const double log_const =
+        0.5 * df * std::log(df) - log_gamma(0.5 * df) - (0.5 * df - 1.0) * std::log(2.0);
+
+    static constexpr double nodes[] = {
+        -0.9894009349916499, -0.9445750230732326, -0.8656312023878318, -0.7554044083550030,
+        -0.6178762444026438, -0.4580167776572274, -0.2816035507792589, -0.0950125098376374,
+        0.0950125098376374,  0.2816035507792589,  0.4580167776572274,  0.6178762444026438,
+        0.7554044083550030,  0.8656312023878318,  0.9445750230732326,  0.9894009349916499};
+    static constexpr double weights[] = {
+        0.0271524594117541, 0.0622535239386479, 0.0951585116824928, 0.1246289712555339,
+        0.1495959888165767, 0.1691565193950025, 0.1826034150449236, 0.1894506104550685,
+        0.1894506104550685, 0.1826034150449236, 0.1691565193950025, 0.1495959888165767,
+        0.1246289712555339, 0.0951585116824928, 0.0622535239386479, 0.0271524594117541};
+
+    // The scale s concentrates around 1 with spread ~1/sqrt(2 df); integrate
+    // over [max(0, 1-10/sqrt(2df)), 1+10/sqrt(2df)].
+    const double spread = 10.0 / std::sqrt(2.0 * df);
+    const double s_lo = std::max(1e-8, 1.0 - spread);
+    const double s_hi = 1.0 + spread;
+    constexpr int panels = 24;
+    const double panel_width = (s_hi - s_lo) / panels;
+
+    double total = 0.0;
+    for (int p = 0; p < panels; ++p) {
+        const double a = s_lo + p * panel_width;
+        const double mid = a + 0.5 * panel_width;
+        const double half = 0.5 * panel_width;
+        for (int i = 0; i < 16; ++i) {
+            const double s = mid + half * nodes[i];
+            const double log_density = log_const + (df - 1.0) * std::log(s) - 0.5 * df * s * s;
+            if (log_density < -700.0) {
+                continue;
+            }
+            total += weights[i] * half * std::exp(log_density) * range_probability(q * s, k);
+        }
+    }
+    return std::min(1.0, total);
+}
+
+double studentized_range_critical(int k, double df, double alpha)
+{
+    if (!(alpha > 0.0 && alpha < 1.0)) {
+        throw std::invalid_argument("studentized_range_critical: alpha must be in (0,1)");
+    }
+    const double target = 1.0 - alpha;
+    double lo = 0.0;
+    double hi = 2.0;
+    while (studentized_range_cdf(hi, k, df) < target && hi < 128.0) {
+        hi *= 2.0;
+    }
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (studentized_range_cdf(mid, k, df) < target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double nemenyi_q(int k, double alpha)
+{
+    const double infinite_df = std::numeric_limits<double>::infinity();
+    return studentized_range_critical(k, infinite_df, alpha) / std::numbers::sqrt2;
+}
+
+} // namespace fptc::stats

@@ -1,0 +1,51 @@
+// Descriptive statistics and confidence intervals.
+//
+// Every "ours" cell in the paper's Tables 3-8 is "the average accuracy across
+// N modeling experiments and the related 95-th confidence intervals"
+// computed with a Student t distribution; MeanCi reproduces exactly that.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fptc::stats {
+
+/// Sample mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 when fewer than 2 values.
+[[nodiscard]] double variance(std::span<const double> values) noexcept;
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> values) noexcept;
+
+/// Median (averaging the middle pair for even sizes).
+[[nodiscard]] double median(std::vector<double> values) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> values, double p) noexcept;
+
+/// Mean with a symmetric t-distribution confidence half-width.
+struct MeanCi {
+    double mean = 0.0;       ///< sample mean
+    double half_width = 0.0; ///< CI half width ("±" value in the tables)
+    std::size_t n = 0;       ///< number of samples aggregated
+};
+
+/// Compute mean ± t_{alpha/2, n-1} * s / sqrt(n).  With fewer than 2 samples
+/// the half width is 0.
+[[nodiscard]] MeanCi mean_ci(std::span<const double> values, double confidence = 0.95);
+
+/// Five-number-style summary used by the boxplot figures (Fig. 11): median,
+/// quartiles and 5th/95th percentile whiskers.
+struct BoxSummary {
+    double whisker_low = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double whisker_high = 0.0;
+};
+
+[[nodiscard]] BoxSummary box_summary(std::vector<double> values) noexcept;
+
+} // namespace fptc::stats

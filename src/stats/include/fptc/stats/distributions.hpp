@@ -1,0 +1,52 @@
+// Probability distributions used by the paper's statistical analyses.
+//
+// - Student's t quantiles drive the 95% confidence intervals reported in
+//   every "ours" cell of Tables 3-8 ("computed the 95% confidence intervals
+//   using a t distribution", Sec. 4.1.1).
+// - The Studentized range distribution drives both the Nemenyi critical
+//   distance (Sec. 4.3.1: CD = q_alpha * sqrt(k(k+1)/6N)) and the Tukey HSD
+//   post-hoc test of Appendix F (Table 10 p-values).
+//
+// All functions are implemented from scratch (incomplete beta/gamma via
+// continued fractions, Studentized range via the classical double
+// integral) so the library has no external numeric dependencies.
+#pragma once
+
+namespace fptc::stats {
+
+/// Standard normal probability density.
+[[nodiscard]] double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Standard normal quantile (Acklam's rational approximation + one Newton
+/// polish step).  Requires p in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Natural log of the gamma function (Lanczos).
+[[nodiscard]] double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), x in [0, 1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Student's t cumulative distribution with `df` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double df);
+
+/// Two-sided critical value: t such that P(|T| <= t) = 1 - alpha.
+[[nodiscard]] double student_t_critical(double df, double alpha);
+
+/// CDF of the Studentized range statistic q for `k` groups and `df`
+/// error degrees of freedom (df may be infinity for the asymptotic case used
+/// by the Nemenyi test).  Accuracy ~1e-6, matching published q tables.
+[[nodiscard]] double studentized_range_cdf(double q, int k, double df);
+
+/// Upper-alpha critical value of the Studentized range: q with
+/// P(Q <= q) = 1 - alpha.  Solved by bisection on studentized_range_cdf.
+[[nodiscard]] double studentized_range_critical(int k, double df, double alpha);
+
+/// Tukey/Nemenyi convention used in the paper: q_alpha already divided by
+/// sqrt(2) (Sec. 4.3.1 quotes q_0.05 = 2.949 for k = 7).
+[[nodiscard]] double nemenyi_q(int k, double alpha = 0.05);
+
+} // namespace fptc::stats

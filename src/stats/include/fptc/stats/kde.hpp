@@ -1,0 +1,34 @@
+// Gaussian kernel density estimation.
+//
+// Figure 8 of the paper shows per-class packet-size KDEs across the three
+// UCDAVIS19 partitions and is the most compelling visual evidence for the
+// Google-search data shift in the `human` partition.  This module provides
+// the estimator used by bench/fig8_kde_packet_size.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fptc::stats {
+
+/// A density curve sampled on a regular grid.
+struct DensityCurve {
+    std::vector<double> xs;
+    std::vector<double> ys; ///< density values; integrates to ~1 over [xs.front(), xs.back()]
+};
+
+/// Silverman's rule-of-thumb bandwidth: 0.9 * min(sd, IQR/1.34) * n^(-1/5).
+/// Falls back to 1.0 for degenerate samples.
+[[nodiscard]] double silverman_bandwidth(std::span<const double> samples);
+
+/// Evaluate a Gaussian KDE of `samples` on `grid_points` points spanning
+/// [lo, hi].  With bandwidth <= 0, Silverman's rule is applied.
+[[nodiscard]] DensityCurve gaussian_kde(std::span<const double> samples, double lo, double hi,
+                                        std::size_t grid_points = 256, double bandwidth = 0.0);
+
+/// Symmetrized total-variation style distance between two curves sampled on
+/// identical grids: 0 means identical shapes, values near 1 strongly shifted.
+/// Used by tests and the Fig. 8 bench to quantify the human-partition shift.
+[[nodiscard]] double curve_distance(const DensityCurve& a, const DensityCurve& b);
+
+} // namespace fptc::stats

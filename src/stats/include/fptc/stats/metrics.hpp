@@ -1,0 +1,58 @@
+// Classification metrics: confusion matrix, accuracy, F1 variants.
+//
+// The paper measures accuracy on the (balanced) UCDAVIS19 test partitions
+// (Tables 3-7) and switches to a weighted F1 score for the imbalanced
+// replication datasets (Table 8, Sec. 4.5.1).  Figure 3 renders average
+// row-normalized confusion matrices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fptc::stats {
+
+/// Streaming confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+public:
+    explicit ConfusionMatrix(std::size_t num_classes);
+
+    /// Record one prediction.  Labels must be < num_classes.
+    void add(std::size_t truth, std::size_t predicted);
+
+    /// Merge another matrix (e.g. accumulating across campaign runs, as the
+    /// paper does for Fig. 3: "we summed all the confusion matrices").
+    void merge(const ConfusionMatrix& other);
+
+    [[nodiscard]] std::size_t num_classes() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+    /// Overall accuracy in [0, 1]; 0 for an empty matrix.
+    [[nodiscard]] double accuracy() const noexcept;
+
+    /// Per-class recall / precision / F1 (0 when undefined).
+    [[nodiscard]] std::vector<double> per_class_recall() const;
+    [[nodiscard]] std::vector<double> per_class_precision() const;
+    [[nodiscard]] std::vector<double> per_class_f1() const;
+
+    /// Unweighted mean of per-class F1.
+    [[nodiscard]] double macro_f1() const;
+
+    /// Support-weighted mean of per-class F1 (paper's Table 8 metric).
+    [[nodiscard]] double weighted_f1() const;
+
+    /// Row-normalized matrix (each row sums to 1; empty rows stay 0) — the
+    /// representation plotted in Fig. 3.
+    [[nodiscard]] std::vector<std::vector<double>> row_normalized() const;
+
+private:
+    std::vector<std::vector<std::size_t>> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Convenience: accuracy of parallel truth/prediction label vectors.
+[[nodiscard]] double accuracy_of(std::span<const std::size_t> truth,
+                                 std::span<const std::size_t> predicted);
+
+} // namespace fptc::stats

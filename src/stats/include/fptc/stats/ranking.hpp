@@ -1,0 +1,43 @@
+// Friedman ranking + Nemenyi post-hoc critical-distance analysis.
+//
+// Section 4.3 of the paper compares the 7 augmentations "according to the
+// procedures presented in [Demsar 2006]": per-experiment accuracies are
+// turned into rankings (ties get the group's average rank), ranks are
+// averaged per augmentation, and pairs whose average-rank difference is
+// below the critical distance CD = q_alpha * sqrt(k(k+1)/(6N)) are not
+// statistically different.  Figures 5-7 render the result as a CD plot.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fptc::stats {
+
+/// Rank a single experiment's scores.  The *highest* score gets rank 1
+/// (best), as in the paper ("accuracies 0.9, 0.7, 0.8 -> ranks 1, 3, 2");
+/// tied scores share the average rank of their group.
+[[nodiscard]] std::vector<double> rank_scores(std::span<const double> scores);
+
+/// Outcome of a critical-distance analysis over N experiments x k treatments.
+struct CriticalDistanceResult {
+    std::vector<double> average_ranks;          ///< per-treatment mean rank (lower is better)
+    double critical_distance = 0.0;             ///< Nemenyi CD at the chosen alpha
+    int k = 0;                                  ///< number of treatments
+    std::size_t n = 0;                          ///< number of experiments
+    double friedman_statistic = 0.0;            ///< Friedman chi^2_F statistic
+    std::vector<std::vector<int>> groups;       ///< maximal cliques of indistinguishable treatments
+};
+
+/// Run the Friedman + Nemenyi analysis.  `scores[i]` holds the k treatment
+/// scores of experiment i; all rows must have the same length.
+[[nodiscard]] CriticalDistanceResult critical_distance_analysis(
+    const std::vector<std::vector<double>>& scores, double alpha = 0.05);
+
+/// Render a textual CD plot in the spirit of Fig. 5: treatments on an axis of
+/// average ranks, bars joining groups that are not statistically different.
+[[nodiscard]] std::string render_cd_plot(const CriticalDistanceResult& result,
+                                         const std::vector<std::string>& names,
+                                         std::size_t width = 72);
+
+} // namespace fptc::stats

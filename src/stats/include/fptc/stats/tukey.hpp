@@ -1,0 +1,44 @@
+// Tukey HSD post-hoc test.
+//
+// Appendix F of the paper compares the accuracy populations obtained at the
+// three flowpic resolutions "using a posthoc Tukey test" and reports the
+// pairwise p-values in Table 10 (32x32 vs 64x64: p=0.57; both vs 1500x1500:
+// p < 1e-5).  tukey_hsd() reproduces that computation: a one-way layout,
+// pooled within-group variance, and Studentized-range p-values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fptc::stats {
+
+/// One pairwise comparison result.
+struct TukeyComparison {
+    int group_a = 0;
+    int group_b = 0;
+    double mean_difference = 0.0; ///< mean(a) - mean(b)
+    double q_statistic = 0.0;     ///< Studentized range statistic
+    double p_value = 1.0;         ///< P(Q >= q) under H0
+    bool significant = false;     ///< p_value < alpha
+};
+
+/// Full HSD outcome.
+struct TukeyResult {
+    std::vector<TukeyComparison> comparisons;
+    double pooled_variance = 0.0; ///< MSE (within-group mean square)
+    double df_error = 0.0;        ///< error degrees of freedom
+    double alpha = 0.05;
+};
+
+/// Run Tukey's HSD over `groups` (each a sample of observations).  Groups may
+/// have different sizes (Tukey-Kramer adjustment is applied).
+/// Throws std::invalid_argument when fewer than 2 groups or any group has
+/// fewer than 2 observations.
+[[nodiscard]] TukeyResult tukey_hsd(const std::vector<std::vector<double>>& groups,
+                                    double alpha = 0.05);
+
+/// Render the Table-10 style report ("Is Different?" column included).
+[[nodiscard]] std::string render_tukey_table(const TukeyResult& result,
+                                             const std::vector<std::string>& names);
+
+} // namespace fptc::stats

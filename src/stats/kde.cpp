@@ -1,0 +1,82 @@
+#include "fptc/stats/kde.hpp"
+
+#include "fptc/stats/descriptive.hpp"
+#include "fptc/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fptc::stats {
+
+double silverman_bandwidth(std::span<const double> samples)
+{
+    if (samples.size() < 2) {
+        return 1.0;
+    }
+    const double sd = stddev(samples);
+    std::vector<double> sorted(samples.begin(), samples.end());
+    const double q1 = percentile(sorted, 25.0);
+    const double q3 = percentile(sorted, 75.0);
+    const double iqr = (q3 - q1) / 1.34;
+    double spread = sd;
+    if (iqr > 0.0) {
+        spread = std::min(sd, iqr);
+    }
+    if (spread <= 0.0) {
+        return 1.0;
+    }
+    return 0.9 * spread * std::pow(static_cast<double>(samples.size()), -0.2);
+}
+
+DensityCurve gaussian_kde(std::span<const double> samples, double lo, double hi,
+                          std::size_t grid_points, double bandwidth)
+{
+    if (samples.empty()) {
+        throw std::invalid_argument("gaussian_kde: empty sample");
+    }
+    if (!(hi > lo) || grid_points < 2) {
+        throw std::invalid_argument("gaussian_kde: invalid grid");
+    }
+    const double h = bandwidth > 0.0 ? bandwidth : silverman_bandwidth(samples);
+
+    DensityCurve curve;
+    curve.xs.resize(grid_points);
+    curve.ys.assign(grid_points, 0.0);
+    const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+    for (std::size_t i = 0; i < grid_points; ++i) {
+        curve.xs[i] = lo + step * static_cast<double>(i);
+    }
+    const double norm = 1.0 / (static_cast<double>(samples.size()) * h);
+    for (const double sample : samples) {
+        // Kernels decay fast: only touch grid points within 5 bandwidths.
+        const double reach = 5.0 * h;
+        const auto first =
+            static_cast<std::size_t>(std::max(0.0, std::floor((sample - reach - lo) / step)));
+        const auto last = static_cast<std::size_t>(
+            std::min(static_cast<double>(grid_points - 1), std::ceil((sample + reach - lo) / step)));
+        for (std::size_t i = first; i <= last && i < grid_points; ++i) {
+            const double z = (curve.xs[i] - sample) / h;
+            curve.ys[i] += norm * normal_pdf(z);
+        }
+    }
+    return curve;
+}
+
+double curve_distance(const DensityCurve& a, const DensityCurve& b)
+{
+    if (a.xs.size() != b.xs.size() || a.xs.empty()) {
+        throw std::invalid_argument("curve_distance: curves must share a grid");
+    }
+    // 0.5 * integral |f - g| — total variation distance for densities.
+    double accum = 0.0;
+    for (std::size_t i = 1; i < a.xs.size(); ++i) {
+        const double dx = a.xs[i] - a.xs[i - 1];
+        const double diff =
+            0.5 * (std::fabs(a.ys[i] - b.ys[i]) + std::fabs(a.ys[i - 1] - b.ys[i - 1]));
+        accum += diff * dx;
+    }
+    return 0.5 * accum;
+}
+
+} // namespace fptc::stats

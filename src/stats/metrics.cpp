@@ -1,0 +1,161 @@
+#include "fptc/stats/metrics.hpp"
+
+#include <stdexcept>
+
+namespace fptc::stats {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : counts_(num_classes, std::vector<std::size_t>(num_classes, 0))
+{
+    if (num_classes == 0) {
+        throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+    }
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted)
+{
+    if (truth >= counts_.size() || predicted >= counts_.size()) {
+        throw std::out_of_range("ConfusionMatrix::add: label out of range");
+    }
+    ++counts_[truth][predicted];
+    ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other)
+{
+    if (other.counts_.size() != counts_.size()) {
+        throw std::invalid_argument("ConfusionMatrix::merge: size mismatch");
+    }
+    for (std::size_t r = 0; r < counts_.size(); ++r) {
+        for (std::size_t c = 0; c < counts_.size(); ++c) {
+            counts_[r][c] += other.counts_[r][c];
+        }
+    }
+    total_ += other.total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const
+{
+    return counts_.at(truth).at(predicted);
+}
+
+double ConfusionMatrix::accuracy() const noexcept
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        correct += counts_[i][i];
+    }
+    return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const
+{
+    std::vector<double> recall(counts_.size(), 0.0);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::size_t row_total = 0;
+        for (const auto c : counts_[i]) {
+            row_total += c;
+        }
+        if (row_total > 0) {
+            recall[i] = static_cast<double>(counts_[i][i]) / static_cast<double>(row_total);
+        }
+    }
+    return recall;
+}
+
+std::vector<double> ConfusionMatrix::per_class_precision() const
+{
+    std::vector<double> precision(counts_.size(), 0.0);
+    for (std::size_t j = 0; j < counts_.size(); ++j) {
+        std::size_t column_total = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            column_total += counts_[i][j];
+        }
+        if (column_total > 0) {
+            precision[j] = static_cast<double>(counts_[j][j]) / static_cast<double>(column_total);
+        }
+    }
+    return precision;
+}
+
+std::vector<double> ConfusionMatrix::per_class_f1() const
+{
+    const auto recall = per_class_recall();
+    const auto precision = per_class_precision();
+    std::vector<double> f1(counts_.size(), 0.0);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double denom = recall[i] + precision[i];
+        if (denom > 0.0) {
+            f1[i] = 2.0 * recall[i] * precision[i] / denom;
+        }
+    }
+    return f1;
+}
+
+double ConfusionMatrix::macro_f1() const
+{
+    const auto f1 = per_class_f1();
+    double total = 0.0;
+    for (const double v : f1) {
+        total += v;
+    }
+    return counts_.empty() ? 0.0 : total / static_cast<double>(counts_.size());
+}
+
+double ConfusionMatrix::weighted_f1() const
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    const auto f1 = per_class_f1();
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::size_t support = 0;
+        for (const auto c : counts_[i]) {
+            support += c;
+        }
+        weighted += f1[i] * static_cast<double>(support);
+    }
+    return weighted / static_cast<double>(total_);
+}
+
+std::vector<std::vector<double>> ConfusionMatrix::row_normalized() const
+{
+    std::vector<std::vector<double>> normalized(counts_.size(),
+                                                std::vector<double>(counts_.size(), 0.0));
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::size_t row_total = 0;
+        for (const auto c : counts_[i]) {
+            row_total += c;
+        }
+        if (row_total == 0) {
+            continue;
+        }
+        for (std::size_t j = 0; j < counts_.size(); ++j) {
+            normalized[i][j] = static_cast<double>(counts_[i][j]) / static_cast<double>(row_total);
+        }
+    }
+    return normalized;
+}
+
+double accuracy_of(std::span<const std::size_t> truth, std::span<const std::size_t> predicted)
+{
+    if (truth.size() != predicted.size()) {
+        throw std::invalid_argument("accuracy_of: size mismatch");
+    }
+    if (truth.empty()) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == predicted[i]) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+} // namespace fptc::stats

@@ -1,0 +1,185 @@
+#include "fptc/stats/ranking.hpp"
+
+#include "fptc/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace fptc::stats {
+
+std::vector<double> rank_scores(std::span<const double> scores)
+{
+    const std::size_t k = scores.size();
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Descending by score: best score -> first position -> rank 1.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+    std::vector<double> ranks(k, 0.0);
+    std::size_t i = 0;
+    while (i < k) {
+        std::size_t j = i;
+        while (j + 1 < k && scores[order[j + 1]] == scores[order[i]]) {
+            ++j;
+        }
+        // positions i..j (0-based) share the average of ranks i+1..j+1.
+        const double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+        for (std::size_t p = i; p <= j; ++p) {
+            ranks[order[p]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    return ranks;
+}
+
+CriticalDistanceResult critical_distance_analysis(const std::vector<std::vector<double>>& scores,
+                                                  double alpha)
+{
+    if (scores.empty()) {
+        throw std::invalid_argument("critical_distance_analysis: no experiments");
+    }
+    const std::size_t k = scores.front().size();
+    if (k < 2) {
+        throw std::invalid_argument("critical_distance_analysis: need at least 2 treatments");
+    }
+    for (const auto& row : scores) {
+        if (row.size() != k) {
+            throw std::invalid_argument("critical_distance_analysis: ragged score matrix");
+        }
+    }
+
+    CriticalDistanceResult result;
+    result.k = static_cast<int>(k);
+    result.n = scores.size();
+    result.average_ranks.assign(k, 0.0);
+    for (const auto& row : scores) {
+        const auto ranks = rank_scores(row);
+        for (std::size_t j = 0; j < k; ++j) {
+            result.average_ranks[j] += ranks[j];
+        }
+    }
+    const auto n = static_cast<double>(result.n);
+    for (auto& r : result.average_ranks) {
+        r /= n;
+    }
+
+    // Friedman chi-square statistic.
+    const auto kd = static_cast<double>(k);
+    double sum_sq = 0.0;
+    for (const double r : result.average_ranks) {
+        sum_sq += r * r;
+    }
+    result.friedman_statistic = 12.0 * n / (kd * (kd + 1.0)) * (sum_sq - kd * (kd + 1.0) * (kd + 1.0) / 4.0);
+
+    const double q = nemenyi_q(result.k, alpha);
+    result.critical_distance = q * std::sqrt(kd * (kd + 1.0) / (6.0 * n));
+
+    // Group treatments: sort by average rank, emit maximal runs whose
+    // rank spread stays within CD (the horizontal bars of a CD diagram).
+    std::vector<int> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return result.average_ranks[static_cast<std::size_t>(a)] <
+               result.average_ranks[static_cast<std::size_t>(b)];
+    });
+    // Groups are contiguous runs of the rank-sorted order; a run is maximal
+    // exactly when it extends past the previous run's end.
+    std::size_t previous_end = 0;
+    bool have_group = false;
+    for (std::size_t start = 0; start < k; ++start) {
+        std::size_t end = start;
+        while (end + 1 < k &&
+               result.average_ranks[static_cast<std::size_t>(order[end + 1])] -
+                       result.average_ranks[static_cast<std::size_t>(order[start])] <=
+                   result.critical_distance) {
+            ++end;
+        }
+        if (end > start && (!have_group || end > previous_end)) {
+            result.groups.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                       order.begin() + static_cast<std::ptrdiff_t>(end) + 1);
+            previous_end = end;
+            have_group = true;
+        }
+    }
+    // Groups were built from rank-sorted order; store them sorted by index for
+    // stable comparison, but keep clique membership intact.
+    for (auto& group : result.groups) {
+        std::sort(group.begin(), group.end());
+    }
+    return result;
+}
+
+std::string render_cd_plot(const CriticalDistanceResult& result, const std::vector<std::string>& names,
+                           std::size_t width)
+{
+    const auto k = static_cast<std::size_t>(result.k);
+    std::ostringstream out;
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer,
+                  "Critical distance CD = %.3f (alpha-level Nemenyi, k=%d, N=%zu)\n",
+                  result.critical_distance, result.k, result.n);
+    out << buffer;
+
+    // Axis from best (rank 1, right side as in the paper) to worst (rank k).
+    const double rank_lo = 1.0;
+    const double rank_hi = static_cast<double>(result.k);
+    const auto column_of = [&](double rank) {
+        // rank 1 -> rightmost column; rank k -> leftmost.
+        const double f = (rank_hi - rank) / (rank_hi - rank_lo);
+        return static_cast<std::size_t>(f * static_cast<double>(width - 1) + 0.5);
+    };
+
+    std::string axis(width, '-');
+    for (int tick = 1; tick <= result.k; ++tick) {
+        axis[column_of(tick)] = '+';
+    }
+    out << axis << "\n";
+    std::string tick_labels(width, ' ');
+    for (int tick = 1; tick <= result.k; ++tick) {
+        const auto col = column_of(tick);
+        const std::string label = std::to_string(tick);
+        for (std::size_t i = 0; i < label.size() && col + i < width; ++i) {
+            tick_labels[col + i] = label[i];
+        }
+    }
+    out << tick_labels << "  (average rank; right = better)\n";
+
+    // One line per treatment, ordered best to worst.
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return result.average_ranks[a] < result.average_ranks[b];
+    });
+    for (const auto idx : order) {
+        std::string line(width, ' ');
+        line[column_of(result.average_ranks[idx])] = '*';
+        const std::string& name = idx < names.size() ? names[idx] : std::to_string(idx);
+        std::snprintf(buffer, sizeof buffer, " %s (%.3f)", name.c_str(), result.average_ranks[idx]);
+        out << line << buffer << '\n';
+    }
+
+    // Group bars.
+    for (std::size_t g = 0; g < result.groups.size(); ++g) {
+        double lo = rank_hi;
+        double hi = rank_lo;
+        for (const int idx : result.groups[g]) {
+            lo = std::min(lo, result.average_ranks[static_cast<std::size_t>(idx)]);
+            hi = std::max(hi, result.average_ranks[static_cast<std::size_t>(idx)]);
+        }
+        std::string line(width, ' ');
+        const auto c_hi = column_of(lo); // best rank -> right
+        const auto c_lo = column_of(hi);
+        for (std::size_t c = c_lo; c <= c_hi && c < width; ++c) {
+            line[c] = '=';
+        }
+        out << line << " group " << g + 1 << " (not statistically different)\n";
+    }
+    return out.str();
+}
+
+} // namespace fptc::stats

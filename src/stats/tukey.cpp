@@ -1,0 +1,88 @@
+#include "fptc/stats/tukey.hpp"
+
+#include "fptc/stats/descriptive.hpp"
+#include "fptc/stats/distributions.hpp"
+#include "fptc/util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fptc::stats {
+
+TukeyResult tukey_hsd(const std::vector<std::vector<double>>& groups, double alpha)
+{
+    const std::size_t k = groups.size();
+    if (k < 2) {
+        throw std::invalid_argument("tukey_hsd: need at least 2 groups");
+    }
+    std::size_t total_n = 0;
+    for (const auto& group : groups) {
+        if (group.size() < 2) {
+            throw std::invalid_argument("tukey_hsd: each group needs >= 2 observations");
+        }
+        total_n += group.size();
+    }
+
+    TukeyResult result;
+    result.alpha = alpha;
+    result.df_error = static_cast<double>(total_n - k);
+
+    // Pooled within-group variance (MSE).
+    double ss_within = 0.0;
+    std::vector<double> means(k);
+    for (std::size_t g = 0; g < k; ++g) {
+        means[g] = mean(groups[g]);
+        for (const double v : groups[g]) {
+            const double d = v - means[g];
+            ss_within += d * d;
+        }
+    }
+    result.pooled_variance = ss_within / result.df_error;
+
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a + 1; b < k; ++b) {
+            TukeyComparison cmp;
+            cmp.group_a = static_cast<int>(a);
+            cmp.group_b = static_cast<int>(b);
+            cmp.mean_difference = means[a] - means[b];
+            // Tukey-Kramer standard error for unequal group sizes.
+            const double na = static_cast<double>(groups[a].size());
+            const double nb = static_cast<double>(groups[b].size());
+            const double se = std::sqrt(result.pooled_variance / 2.0 * (1.0 / na + 1.0 / nb));
+            cmp.q_statistic = se > 0.0 ? std::fabs(cmp.mean_difference) / se : 0.0;
+            cmp.p_value =
+                1.0 - studentized_range_cdf(cmp.q_statistic, static_cast<int>(k), result.df_error);
+            if (cmp.p_value < 0.0) {
+                cmp.p_value = 0.0;
+            }
+            cmp.significant = cmp.p_value < alpha;
+            result.comparisons.push_back(cmp);
+        }
+    }
+    return result;
+}
+
+std::string render_tukey_table(const TukeyResult& result, const std::vector<std::string>& names)
+{
+    util::Table table("Tukey HSD post-hoc test (alpha = " + util::format_double(result.alpha, 2) + ")");
+    table.set_header({"Group", "Group", "p-value", "Is Different?"});
+    for (const auto& cmp : result.comparisons) {
+        const auto name = [&](int idx) {
+            const auto u = static_cast<std::size_t>(idx);
+            return u < names.size() ? names[u] : std::to_string(idx);
+        };
+        char p_buffer[32];
+        if (cmp.p_value > 0.0 && cmp.p_value < 1e-3) {
+            std::snprintf(p_buffer, sizeof p_buffer, "%.2e", cmp.p_value);
+        } else {
+            std::snprintf(p_buffer, sizeof p_buffer, "%.2f", cmp.p_value);
+        }
+        table.add_row({name(cmp.group_a), name(cmp.group_b), p_buffer, cmp.significant ? "Yes" : "No"});
+    }
+    table.add_footnote("P-values extracted from Tukey's post-hoc test at a " +
+                       util::format_double(result.alpha, 2) + " significance level.");
+    return table.to_string();
+}
+
+} // namespace fptc::stats

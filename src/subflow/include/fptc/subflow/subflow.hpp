@@ -1,0 +1,99 @@
+// Reproduction of Rezaei & Liu's subflow-sampling semi-supervised method.
+//
+// Appendix D.3 of the paper reproduces [33] to rule out errors in the
+// UCDAVIS19 handling: "for each flow, 3 different sampling methods (i.e.,
+// random sampling, fixed step sampling, and incremental sampling) are
+// applied respectively up to 100 times to generate multiple short 'subflow'
+// time-series, thus augmenting the data set.  For self-supervised
+// pre-training on the entire pre-training partition, the authors used a
+// statistical features regression task.  For supervised fine-tuning, 3
+// linear layers are stacked as classifier ... trained with up to 20 labeled
+// flows."  Table 9 compares the three sampling methods when fine-tuning
+// with 10 samples on script and human.
+//
+// Pipeline here: subflows of L packets -> (size, direction, inter-arrival)
+// features -> MLP trunk; pre-train with a 24-statistic regression head
+// (flow::flow_statistics); fine-tune a 3-layer classifier head on frozen
+// trunk features; classify flows by majority vote over their subflows.
+#pragma once
+
+#include "fptc/flow/dataset.hpp"
+#include "fptc/flow/features.hpp"
+#include "fptc/nn/sequential.hpp"
+#include "fptc/stats/metrics.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fptc::subflow {
+
+/// The three sampling policies of [33] / Table 9.
+enum class SamplingMethod { fixed_step, random, incremental };
+
+[[nodiscard]] std::string sampling_method_name(SamplingMethod method);
+
+/// Subflow extraction parameters.
+struct SubflowConfig {
+    std::size_t subflow_length = 20;  ///< packets per subflow
+    std::size_t samples_per_flow = 8; ///< subflows drawn per flow ([33]: up to 100)
+};
+
+/// Feature size of one subflow: (size, direction, inter-arrival) x length.
+[[nodiscard]] constexpr std::size_t subflow_feature_size(const SubflowConfig& config) noexcept
+{
+    return 3 * config.subflow_length;
+}
+
+/// Extract one subflow feature vector with the given policy.  Flows shorter
+/// than the subflow length are zero-padded.
+[[nodiscard]] std::vector<float> sample_subflow(const flow::Flow& flow, SamplingMethod method,
+                                                const SubflowConfig& config, util::Rng& rng);
+
+/// Model hyper-parameters.
+struct SubflowModelConfig {
+    SubflowConfig subflow{};
+    std::size_t hidden1 = 256;
+    std::size_t hidden2 = 128; ///< representation width
+    int pretrain_epochs = 10;
+    int finetune_epochs = 60;
+    double pretrain_lr = 1e-3;
+    double finetune_lr = 1e-2;
+    std::size_t batch_size = 64;
+    std::uint64_t seed = 33;
+};
+
+/// The semi-supervised model: trunk + regression head (pre-training) +
+/// 3-layer classifier head (fine-tuning).
+class SubflowModel {
+public:
+    SubflowModel(SubflowModelConfig config, std::size_t num_classes, SamplingMethod method);
+
+    /// Self-supervised pre-training: regress the parent flow's 24 statistics
+    /// from each subflow.  Returns the final epoch's mean squared error.
+    double pretrain(std::span<const flow::Flow> flows);
+
+    /// Fine-tune the classifier head on `per_class` labeled flows per class
+    /// (trunk frozen).  Returns the final training loss.
+    double finetune(const flow::Dataset& dataset, std::size_t per_class, std::uint64_t seed);
+
+    /// Classify flows by majority vote over their subflows.
+    [[nodiscard]] stats::ConfusionMatrix evaluate(const flow::Dataset& dataset);
+
+    [[nodiscard]] SamplingMethod method() const noexcept { return method_; }
+
+private:
+    /// Trunk forward over a batch of subflow features [B, 3L] -> [B, hidden2].
+    [[nodiscard]] nn::Tensor embed(const nn::Tensor& input, bool training);
+
+    SubflowModelConfig config_;
+    std::size_t num_classes_;
+    SamplingMethod method_;
+    nn::Sequential trunk_;       ///< 3L -> h1 -> h2 representation
+    nn::Sequential regression_;  ///< h2 -> 24 statistics
+    nn::Sequential classifier_;  ///< h2 -> 64 -> 32 -> classes
+    util::Rng rng_;
+};
+
+} // namespace fptc::subflow

@@ -1,0 +1,288 @@
+#include "fptc/subflow/subflow.hpp"
+
+#include "fptc/nn/layers.hpp"
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fptc::subflow {
+
+std::string sampling_method_name(SamplingMethod method)
+{
+    switch (method) {
+    case SamplingMethod::fixed_step:
+        return "Fixed";
+    case SamplingMethod::random:
+        return "Rand";
+    case SamplingMethod::incremental:
+        return "Incre";
+    }
+    return "unknown";
+}
+
+std::vector<float> sample_subflow(const flow::Flow& flow, SamplingMethod method,
+                                  const SubflowConfig& config, util::Rng& rng)
+{
+    const std::size_t length = config.subflow_length;
+    std::vector<std::size_t> picks;
+    picks.reserve(length);
+    const std::size_t n = flow.packets.size();
+    if (n > 0) {
+        switch (method) {
+        case SamplingMethod::fixed_step: {
+            // One packet every `stride`, from a random starting point.
+            const std::size_t max_stride = std::max<std::size_t>(1, n / length);
+            const auto stride = static_cast<std::size_t>(
+                rng.uniform_int(1, static_cast<std::int64_t>(max_stride)));
+            const std::size_t span = stride * (length - 1) + 1;
+            const std::size_t max_start = n > span ? n - span : 0;
+            const auto start = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(max_start)));
+            for (std::size_t i = 0; i < length; ++i) {
+                const std::size_t idx = start + i * stride;
+                if (idx >= n) {
+                    break;
+                }
+                picks.push_back(idx);
+            }
+            break;
+        }
+        case SamplingMethod::random: {
+            auto chosen = rng.sample_without_replacement(n, std::min(length, n));
+            std::sort(chosen.begin(), chosen.end());
+            picks = std::move(chosen);
+            break;
+        }
+        case SamplingMethod::incremental: {
+            // A consecutive window from a random starting point.
+            const std::size_t max_start = n > length ? n - length : 0;
+            const auto start = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(max_start)));
+            for (std::size_t i = 0; i < length && start + i < n; ++i) {
+                picks.push_back(start + i);
+            }
+            break;
+        }
+        }
+    }
+
+    std::vector<float> features(subflow_feature_size(config), 0.0f);
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+        const auto& packet = flow.packets[picks[i]];
+        features[i] = static_cast<float>(packet.size) / static_cast<float>(flow::kMaxPacketSize);
+        features[length + i] =
+            packet.direction == flow::Direction::downstream ? 1.0f : -1.0f;
+        if (i > 0) {
+            const double iat =
+                flow.packets[picks[i]].timestamp - flow.packets[picks[i - 1]].timestamp;
+            features[2 * length + i] = static_cast<float>(std::min(iat, 15.0) / 15.0);
+        }
+    }
+    return features;
+}
+
+namespace {
+
+/// Mean squared error with gradient.
+[[nodiscard]] nn::LossResult mse(const nn::Tensor& predictions, const nn::Tensor& targets)
+{
+    nn::require_same_shape(predictions, targets, "mse");
+    nn::LossResult result;
+    result.grad = nn::Tensor(predictions.shape());
+    const auto p = predictions.data();
+    const auto t = targets.data();
+    auto g = result.grad.data();
+    double total = 0.0;
+    const double inv = 1.0 / static_cast<double>(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const double diff = static_cast<double>(p[i]) - static_cast<double>(t[i]);
+        total += diff * diff;
+        g[i] = static_cast<float>(2.0 * diff * inv);
+    }
+    result.loss = total * inv;
+    return result;
+}
+
+} // namespace
+
+SubflowModel::SubflowModel(SubflowModelConfig config, std::size_t num_classes,
+                           SamplingMethod method)
+    : config_(config), num_classes_(num_classes), method_(method), rng_(config.seed)
+{
+    const std::size_t input = subflow_feature_size(config_.subflow);
+    trunk_.add(std::make_unique<nn::Linear>(input, config_.hidden1,
+                                            util::mix_seed(config_.seed, 1)));
+    trunk_.add(std::make_unique<nn::ReLU>());
+    trunk_.add(std::make_unique<nn::Linear>(config_.hidden1, config_.hidden2,
+                                            util::mix_seed(config_.seed, 2)));
+    trunk_.add(std::make_unique<nn::ReLU>());
+
+    regression_.add(std::make_unique<nn::Linear>(config_.hidden2, flow::kFlowStatCount,
+                                                 util::mix_seed(config_.seed, 3)));
+
+    // "3 linear layers are stacked as classifier" [33].
+    classifier_.add(std::make_unique<nn::Linear>(config_.hidden2, 64,
+                                                 util::mix_seed(config_.seed, 4)));
+    classifier_.add(std::make_unique<nn::ReLU>());
+    classifier_.add(std::make_unique<nn::Linear>(64, 32, util::mix_seed(config_.seed, 5)));
+    classifier_.add(std::make_unique<nn::ReLU>());
+    classifier_.add(std::make_unique<nn::Linear>(32, num_classes,
+                                                 util::mix_seed(config_.seed, 6)));
+}
+
+nn::Tensor SubflowModel::embed(const nn::Tensor& input, bool training)
+{
+    return trunk_.forward(input, training);
+}
+
+double SubflowModel::pretrain(std::span<const flow::Flow> flows)
+{
+    if (flows.empty()) {
+        throw std::invalid_argument("SubflowModel::pretrain: no flows");
+    }
+    auto params = trunk_.parameters();
+    const auto head_params = regression_.parameters();
+    params.insert(params.end(), head_params.begin(), head_params.end());
+    nn::Adam optimizer(params, config_.pretrain_lr);
+
+    const std::size_t input_size = subflow_feature_size(config_.subflow);
+    std::vector<std::size_t> order(flows.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+
+    double last_loss = 0.0;
+    for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+        rng_.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+            const std::size_t end = std::min(start + config_.batch_size, order.size());
+            const std::size_t batch = end - start;
+            nn::Tensor inputs({batch, input_size});
+            nn::Tensor targets({batch, flow::kFlowStatCount});
+            auto in = inputs.data();
+            auto tg = targets.data();
+            for (std::size_t i = 0; i < batch; ++i) {
+                const auto& flow = flows[order[start + i]];
+                const auto features = sample_subflow(flow, method_, config_.subflow, rng_);
+                std::copy(features.begin(), features.end(),
+                          in.begin() + static_cast<std::ptrdiff_t>(i * input_size));
+                const auto statistics = flow::flow_statistics(flow);
+                std::copy(statistics.begin(), statistics.end(),
+                          tg.begin() + static_cast<std::ptrdiff_t>(i * flow::kFlowStatCount));
+            }
+            const auto h = trunk_.forward(inputs, /*training=*/true);
+            const auto predictions = regression_.forward(h, /*training=*/true);
+            const auto loss = mse(predictions, targets);
+            trunk_.zero_grad();
+            regression_.zero_grad();
+            const auto grad_h = regression_.backward(loss.grad);
+            (void)trunk_.backward(grad_h);
+            optimizer.step();
+            epoch_loss += loss.loss;
+            ++batches;
+        }
+        last_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    }
+    return last_loss;
+}
+
+double SubflowModel::finetune(const flow::Dataset& dataset, std::size_t per_class,
+                              std::uint64_t seed)
+{
+    util::Rng pick_rng(seed);
+    // Select per-class labeled flows.
+    std::vector<const flow::Flow*> labeled;
+    for (std::size_t label = 0; label < dataset.num_classes(); ++label) {
+        auto indices = dataset.indices_of_class(label);
+        pick_rng.shuffle(indices);
+        const std::size_t take = std::min(per_class, indices.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            labeled.push_back(&dataset.flows[indices[i]]);
+        }
+    }
+    if (labeled.empty()) {
+        throw std::invalid_argument("SubflowModel::finetune: no labeled flows");
+    }
+
+    // Expand each labeled flow into several subflows (the sampling *is* the
+    // data augmentation in [33]).
+    const std::size_t input_size = subflow_feature_size(config_.subflow);
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    for (const auto* flow : labeled) {
+        for (std::size_t s = 0; s < config_.subflow.samples_per_flow; ++s) {
+            features.push_back(sample_subflow(*flow, method_, config_.subflow, pick_rng));
+            labels.push_back(flow->label);
+        }
+    }
+
+    nn::Adam optimizer(classifier_.parameters(), config_.finetune_lr);
+    std::vector<std::size_t> order(features.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+
+    double last_loss = 0.0;
+    for (int epoch = 0; epoch < config_.finetune_epochs; ++epoch) {
+        pick_rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+            const std::size_t end = std::min(start + config_.batch_size, order.size());
+            const std::size_t batch = end - start;
+            nn::Tensor inputs({batch, input_size});
+            std::vector<std::size_t> batch_labels(batch);
+            auto in = inputs.data();
+            for (std::size_t i = 0; i < batch; ++i) {
+                const auto& f = features[order[start + i]];
+                std::copy(f.begin(), f.end(),
+                          in.begin() + static_cast<std::ptrdiff_t>(i * input_size));
+                batch_labels[i] = labels[order[start + i]];
+            }
+            // Trunk is frozen: forward without accumulating its gradients.
+            const auto h = embed(inputs, /*training=*/false);
+            const auto logits = classifier_.forward(h, /*training=*/true);
+            const auto loss = nn::cross_entropy(logits, batch_labels);
+            classifier_.zero_grad();
+            (void)classifier_.backward(loss.grad);
+            optimizer.step();
+            epoch_loss += loss.loss;
+            ++batches;
+        }
+        last_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    }
+    return last_loss;
+}
+
+stats::ConfusionMatrix SubflowModel::evaluate(const flow::Dataset& dataset)
+{
+    stats::ConfusionMatrix confusion(num_classes_);
+    const std::size_t input_size = subflow_feature_size(config_.subflow);
+    for (const auto& flow : dataset.flows) {
+        // Majority vote over this flow's subflows.
+        std::vector<std::size_t> votes(num_classes_, 0);
+        const std::size_t samples = config_.subflow.samples_per_flow;
+        nn::Tensor inputs({samples, input_size});
+        auto in = inputs.data();
+        for (std::size_t s = 0; s < samples; ++s) {
+            const auto features = sample_subflow(flow, method_, config_.subflow, rng_);
+            std::copy(features.begin(), features.end(),
+                      in.begin() + static_cast<std::ptrdiff_t>(s * input_size));
+        }
+        const auto h = embed(inputs, /*training=*/false);
+        const auto logits = classifier_.forward(h, /*training=*/false);
+        for (const auto prediction : nn::argmax_rows(logits)) {
+            ++votes[prediction];
+        }
+        const auto winner = static_cast<std::size_t>(
+            std::max_element(votes.begin(), votes.end()) - votes.begin());
+        confusion.add(flow.label, winner);
+    }
+    return confusion;
+}
+
+} // namespace fptc::subflow

@@ -1,0 +1,63 @@
+// Synthetic stand-ins for the three replication datasets of Sec. 4.5:
+// MIRAGE-19 (20 mobile apps, very short flows), MIRAGE-22 (9 video-meeting
+// apps, very long flows) and UTMOBILENET21 (17 apps in 4 collated
+// partitions, heavy imbalance).
+//
+// Class behaviours are drawn procedurally from wide priors (see
+// make_mobile_app_profile) so classes overlap realistically; per-class flow
+// counts follow the paper's Table 2 (scaled by samples_scale).  The raw
+// builders include bare TCP ACKs and background-traffic flows so the
+// curation steps of Sec. 3.4 ("first removed TCP ACK packets ... then
+// discarded flows related to background traffic ... filter out flows with
+// less than 10 packets and remove classes with less than 100 samples") do
+// real work; the curated builders apply exactly those steps.
+#pragma once
+
+#include "fptc/flow/dataset.hpp"
+
+#include <cstdint>
+
+namespace fptc::trafficgen {
+
+/// Generation options shared by the three mobile datasets.
+struct MobileGenOptions {
+    /// Scale factor on the paper's per-class flow counts.  The curation
+    /// thresholds (100-samples-per-class) scale along with it.
+    double samples_scale = 0.05;
+    std::uint64_t seed = 2023;
+    /// Fraction of flows whose burst/chatter behaviour is borrowed from a
+    /// random other class of the same dataset.  Mobile ground truth comes
+    /// from netstat-based labeling of shared-socket traffic, which is
+    /// intrinsically noisy; this keeps achievable F1 in the paper's 60-95%
+    /// band instead of a synthetic 100%.
+    double blend_fraction = 0.10;
+};
+
+/// Scaled equivalent of the paper's "remove classes with less than 100
+/// samples" threshold (never below 10).
+[[nodiscard]] std::size_t scaled_min_class_samples(const MobileGenOptions& options);
+
+// --- MIRAGE-19: 20 Android apps, mean flow length ~20 packets ------------
+[[nodiscard]] flow::Dataset make_mirage19_raw(const MobileGenOptions& options = {});
+/// Curated: ACK removal, background removal, >10 packets, small classes dropped.
+[[nodiscard]] flow::Dataset make_mirage19(const MobileGenOptions& options = {});
+
+// --- MIRAGE-22: 9 video-meeting apps, very long flows ---------------------
+[[nodiscard]] flow::Dataset make_mirage22_raw(const MobileGenOptions& options = {});
+/// Curated with a minimum-packet filter: pass 10 for the ">10pkts" variant
+/// of Table 2/8.  For the ">1000pkts" variant the paper filters on whole
+/// flow length; since we generate only the 15 s flowpic window, the
+/// equivalent window-level threshold is scaled to 500 (see DESIGN.md).
+[[nodiscard]] flow::Dataset make_mirage22(const MobileGenOptions& options = {},
+                                          std::size_t min_packets = 10);
+
+/// Window-level threshold standing in for the paper's ">1000pkts" filter.
+inline constexpr std::size_t kMirage22LongFlowThreshold = 500;
+
+// --- UTMOBILENET21: 17 apps, 4 partitions collated into one ---------------
+[[nodiscard]] flow::Dataset make_utmobilenet21_raw(const MobileGenOptions& options = {});
+/// Curated: >10 packets + small-class removal (17 -> ~10 classes as in the
+/// paper's Table 2).
+[[nodiscard]] flow::Dataset make_utmobilenet21(const MobileGenOptions& options = {});
+
+} // namespace fptc::trafficgen

@@ -1,0 +1,90 @@
+// Stochastic per-class traffic models.
+//
+// The paper's datasets are real captures we cannot redistribute; this module
+// is the documented substitution (DESIGN.md): every class is a generative
+// model over packet time series whose flowpic signature matches the
+// qualitative structure the paper reports (Fig. 4's per-class average
+// flowpics: video burst stripes, search request bursts near t=0 and mid-
+// window, music audio-chunk stripes, bulk-upload blocks, keystroke chatter).
+//
+// A ClassProfile describes: (i) burst placement — fixed positions within the
+// 15 s window and/or a periodic burst train, (ii) the packet-size mixture
+// inside bursts, (iii) low-rate background "chatter", and (iv) flow-level
+// attributes (duration, direction split, bare-ACK density for the MIRAGE
+// curation).  All randomness flows through the caller's Rng.
+#pragma once
+
+#include "fptc/flow/packet.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace fptc::trafficgen {
+
+/// One Gaussian component of a packet-size mixture.
+struct SizeComponent {
+    double mean = 1500.0;   ///< bytes
+    double stddev = 50.0;   ///< bytes
+    double weight = 1.0;    ///< relative mixture weight
+};
+
+/// Generative description of one traffic class.
+struct ClassProfile {
+    std::string name;
+
+    // --- connection handshake ---------------------------------------------
+    /// Class-specific opening exchange: packet sizes emitted in order at the
+    /// very start of the flow, alternating up/down starting upstream (think
+    /// TLS ClientHello / ServerHello / first request).  These leading packets
+    /// make the early time-series representation (Table 3's 3x10 features)
+    /// informative, as it is for real applications.
+    std::vector<double> handshake_sizes;
+    double handshake_gap = 0.006; ///< mean gap between handshake packets (s)
+
+    // --- burst structure ------------------------------------------------
+    /// Fixed burst centers as fractions of the 15 s window (e.g. Google
+    /// search: a request burst at ~0 and another around the middle).
+    std::vector<double> burst_positions;
+    /// Period of a repeating burst train in seconds; 0 disables it (YouTube
+    /// video chunks ~2-3 s, Google music audio chunks ~1 s).
+    double burst_period = 0.0;
+    double burst_period_jitter = 0.10; ///< relative jitter applied per burst
+    double burst_phase_jitter = 0.4;   ///< initial phase ~ U[0, jitter*period]
+    double burst_packets = 50.0;       ///< mean packets per burst
+    double burst_packets_jitter = 0.4; ///< lognormal sigma on per-flow burst size
+    double burst_width = 0.25;         ///< temporal std-dev of a burst (seconds)
+    std::vector<SizeComponent> burst_sizes;
+
+    // --- background chatter ----------------------------------------------
+    double chatter_rate = 1.0;        ///< packets per second, uniform over the flow
+    double chatter_size_mean = 120.0; ///< bytes
+    double chatter_size_std = 60.0;
+
+    // --- flow-level attributes --------------------------------------------
+    double duration_log_mean = 3.0;  ///< ln-seconds (lognormal duration)
+    double duration_log_std = 0.6;
+    double down_fraction = 0.8;      ///< probability a packet is downstream
+    double ack_fraction = 0.0;       ///< bare ACKs added per data packet
+    double rate_jitter = 0.35;       ///< lognormal sigma of a per-flow volume factor
+    double window = 15.0;            ///< generation horizon in seconds
+};
+
+/// Sample one flow from the profile.  Packets are time-sorted, timestamps
+/// start at >= 0 within the profile window, sizes are clamped to
+/// [40, 1500].  `label` is stored on the returned flow.
+[[nodiscard]] flow::Flow generate_flow(const ClassProfile& profile, std::size_t label,
+                                       util::Rng& rng);
+
+/// Sample `count` flows of the class.
+[[nodiscard]] std::vector<flow::Flow> generate_flows(const ClassProfile& profile, std::size_t label,
+                                                     std::size_t count, util::Rng& rng);
+
+/// Derive a randomized "app-like" profile for procedurally generated mobile
+/// datasets (MIRAGE / UTMOBILENET): class characteristics are drawn from
+/// wide priors seeded by (dataset_seed, class_index) so that classes overlap
+/// realistically but remain learnable.
+[[nodiscard]] ClassProfile make_mobile_app_profile(std::uint64_t dataset_seed,
+                                                   std::size_t class_index, bool long_flows);
+
+} // namespace fptc::trafficgen

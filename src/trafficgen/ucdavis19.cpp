@@ -1,0 +1,227 @@
+#include "fptc/trafficgen/ucdavis19.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fptc::trafficgen {
+
+namespace {
+
+// Class indices in the fixed vocabulary order.
+enum : std::size_t { kDoc = 0, kDrive = 1, kMusic = 2, kSearch = 3, kYouTube = 4 };
+
+// Paper Table 2 pretraining totals: 6,439 flows, min 592, max 1,915.
+constexpr std::size_t kPretrainCounts[5] = {1221, 1634, 592, 1915, 1077};
+// script: perfectly balanced, 30 per class.
+constexpr std::size_t kScriptCounts[5] = {30, 30, 30, 30, 30};
+// human: 83 flows; "three classes have 15 samples, the remaining 18 and 20"
+// (paper footnote 12).
+constexpr std::size_t kHumanCounts[5] = {15, 18, 15, 15, 20};
+
+} // namespace
+
+std::string partition_name(UcdavisPartition partition)
+{
+    switch (partition) {
+    case UcdavisPartition::pretraining:
+        return "pretraining";
+    case UcdavisPartition::script:
+        return "script";
+    case UcdavisPartition::human:
+        return "human";
+    }
+    return "unknown";
+}
+
+const std::vector<std::string>& ucdavis19_class_names()
+{
+    static const std::vector<std::string> names = {
+        "Google Doc", "Google Drive", "Google Music", "Google Search", "YouTube"};
+    return names;
+}
+
+ClassProfile ucdavis19_profile(std::size_t class_index, bool human_shift)
+{
+    ClassProfile profile;
+    profile.name = ucdavis19_class_names().at(class_index);
+    switch (class_index) {
+    case kDoc:
+        // Keystroke/typing sync: continuous small-packet chatter plus light
+        // periodic save bursts of mid-size packets.
+        profile.handshake_sizes = {310.0, 1380.0, 160.0, 540.0, 210.0, 480.0};
+        profile.chatter_rate = 6.0;
+        profile.chatter_size_mean = 250.0;
+        profile.chatter_size_std = 120.0;
+        profile.burst_period = 4.0;
+        profile.burst_packets = 8.0;
+        profile.burst_width = 0.3;
+        profile.burst_sizes = {{600.0, 150.0, 0.6}, {1200.0, 150.0, 0.4}};
+        profile.down_fraction = 0.55;
+        profile.duration_log_mean = std::log(40.0);
+        profile.duration_log_std = 0.5;
+        break;
+    case kDrive:
+        // Bulk file transfer: a few wide full-MTU blocks, upload-dominated.
+        profile.handshake_sizes = {480.0, 1210.0, 980.0, 300.0, 1340.0, 720.0};
+        profile.burst_positions = {0.03, 0.25, 0.55};
+        profile.burst_packets = 180.0;
+        profile.burst_width = 0.9;
+        profile.burst_sizes = {{1500.0, 25.0, 0.85}, {500.0, 200.0, 0.15}};
+        profile.chatter_rate = 1.0;
+        profile.down_fraction = 0.30;
+        profile.duration_log_mean = std::log(30.0);
+        profile.duration_log_std = 0.7;
+        break;
+    case kMusic:
+        // Audio streaming: regular ~1 s chunk stripes of near-MTU packets
+        // (the vertical stripes of Fig. 4 rectangle C).
+        profile.handshake_sizes = {610.0, 890.0, 260.0, 1450.0, 380.0, 1100.0};
+        profile.burst_period = 1.1;
+        profile.burst_packets = 45.0;
+        profile.burst_width = 0.12;
+        profile.burst_sizes = {{1460.0, 40.0, 0.75}, {850.0, 120.0, 0.25}};
+        profile.chatter_rate = 0.5;
+        profile.chatter_size_mean = 150.0;
+        profile.down_fraction = 0.93;
+        profile.duration_log_mean = std::log(60.0);
+        profile.duration_log_std = 0.4;
+        break;
+    case kSearch:
+        // Request/response: one burst at the window start and one around the
+        // middle (Fig. 4: "two vertical groups of pixels around the
+        // left-axis and the center of the picture").
+        profile.handshake_sizes = {240.0, 760.0, 420.0, 1120.0, 560.0, 940.0};
+        profile.burst_positions = {0.01, 0.48};
+        profile.burst_packets = 70.0;
+        profile.burst_width = 0.35;
+        profile.burst_sizes = {{1480.0, 30.0, 0.5}, {620.0, 150.0, 0.3}, {180.0, 80.0, 0.2}};
+        profile.chatter_rate = 1.2;
+        profile.chatter_size_mean = 150.0;
+        profile.down_fraction = 0.80;
+        profile.duration_log_mean = std::log(20.0);
+        profile.duration_log_std = 0.8;
+        break;
+    case kYouTube:
+        // Video streaming: bursty ~2.4 s chunks of full-size packets.
+        profile.handshake_sizes = {820.0, 1460.0, 640.0, 1430.0, 1020.0, 1360.0};
+        profile.burst_period = 2.4;
+        profile.burst_packets = 130.0;
+        profile.burst_width = 0.45;
+        profile.burst_sizes = {{1490.0, 20.0, 0.88}, {900.0, 200.0, 0.12}};
+        profile.chatter_rate = 0.8;
+        profile.down_fraction = 0.92;
+        profile.duration_log_mean = std::log(80.0);
+        profile.duration_log_std = 0.5;
+        break;
+    default:
+        throw std::out_of_range("ucdavis19_profile: class index");
+    }
+
+    if (!human_shift) {
+        return profile;
+    }
+
+    // --- the data shift of Sec. 4.2.3 / App. D.1 -------------------------
+    switch (class_index) {
+    case kSearch:
+        // Rectangle A: burst groups shifted to the right.
+        profile.burst_positions = {0.13, 0.60};
+        // Rectangle B: packet sizes no longer saturate the 1500 B bin; the
+        // large component concentrates near flowpic row 28 (~1.3 kB) —
+        // exactly the Fig. 8 KDE shift for Google search.
+        profile.burst_sizes = {{1290.0, 60.0, 0.5}, {620.0, 150.0, 0.3}, {180.0, 80.0, 0.2}};
+        // Human queries also change the opening exchange: it drifts towards
+        // Google Doc's signature (the Doc/Search clash of Fig. 3).
+        profile.handshake_sizes = {310.0, 1380.0, 160.0, 540.0, 210.0, 480.0}; // == Doc's
+        break;
+    case kMusic:
+        // Rectangle C: the stripes disappear — human interaction (seeking,
+        // pausing) smears the audio chunks into continuous traffic.
+        profile.burst_period = 0.0;
+        profile.burst_positions.clear();
+        profile.chatter_rate = 14.0;
+        profile.chatter_size_mean = 1460.0;
+        profile.chatter_size_std = 60.0;
+        // Seek/pause interaction also reshapes the opening exchange towards
+        // a video-like (YouTube) signature.
+        profile.handshake_sizes = {820.0, 1460.0, 640.0, 1430.0, 1020.0, 1360.0}; // == YouTube's
+        break;
+    case kDrive:
+        // [33] reports up to 7% accuracy drop for Drive under human use
+        // (renames, moves): lighter, wider transfers.
+        profile.burst_packets = 155.0;
+        profile.burst_width = 1.15;
+        break;
+    case kYouTube:
+        // Mild: human seeking slightly stretches the chunk cadence.
+        profile.burst_period = 3.0;
+        break;
+    case kDoc:
+    default:
+        // "accuracy of the Google search and Google document have not
+        // changed significantly" [33] — Doc's own behaviour is stable (it is
+        // the *search* shift that collides with Doc's signature).
+        break;
+    }
+    return profile;
+}
+
+flow::Dataset make_ucdavis19(UcdavisPartition partition, const UcdavisOptions& options)
+{
+    if (!(options.samples_scale > 0.0 && options.samples_scale <= 1.0)) {
+        throw std::invalid_argument("make_ucdavis19: samples_scale must be in (0, 1]");
+    }
+    flow::Dataset dataset;
+    dataset.name = "ucdavis19/" + partition_name(partition);
+    dataset.class_names = ucdavis19_class_names();
+
+    const bool human = partition == UcdavisPartition::human;
+    const std::size_t* counts = nullptr;
+    double scale = 1.0;
+    switch (partition) {
+    case UcdavisPartition::pretraining:
+        counts = kPretrainCounts;
+        scale = options.samples_scale; // only the big partition is scaled
+        break;
+    case UcdavisPartition::script:
+        counts = kScriptCounts;
+        break;
+    case UcdavisPartition::human:
+        counts = kHumanCounts;
+        break;
+    }
+
+    const std::size_t num_classes = dataset.class_names.size();
+    for (std::size_t label = 0; label < num_classes; ++label) {
+        const auto target = static_cast<std::size_t>(
+            std::max(1.0, std::round(static_cast<double>(counts[label]) * scale)));
+        util::Rng rng(util::mix_seed(options.seed, static_cast<std::uint64_t>(partition), label));
+        const auto profile = ucdavis19_profile(label, human);
+        std::vector<flow::Flow> flows;
+        flows.reserve(target);
+        for (std::size_t i = 0; i < target; ++i) {
+            if (rng.bernoulli(options.atypical_fraction)) {
+                // Behavioural overlap: borrow another class's burst timing
+                // while keeping this class's packet sizes and handshake.
+                const auto other = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(num_classes) - 2));
+                const auto donor_label = other >= label ? other + 1 : other;
+                const auto donor = ucdavis19_profile(donor_label, human);
+                auto blended = profile;
+                blended.burst_positions = donor.burst_positions;
+                blended.burst_period = donor.burst_period;
+                blended.burst_packets = donor.burst_packets;
+                blended.burst_width = donor.burst_width;
+                blended.chatter_rate = donor.chatter_rate;
+                flows.push_back(generate_flow(blended, label, rng));
+            } else {
+                flows.push_back(generate_flow(profile, label, rng));
+            }
+        }
+        dataset.flows.insert(dataset.flows.end(), std::make_move_iterator(flows.begin()),
+                             std::make_move_iterator(flows.end()));
+    }
+    return dataset;
+}
+
+} // namespace fptc::trafficgen

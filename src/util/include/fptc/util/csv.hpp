@@ -1,0 +1,36 @@
+// Minimal CSV emission for campaign artifacts.
+//
+// The paper releases per-run logs alongside aggregate tables; the campaign
+// runner mirrors that by optionally dumping one CSV row per experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fptc::util {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV (quotes fields containing
+/// separators or quotes).
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Serialize to a string (header + rows).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Write to a file; throws std::runtime_error on I/O failure.
+    void write_file(const std::string& path) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field if needed.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+} // namespace fptc::util

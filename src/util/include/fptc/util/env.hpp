@@ -1,0 +1,38 @@
+// Environment-variable based configuration of campaign scale.
+//
+// The paper's campaigns (2,760 experiments, weeks of V100 time) are replayed
+// here at reduced replication counts by default so the whole bench suite runs
+// in minutes on a laptop.  The following knobs restore paper scale:
+//
+//   FPTC_FULL=1     use the paper's split/seed counts and enable 1500x1500 runs
+//   FPTC_SPLITS=n   override the number of dataset splits per campaign
+//   FPTC_SEEDS=n    override the number of training seeds per split
+//   FPTC_EPOCHS=n   cap the maximum number of training epochs
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fptc::util {
+
+/// Read an integer environment variable; returns std::nullopt when unset or
+/// unparsable.
+[[nodiscard]] std::optional<std::int64_t> env_int(const std::string& name);
+
+/// True when FPTC_FULL is set to a non-zero value.
+[[nodiscard]] bool full_scale();
+
+/// Resolved campaign scale for a bench binary.
+struct CampaignScale {
+    int splits;      ///< dataset splits (paper: 5)
+    int seeds;       ///< training seeds per split (paper: 3 supervised, 5 SimCLR)
+    int max_epochs;  ///< epoch cap for early-stopped training
+    bool full;       ///< FPTC_FULL was requested
+};
+
+/// Compute the effective scale given the paper's counts and fast defaults.
+[[nodiscard]] CampaignScale resolve_scale(int paper_splits, int paper_seeds, int default_splits,
+                                          int default_seeds, int max_epochs = 50);
+
+} // namespace fptc::util

@@ -1,0 +1,39 @@
+// ASCII heatmap rendering.
+//
+// Figures 1, 3, 4 and 8 of the paper are images (flowpics, confusion
+// matrices, KDEs).  The bench harnesses regenerate them as terminal
+// heatmaps: each cell is mapped to a shade character after the same
+// log-scale min/max normalization the paper applies to flowpics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fptc::util {
+
+/// Rendering options for render_heatmap().
+struct HeatmapOptions {
+    bool log_scale = true;      ///< apply log1p before normalizing (paper's flowpic rendering)
+    std::size_t max_side = 32;  ///< downsample larger matrices to at most this many rows/cols
+    bool show_scale = true;     ///< append a legend line with the min/max values
+};
+
+/// Render a row-major matrix (rows x cols) as an ASCII heatmap.  Values are
+/// normalized between the matrix min and max; darker shades mean larger
+/// values, matching Fig. 1's description ("higher packets count values having
+/// darker shades").
+[[nodiscard]] std::string render_heatmap(std::span<const float> values, std::size_t rows,
+                                         std::size_t cols, const HeatmapOptions& options = {});
+
+/// Render a labeled confusion matrix (row-normalized shares in [0,1]) with
+/// numeric annotations, as in Fig. 3.
+[[nodiscard]] std::string render_confusion(const std::vector<std::vector<double>>& matrix,
+                                           const std::vector<std::string>& labels);
+
+/// Render a 1-d curve (e.g. a KDE) as a fixed-height ASCII chart.
+[[nodiscard]] std::string render_curve(std::span<const double> xs, std::span<const double> ys,
+                                       std::size_t width = 72, std::size_t height = 12);
+
+} // namespace fptc::util

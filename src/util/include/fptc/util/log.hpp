@@ -1,0 +1,23 @@
+// Minimal leveled logging for campaign progress reporting.
+//
+// The paper's framework tracked every experiment with AimStack; here a tiny
+// stderr logger plays the progress-reporting role.  Verbosity is controlled
+// with FPTC_LOG (0=quiet, 1=info, 2=debug; default 1).
+#pragma once
+
+#include <string>
+
+namespace fptc::util {
+
+enum class LogLevel { quiet = 0, info = 1, debug = 2 };
+
+/// Current verbosity (resolved once from FPTC_LOG).
+[[nodiscard]] LogLevel log_level();
+
+/// Log a line at info level ("[fptc] ..." on stderr).
+void log_info(const std::string& message);
+
+/// Log a line at debug level.
+void log_debug(const std::string& message);
+
+} // namespace fptc::util

@@ -1,0 +1,49 @@
+// Plain-text / markdown table rendering for benchmark reports.
+//
+// Every bench binary in this repository prints the rows of the paper table it
+// regenerates; this helper keeps column alignment and formatting consistent
+// across all of them (including the "mean ± CI" cells of Tables 3-8).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fptc::util {
+
+/// Column-aligned text table with an optional title and footnotes.
+class Table {
+public:
+    explicit Table(std::string title = {});
+
+    /// Set the header row.  Must be called before adding rows.
+    void set_header(std::vector<std::string> header);
+
+    /// Append a data row; it may have fewer cells than the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Append a footnote line rendered below the table.
+    void add_footnote(std::string note);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Render with box-drawing alignment suitable for terminals and logs.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Render as a GitHub-flavored markdown table.
+    [[nodiscard]] std::string to_markdown() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> footnotes_;
+};
+
+/// Format a floating point value with the given number of decimals.
+[[nodiscard]] std::string format_double(double value, int decimals = 2);
+
+/// Format "mean ±ci" the way the paper reports accuracy cells, e.g. "96.80 ±0.37".
+[[nodiscard]] std::string format_mean_ci(double mean, double ci, int decimals = 2);
+
+} // namespace fptc::util

@@ -1,0 +1,38 @@
+#include "fptc/util/log.hpp"
+
+#include "fptc/util/env.hpp"
+
+#include <iostream>
+
+namespace fptc::util {
+
+LogLevel log_level()
+{
+    static const LogLevel level = [] {
+        const auto v = env_int("FPTC_LOG").value_or(1);
+        if (v <= 0) {
+            return LogLevel::quiet;
+        }
+        if (v == 1) {
+            return LogLevel::info;
+        }
+        return LogLevel::debug;
+    }();
+    return level;
+}
+
+void log_info(const std::string& message)
+{
+    if (log_level() >= LogLevel::info) {
+        std::cerr << "[fptc] " << message << '\n';
+    }
+}
+
+void log_debug(const std::string& message)
+{
+    if (log_level() >= LogLevel::debug) {
+        std::cerr << "[fptc:debug] " << message << '\n';
+    }
+}
+
+} // namespace fptc::util

@@ -1,0 +1,200 @@
+#include "fptc/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fptc::util {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+Rng::result_type Rng::operator()() noexcept
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+Rng Rng::fork() noexcept
+{
+    return Rng{(*this)()};
+}
+
+double Rng::uniform() noexcept
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept
+{
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) { // full 64-bit range requested
+        return static_cast<std::int64_t>((*this)());
+    }
+    // Lemire's nearly-divisionless bounded sampling with rejection.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < range) {
+        const std::uint64_t threshold = (0 - range) % range;
+        while (l < threshold) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * range;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept
+{
+    return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) noexcept
+{
+    double u = uniform();
+    while (u <= 0.0) {
+        u = uniform();
+    }
+    return -std::log(u) / lambda;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept
+{
+    return std::exp(normal(mu, sigma));
+}
+
+int Rng::poisson(double lambda) noexcept
+{
+    if (lambda <= 0.0) {
+        return 0;
+    }
+    if (lambda > 64.0) {
+        // Normal approximation with continuity correction; adequate for the
+        // synthetic traffic models where lambda is a burst size.
+        const double x = normal(lambda, std::sqrt(lambda));
+        return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double product = uniform();
+    int count = 0;
+    while (product > limit) {
+        product *= uniform();
+        ++count;
+    }
+    return count;
+}
+
+bool Rng::bernoulli(double p) noexcept
+{
+    return uniform() < p;
+}
+
+int Rng::geometric(double p) noexcept
+{
+    if (p >= 1.0) {
+        return 0;
+    }
+    double u = uniform();
+    while (u <= 0.0) {
+        u = uniform();
+    }
+    return static_cast<int>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept
+{
+    double total = 0.0;
+    for (const double w : weights) {
+        total += w > 0.0 ? w : 0.0;
+    }
+    if (total <= 0.0) {
+        return 0;
+    }
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (target < w) {
+            return i;
+        }
+        target -= w;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) noexcept
+{
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        indices[i] = i;
+    }
+    // Partial Fisher-Yates: only the first k positions need to be finalized.
+    const std::size_t limit = k < n ? k : n;
+    for (std::size_t i = 0; i < limit; ++i) {
+        const auto j = static_cast<std::size_t>(
+            uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+        std::swap(indices[i], indices[j]);
+    }
+    indices.resize(limit);
+    return indices;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept
+{
+    std::uint64_t s = seed;
+    std::uint64_t h = splitmix64(s);
+    s ^= a * 0x9e3779b97f4a7c15ULL;
+    h ^= splitmix64(s);
+    s ^= b * 0xc2b2ae3d27d4eb4fULL;
+    h ^= splitmix64(s);
+    s ^= c * 0x165667b19e3779f9ULL;
+    h ^= splitmix64(s);
+    return h;
+}
+
+} // namespace fptc::util

@@ -1,0 +1,144 @@
+// Unit tests for the core data pipeline: rasterization, normalization,
+// batching, the paper's x-N augmentation expansion and large-resolution
+// pre-pooling.
+#include "fptc/core/data.hpp"
+#include "fptc/nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace fptc;
+using namespace fptc::core;
+
+std::vector<flow::Flow> sample_flows(std::size_t count = 4)
+{
+    std::vector<flow::Flow> flows;
+    for (std::size_t n = 0; n < count; ++n) {
+        flow::Flow f;
+        f.label = n % 2;
+        for (int i = 0; i < 30; ++i) {
+            flow::Packet p;
+            p.timestamp = 0.4 * i;
+            p.size = 200 + 40 * static_cast<int>(n) + (i % 3) * 300;
+            f.packets.push_back(p);
+        }
+        flows.push_back(std::move(f));
+    }
+    return flows;
+}
+
+TEST(CoreData, RasterizeShapesAndLabels)
+{
+    const auto flows = sample_flows(6);
+    const auto set = rasterize(flows, {.resolution = 32});
+    EXPECT_EQ(set.size(), 6u);
+    EXPECT_EQ(set.dim, 32u);
+    EXPECT_EQ(set.native_resolution, 32u);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_EQ(set.images[i].size(), 32u * 32u);
+        EXPECT_EQ(set.labels[i], flows[i].label);
+    }
+}
+
+TEST(CoreData, ImagesAreMaxNormalized)
+{
+    const auto set = rasterize(sample_flows(), {.resolution = 32});
+    for (const auto& image : set.images) {
+        float max_value = 0.0f;
+        for (const float v : image) {
+            EXPECT_GE(v, 0.0f);
+            EXPECT_LE(v, 1.0f);
+            max_value = std::max(max_value, v);
+        }
+        EXPECT_FLOAT_EQ(max_value, 1.0f);
+    }
+}
+
+TEST(CoreData, BatchAssemblesTensor)
+{
+    const auto set = rasterize(sample_flows(5), {.resolution = 32});
+    const std::vector<std::size_t> indices{0, 3};
+    const auto batch = set.batch(indices);
+    EXPECT_EQ(batch.shape(), (nn::Shape{2, 1, 32, 32}));
+    // Content of second batch row equals sample 3.
+    for (std::size_t i = 0; i < 32 * 32; ++i) {
+        EXPECT_FLOAT_EQ(batch[32 * 32 + i], set.images[3][i]);
+    }
+    EXPECT_THROW((void)set.batch(std::vector<std::size_t>{}), std::invalid_argument);
+}
+
+TEST(CoreData, TensorOfSingleSample)
+{
+    const auto set = rasterize(sample_flows(2), {.resolution = 32});
+    EXPECT_EQ(set.tensor_of(1).shape(), (nn::Shape{1, 1, 32, 32}));
+}
+
+TEST(CoreData, AppendRequiresMatchingDims)
+{
+    auto a = rasterize(sample_flows(2), {.resolution = 32});
+    const auto b = rasterize(sample_flows(3), {.resolution = 32});
+    a.append(b);
+    EXPECT_EQ(a.size(), 5u);
+    const auto c = rasterize(sample_flows(1), {.resolution = 64});
+    EXPECT_THROW(a.append(c), std::invalid_argument);
+}
+
+TEST(CoreData, AugmentSetExpansionFactor)
+{
+    const auto flows = sample_flows(4);
+    util::Rng rng(1);
+    // The paper's x10 rule: N copies per flow for a real augmentation.
+    const auto expanded =
+        augment_set(flows, augment::AugmentationKind::change_rtt, 10, {.resolution = 32}, rng);
+    EXPECT_EQ(expanded.size(), 40u);
+    // "No augmentation" ignores the copy count (baseline uses originals).
+    const auto baseline =
+        augment_set(flows, augment::AugmentationKind::none, 10, {.resolution = 32}, rng);
+    EXPECT_EQ(baseline.size(), 4u);
+    EXPECT_THROW(
+        (void)augment_set(flows, augment::AugmentationKind::rotate, 0, {.resolution = 32}, rng),
+        std::invalid_argument);
+}
+
+TEST(CoreData, AugmentedCopiesDiffer)
+{
+    const auto flows = sample_flows(1);
+    util::Rng rng(2);
+    const auto expanded =
+        augment_set(flows, augment::AugmentationKind::time_shift, 3, {.resolution = 32}, rng);
+    ASSERT_EQ(expanded.size(), 3u);
+    EXPECT_NE(expanded.images[0], expanded.images[1]);
+}
+
+TEST(CoreData, LargeResolutionPredPooledToEffectiveDim)
+{
+    const auto flows = sample_flows(1);
+    const auto set = rasterize(flows, {.resolution = 1500});
+    EXPECT_EQ(set.native_resolution, 1500u);
+    EXPECT_EQ(set.dim, nn::effective_input_dim(1500));
+    EXPECT_EQ(set.images.front().size(), set.dim * set.dim);
+}
+
+TEST(CoreData, PoolToEffectiveIsIdentityForSmall)
+{
+    const auto pic = flowpic::Flowpic::from_flow(sample_flows(1).front(), {.resolution = 32});
+    const auto pooled = pool_to_effective(pic);
+    EXPECT_EQ(pooled.size(), 32u * 32u);
+    for (std::size_t i = 0; i < pooled.size(); ++i) {
+        EXPECT_FLOAT_EQ(pooled[i], pic.counts()[i]);
+    }
+}
+
+TEST(CoreData, PoolToEffectiveKeepsMaxima)
+{
+    // A single hot cell must survive max pooling.
+    std::vector<float> counts(1500 * 1500, 0.0f);
+    counts[700 * 1500 + 701] = 42.0f;
+    const flowpic::Flowpic pic(1500, std::move(counts));
+    const auto pooled = pool_to_effective(pic);
+    const float max_pooled = *std::max_element(pooled.begin(), pooled.end());
+    EXPECT_FLOAT_EQ(max_pooled, 42.0f);
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+// Unit tests for fptc::flow — packet/flow types, curation filters, feature
+// extraction and the paper's three split protocols.
+#include "fptc/flow/dataset.hpp"
+#include "fptc/flow/features.hpp"
+#include "fptc/flow/filters.hpp"
+#include "fptc/flow/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace {
+
+using namespace fptc::flow;
+
+Flow make_flow(std::size_t label, std::size_t packets, double gap = 0.1, bool background = false)
+{
+    Flow f;
+    f.label = label;
+    f.background = background;
+    for (std::size_t i = 0; i < packets; ++i) {
+        Packet p;
+        p.timestamp = gap * static_cast<double>(i);
+        p.size = 100 + static_cast<int>(i % 5) * 100;
+        p.direction = i % 2 == 0 ? Direction::upstream : Direction::downstream;
+        f.packets.push_back(p);
+    }
+    return f;
+}
+
+Dataset make_dataset(const std::vector<std::size_t>& counts, std::size_t packets_each = 20,
+                     double gap = 0.1)
+{
+    Dataset d;
+    d.name = "test";
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+        d.class_names.push_back("class-" + std::to_string(c));
+        for (std::size_t i = 0; i < counts[c]; ++i) {
+            d.flows.push_back(make_flow(c, packets_each, gap));
+        }
+    }
+    return d;
+}
+
+TEST(Flow, DurationAndBytes)
+{
+    const auto f = make_flow(0, 5, 0.5);
+    EXPECT_DOUBLE_EQ(f.duration(), 2.0);
+    EXPECT_EQ(f.total_bytes(), 100u + 200 + 300 + 400 + 500);
+    EXPECT_DOUBLE_EQ(Flow{}.duration(), 0.0);
+}
+
+TEST(Dataset, ClassCountsAndIndices)
+{
+    const auto d = make_dataset({3, 1, 2});
+    const auto counts = d.class_counts();
+    EXPECT_EQ(counts, (std::vector<std::size_t>{3, 1, 2}));
+    EXPECT_EQ(d.indices_of_class(2).size(), 2u);
+    EXPECT_EQ(d.size(), 6u);
+}
+
+TEST(Dataset, SummaryMatchesTable2Semantics)
+{
+    const auto d = make_dataset({10, 2, 6}, 15);
+    const auto s = summarize(d);
+    EXPECT_EQ(s.classes, 3u);
+    EXPECT_EQ(s.flows_all, 18u);
+    EXPECT_EQ(s.flows_min, 2u);
+    EXPECT_EQ(s.flows_max, 10u);
+    EXPECT_DOUBLE_EQ(s.rho, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean_packets, 15.0);
+}
+
+TEST(Dataset, RenderSummariesContainsRho)
+{
+    const auto text = render_summaries({make_dataset({4, 2})});
+    EXPECT_NE(text.find("rho"), std::string::npos);
+    EXPECT_NE(text.find("test"), std::string::npos);
+}
+
+TEST(Filters, RemoveAckPackets)
+{
+    Dataset d = make_dataset({1}, 10);
+    d.flows[0].packets[3].is_ack = true;
+    d.flows[0].packets[7].is_ack = true;
+    d = remove_ack_packets(std::move(d));
+    EXPECT_EQ(d.flows[0].packets.size(), 8u);
+    for (const auto& p : d.flows[0].packets) {
+        EXPECT_FALSE(p.is_ack);
+    }
+}
+
+TEST(Filters, RemoveBackgroundFlows)
+{
+    Dataset d = make_dataset({3});
+    d.flows[1].background = true;
+    d = remove_background_flows(std::move(d));
+    EXPECT_EQ(d.flows.size(), 2u);
+}
+
+TEST(Filters, MinPacketsIsStrict)
+{
+    Dataset d;
+    d.class_names = {"a"};
+    d.flows.push_back(make_flow(0, 10)); // exactly 10: dropped (strictly more required)
+    d.flows.push_back(make_flow(0, 11)); // kept
+    d = filter_min_packets(std::move(d), 10);
+    EXPECT_EQ(d.flows.size(), 1u);
+    EXPECT_EQ(d.flows[0].packets.size(), 11u);
+}
+
+TEST(Filters, DropSmallClassesRemapsLabels)
+{
+    Dataset d = make_dataset({5, 1, 4}); // middle class too small
+    d = drop_small_classes(std::move(d), 3);
+    EXPECT_EQ(d.class_names, (std::vector<std::string>{"class-0", "class-2"}));
+    EXPECT_EQ(d.flows.size(), 9u);
+    // Former class 2 must be re-indexed to 1.
+    std::set<std::size_t> labels;
+    for (const auto& f : d.flows) {
+        labels.insert(f.label);
+    }
+    EXPECT_EQ(labels, (std::set<std::size_t>{0, 1}));
+}
+
+TEST(Filters, TruncateDuration)
+{
+    Dataset d = make_dataset({1}, 100, 0.5); // 50 s of packets
+    d = truncate_duration(std::move(d), 15.0);
+    ASSERT_FALSE(d.flows[0].packets.empty());
+    const auto& packets = d.flows[0].packets;
+    EXPECT_LE(packets.back().timestamp - packets.front().timestamp, 15.0);
+    EXPECT_EQ(packets.size(), 31u); // packets at 0.0 .. 15.0 inclusive
+}
+
+TEST(Features, EarlyTimeSeriesLayout)
+{
+    const auto f = make_flow(0, 12, 0.25);
+    const auto features = early_time_series(f);
+    ASSERT_EQ(features.size(), kEarlyFeatureSize);
+    // First block: sizes / 1500.
+    EXPECT_FLOAT_EQ(features[0], 100.0f / 1500.0f);
+    // Second block: directions (+1 down / -1 up); packet 0 is upstream.
+    EXPECT_FLOAT_EQ(features[kEarlyPackets], -1.0f);
+    EXPECT_FLOAT_EQ(features[kEarlyPackets + 1], 1.0f);
+    // Third block: inter-arrival times; first entry 0, others 0.25.
+    EXPECT_FLOAT_EQ(features[2 * kEarlyPackets], 0.0f);
+    EXPECT_FLOAT_EQ(features[2 * kEarlyPackets + 3], 0.25f);
+}
+
+TEST(Features, EarlyTimeSeriesZeroPadsShortFlows)
+{
+    const auto f = make_flow(0, 3);
+    const auto features = early_time_series(f);
+    for (std::size_t i = 3; i < kEarlyPackets; ++i) {
+        EXPECT_FLOAT_EQ(features[i], 0.0f);
+        EXPECT_FLOAT_EQ(features[kEarlyPackets + i], 0.0f);
+    }
+}
+
+TEST(Features, FlowStatisticsSaneRanges)
+{
+    const auto f = make_flow(0, 50, 0.1);
+    const auto stats = flow_statistics(f);
+    ASSERT_EQ(stats.size(), kFlowStatCount);
+    for (const float v : stats) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LE(v, 100.0f);
+    }
+    // Downstream ratio (entry 23) must be ~0.5 for the alternating flow.
+    EXPECT_NEAR(stats[22], 0.5f, 0.05f);
+}
+
+TEST(Features, FlowStatisticsEmptyFlow)
+{
+    const auto stats = flow_statistics(Flow{});
+    for (const float v : stats) {
+        EXPECT_FLOAT_EQ(v, 0.0f);
+    }
+}
+
+TEST(Features, InterArrivalTimes)
+{
+    const auto f = make_flow(0, 4, 0.3);
+    const auto iats = inter_arrival_times(f);
+    ASSERT_EQ(iats.size(), 4u);
+    EXPECT_DOUBLE_EQ(iats[0], 0.0);
+    EXPECT_NEAR(iats[2], 0.3, 1e-12);
+}
+
+TEST(Split, FixedPerClassDrawsExactCounts)
+{
+    const auto d = make_dataset({120, 150, 130});
+    const auto split = fixed_per_class_split(d, 100, 7);
+    EXPECT_EQ(split.train.size(), 300u);
+    EXPECT_EQ(split.test.size(), d.size() - 300u); // the "leftover" set
+    // Per-class counts must be exactly 100.
+    std::vector<std::size_t> counts(3, 0);
+    for (const auto i : split.train) {
+        ++counts[d.flows[i].label];
+    }
+    EXPECT_EQ(counts, (std::vector<std::size_t>{100, 100, 100}));
+    // Train and leftover must be disjoint.
+    std::set<std::size_t> train_set(split.train.begin(), split.train.end());
+    for (const auto i : split.test) {
+        EXPECT_EQ(train_set.count(i), 0u);
+    }
+}
+
+TEST(Split, FixedPerClassThrowsWhenClassTooSmall)
+{
+    const auto d = make_dataset({50, 150});
+    EXPECT_THROW(fixed_per_class_split(d, 100, 7), std::invalid_argument);
+}
+
+TEST(Split, FixedPerClassDeterministicPerSeed)
+{
+    const auto d = make_dataset({120, 150});
+    const auto a = fixed_per_class_split(d, 100, 7);
+    const auto b = fixed_per_class_split(d, 100, 7);
+    const auto c = fixed_per_class_split(d, 100, 8);
+    EXPECT_EQ(a.train, b.train);
+    EXPECT_NE(a.train, c.train);
+}
+
+TEST(Split, TrainValidationFraction)
+{
+    std::vector<std::size_t> indices(100);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        indices[i] = i;
+    }
+    const auto split = train_validation_split(indices, 0.8, 3);
+    EXPECT_EQ(split.train.size(), 80u);
+    EXPECT_EQ(split.validation.size(), 20u);
+    std::set<std::size_t> all(split.train.begin(), split.train.end());
+    all.insert(split.validation.begin(), split.validation.end());
+    EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Split, StratifiedPreservesPerClassProportions)
+{
+    const auto d = make_dataset({100, 40});
+    const auto split = stratified_split(d, 0.8, 0.1, 5);
+    std::vector<std::vector<std::size_t>> counts(3, std::vector<std::size_t>(2, 0));
+    for (const auto i : split.train) {
+        ++counts[0][d.flows[i].label];
+    }
+    for (const auto i : split.validation) {
+        ++counts[1][d.flows[i].label];
+    }
+    for (const auto i : split.test) {
+        ++counts[2][d.flows[i].label];
+    }
+    EXPECT_EQ(counts[0][0], 80u);
+    EXPECT_EQ(counts[1][0], 10u);
+    EXPECT_EQ(counts[2][0], 10u);
+    EXPECT_EQ(counts[0][1], 32u);
+    EXPECT_EQ(counts[1][1], 4u);
+    EXPECT_EQ(counts[2][1], 4u);
+}
+
+TEST(Split, StratifiedRejectsBadFractions)
+{
+    const auto d = make_dataset({10});
+    EXPECT_THROW(stratified_split(d, 0.9, 0.2, 1), std::invalid_argument);
+}
+
+TEST(Split, SubsetMaterializesSelection)
+{
+    const auto d = make_dataset({3, 3});
+    const auto s = subset(d, {0, 4});
+    EXPECT_EQ(s.flows.size(), 2u);
+    EXPECT_EQ(s.flows[0].label, 0u);
+    EXPECT_EQ(s.flows[1].label, 1u);
+    EXPECT_EQ(s.class_names, d.class_names);
+}
+
+} // namespace

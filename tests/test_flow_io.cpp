@@ -1,0 +1,123 @@
+// Tests for the monolithic CSV dataset format (fptc/flow/io.hpp).
+#include "fptc/flow/io.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace fptc::flow;
+
+Dataset tiny_dataset()
+{
+    Dataset d;
+    d.name = "tiny";
+    d.class_names = {"alpha", "beta"};
+    Flow a;
+    a.label = 0;
+    a.packets = {{0.0, 100, Direction::upstream, false}, {0.5, 1400, Direction::downstream, false}};
+    Flow b;
+    b.label = 1;
+    b.background = true;
+    b.packets = {{0.25, 40, Direction::downstream, true}};
+    d.flows = {a, b};
+    return d;
+}
+
+TEST(FlowIo, RoundTripPreservesEverything)
+{
+    const auto original = tiny_dataset();
+    std::stringstream buffer;
+    write_dataset_csv(original, buffer);
+    const auto restored = read_dataset_csv(buffer);
+
+    ASSERT_EQ(restored.flows.size(), original.flows.size());
+    EXPECT_EQ(restored.class_names, original.class_names);
+    for (std::size_t f = 0; f < original.flows.size(); ++f) {
+        const auto& in = original.flows[f];
+        const auto& out = restored.flows[f];
+        EXPECT_EQ(out.label, in.label);
+        EXPECT_EQ(out.background, in.background);
+        ASSERT_EQ(out.packets.size(), in.packets.size());
+        for (std::size_t p = 0; p < in.packets.size(); ++p) {
+            EXPECT_DOUBLE_EQ(out.packets[p].timestamp, in.packets[p].timestamp);
+            EXPECT_EQ(out.packets[p].size, in.packets[p].size);
+            EXPECT_EQ(out.packets[p].direction, in.packets[p].direction);
+            EXPECT_EQ(out.packets[p].is_ack, in.packets[p].is_ack);
+        }
+    }
+}
+
+TEST(FlowIo, RoundTripOnGeneratedDataset)
+{
+    fptc::trafficgen::UcdavisOptions options;
+    options.samples_scale = 0.02;
+    const auto original =
+        fptc::trafficgen::make_ucdavis19(fptc::trafficgen::UcdavisPartition::script, options);
+    std::stringstream buffer;
+    write_dataset_csv(original, buffer);
+    const auto restored = read_dataset_csv(buffer);
+    ASSERT_EQ(restored.size(), original.size());
+    EXPECT_EQ(restored.class_names, original.class_names);
+    std::size_t total_in = 0;
+    std::size_t total_out = 0;
+    for (std::size_t f = 0; f < original.size(); ++f) {
+        total_in += original.flows[f].packets.size();
+        total_out += restored.flows[f].packets.size();
+    }
+    EXPECT_EQ(total_in, total_out);
+}
+
+TEST(FlowIo, RejectsBadHeader)
+{
+    std::stringstream buffer("wrong,header\n");
+    EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+    std::stringstream empty;
+    EXPECT_THROW((void)read_dataset_csv(empty), std::runtime_error);
+}
+
+TEST(FlowIo, RejectsMalformedRows)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    {
+        std::stringstream buffer(header + "0,0,x,0.0,100,sideways,0,0\n");
+        EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+    }
+    {
+        std::stringstream buffer(header + "0,0,x,0.0,100,up,0\n"); // 7 fields
+        EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+    }
+    {
+        std::stringstream buffer(header + "5,0,x,0.0,100,up,0,0\n"); // gap in ids
+        EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+    }
+    {
+        std::stringstream buffer(header + "0,zero,x,0.0,100,up,0,0\n"); // bad label
+        EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+    }
+}
+
+TEST(FlowIo, RejectsInconsistentClassNames)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    std::stringstream buffer(header + "0,0,alpha,0.0,100,up,0,0\n1,0,beta,0.0,100,up,0,0\n");
+    EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+}
+
+TEST(FlowIo, FillsVocabularyGaps)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    // Only label 2 appears; labels 0 and 1 get placeholder names.
+    std::stringstream buffer(header + "0,2,gamma,0.0,100,up,0,0\n");
+    const auto dataset = read_dataset_csv(buffer);
+    ASSERT_EQ(dataset.class_names.size(), 3u);
+    EXPECT_EQ(dataset.class_names[2], "gamma");
+    EXPECT_EQ(dataset.class_names[0], "class-0");
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+// Unit + property tests for the flowpic representation — bin geometry
+// matching the paper's quoted numbers, mass conservation, orientation and
+// resolution invariants.
+#include "fptc/flowpic/flowpic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace fptc;
+using flowpic::Flowpic;
+using flowpic::FlowpicConfig;
+
+flow::Flow flow_with(std::initializer_list<std::pair<double, int>> packets)
+{
+    flow::Flow f;
+    for (const auto& [t, size] : packets) {
+        flow::Packet p;
+        p.timestamp = t;
+        p.size = size;
+        f.packets.push_back(p);
+    }
+    return f;
+}
+
+TEST(Flowpic, BinWidthsMatchPaperNumbers)
+{
+    // Sec. 2.2: "a 32x32 flowpic leads to 469.8ms time bins and 46B packet
+    // size bins".
+    FlowpicConfig config;
+    config.resolution = 32;
+    EXPECT_NEAR(flowpic::time_bin_width(config) * 1e3, 468.75, 1.5); // 15s/32
+    EXPECT_NEAR(flowpic::size_bin_width(config), 46.875, 1.0);       // 1500/32
+}
+
+TEST(Flowpic, SinglePacketLandsInExpectedCell)
+{
+    // Packet at t=7.6s (just past mid-window) and size 750 (mid-size).
+    const auto f = flow_with({{7.6, 750}});
+    const auto pic = Flowpic::from_flow(f, {.resolution = 32});
+    // time bin: 7.6 / 0.46875 = 16.2 -> 16; size bin: 750 / 46.875 = 16.
+    EXPECT_FLOAT_EQ(pic.at(16, 16), 1.0f);
+    EXPECT_DOUBLE_EQ(pic.total_mass(), 1.0);
+}
+
+TEST(Flowpic, OrientationZeroSizeAtTopTimeZeroLeft)
+{
+    const auto f = flow_with({{0.0, 0}, {14.9, 1500}});
+    const auto pic = Flowpic::from_flow(f, {.resolution = 32});
+    EXPECT_FLOAT_EQ(pic.at(0, 0), 1.0f);    // small size, early -> top-left
+    EXPECT_FLOAT_EQ(pic.at(31, 31), 1.0f);  // max size, late -> bottom-right
+}
+
+TEST(Flowpic, MassEqualsPacketsInsideWindow)
+{
+    auto f = flow_with({{0.1, 100}, {5.0, 200}, {14.99, 300}});
+    // Packets beyond the 15 s window are not represented.
+    flow::Packet late;
+    late.timestamp = 20.0;
+    late.size = 400;
+    f.packets.push_back(late);
+    const auto pic = Flowpic::from_flow(f, {.resolution = 32});
+    EXPECT_DOUBLE_EQ(pic.total_mass(), 3.0);
+}
+
+TEST(Flowpic, OversizeAndNegativeSizesClampToEdgeBins)
+{
+    auto f = flow_with({{1.0, 1500}});
+    f.packets.push_back({.timestamp = 2.0, .size = 5000});
+    f.packets.push_back({.timestamp = 3.0, .size = -10});
+    const auto pic = Flowpic::from_flow(f, {.resolution = 32});
+    EXPECT_DOUBLE_EQ(pic.total_mass(), 3.0);
+    EXPECT_FLOAT_EQ(pic.at(31, 2), 1.0f); // 1500 exactly -> last size bin
+    EXPECT_FLOAT_EQ(pic.at(31, 4), 1.0f); // clamped oversize
+    EXPECT_FLOAT_EQ(pic.at(0, 6), 1.0f);  // clamped negative
+}
+
+TEST(Flowpic, OriginAtFirstPacketOption)
+{
+    const auto f = flow_with({{100.0, 750}, {107.5, 750}});
+    FlowpicConfig absolute;
+    EXPECT_DOUBLE_EQ(Flowpic::from_flow(f, absolute).total_mass(), 0.0);
+
+    FlowpicConfig relative;
+    relative.origin_at_first_packet = true;
+    const auto pic = Flowpic::from_flow(f, relative);
+    EXPECT_DOUBLE_EQ(pic.total_mass(), 2.0);
+    EXPECT_FLOAT_EQ(pic.at(16, 0), 1.0f);
+    EXPECT_FLOAT_EQ(pic.at(16, 16), 1.0f);
+}
+
+TEST(Flowpic, EmptyFlowGivesEmptyPic)
+{
+    const auto pic = Flowpic::from_flow(flow::Flow{}, {.resolution = 32});
+    EXPECT_DOUBLE_EQ(pic.total_mass(), 0.0);
+}
+
+TEST(Flowpic, NormalizeMaxScalesToUnit)
+{
+    auto f = flow_with({{1.0, 100}, {1.0, 100}, {2.0, 200}});
+    auto pic = Flowpic::from_flow(f, {.resolution = 32});
+    pic.normalize_max();
+    EXPECT_FLOAT_EQ(*std::max_element(pic.counts().begin(), pic.counts().end()), 1.0f);
+    // All-zero pic must survive normalization untouched.
+    auto empty = Flowpic::from_flow(flow::Flow{}, {.resolution = 8});
+    empty.normalize_max();
+    EXPECT_DOUBLE_EQ(empty.total_mass(), 0.0);
+}
+
+TEST(Flowpic, FlattenedHasResolutionSquaredEntries)
+{
+    const auto pic = Flowpic::from_flow(flow_with({{1.0, 100}}), {.resolution = 64});
+    EXPECT_EQ(pic.flattened().size(), 64u * 64u);
+}
+
+TEST(Flowpic, AtThrowsOutOfRange)
+{
+    const auto pic = Flowpic::from_flow(flow::Flow{}, {.resolution = 8});
+    EXPECT_THROW((void)pic.at(8, 0), std::out_of_range);
+    EXPECT_THROW((void)pic.at(0, 8), std::out_of_range);
+}
+
+TEST(Flowpic, ConstructorValidatesShape)
+{
+    EXPECT_THROW(Flowpic(4, std::vector<float>(15, 0.0f)), std::invalid_argument);
+    EXPECT_THROW(Flowpic(0, {}), std::invalid_argument);
+    EXPECT_NO_THROW(Flowpic(4, std::vector<float>(16, 0.0f)));
+}
+
+TEST(Flowpic, AverageFlowpicIsElementwiseMean)
+{
+    const auto a = flow_with({{1.0, 100}});
+    const auto b = flow_with({{1.0, 100}, {2.0, 100}});
+    std::vector<flow::Flow> flows{a, b};
+    const auto average = flowpic::average_flowpic(flows, {.resolution = 32});
+    EXPECT_NEAR(average.total_mass(), 1.5, 1e-6);
+    EXPECT_THROW(flowpic::average_flowpic({}, {.resolution = 32}), std::invalid_argument);
+}
+
+TEST(Flowpic, AverageFlowpicOfClassFiltersByLabel)
+{
+    flow::Dataset d;
+    d.class_names = {"a", "b"};
+    auto fa = flow_with({{1.0, 100}});
+    fa.label = 0;
+    auto fb = flow_with({{1.0, 100}, {2.0, 200}, {3.0, 300}});
+    fb.label = 1;
+    d.flows = {fa, fb};
+    const auto avg_b = flowpic::average_flowpic_of_class(d, 1, {.resolution = 32});
+    EXPECT_NEAR(avg_b.total_mass(), 3.0, 1e-6);
+}
+
+// Property sweep: mass conservation and shape across resolutions.
+class FlowpicResolutionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FlowpicResolutionTest, MassIndependentOfResolution)
+{
+    const std::size_t resolution = GetParam();
+    auto f = flow_with({});
+    for (int i = 0; i < 200; ++i) {
+        flow::Packet p;
+        p.timestamp = 15.0 * (i / 200.0);
+        p.size = (i * 37) % 1500;
+        f.packets.push_back(p);
+    }
+    const auto pic = Flowpic::from_flow(f, {.resolution = resolution});
+    EXPECT_EQ(pic.resolution(), resolution);
+    EXPECT_DOUBLE_EQ(pic.total_mass(), 200.0);
+    for (const float v : pic.counts()) {
+        EXPECT_GE(v, 0.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, FlowpicResolutionTest,
+                         ::testing::Values(8, 32, 64, 128, 1500));
+
+TEST(Flowpic, InvalidConfigThrows)
+{
+    EXPECT_THROW(Flowpic::from_flow(flow::Flow{}, {.resolution = 0}),
+                 std::invalid_argument);
+    FlowpicConfig bad;
+    bad.duration = 0.0;
+    EXPECT_THROW(Flowpic::from_flow(flow::Flow{}, bad), std::invalid_argument);
+}
+
+} // namespace

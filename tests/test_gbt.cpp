@@ -1,0 +1,195 @@
+// Unit tests for the gradient-boosted-trees baseline.
+#include "fptc/gbt/gbt.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace fptc::gbt;
+
+/// Gaussian blobs, one per class, linearly separable in feature 0.
+void make_blobs(std::size_t n_per_class, std::size_t classes, std::size_t dims, double spread,
+                std::vector<std::vector<float>>& features, std::vector<std::size_t>& labels,
+                std::uint64_t seed = 1)
+{
+    fptc::util::Rng rng(seed);
+    for (std::size_t c = 0; c < classes; ++c) {
+        for (std::size_t i = 0; i < n_per_class; ++i) {
+            std::vector<float> row(dims);
+            for (std::size_t d = 0; d < dims; ++d) {
+                row[d] = static_cast<float>(rng.normal(static_cast<double>(c) * 3.0, spread));
+            }
+            features.push_back(std::move(row));
+            labels.push_back(c);
+        }
+    }
+}
+
+TEST(Gbt, LearnsSeparableBlobs)
+{
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(60, 3, 4, 0.5, features, labels);
+
+    GbtConfig config;
+    config.num_rounds = 30;
+    GbtClassifier model(config, 3);
+    model.fit(features, labels);
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        if (model.predict(features[i]) == labels[i]) {
+            ++correct;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / features.size(), 0.97);
+}
+
+TEST(Gbt, GeneralizesToHeldOut)
+{
+    std::vector<std::vector<float>> train_x;
+    std::vector<std::size_t> train_y;
+    make_blobs(80, 2, 6, 1.0, train_x, train_y, 1);
+    std::vector<std::vector<float>> test_x;
+    std::vector<std::size_t> test_y;
+    make_blobs(40, 2, 6, 1.0, test_x, test_y, 2);
+
+    GbtConfig config;
+    config.num_rounds = 40;
+    GbtClassifier model(config, 2);
+    model.fit(train_x, train_y);
+    const auto predictions = model.predict_batch(test_x);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test_x.size(); ++i) {
+        correct += predictions[i] == test_y[i];
+    }
+    EXPECT_GT(static_cast<double>(correct) / test_x.size(), 0.9);
+}
+
+TEST(Gbt, LearnsXorInteraction)
+{
+    // XOR needs depth >= 2 splits: single-feature stumps cannot solve it.
+    fptc::util::Rng rng(3);
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    for (int i = 0; i < 400; ++i) {
+        const float a = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+        const float b = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+        features.push_back({a + static_cast<float>(rng.normal(0, 0.05)),
+                            b + static_cast<float>(rng.normal(0, 0.05))});
+        labels.push_back(static_cast<std::size_t>(a != b));
+    }
+    GbtConfig config;
+    config.num_rounds = 40;
+    GbtClassifier model(config, 2);
+    model.fit(features, labels);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        correct += model.predict(features[i]) == labels[i];
+    }
+    EXPECT_GT(static_cast<double>(correct) / features.size(), 0.95);
+    EXPECT_GE(model.average_tree_depth(), 1.0);
+}
+
+TEST(Gbt, ProbabilitiesFormDistribution)
+{
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(30, 4, 3, 0.8, features, labels);
+    GbtConfig config;
+    config.num_rounds = 10;
+    GbtClassifier model(config, 4);
+    model.fit(features, labels);
+
+    const auto proba = model.predict_proba(features.front());
+    ASSERT_EQ(proba.size(), 4u);
+    double total = 0.0;
+    for (const double p : proba) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Gbt, TreeCountAndDepthBounds)
+{
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(40, 3, 2, 0.5, features, labels);
+    GbtConfig config;
+    config.num_rounds = 15;
+    config.max_depth = 4;
+    GbtClassifier model(config, 3);
+    model.fit(features, labels);
+    EXPECT_EQ(model.tree_count(), 45u); // rounds x classes
+    EXPECT_LE(model.average_tree_depth(), 4.0);
+    EXPECT_GT(model.average_tree_depth(), 0.0);
+}
+
+TEST(Gbt, EasyProblemsGrowShortTrees)
+{
+    // Mirrors the paper's observation (Sec. 4.1.2) that a nearly separable
+    // problem yields very short trees (averages 1.3-1.7).
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(50, 2, 1, 0.1, features, labels); // trivially separable
+    GbtClassifier model(GbtConfig{}, 2);
+    model.fit(features, labels);
+    EXPECT_LE(model.average_tree_depth(), 2.0);
+}
+
+TEST(Gbt, DeterministicFit)
+{
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(30, 2, 3, 1.0, features, labels);
+    GbtConfig config;
+    config.num_rounds = 5;
+    GbtClassifier a(config, 2);
+    GbtClassifier b(config, 2);
+    a.fit(features, labels);
+    b.fit(features, labels);
+    for (const auto& row : features) {
+        EXPECT_EQ(a.predict_proba(row), b.predict_proba(row));
+    }
+}
+
+TEST(Gbt, ValidatesInput)
+{
+    GbtClassifier model(GbtConfig{}, 3);
+    EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(model.fit({{1.0f}}, {0, 1}), std::invalid_argument);
+    EXPECT_THROW(model.fit({{1.0f}, {1.0f, 2.0f}}, {0, 1}), std::invalid_argument);
+    EXPECT_THROW(model.fit({{1.0f}, {2.0f}}, {0, 7}), std::invalid_argument);
+    EXPECT_THROW(GbtClassifier(GbtConfig{}, 1), std::invalid_argument);
+    GbtConfig bad;
+    bad.num_rounds = 0;
+    EXPECT_THROW(GbtClassifier(bad, 2), std::invalid_argument);
+}
+
+TEST(Gbt, PredictValidatesFeatureSize)
+{
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(20, 2, 3, 0.5, features, labels);
+    GbtConfig config;
+    config.num_rounds = 2;
+    GbtClassifier model(config, 2);
+    model.fit(features, labels);
+    const std::vector<float> wrong_size{1.0f};
+    EXPECT_THROW((void)model.predict(wrong_size), std::invalid_argument);
+}
+
+TEST(GbtTree, EmptyTreePredictsZero)
+{
+    const Tree tree;
+    const std::vector<float> x{1.0f};
+    EXPECT_FLOAT_EQ(tree.predict(x), 0.0f);
+    EXPECT_EQ(tree.depth(), 0);
+}
+
+} // namespace

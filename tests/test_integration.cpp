@@ -1,0 +1,151 @@
+// Integration tests: the full campaign runners end-to-end at miniature
+// scale.  These exercise exactly the code paths behind the bench binaries
+// (Tables 3-9) and assert the paper's qualitative shapes: script learnable,
+// human degraded by the data shift, replication datasets trainable, subflow
+// pipeline functional.
+#include "fptc/core/campaign.hpp"
+#include "fptc/gbt/gbt.hpp"
+#include "fptc/subflow/subflow.hpp"
+#include "fptc/trafficgen/mobile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace fptc;
+using namespace fptc::core;
+
+class CampaignTest : public ::testing::Test {
+protected:
+    static const UcdavisData& data()
+    {
+        static const UcdavisData d = load_ucdavis(0.2, 19);
+        return d;
+    }
+};
+
+TEST_F(CampaignTest, SupervisedRunReproducesShiftShape)
+{
+    SupervisedOptions options;
+    options.per_class = 40;   // miniature split
+    options.augment_copies = 2;
+    options.max_epochs = 8;
+    options.leftover_cap = 150;
+    const auto run = run_ucdavis_supervised(data(), augment::AugmentationKind::change_rtt,
+                                            /*split_seed=*/1, /*train_seed=*/1, options);
+    EXPECT_GE(run.epochs_run, 1);
+    EXPECT_EQ(run.script_confusion.total(), data().script.size());
+    EXPECT_EQ(run.human_confusion.total(), data().human.size());
+    EXPECT_EQ(run.leftover_confusion.total(), 150u);
+    // Paper shape: script well learnable, human hit by the data shift.
+    EXPECT_GT(run.script_accuracy(), 0.85);
+    EXPECT_LT(run.human_accuracy(), run.script_accuracy() - 0.05);
+    // Leftover behaves like script ("no gap appears when comparing script
+    // with leftover", Sec. 4.2.2).
+    EXPECT_GT(run.leftover_accuracy(), 0.85);
+}
+
+TEST_F(CampaignTest, SupervisedRunIsDeterministic)
+{
+    SupervisedOptions options;
+    options.per_class = 30;
+    options.augment_copies = 1;
+    options.max_epochs = 3;
+    options.leftover_cap = 50;
+    const auto a = run_ucdavis_supervised(data(), augment::AugmentationKind::time_shift, 2, 3,
+                                          options);
+    const auto b = run_ucdavis_supervised(data(), augment::AugmentationKind::time_shift, 2, 3,
+                                          options);
+    EXPECT_DOUBLE_EQ(a.script_accuracy(), b.script_accuracy());
+    EXPECT_DOUBLE_EQ(a.human_accuracy(), b.human_accuracy());
+    EXPECT_EQ(a.epochs_run, b.epochs_run);
+}
+
+TEST_F(CampaignTest, SimClrRunFinetunesAboveChance)
+{
+    SimClrOptions options;
+    options.per_class = 40;
+    options.pretrain_max_epochs = 4;
+    const auto run = run_ucdavis_simclr(data(), /*split_seed=*/1, /*pretrain_seed=*/1,
+                                        /*finetune_seed=*/1, options);
+    EXPECT_GE(run.pretrain_epochs, 1);
+    // 5-way task, 10 labeled samples/class: must beat chance comfortably.
+    EXPECT_GT(run.script_accuracy(), 0.5);
+    EXPECT_EQ(run.script_confusion.total(), data().script.size());
+    EXPECT_EQ(run.human_confusion.total(), data().human.size());
+}
+
+TEST_F(CampaignTest, EnlargedSupervisedUsesWholePartition)
+{
+    SupervisedOptions options;
+    options.augment_copies = 1;
+    options.max_epochs = 4;
+    options.with_dropout = false;
+    const auto run = run_ucdavis_enlarged_supervised(data(), augment::AugmentationKind::none, 5,
+                                                     options);
+    EXPECT_GT(run.script_accuracy(), 0.85);
+}
+
+TEST(Replication, MobileDatasetTrains)
+{
+    trafficgen::MobileGenOptions gen;
+    gen.samples_scale = 0.01;
+    const auto dataset = trafficgen::make_mirage19(gen);
+    ASSERT_GT(dataset.num_classes(), 5u);
+
+    SupervisedOptions options;
+    options.augment_copies = 2;
+    options.max_epochs = 6;
+    const auto run = run_replication_supervised(dataset, augment::AugmentationKind::change_rtt,
+                                                /*split_seed=*/1, /*train_seed=*/1, options);
+    // ~10% of the flows land in the test set.
+    EXPECT_GT(run.test_confusion.total(), dataset.size() / 20);
+    // Weighted F1 far above the ~1/K chance level.
+    EXPECT_GT(run.weighted_f1(), 2.0 / static_cast<double>(dataset.num_classes()));
+}
+
+TEST(Baseline, GbtOnFlowpicsBeatsChance)
+{
+    // The Table 3 path: flattened flowpics into the GBT classifier.
+    const auto data = load_ucdavis(0.2, 19);
+    const auto split = flow::fixed_per_class_split(data.pretraining, 30, 11);
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    for (const auto i : split.train) {
+        features.push_back(
+            flowpic::Flowpic::from_flow(data.pretraining.flows[i], {.resolution = 32})
+                .flattened());
+        labels.push_back(data.pretraining.flows[i].label);
+    }
+    gbt::GbtConfig config;
+    config.num_rounds = 20;
+    gbt::GbtClassifier model(config, data.num_classes());
+    model.fit(features, labels);
+
+    stats::ConfusionMatrix confusion(data.num_classes());
+    for (const auto& f : data.script.flows) {
+        confusion.add(f.label,
+                      model.predict(flowpic::Flowpic::from_flow(f, {.resolution = 32}).flattened()));
+    }
+    EXPECT_GT(confusion.accuracy(), 0.7);
+}
+
+TEST(SubflowIntegration, PipelineRunsOnUcdavis)
+{
+    trafficgen::UcdavisOptions gen;
+    gen.samples_scale = 0.05;
+    const auto pretraining =
+        trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::pretraining, gen);
+    const auto script = trafficgen::make_ucdavis19(trafficgen::UcdavisPartition::script, gen);
+
+    subflow::SubflowModelConfig config;
+    config.pretrain_epochs = 3;
+    config.finetune_epochs = 20;
+    subflow::SubflowModel model(config, 5, subflow::SamplingMethod::incremental);
+    (void)model.pretrain(pretraining.flows);
+    (void)model.finetune(script, 10, 3);
+    const auto confusion = model.evaluate(script);
+    EXPECT_GT(confusion.accuracy(), 0.4);
+}
+
+} // namespace

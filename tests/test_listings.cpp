@@ -1,0 +1,134 @@
+// Pin the network architectures to the paper's App. C listings 1-5: exact
+// layer sequences (including the Identity masking slots) and the printed
+// parameter totals.
+#include "fptc/nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace fptc::nn;
+
+std::vector<std::string> layer_names(Sequential& network)
+{
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < network.layer_count(); ++i) {
+        names.push_back(network.layer(i).name());
+    }
+    return names;
+}
+
+TEST(Listings, SupervisedWithDropoutMatchesListing1)
+{
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    config.with_dropout = true;
+    auto network = make_supervised_network(config);
+    // Listing 1: Conv2d ReLU MaxPool2d Conv2d ReLU Dropout2d MaxPool2d
+    //            Flatten Linear ReLU Linear ReLU Dropout1d Linear
+    EXPECT_EQ(layer_names(network),
+              (std::vector<std::string>{"Conv2d", "ReLU", "MaxPool2d", "Conv2d", "ReLU",
+                                        "Dropout2d", "MaxPool2d", "Flatten", "Linear", "ReLU",
+                                        "Linear", "ReLU", "Dropout", "Linear"}));
+}
+
+TEST(Listings, SupervisedWithoutDropoutMatchesListing2)
+{
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    config.with_dropout = false;
+    auto network = make_supervised_network(config);
+    // Listing 2: the two dropout slots are masked with Identity.
+    const auto names = layer_names(network);
+    EXPECT_EQ(names[5], "Identity");  // "<- masked" Dropout2d slot
+    EXPECT_EQ(names[12], "Identity"); // "<- masked" Dropout1d slot
+    EXPECT_EQ(names.size(), 14u);     // same depth as listing 1
+}
+
+TEST(Listings, SimClrProjectionMatchesListing3)
+{
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    config.with_dropout = false;
+    config.projection_dim = 30;
+    auto network = make_simclr_network(config);
+    // Trunk ends at the 120-d representation (ReLU after Linear-9).
+    const auto trunk_names = layer_names(network.trunk);
+    EXPECT_EQ(trunk_names.back(), "ReLU");
+    EXPECT_EQ(trunk_names[trunk_names.size() - 2], "Linear");
+    // Projection: Linear(120->120) ReLU Identity Linear(120->30).
+    EXPECT_EQ(layer_names(network.projection),
+              (std::vector<std::string>{"Linear", "ReLU", "Identity", "Linear"}));
+}
+
+TEST(Listings, ParameterTotalsMatchAllListings)
+{
+    // Listing 1/2: 61,281.  Listing 3: 68,842.  Listing 4: 75,376.
+    // Listing 5 (trainable classifier): 605.  The paper prints these totals
+    // via torchsummary; they pin the architecture bit-for-bit.
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    config.num_classes = 5;
+
+    config.with_dropout = true;
+    EXPECT_EQ(make_supervised_network(config).parameter_count(), 61281u);
+
+    config.with_dropout = false;
+    config.projection_dim = 30;
+    auto simclr30 = make_simclr_network(config);
+    EXPECT_EQ(simclr30.trunk.parameter_count() + simclr30.projection.parameter_count(), 68842u);
+
+    config.projection_dim = 84;
+    auto simclr84 = make_simclr_network(config);
+    EXPECT_EQ(simclr84.trunk.parameter_count() + simclr84.projection.parameter_count(), 75376u);
+
+    EXPECT_EQ(make_finetune_head(config).parameter_count(), 605u);
+}
+
+TEST(Listings, OutputShapesMatchListing1Column)
+{
+    // Spot-check the "Output Shape" column of listing 1 at batch size 1:
+    // Conv2d-1 -> [6, 28, 28], MaxPool2d-3 -> [6, 14, 14],
+    // Conv2d-4 -> [16, 10, 10], MaxPool2d-7 -> [16, 5, 5], Flatten -> [400].
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    config.with_dropout = true;
+    auto network = make_supervised_network(config);
+
+    Tensor x({1, 1, 32, 32});
+    const std::vector<Shape> expected = {
+        {1, 6, 28, 28},  // Conv2d-1
+        {1, 6, 28, 28},  // ReLU-2
+        {1, 6, 14, 14},  // MaxPool2d-3
+        {1, 16, 10, 10}, // Conv2d-4
+        {1, 16, 10, 10}, // ReLU-5
+        {1, 16, 10, 10}, // Dropout2d-6
+        {1, 16, 5, 5},   // MaxPool2d-7
+        {1, 400},        // Flatten-8
+        {1, 120},        // Linear-9
+        {1, 120},        // ReLU-10
+        {1, 84},         // Linear-11
+        {1, 84},         // ReLU-12
+        {1, 84},         // Dropout1d-13
+        {1, 5},          // Linear-14
+    };
+    for (std::size_t i = 0; i < network.layer_count(); ++i) {
+        x = network.layer(i).forward(x, /*training=*/false);
+        EXPECT_EQ(x.shape(), expected[i]) << "layer " << i + 1;
+    }
+}
+
+TEST(Listings, SummaryPrintoutContainsTotals)
+{
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    auto network = make_supervised_network(config);
+    const auto text = network.summary({1, 1, 32, 32});
+    EXPECT_NE(text.find("Total params: 61281"), std::string::npos);
+    EXPECT_NE(text.find("Conv2d"), std::string::npos);
+    EXPECT_NE(text.find("[1, 5]"), std::string::npos);
+}
+
+} // namespace

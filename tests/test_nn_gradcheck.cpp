@@ -1,0 +1,219 @@
+// Numerical gradient verification of every hand-written backward pass.
+//
+// For each layer/loss we compare the analytic gradient against central
+// finite differences of the scalar loss L = sum(w ⊙ output) for a fixed
+// random weighting w.  Float32 storage limits precision, so tolerances are
+// relative ~1e-2 with small absolute floors.
+#include "fptc/nn/conv.hpp"
+#include "fptc/nn/layers.hpp"
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace {
+
+using namespace fptc::nn;
+
+constexpr float kEps = 1e-2f;
+
+/// Scalar objective: weighted sum of a layer's output for input x.
+double weighted_output(Layer& layer, const Tensor& x, const Tensor& w)
+{
+    const auto y = layer.forward(x, /*training=*/false);
+    double total = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        total += static_cast<double>(y[i]) * static_cast<double>(w[i]);
+    }
+    return total;
+}
+
+/// Compare analytic input-gradient against central differences.
+void check_input_gradient(Layer& layer, Tensor x, const Shape& output_shape, double tolerance)
+{
+    fptc::util::Rng rng(77);
+    const auto w = Tensor::randn(output_shape, rng);
+
+    (void)layer.forward(x, false);
+    const auto analytic = layer.backward(w);
+
+    for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 24)) {
+        const float original = x[i];
+        x[i] = original + kEps;
+        const double up = weighted_output(layer, x, w);
+        x[i] = original - kEps;
+        const double down = weighted_output(layer, x, w);
+        x[i] = original;
+        const double numeric = (up - down) / (2.0 * kEps);
+        EXPECT_NEAR(analytic[i], numeric, tolerance + 0.02 * std::fabs(numeric))
+            << "input index " << i;
+    }
+    // Restore cache for any later use.
+    (void)layer.forward(x, false);
+}
+
+/// Compare analytic parameter-gradients against central differences.
+void check_parameter_gradients(Layer& layer, const Tensor& x, const Shape& output_shape,
+                               double tolerance)
+{
+    fptc::util::Rng rng(78);
+    const auto w = Tensor::randn(output_shape, rng);
+
+    for (auto* p : layer.parameters()) {
+        p->zero_grad();
+    }
+    (void)layer.forward(x, false);
+    (void)layer.backward(w);
+
+    for (auto* p : layer.parameters()) {
+        auto values = p->value.data();
+        const auto grads = p->grad.data();
+        for (std::size_t i = 0; i < values.size();
+             i += std::max<std::size_t>(1, values.size() / 16)) {
+            const float original = values[i];
+            values[i] = original + kEps;
+            const double up = weighted_output(layer, x, w);
+            values[i] = original - kEps;
+            const double down = weighted_output(layer, x, w);
+            values[i] = original;
+            const double numeric = (up - down) / (2.0 * kEps);
+            EXPECT_NEAR(grads[i], numeric, tolerance + 0.02 * std::fabs(numeric))
+                << p->name << " index " << i;
+        }
+    }
+}
+
+TEST(GradCheck, Linear)
+{
+    Linear layer(6, 4, 5);
+    fptc::util::Rng rng(1);
+    const auto x = Tensor::randn({3, 6}, rng);
+    check_input_gradient(layer, x, {3, 4}, 5e-3);
+    check_parameter_gradients(layer, x, {3, 4}, 5e-3);
+}
+
+TEST(GradCheck, Conv2d)
+{
+    Conv2d layer(2, 3, 3, 6);
+    fptc::util::Rng rng(2);
+    const auto x = Tensor::randn({2, 2, 6, 6}, rng);
+    check_input_gradient(layer, x, {2, 3, 4, 4}, 1e-2);
+    check_parameter_gradients(layer, x, {2, 3, 4, 4}, 1e-2);
+}
+
+TEST(GradCheck, ReLU)
+{
+    ReLU layer;
+    fptc::util::Rng rng(3);
+    auto x = Tensor::randn({2, 10}, rng);
+    // Keep activations away from the kink where finite differences lie.
+    for (auto& v : x.data()) {
+        if (std::fabs(v) < 0.05f) {
+            v = 0.2f;
+        }
+    }
+    check_input_gradient(layer, x, {2, 10}, 5e-3);
+}
+
+TEST(GradCheck, MaxPool2d)
+{
+    MaxPool2d layer(2);
+    fptc::util::Rng rng(4);
+    // Distinct values avoid argmax ties under perturbation.
+    Tensor x({1, 2, 4, 4});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(i) * 0.37f + static_cast<float>(rng.uniform()) * 0.01f;
+    }
+    check_input_gradient(layer, x, {1, 2, 2, 2}, 5e-3);
+}
+
+TEST(GradCheck, CrossEntropy)
+{
+    fptc::util::Rng rng(5);
+    Tensor logits = Tensor::randn({4, 5}, rng);
+    const std::vector<std::size_t> labels{0, 2, 4, 1};
+
+    const auto analytic = cross_entropy(logits, labels);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const float original = logits[i];
+        logits[i] = original + kEps;
+        const double up = cross_entropy(logits, labels).loss;
+        logits[i] = original - kEps;
+        const double down = cross_entropy(logits, labels).loss;
+        logits[i] = original;
+        const double numeric = (up - down) / (2.0 * kEps);
+        EXPECT_NEAR(analytic.grad[i], numeric, 2e-3) << "logit " << i;
+    }
+}
+
+TEST(GradCheck, NtXent)
+{
+    fptc::util::Rng rng(6);
+    Tensor projections = Tensor::randn({8, 6}, rng);
+
+    const auto analytic = nt_xent(projections, 0.2);
+    for (std::size_t i = 0; i < projections.size(); i += 3) {
+        const float original = projections[i];
+        projections[i] = original + kEps;
+        const double up = nt_xent(projections, 0.2).loss;
+        projections[i] = original - kEps;
+        const double down = nt_xent(projections, 0.2).loss;
+        projections[i] = original;
+        const double numeric = (up - down) / (2.0 * kEps);
+        EXPECT_NEAR(analytic.grad[i], numeric, 5e-3 + 0.05 * std::fabs(numeric))
+            << "projection " << i;
+    }
+}
+
+TEST(GradCheck, FullLeNetEndToEnd)
+{
+    // End-to-end: numerical gradient of the training loss w.r.t. a few
+    // parameters of the real architecture.
+    ModelConfig config;
+    config.flowpic_dim = 32;
+    config.with_dropout = false; // dropout is stochastic; masked here
+    auto network = make_supervised_network(config);
+
+    fptc::util::Rng rng(7);
+    const auto x = Tensor::randn({2, 1, 32, 32}, rng, 0.5f);
+    const std::vector<std::size_t> labels{1, 3};
+
+    const auto loss_of = [&]() {
+        const auto logits = network.forward(x, false);
+        return cross_entropy(logits, labels).loss;
+    };
+
+    network.zero_grad();
+    const auto logits = network.forward(x, false);
+    const auto loss = cross_entropy(logits, labels);
+    (void)network.backward(loss.grad);
+
+    auto params = network.parameters();
+    ASSERT_FALSE(params.empty());
+    // Check a handful of parameters from the first conv and the last linear.
+    for (auto* p : {params.front(), params.back()}) {
+        auto values = p->value.data();
+        const auto grads = p->grad.data();
+        for (std::size_t i = 0; i < values.size();
+             i += std::max<std::size_t>(1, values.size() / 5)) {
+            const float original = values[i];
+            values[i] = original + kEps;
+            const double up = loss_of();
+            values[i] = original - kEps;
+            const double down = loss_of();
+            values[i] = original;
+            const double numeric = (up - down) / (2.0 * kEps);
+            // End-to-end through 12 float32 layers, so the finite-difference
+            // estimate carries noticeable truncation error near softmax
+            // saturation; the tight per-layer checks above own exactness,
+            // this asserts direction and magnitude.
+            EXPECT_NEAR(grads[i], numeric, 1e-2 + 0.15 * std::fabs(numeric))
+                << p->name << " index " << i;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+// Unit tests for the loss functions: cross-entropy values/gradients, NT-Xent
+// behaviour on constructed geometries, and contrastive top-k accuracy.
+#include "fptc/nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace fptc::nn;
+
+TEST(CrossEntropy, UniformLogitsGiveLogK)
+{
+    const Tensor logits({2, 5}); // all zeros -> uniform softmax
+    const std::vector<std::size_t> labels{0, 3};
+    const auto result = cross_entropy(logits, labels);
+    EXPECT_NEAR(result.loss, std::log(5.0), 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionHasLowLoss)
+{
+    Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+    const std::vector<std::size_t> labels{0};
+    EXPECT_LT(cross_entropy(logits, labels).loss, 1e-3);
+    const std::vector<std::size_t> wrong{2};
+    EXPECT_GT(cross_entropy(logits, wrong).loss, 5.0);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero)
+{
+    fptc::util::Rng rng(1);
+    const auto logits = Tensor::randn({4, 6}, rng);
+    const std::vector<std::size_t> labels{0, 1, 2, 3};
+    const auto result = cross_entropy(logits, labels);
+    for (std::size_t n = 0; n < 4; ++n) {
+        double row_sum = 0.0;
+        for (std::size_t k = 0; k < 6; ++k) {
+            row_sum += result.grad[n * 6 + k];
+        }
+        EXPECT_NEAR(row_sum, 0.0, 1e-6); // softmax - onehot sums to 0
+    }
+}
+
+TEST(CrossEntropy, Validation)
+{
+    const Tensor logits({2, 3});
+    EXPECT_THROW(cross_entropy(logits, std::vector<std::size_t>{0}), std::invalid_argument);
+    EXPECT_THROW(cross_entropy(logits, std::vector<std::size_t>{0, 9}), std::out_of_range);
+    EXPECT_THROW(cross_entropy(Tensor({6}), std::vector<std::size_t>{0}), std::invalid_argument);
+}
+
+TEST(ArgmaxRows, PicksLargest)
+{
+    const Tensor logits({2, 3}, {0.1f, 0.9f, 0.5f, 2.0f, -1.0f, 0.0f});
+    const auto predictions = argmax_rows(logits);
+    EXPECT_EQ(predictions, (std::vector<std::size_t>{1, 0}));
+}
+
+/// Build [2B, D] projections where pairs (2i, 2i+1) are nearly identical and
+/// different pairs are orthogonal — the ideal contrastive geometry.
+Tensor ideal_pairs(std::size_t pairs, std::size_t dim)
+{
+    Tensor t({2 * pairs, dim});
+    for (std::size_t i = 0; i < pairs; ++i) {
+        t[(2 * i) * dim + i] = 1.0f;
+        t[(2 * i + 1) * dim + i] = 1.0f;
+        t[(2 * i + 1) * dim + (i + pairs) % dim] = 0.05f; // slight perturbation
+    }
+    return t;
+}
+
+TEST(NtXent, IdealGeometryHasLowLoss)
+{
+    const auto good = ideal_pairs(4, 16);
+    const auto good_loss = nt_xent(good, 0.07).loss;
+
+    fptc::util::Rng rng(2);
+    const auto random = Tensor::randn({8, 16}, rng);
+    const auto random_loss = nt_xent(random, 0.07).loss;
+
+    EXPECT_LT(good_loss, 0.2);
+    EXPECT_GT(random_loss, good_loss * 5.0);
+}
+
+TEST(NtXent, GradientPointsDownhill)
+{
+    fptc::util::Rng rng(3);
+    auto projections = Tensor::randn({8, 10}, rng);
+    const auto result = nt_xent(projections, 0.1);
+    // One small gradient step must reduce the loss.
+    for (std::size_t i = 0; i < projections.size(); ++i) {
+        projections[i] -= 0.1f * result.grad[i];
+    }
+    EXPECT_LT(nt_xent(projections, 0.1).loss, result.loss);
+}
+
+TEST(NtXent, Validation)
+{
+    EXPECT_THROW(nt_xent(Tensor({3, 4})), std::invalid_argument);  // odd rows
+    EXPECT_THROW(nt_xent(Tensor({2, 4})), std::invalid_argument);  // B < 2
+    EXPECT_THROW(nt_xent(Tensor({8, 4}), 0.0), std::invalid_argument);
+}
+
+TEST(ContrastiveTopK, PerfectPairsScoreOne)
+{
+    const auto good = ideal_pairs(6, 16);
+    EXPECT_DOUBLE_EQ(contrastive_top_k_accuracy(good, 1), 1.0);
+    EXPECT_DOUBLE_EQ(contrastive_top_k_accuracy(good, 5), 1.0);
+}
+
+TEST(ContrastiveTopK, AdversarialGeometryScoresLow)
+{
+    // Positive pairs orthogonal, but each anchor nearly duplicates an
+    // unrelated row -> positives are NOT the nearest neighbours.
+    constexpr std::size_t dim = 8;
+    Tensor t({8, dim});
+    for (std::size_t i = 0; i < 8; ++i) {
+        t[i * dim + (i % dim)] = 1.0f;            // each row its own direction
+        t[i * dim + ((i + 2) % dim)] = 0.95f;     // strong similarity to row i+2
+    }
+    EXPECT_LT(contrastive_top_k_accuracy(t, 1), 1.0);
+}
+
+TEST(ContrastiveTopK, KLargerThanBatchAlwaysHits)
+{
+    fptc::util::Rng rng(4);
+    const auto random = Tensor::randn({8, 4}, rng);
+    EXPECT_DOUBLE_EQ(contrastive_top_k_accuracy(random, 100), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+// Unit tests for the tensor substrate.
+#include "fptc/nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using fptc::nn::element_count;
+using fptc::nn::Shape;
+using fptc::nn::Tensor;
+
+TEST(Tensor, ElementCount)
+{
+    EXPECT_EQ(element_count({}), 1u);
+    EXPECT_EQ(element_count({4}), 4u);
+    EXPECT_EQ(element_count({2, 3, 4}), 24u);
+    EXPECT_EQ(element_count({2, 0}), 0u);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    const Tensor t({2, 3});
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.rank(), 2u);
+    for (const float v : t.data()) {
+        EXPECT_FLOAT_EQ(v, 0.0f);
+    }
+}
+
+TEST(Tensor, WrapDataValidatesSize)
+{
+    EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+    EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, DimAccess)
+{
+    const Tensor t({5, 7});
+    EXPECT_EQ(t.dim(0), 5u);
+    EXPECT_EQ(t.dim(1), 7u);
+    EXPECT_THROW((void)t.dim(2), std::out_of_range);
+}
+
+TEST(Tensor, Reshape)
+{
+    const Tensor t({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+    const auto r = t.reshaped({3, 4});
+    EXPECT_EQ(r.dim(0), 3u);
+    EXPECT_FLOAT_EQ(r[7], 7.0f); // data preserved row-major
+    EXPECT_THROW((void)t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticHelpers)
+{
+    Tensor a({3}, {1, 2, 3});
+    const Tensor b({3}, {10, 20, 30});
+    a.add(b);
+    EXPECT_FLOAT_EQ(a[0], 11.0f);
+    a.scale(0.5f);
+    EXPECT_FLOAT_EQ(a[2], 16.5f);
+    EXPECT_DOUBLE_EQ(a.sum(), 11 * 0.5 + 22 * 0.5 + 33 * 0.5);
+    EXPECT_FLOAT_EQ(a.max(), 16.5f);
+    EXPECT_NEAR(a.squared_norm(), 5.5 * 5.5 + 11.0 * 11.0 + 16.5 * 16.5, 1e-4);
+
+    const Tensor c({4});
+    EXPECT_THROW(a.add(c), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndShapeString)
+{
+    Tensor t({2, 2});
+    t.fill(3.5f);
+    EXPECT_DOUBLE_EQ(t.sum(), 14.0);
+    EXPECT_EQ(t.shape_string(), "[2, 2]");
+}
+
+TEST(Tensor, RandnMoments)
+{
+    fptc::util::Rng rng(4);
+    const auto t = Tensor::randn({10000}, rng, 2.0f);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const float v : t.data()) {
+        sum += v;
+        sum_sq += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+    EXPECT_NEAR(sum_sq / 10000.0, 4.0, 0.2);
+}
+
+TEST(Tensor, RequireSameShapeMessage)
+{
+    const Tensor a({2});
+    const Tensor b({3});
+    try {
+        fptc::nn::require_same_shape(a, b, "ctx");
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
+    }
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+// Unit tests for fptc::stats — distributions against published table
+// values (including the paper's own q_0.05 = 2.949 and CD = 1.644),
+// descriptive statistics, Friedman/Nemenyi ranking, Tukey HSD, KDE and
+// classification metrics.
+#include "fptc/stats/descriptive.hpp"
+#include "fptc/stats/distributions.hpp"
+#include "fptc/stats/kde.hpp"
+#include "fptc/stats/metrics.hpp"
+#include "fptc/stats/ranking.hpp"
+#include "fptc/stats/tukey.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace {
+
+using namespace fptc::stats;
+
+TEST(Distributions, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+    EXPECT_NEAR(normal_cdf(-1.0), 0.15865525, 1e-6);
+}
+
+TEST(Distributions, NormalQuantileInvertsCdf)
+{
+    for (const double p : {0.01, 0.1, 0.25, 0.5, 0.9, 0.975, 0.999}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+    }
+    EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+    EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(Distributions, LogGammaMatchesFactorials)
+{
+    EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);  // Gamma(5) = 4!
+    EXPECT_NEAR(log_gamma(0.5), std::log(std::sqrt(std::acos(-1.0))), 1e-10);
+}
+
+TEST(Distributions, IncompleteBetaBounds)
+{
+    EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    // I_x(1,1) = x (uniform distribution).
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.37), 0.37, 1e-9);
+    // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+    EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.3), 1.0 - incomplete_beta(4.0, 2.5, 0.7), 1e-9);
+}
+
+TEST(Distributions, StudentTCriticalAgainstTables)
+{
+    // Standard two-sided critical values.
+    EXPECT_NEAR(student_t_critical(1, 0.05), 12.706, 0.01);
+    EXPECT_NEAR(student_t_critical(14, 0.05), 2.1448, 0.002);
+    EXPECT_NEAR(student_t_critical(30, 0.05), 2.0423, 0.002);
+    EXPECT_NEAR(student_t_critical(1000, 0.05), 1.962, 0.002);
+}
+
+TEST(Distributions, StudentTCdfSymmetry)
+{
+    EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+    EXPECT_NEAR(student_t_cdf(2.0, 9.0) + student_t_cdf(-2.0, 9.0), 1.0, 1e-9);
+}
+
+TEST(Distributions, StudentizedRangeAgainstTables)
+{
+    // q_{0.05}(k, infinity) from standard tables.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_NEAR(studentized_range_critical(2, inf, 0.05), 2.772, 0.01);
+    EXPECT_NEAR(studentized_range_critical(7, inf, 0.05), 4.170, 0.01);
+    // Finite df: q_{0.05}(3, 10) = 3.88.
+    EXPECT_NEAR(studentized_range_critical(3, 10.0, 0.05), 3.88, 0.05);
+}
+
+TEST(Distributions, NemenyiQMatchesPaper)
+{
+    // Sec. 4.3.2: "q_{0.05} = 2.949" for k = 7.
+    EXPECT_NEAR(nemenyi_q(7, 0.05), 2.949, 0.01);
+}
+
+TEST(Descriptive, MeanVarianceStd)
+{
+    const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, MedianAndPercentile)
+{
+    EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0}, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0}, 100.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0}, 50.0), 20.0);
+}
+
+TEST(Descriptive, MeanCiMatchesManualComputation)
+{
+    // 5 samples: mean 10, sd sqrt(2.5); t_{0.025,4} = 2.7764.
+    const std::vector<double> v{8.0, 9.0, 10.0, 11.0, 12.0};
+    const auto ci = mean_ci(v, 0.95);
+    EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+    const double expected = 2.7764 * std::sqrt(2.5) / std::sqrt(5.0);
+    EXPECT_NEAR(ci.half_width, expected, 1e-3);
+    EXPECT_EQ(ci.n, 5u);
+}
+
+TEST(Descriptive, MeanCiDegenerate)
+{
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(mean_ci(empty).half_width, 0.0);
+    const std::vector<double> single{3.0};
+    EXPECT_DOUBLE_EQ(mean_ci(single).mean, 3.0);
+    EXPECT_DOUBLE_EQ(mean_ci(single).half_width, 0.0);
+}
+
+TEST(Descriptive, BoxSummaryOrdering)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i) {
+        v.push_back(i);
+    }
+    const auto box = box_summary(v);
+    EXPECT_LE(box.whisker_low, box.q1);
+    EXPECT_LE(box.q1, box.median);
+    EXPECT_LE(box.median, box.q3);
+    EXPECT_LE(box.q3, box.whisker_high);
+    EXPECT_NEAR(box.median, 50.5, 0.6);
+}
+
+TEST(Ranking, PaperExampleNoTies)
+{
+    // Sec. 4.3.1: accuracies 0.9, 0.7, 0.8 -> ranks 1, 3, 2.
+    const std::vector<double> scores{0.9, 0.7, 0.8};
+    const auto ranks = rank_scores(scores);
+    EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+    EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+    EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(Ranking, PaperExampleWithTies)
+{
+    // Sec. 4.3.1: 0.9, 0.9, 0.8 -> ranks 1.5, 1.5, 3.
+    const std::vector<double> scores{0.9, 0.9, 0.8};
+    const auto ranks = rank_scores(scores);
+    EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+    EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+    EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(Ranking, CriticalDistanceMatchesPaperFormula)
+{
+    // Paper: alpha = 0.05, k = 7, N = 30 -> CD = 1.644.
+    std::vector<std::vector<double>> scores(30, std::vector<double>(7));
+    fptc::util::Rng rng(1);
+    for (auto& row : scores) {
+        for (auto& v : row) {
+            v = rng.uniform();
+        }
+    }
+    const auto result = critical_distance_analysis(scores, 0.05);
+    EXPECT_NEAR(result.critical_distance, 1.644, 0.01);
+    EXPECT_EQ(result.k, 7);
+    EXPECT_EQ(result.n, 30u);
+    // Average ranks must average to (k+1)/2 = 4.
+    double total = 0.0;
+    for (const double r : result.average_ranks) {
+        total += r;
+    }
+    EXPECT_NEAR(total / 7.0, 4.0, 1e-9);
+}
+
+TEST(Ranking, ClearWinnerGetsRankOne)
+{
+    std::vector<std::vector<double>> scores;
+    fptc::util::Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        // Treatment 2 always wins, treatment 0 always loses.
+        scores.push_back({0.1 + 0.01 * rng.uniform(), 0.5 + 0.01 * rng.uniform(),
+                          0.9 + 0.01 * rng.uniform()});
+    }
+    const auto result = critical_distance_analysis(scores);
+    EXPECT_DOUBLE_EQ(result.average_ranks[2], 1.0);
+    EXPECT_DOUBLE_EQ(result.average_ranks[0], 3.0);
+    EXPECT_GT(result.friedman_statistic, 10.0);
+}
+
+TEST(Ranking, RendersPlot)
+{
+    std::vector<std::vector<double>> scores(10, {0.9, 0.8, 0.7});
+    const auto result = critical_distance_analysis(scores);
+    const auto plot = render_cd_plot(result, {"a", "b", "c"});
+    EXPECT_NE(plot.find("a"), std::string::npos);
+    EXPECT_NE(plot.find("Critical distance"), std::string::npos);
+}
+
+TEST(Tukey, SeparatedGroupsAreSignificant)
+{
+    std::vector<std::vector<double>> groups(3);
+    fptc::util::Rng rng(3);
+    for (int i = 0; i < 25; ++i) {
+        groups[0].push_back(rng.normal(0.0, 1.0));
+        groups[1].push_back(rng.normal(0.2, 1.0));  // close to group 0
+        groups[2].push_back(rng.normal(8.0, 1.0));  // far away
+    }
+    const auto result = tukey_hsd(groups, 0.05);
+    ASSERT_EQ(result.comparisons.size(), 3u);
+    // (0,1): not different; (0,2) and (1,2): different.
+    EXPECT_FALSE(result.comparisons[0].significant);
+    EXPECT_TRUE(result.comparisons[1].significant);
+    EXPECT_TRUE(result.comparisons[2].significant);
+    EXPECT_LT(result.comparisons[1].p_value, 1e-4);
+    EXPECT_GT(result.comparisons[0].p_value, 0.2);
+}
+
+TEST(Tukey, HandlesUnequalGroupSizes)
+{
+    std::vector<std::vector<double>> groups = {
+        {1.0, 2.0, 3.0, 2.0, 1.5},
+        {1.2, 2.2, 2.8},
+    };
+    const auto result = tukey_hsd(groups);
+    EXPECT_EQ(result.comparisons.size(), 1u);
+    EXPECT_FALSE(result.comparisons[0].significant);
+}
+
+TEST(Tukey, RejectsDegenerateInput)
+{
+    EXPECT_THROW(tukey_hsd({{1.0, 2.0}}), std::invalid_argument);
+    EXPECT_THROW(tukey_hsd({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Tukey, RendersTable)
+{
+    std::vector<std::vector<double>> groups = {{1.0, 2.0, 1.5}, {1.1, 2.1, 1.4}};
+    const auto text = render_tukey_table(tukey_hsd(groups), {"32x32", "64x64"});
+    EXPECT_NE(text.find("Is Different?"), std::string::npos);
+    EXPECT_NE(text.find("32x32"), std::string::npos);
+}
+
+TEST(Kde, IntegratesToOne)
+{
+    fptc::util::Rng rng(5);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i) {
+        samples.push_back(rng.normal(750.0, 100.0));
+    }
+    const auto curve = gaussian_kde(samples, 0.0, 1500.0, 300);
+    double integral = 0.0;
+    for (std::size_t i = 1; i < curve.xs.size(); ++i) {
+        integral += 0.5 * (curve.ys[i] + curve.ys[i - 1]) * (curve.xs[i] - curve.xs[i - 1]);
+    }
+    EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PeakNearTheData)
+{
+    const std::vector<double> samples{500.0, 510.0, 490.0, 505.0, 495.0};
+    const auto curve = gaussian_kde(samples, 0.0, 1500.0, 500);
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < curve.ys.size(); ++i) {
+        if (curve.ys[i] > curve.ys[argmax]) {
+            argmax = i;
+        }
+    }
+    EXPECT_NEAR(curve.xs[argmax], 500.0, 15.0);
+}
+
+TEST(Kde, CurveDistanceDetectsShift)
+{
+    fptc::util::Rng rng(6);
+    std::vector<double> a;
+    std::vector<double> b;
+    std::vector<double> c;
+    for (int i = 0; i < 400; ++i) {
+        a.push_back(rng.normal(1450.0, 40.0));
+        b.push_back(rng.normal(1450.0, 40.0)); // same distribution
+        c.push_back(rng.normal(1290.0, 60.0)); // the human Google-search shift
+    }
+    const auto ka = gaussian_kde(a, 0.0, 1500.0, 200, 25.0);
+    const auto kb = gaussian_kde(b, 0.0, 1500.0, 200, 25.0);
+    const auto kc = gaussian_kde(c, 0.0, 1500.0, 200, 25.0);
+    EXPECT_LT(curve_distance(ka, kb), 0.1);
+    EXPECT_GT(curve_distance(ka, kc), 0.5);
+}
+
+TEST(Kde, SilvermanFallsBackOnDegenerateSample)
+{
+    const std::vector<double> constant{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(silverman_bandwidth(constant), 1.0);
+}
+
+TEST(Metrics, AccuracyAndCounts)
+{
+    ConfusionMatrix m(3);
+    m.add(0, 0);
+    m.add(0, 1);
+    m.add(1, 1);
+    m.add(2, 2);
+    EXPECT_EQ(m.total(), 4u);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+    EXPECT_EQ(m.count(0, 1), 1u);
+    EXPECT_THROW(m.add(3, 0), std::out_of_range);
+}
+
+TEST(Metrics, PerClassRecallPrecisionF1)
+{
+    ConfusionMatrix m(2);
+    // class 0: 3 true, 2 found; class 1: 2 true, both found but 1 extra.
+    m.add(0, 0);
+    m.add(0, 0);
+    m.add(0, 1);
+    m.add(1, 1);
+    m.add(1, 1);
+    const auto recall = m.per_class_recall();
+    EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(recall[1], 1.0);
+    const auto precision = m.per_class_precision();
+    EXPECT_DOUBLE_EQ(precision[0], 1.0);
+    EXPECT_NEAR(precision[1], 2.0 / 3.0, 1e-12);
+    const auto f1 = m.per_class_f1();
+    EXPECT_NEAR(f1[0], 0.8, 1e-12);
+    EXPECT_NEAR(f1[1], 0.8, 1e-12);
+    EXPECT_NEAR(m.macro_f1(), 0.8, 1e-12);
+}
+
+TEST(Metrics, WeightedF1FollowsSupport)
+{
+    ConfusionMatrix m(2);
+    // class 0 has 9 samples all correct; class 1 has 1 sample, wrong.
+    for (int i = 0; i < 9; ++i) {
+        m.add(0, 0);
+    }
+    m.add(1, 0);
+    const auto f1 = m.per_class_f1();
+    const double expected = (f1[0] * 9.0 + f1[1] * 1.0) / 10.0;
+    EXPECT_NEAR(m.weighted_f1(), expected, 1e-12);
+    // Macro F1 treats classes equally and is much lower here.
+    EXPECT_LT(m.macro_f1(), m.weighted_f1());
+}
+
+TEST(Metrics, RowNormalization)
+{
+    ConfusionMatrix m(2);
+    m.add(0, 0);
+    m.add(0, 1);
+    m.add(0, 1);
+    const auto rows = m.row_normalized();
+    EXPECT_NEAR(rows[0][0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(rows[0][1], 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rows[1][0], 0.0); // empty row stays zero
+}
+
+TEST(Metrics, MergeAccumulates)
+{
+    ConfusionMatrix a(2);
+    ConfusionMatrix b(2);
+    a.add(0, 0);
+    b.add(1, 1);
+    b.add(1, 0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.count(1, 0), 1u);
+    ConfusionMatrix c(3);
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Metrics, AccuracyOfVectors)
+{
+    const std::vector<std::size_t> truth{0, 1, 2, 1};
+    const std::vector<std::size_t> predicted{0, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(accuracy_of(truth, predicted), 0.75);
+}
+
+} // namespace

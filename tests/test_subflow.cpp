@@ -1,0 +1,167 @@
+// Unit tests for the Rezaei & Liu subflow-sampling reproduction (Table 9).
+#include "fptc/subflow/subflow.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+using namespace fptc;
+using namespace fptc::subflow;
+
+flow::Flow long_flow(std::size_t packets = 200)
+{
+    flow::Flow f;
+    for (std::size_t i = 0; i < packets; ++i) {
+        flow::Packet p;
+        p.timestamp = 0.05 * static_cast<double>(i);
+        p.size = 100 + static_cast<int>(i % 10) * 50;
+        p.direction = i % 2 == 0 ? flow::Direction::upstream : flow::Direction::downstream;
+        f.packets.push_back(p);
+    }
+    return f;
+}
+
+TEST(SubflowSampling, FeatureVectorSize)
+{
+    SubflowConfig config;
+    config.subflow_length = 20;
+    EXPECT_EQ(subflow_feature_size(config), 60u);
+    util::Rng rng(1);
+    const auto features = sample_subflow(long_flow(), SamplingMethod::random, config, rng);
+    EXPECT_EQ(features.size(), 60u);
+}
+
+TEST(SubflowSampling, IncrementalIsConsecutive)
+{
+    // A consecutive window of the uniform-gap flow has identical
+    // inter-arrival entries (0.05 / 15 normalized).
+    SubflowConfig config;
+    util::Rng rng(2);
+    const auto features = sample_subflow(long_flow(), SamplingMethod::incremental, config, rng);
+    const std::size_t length = config.subflow_length;
+    for (std::size_t i = 1; i < length; ++i) {
+        EXPECT_NEAR(features[2 * length + i], 0.05f / 15.0f, 1e-6);
+    }
+}
+
+TEST(SubflowSampling, FixedStepHasConstantStride)
+{
+    SubflowConfig config;
+    util::Rng rng(3);
+    const auto features = sample_subflow(long_flow(), SamplingMethod::fixed_step, config, rng);
+    const std::size_t length = config.subflow_length;
+    // All gaps equal (stride * 0.05), so IAT features beyond index 1 match.
+    const float gap = features[2 * length + 1];
+    EXPECT_GT(gap, 0.0f);
+    for (std::size_t i = 2; i < length; ++i) {
+        EXPECT_NEAR(features[2 * length + i], gap, 1e-6);
+    }
+}
+
+TEST(SubflowSampling, RandomDrawsDistinctSortedPackets)
+{
+    SubflowConfig config;
+    util::Rng rng(4);
+    // Sizes encode the packet index modulo pattern; with random sampling the
+    // IATs vary (unlike fixed/incremental on this uniform flow).
+    const auto features = sample_subflow(long_flow(), SamplingMethod::random, config, rng);
+    const std::size_t length = config.subflow_length;
+    std::set<float> distinct_gaps;
+    for (std::size_t i = 1; i < length; ++i) {
+        distinct_gaps.insert(features[2 * length + i]);
+    }
+    EXPECT_GT(distinct_gaps.size(), 3u);
+}
+
+TEST(SubflowSampling, ShortFlowsZeroPad)
+{
+    SubflowConfig config;
+    util::Rng rng(5);
+    const auto short_f = long_flow(5);
+    for (const auto method :
+         {SamplingMethod::fixed_step, SamplingMethod::random, SamplingMethod::incremental}) {
+        const auto features = sample_subflow(short_f, method, config, rng);
+        ASSERT_EQ(features.size(), subflow_feature_size(config));
+        // Tail must be zero-padded.
+        for (std::size_t i = 5; i < config.subflow_length; ++i) {
+            EXPECT_FLOAT_EQ(features[i], 0.0f);
+        }
+    }
+}
+
+TEST(SubflowSampling, MethodNames)
+{
+    EXPECT_EQ(sampling_method_name(SamplingMethod::fixed_step), "Fixed");
+    EXPECT_EQ(sampling_method_name(SamplingMethod::random), "Rand");
+    EXPECT_EQ(sampling_method_name(SamplingMethod::incremental), "Incre");
+}
+
+class SubflowModelTest : public ::testing::Test {
+protected:
+    static flow::Dataset tiny_ucdavis(trafficgen::UcdavisPartition partition)
+    {
+        trafficgen::UcdavisOptions options;
+        options.samples_scale = 0.05;
+        return trafficgen::make_ucdavis19(partition, options);
+    }
+};
+
+TEST_F(SubflowModelTest, PretrainReducesRegressionError)
+{
+    const auto pretraining = tiny_ucdavis(trafficgen::UcdavisPartition::pretraining);
+    SubflowModelConfig config;
+    config.pretrain_epochs = 1;
+    SubflowModel one_epoch(config, 5, SamplingMethod::incremental);
+    const double mse_after_one = one_epoch.pretrain(pretraining.flows);
+
+    config.pretrain_epochs = 6;
+    SubflowModel six_epochs(config, 5, SamplingMethod::incremental);
+    const double mse_after_six = six_epochs.pretrain(pretraining.flows);
+    EXPECT_LT(mse_after_six, mse_after_one);
+}
+
+TEST_F(SubflowModelTest, FinetuneBeatsChanceOnScript)
+{
+    const auto pretraining = tiny_ucdavis(trafficgen::UcdavisPartition::pretraining);
+    const auto script = tiny_ucdavis(trafficgen::UcdavisPartition::script);
+
+    SubflowModelConfig config;
+    config.pretrain_epochs = 4;
+    config.finetune_epochs = 30;
+    SubflowModel model(config, 5, SamplingMethod::incremental);
+    (void)model.pretrain(pretraining.flows);
+    (void)model.finetune(script, 10, 7);
+    const auto confusion = model.evaluate(script);
+    EXPECT_EQ(confusion.total(), script.size());
+    EXPECT_GT(confusion.accuracy(), 0.5); // well above 20% chance
+}
+
+TEST_F(SubflowModelTest, EvaluateVotesPerFlow)
+{
+    const auto script = tiny_ucdavis(trafficgen::UcdavisPartition::script);
+    SubflowModelConfig config;
+    config.pretrain_epochs = 1;
+    config.finetune_epochs = 2;
+    SubflowModel model(config, 5, SamplingMethod::random);
+    (void)model.pretrain(script.flows);
+    (void)model.finetune(script, 5, 1);
+    const auto confusion = model.evaluate(script);
+    // One vote per flow, regardless of subflow count.
+    EXPECT_EQ(confusion.total(), script.size());
+}
+
+TEST_F(SubflowModelTest, ValidatesInput)
+{
+    SubflowModelConfig config;
+    SubflowModel model(config, 5, SamplingMethod::random);
+    EXPECT_THROW((void)model.pretrain({}), std::invalid_argument);
+    flow::Dataset empty;
+    empty.class_names = {"a"};
+    EXPECT_THROW((void)model.finetune(empty, 10, 1), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,285 @@
+// Unit tests for the synthetic dataset generators — determinism, physical
+// validity of packet series, partition shapes matching Table 2, and the
+// injected human data shift (the paper's central forensic finding).
+#include "fptc/flowpic/flowpic.hpp"
+#include "fptc/stats/kde.hpp"
+#include "fptc/trafficgen/mobile.hpp"
+#include "fptc/trafficgen/traffic_model.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+using namespace fptc;
+using namespace fptc::trafficgen;
+
+TEST(TrafficModel, FlowsAreSortedAndPhysicallyValid)
+{
+    const auto profile = ucdavis19_profile(4, false); // YouTube
+    util::Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+        const auto f = generate_flow(profile, 4, rng);
+        ASSERT_FALSE(f.packets.empty());
+        EXPECT_EQ(f.label, 4u);
+        for (std::size_t j = 0; j < f.packets.size(); ++j) {
+            const auto& p = f.packets[j];
+            EXPECT_GE(p.timestamp, 0.0);
+            EXPECT_GE(p.size, 40);
+            EXPECT_LE(p.size, flow::kMaxPacketSize);
+            if (j > 0) {
+                EXPECT_GE(p.timestamp, f.packets[j - 1].timestamp);
+            }
+        }
+    }
+}
+
+TEST(TrafficModel, DeterministicForSameSeed)
+{
+    const auto profile = ucdavis19_profile(2, false);
+    util::Rng rng_a(99);
+    util::Rng rng_b(99);
+    const auto a = generate_flow(profile, 2, rng_a);
+    const auto b = generate_flow(profile, 2, rng_b);
+    ASSERT_EQ(a.packets.size(), b.packets.size());
+    for (std::size_t i = 0; i < a.packets.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.packets[i].timestamp, b.packets[i].timestamp);
+        EXPECT_EQ(a.packets[i].size, b.packets[i].size);
+    }
+}
+
+TEST(TrafficModel, HandshakeOpensEveryClassDistinctively)
+{
+    // The first upstream packet size is class-characteristic (this is what
+    // makes the ML baseline's early time-series features work, Sec. 4.1.2).
+    std::set<int> first_sizes;
+    for (std::size_t label = 0; label < 5; ++label) {
+        const auto profile = ucdavis19_profile(label, false);
+        ASSERT_GE(profile.handshake_sizes.size(), 4u) << "class " << label;
+        first_sizes.insert(static_cast<int>(profile.handshake_sizes.front()));
+    }
+    EXPECT_EQ(first_sizes.size(), 5u);
+}
+
+TEST(TrafficModel, AckFractionEmitsBareAcks)
+{
+    ClassProfile profile;
+    profile.burst_positions = {0.1};
+    profile.burst_packets = 50.0;
+    profile.ack_fraction = 0.5;
+    util::Rng rng(7);
+    const auto f = generate_flow(profile, 0, rng);
+    const auto acks = std::count_if(f.packets.begin(), f.packets.end(),
+                                    [](const flow::Packet& p) { return p.is_ack; });
+    EXPECT_GT(acks, 0);
+    for (const auto& p : f.packets) {
+        if (p.is_ack) {
+            EXPECT_EQ(p.size, 40);
+        }
+    }
+}
+
+TEST(Ucdavis19, PartitionShapesMatchTable2)
+{
+    UcdavisOptions options;
+    const auto script = make_ucdavis19(UcdavisPartition::script, options);
+    EXPECT_EQ(script.size(), 150u); // 30 per class, balanced
+    const auto counts = script.class_counts();
+    for (const auto c : counts) {
+        EXPECT_EQ(c, 30u);
+    }
+
+    const auto human = make_ucdavis19(UcdavisPartition::human, options);
+    EXPECT_EQ(human.size(), 83u); // 15+18+15+15+20 (footnote 12)
+    const auto human_counts = human.class_counts();
+    EXPECT_EQ(*std::min_element(human_counts.begin(), human_counts.end()), 15u);
+    EXPECT_EQ(*std::max_element(human_counts.begin(), human_counts.end()), 20u);
+
+    const auto pretraining = make_ucdavis19(UcdavisPartition::pretraining, options);
+    EXPECT_EQ(pretraining.num_classes(), 5u);
+    // At the default 0.2 scale the smallest class must still allow the
+    // 100-per-class split protocol.
+    const auto pre_counts = pretraining.class_counts();
+    EXPECT_GE(*std::min_element(pre_counts.begin(), pre_counts.end()), 100u);
+}
+
+TEST(Ucdavis19, ClassNamesStable)
+{
+    const auto& names = ucdavis19_class_names();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[3], "Google Search");
+    EXPECT_EQ(names[4], "YouTube");
+}
+
+TEST(Ucdavis19, DeterministicDatasets)
+{
+    UcdavisOptions options;
+    const auto a = make_ucdavis19(UcdavisPartition::script, options);
+    const auto b = make_ucdavis19(UcdavisPartition::script, options);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.flows[i].packets.size(), b.flows[i].packets.size());
+    }
+}
+
+TEST(Ucdavis19, HumanShiftMovesGoogleSearchKde)
+{
+    // Fig. 8's observation: the human Google-search packet-size distribution
+    // is shifted; script overlaps pretraining.
+    UcdavisOptions options;
+    const auto pretraining = make_ucdavis19(UcdavisPartition::pretraining, options);
+    const auto script = make_ucdavis19(UcdavisPartition::script, options);
+    const auto human = make_ucdavis19(UcdavisPartition::human, options);
+
+    const auto sizes_of = [](const flow::Dataset& d, std::size_t label) {
+        std::vector<double> sizes;
+        for (const auto& f : d.flows) {
+            if (f.label == label) {
+                for (const auto& p : f.packets) {
+                    sizes.push_back(p.size);
+                }
+            }
+        }
+        return sizes;
+    };
+    constexpr std::size_t kSearch = 3;
+    const auto kde_pre = stats::gaussian_kde(sizes_of(pretraining, kSearch), 0, 1500, 150, 30.0);
+    const auto kde_script = stats::gaussian_kde(sizes_of(script, kSearch), 0, 1500, 150, 30.0);
+    const auto kde_human = stats::gaussian_kde(sizes_of(human, kSearch), 0, 1500, 150, 30.0);
+
+    const double script_distance = stats::curve_distance(kde_pre, kde_script);
+    const double human_distance = stats::curve_distance(kde_pre, kde_human);
+    EXPECT_LT(script_distance, 0.15);
+    EXPECT_GT(human_distance, 2.0 * script_distance);
+}
+
+TEST(Ucdavis19, HumanShiftRemovesMusicStripes)
+{
+    // Fig. 4 rectangle C: Google music stripes visible in all partitions but
+    // human.  We measure "stripiness" as the column-count variance of the
+    // average flowpic.
+    UcdavisOptions options;
+    const auto script = make_ucdavis19(UcdavisPartition::script, options);
+    const auto human = make_ucdavis19(UcdavisPartition::human, options);
+    constexpr std::size_t kMusic = 2;
+    const flowpic::FlowpicConfig config{.resolution = 32};
+
+    const auto stripiness = [&](const flow::Dataset& d) {
+        const auto avg = flowpic::average_flowpic_of_class(d, kMusic, config);
+        // Column mass profile.
+        std::vector<double> columns(32, 0.0);
+        for (std::size_t r = 0; r < 32; ++r) {
+            for (std::size_t c = 0; c < 32; ++c) {
+                columns[c] += avg.at(r, c);
+            }
+        }
+        double mean = 0.0;
+        for (const double v : columns) {
+            mean += v;
+        }
+        mean /= 32.0;
+        double variance = 0.0;
+        for (const double v : columns) {
+            variance += (v - mean) * (v - mean);
+        }
+        return mean > 0.0 ? variance / (mean * mean) : 0.0; // coeff of variation^2
+    };
+    EXPECT_GT(stripiness(script), 1.5 * stripiness(human));
+}
+
+TEST(Mobile, Mirage19CurationPipeline)
+{
+    MobileGenOptions options;
+    options.samples_scale = 0.01;
+    const auto raw = make_mirage19_raw(options);
+    EXPECT_EQ(raw.num_classes(), 20u);
+    // Raw data includes ACKs and background flows.
+    bool has_ack = false;
+    bool has_background = false;
+    for (const auto& f : raw.flows) {
+        has_background |= f.background;
+        for (const auto& p : f.packets) {
+            has_ack |= p.is_ack;
+        }
+    }
+    EXPECT_TRUE(has_ack);
+    EXPECT_TRUE(has_background);
+
+    const auto curated = make_mirage19(options);
+    for (const auto& f : curated.flows) {
+        EXPECT_FALSE(f.background);
+        EXPECT_GT(f.packets.size(), 10u);
+        for (const auto& p : f.packets) {
+            EXPECT_FALSE(p.is_ack);
+        }
+    }
+    EXPECT_LT(curated.size(), raw.size());
+}
+
+TEST(Mobile, Mirage22LongFlowVariantIsSmallerWithLongerFlows)
+{
+    MobileGenOptions options;
+    options.samples_scale = 0.01;
+    const auto standard = make_mirage22(options, 10);
+    const auto long_variant = make_mirage22(options, kMirage22LongFlowThreshold);
+    EXPECT_LT(long_variant.size(), standard.size());
+    const auto s1 = flow::summarize(standard);
+    const auto s2 = flow::summarize(long_variant);
+    EXPECT_GT(s2.mean_packets, s1.mean_packets);
+    for (const auto& f : long_variant.flows) {
+        EXPECT_GT(f.packets.size(), kMirage22LongFlowThreshold);
+    }
+}
+
+TEST(Mobile, UtMobileNetLosesClassesUnderCuration)
+{
+    // Table 2: 17 classes before curation, 10 after (>10pkts + class-size
+    // threshold).
+    MobileGenOptions options;
+    options.samples_scale = 0.02;
+    const auto raw = make_utmobilenet21_raw(options);
+    EXPECT_EQ(raw.num_classes(), 17u);
+    const auto curated = make_utmobilenet21(options);
+    EXPECT_LT(curated.num_classes(), raw.num_classes());
+    EXPECT_GE(curated.num_classes(), 8u);
+}
+
+TEST(Mobile, ImbalancePreserved)
+{
+    MobileGenOptions options;
+    options.samples_scale = 0.02;
+    const auto m19 = make_mirage19(options);
+    const auto summary = flow::summarize(m19);
+    EXPECT_GT(summary.rho, 2.0); // class imbalance survives curation
+}
+
+TEST(Mobile, ScaledMinClassSamplesFloorsAtTen)
+{
+    MobileGenOptions tiny;
+    tiny.samples_scale = 0.001;
+    EXPECT_EQ(scaled_min_class_samples(tiny), 10u);
+    MobileGenOptions full;
+    full.samples_scale = 1.0;
+    EXPECT_EQ(scaled_min_class_samples(full), 100u);
+}
+
+TEST(Mobile, AppProfilesDifferAcrossClasses)
+{
+    const auto a = make_mobile_app_profile(1, 0, false);
+    const auto b = make_mobile_app_profile(1, 1, false);
+    EXPECT_NE(a.handshake_sizes, b.handshake_sizes);
+    const auto a_again = make_mobile_app_profile(1, 0, false);
+    EXPECT_EQ(a.handshake_sizes, a_again.handshake_sizes); // deterministic
+}
+
+TEST(Mobile, LongFlowProfilesAreHeavier)
+{
+    const auto short_profile = make_mobile_app_profile(2, 3, false);
+    const auto long_profile = make_mobile_app_profile(2, 3, true);
+    EXPECT_GT(long_profile.chatter_rate, short_profile.chatter_rate);
+}
+
+} // namespace

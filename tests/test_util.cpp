@@ -1,0 +1,305 @@
+// Unit tests for fptc::util — RNG determinism and distribution sanity,
+// table/CSV rendering, heatmaps and campaign-scale resolution.
+#include "fptc/util/csv.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/heatmap.hpp"
+#include "fptc/util/rng.hpp"
+#include "fptc/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+namespace {
+
+using fptc::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    // xoshiro with an all-zero state would be stuck at 0; splitmix expansion
+    // must prevent that.
+    bool any_nonzero = false;
+    for (int i = 0; i < 8; ++i) {
+        any_nonzero |= rng() != 0;
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform_int(2, 6);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all of 2..6 hit
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(3);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(rng.uniform_int(9, 9), 9);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda)
+{
+    Rng rng(13);
+    for (const double lambda : {0.5, 4.0, 30.0, 100.0}) {
+        double total = 0.0;
+        constexpr int n = 4000;
+        for (int i = 0; i < n; ++i) {
+            total += rng.poisson(lambda);
+        }
+        EXPECT_NEAR(total / n, lambda, lambda * 0.1 + 0.1) << "lambda=" << lambda;
+    }
+}
+
+TEST(Rng, PoissonZeroLambda)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    double total = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        total += rng.exponential(2.0);
+    }
+    EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(19);
+    const double weights[] = {1.0, 3.0, 0.0, 6.0};
+    std::array<int, 4> counts{};
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[rng.categorical(weights)];
+    }
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / double(n), 0.6, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    auto sorted = shuffled;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(29);
+    const auto sample = rng.sample_without_replacement(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (const auto i : sample) {
+        EXPECT_LT(i, 100u);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementClampsToN)
+{
+    Rng rng(29);
+    const auto sample = rng.sample_without_replacement(5, 50);
+    EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    // Child and parent should not emit the same sequence.
+    int equal = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (parent() == child()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(MixSeed, DistinctForDistinctStreams)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t a = 0; a < 10; ++a) {
+        for (std::uint64_t b = 0; b < 10; ++b) {
+            seeds.insert(fptc::util::mix_seed(42, a, b));
+        }
+    }
+    EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    fptc::util::Table table("Title");
+    table.set_header({"A", "Long header"});
+    table.add_row({"x", "1"});
+    table.add_row({"longer", "2"});
+    table.add_footnote("note");
+    const auto text = table.to_string();
+    EXPECT_NE(text.find("Title"), std::string::npos);
+    EXPECT_NE(text.find("Long header"), std::string::npos);
+    EXPECT_NE(text.find("note"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, MarkdownHasSeparatorRow)
+{
+    fptc::util::Table table;
+    table.set_header({"A", "B"});
+    table.add_row({"1", "2"});
+    const auto md = table.to_markdown();
+    EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(Table, FormatMeanCi)
+{
+    EXPECT_EQ(fptc::util::format_mean_ci(96.8, 0.37), "96.80 ±0.37");
+    EXPECT_EQ(fptc::util::format_double(1.0 / 3.0, 3), "0.333");
+    EXPECT_EQ(fptc::util::format_double(std::nan(""), 2), "n/a");
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(fptc::util::csv_escape("plain"), "plain");
+    EXPECT_EQ(fptc::util::csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(fptc::util::csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, RoundTripContent)
+{
+    fptc::util::CsvWriter csv({"x", "y"});
+    csv.add_row({"1", "two,three"});
+    const auto text = csv.to_string();
+    EXPECT_EQ(text, "x,y\n1,\"two,three\"\n");
+}
+
+TEST(Heatmap, RendersExpectedDimensions)
+{
+    std::vector<float> values(16, 0.0f);
+    values[5] = 10.0f;
+    const auto text = fptc::util::render_heatmap(values, 4, 4);
+    // 4 content rows + 2 border rows + scale line.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 7);
+    EXPECT_NE(text.find('@'), std::string::npos); // the hot cell
+}
+
+TEST(Heatmap, DownsamplesLargeInput)
+{
+    std::vector<float> values(128 * 128, 1.0f);
+    fptc::util::HeatmapOptions options;
+    options.max_side = 16;
+    options.show_scale = false;
+    const auto text = fptc::util::render_heatmap(values, 128, 128, options);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 18); // 16 + borders
+}
+
+TEST(Env, ResolveScaleDefaults)
+{
+    ::unsetenv("FPTC_FULL");
+    ::unsetenv("FPTC_SPLITS");
+    ::unsetenv("FPTC_SEEDS");
+    ::unsetenv("FPTC_EPOCHS");
+    const auto scale = fptc::util::resolve_scale(5, 3, 2, 1);
+    EXPECT_FALSE(scale.full);
+    EXPECT_EQ(scale.splits, 2);
+    EXPECT_EQ(scale.seeds, 1);
+    EXPECT_LE(scale.max_epochs, 12);
+}
+
+TEST(Env, ResolveScaleOverrides)
+{
+    ::setenv("FPTC_FULL", "1", 1);
+    ::setenv("FPTC_SPLITS", "7", 1);
+    const auto scale = fptc::util::resolve_scale(5, 3, 2, 1, 40);
+    EXPECT_TRUE(scale.full);
+    EXPECT_EQ(scale.splits, 7);
+    EXPECT_EQ(scale.seeds, 3); // paper seeds under FPTC_FULL
+    EXPECT_EQ(scale.max_epochs, 40);
+    ::unsetenv("FPTC_FULL");
+    ::unsetenv("FPTC_SPLITS");
+}
+
+} // namespace
