@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_byol.dir/ablation_byol.cpp.o"
+  "CMakeFiles/ablation_byol.dir/ablation_byol.cpp.o.d"
+  "ablation_byol"
+  "ablation_byol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_byol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_directional.dir/ablation_directional.cpp.o"
+  "CMakeFiles/ablation_directional.dir/ablation_directional.cpp.o.d"
+  "ablation_directional"
+  "ablation_directional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_directional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

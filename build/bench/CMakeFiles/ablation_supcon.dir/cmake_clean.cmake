@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_supcon.dir/ablation_supcon.cpp.o"
+  "CMakeFiles/ablation_supcon.dir/ablation_supcon.cpp.o.d"
+  "ablation_supcon"
+  "ablation_supcon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_supcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

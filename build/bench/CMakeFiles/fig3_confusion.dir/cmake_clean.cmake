@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_confusion.dir/fig3_confusion.cpp.o"
+  "CMakeFiles/fig3_confusion.dir/fig3_confusion.cpp.o.d"
+  "fig3_confusion"
+  "fig3_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

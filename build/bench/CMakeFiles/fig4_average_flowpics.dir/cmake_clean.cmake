@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_average_flowpics.dir/fig4_average_flowpics.cpp.o"
+  "CMakeFiles/fig4_average_flowpics.dir/fig4_average_flowpics.cpp.o.d"
+  "fig4_average_flowpics"
+  "fig4_average_flowpics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_average_flowpics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

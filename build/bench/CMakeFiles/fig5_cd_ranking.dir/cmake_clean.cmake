@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cd_ranking.dir/fig5_cd_ranking.cpp.o"
+  "CMakeFiles/fig5_cd_ranking.dir/fig5_cd_ranking.cpp.o.d"
+  "fig5_cd_ranking"
+  "fig5_cd_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cd_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

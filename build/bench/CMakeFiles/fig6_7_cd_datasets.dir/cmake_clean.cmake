@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_cd_datasets.dir/fig6_7_cd_datasets.cpp.o"
+  "CMakeFiles/fig6_7_cd_datasets.dir/fig6_7_cd_datasets.cpp.o.d"
+  "fig6_7_cd_datasets"
+  "fig6_7_cd_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_cd_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

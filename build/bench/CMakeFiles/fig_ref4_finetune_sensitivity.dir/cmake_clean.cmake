@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ref4_finetune_sensitivity.dir/fig_ref4_finetune_sensitivity.cpp.o"
+  "CMakeFiles/fig_ref4_finetune_sensitivity.dir/fig_ref4_finetune_sensitivity.cpp.o.d"
+  "fig_ref4_finetune_sensitivity"
+  "fig_ref4_finetune_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ref4_finetune_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

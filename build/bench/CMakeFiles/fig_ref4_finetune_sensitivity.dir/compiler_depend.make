@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_ref4_finetune_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_tukey_resolutions.dir/table10_tukey_resolutions.cpp.o"
+  "CMakeFiles/table10_tukey_resolutions.dir/table10_tukey_resolutions.cpp.o.d"
+  "table10_tukey_resolutions"
+  "table10_tukey_resolutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_tukey_resolutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ml_baseline.dir/table3_ml_baseline.cpp.o"
+  "CMakeFiles/table3_ml_baseline.dir/table3_ml_baseline.cpp.o.d"
+  "table3_ml_baseline"
+  "table3_ml_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ml_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

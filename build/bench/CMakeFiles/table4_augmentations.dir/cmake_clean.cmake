@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_augmentations.dir/table4_augmentations.cpp.o"
+  "CMakeFiles/table4_augmentations.dir/table4_augmentations.cpp.o.d"
+  "table4_augmentations"
+  "table4_augmentations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_augmentations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

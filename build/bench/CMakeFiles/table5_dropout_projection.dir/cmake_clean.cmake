@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dropout_projection.dir/table5_dropout_projection.cpp.o"
+  "CMakeFiles/table5_dropout_projection.dir/table5_dropout_projection.cpp.o.d"
+  "table5_dropout_projection"
+  "table5_dropout_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dropout_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

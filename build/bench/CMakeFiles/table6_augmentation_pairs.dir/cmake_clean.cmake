@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_augmentation_pairs.dir/table6_augmentation_pairs.cpp.o"
+  "CMakeFiles/table6_augmentation_pairs.dir/table6_augmentation_pairs.cpp.o.d"
+  "table6_augmentation_pairs"
+  "table6_augmentation_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_augmentation_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_enlarged_training.dir/table7_enlarged_training.cpp.o"
+  "CMakeFiles/table7_enlarged_training.dir/table7_enlarged_training.cpp.o.d"
+  "table7_enlarged_training"
+  "table7_enlarged_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_enlarged_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_other_datasets.dir/table8_other_datasets.cpp.o"
+  "CMakeFiles/table8_other_datasets.dir/table8_other_datasets.cpp.o.d"
+  "table8_other_datasets"
+  "table8_other_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_other_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

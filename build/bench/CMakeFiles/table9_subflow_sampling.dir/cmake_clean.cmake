@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_subflow_sampling.dir/table9_subflow_sampling.cpp.o"
+  "CMakeFiles/table9_subflow_sampling.dir/table9_subflow_sampling.cpp.o.d"
+  "table9_subflow_sampling"
+  "table9_subflow_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_subflow_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

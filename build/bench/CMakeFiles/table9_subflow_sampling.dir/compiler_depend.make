@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table9_subflow_sampling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_curation.dir/dataset_curation.cpp.o"
+  "CMakeFiles/dataset_curation.dir/dataset_curation.cpp.o.d"
+  "dataset_curation"
+  "dataset_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/few_shot_contrastive.dir/few_shot_contrastive.cpp.o"
+  "CMakeFiles/few_shot_contrastive.dir/few_shot_contrastive.cpp.o.d"
+  "few_shot_contrastive"
+  "few_shot_contrastive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/few_shot_contrastive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for few_shot_contrastive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for few_shot_contrastive.
+# This may be replaced when dependencies are built.

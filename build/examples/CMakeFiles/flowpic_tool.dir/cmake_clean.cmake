@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowpic_tool.dir/flowpic_tool.cpp.o"
+  "CMakeFiles/flowpic_tool.dir/flowpic_tool.cpp.o.d"
+  "flowpic_tool"
+  "flowpic_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowpic_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_classifier.dir/online_classifier.cpp.o"
+  "CMakeFiles/online_classifier.dir/online_classifier.cpp.o.d"
+  "online_classifier"
+  "online_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/augmentation.cpp" "src/augment/CMakeFiles/fptc_augment.dir/augmentation.cpp.o" "gcc" "src/augment/CMakeFiles/fptc_augment.dir/augmentation.cpp.o.d"
+  "/root/repo/src/augment/image.cpp" "src/augment/CMakeFiles/fptc_augment.dir/image.cpp.o" "gcc" "src/augment/CMakeFiles/fptc_augment.dir/image.cpp.o.d"
+  "/root/repo/src/augment/time_series.cpp" "src/augment/CMakeFiles/fptc_augment.dir/time_series.cpp.o" "gcc" "src/augment/CMakeFiles/fptc_augment.dir/time_series.cpp.o.d"
+  "/root/repo/src/augment/view_pair.cpp" "src/augment/CMakeFiles/fptc_augment.dir/view_pair.cpp.o" "gcc" "src/augment/CMakeFiles/fptc_augment.dir/view_pair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flowpic/CMakeFiles/fptc_flowpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fptc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fptc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fptc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

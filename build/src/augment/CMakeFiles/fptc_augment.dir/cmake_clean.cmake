@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_augment.dir/augmentation.cpp.o"
+  "CMakeFiles/fptc_augment.dir/augmentation.cpp.o.d"
+  "CMakeFiles/fptc_augment.dir/image.cpp.o"
+  "CMakeFiles/fptc_augment.dir/image.cpp.o.d"
+  "CMakeFiles/fptc_augment.dir/time_series.cpp.o"
+  "CMakeFiles/fptc_augment.dir/time_series.cpp.o.d"
+  "CMakeFiles/fptc_augment.dir/view_pair.cpp.o"
+  "CMakeFiles/fptc_augment.dir/view_pair.cpp.o.d"
+  "libfptc_augment.a"
+  "libfptc_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_core.dir/byol.cpp.o"
+  "CMakeFiles/fptc_core.dir/byol.cpp.o.d"
+  "CMakeFiles/fptc_core.dir/campaign.cpp.o"
+  "CMakeFiles/fptc_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/fptc_core.dir/data.cpp.o"
+  "CMakeFiles/fptc_core.dir/data.cpp.o.d"
+  "CMakeFiles/fptc_core.dir/simclr.cpp.o"
+  "CMakeFiles/fptc_core.dir/simclr.cpp.o.d"
+  "CMakeFiles/fptc_core.dir/trainer.cpp.o"
+  "CMakeFiles/fptc_core.dir/trainer.cpp.o.d"
+  "libfptc_core.a"
+  "libfptc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/dataset.cpp" "src/flow/CMakeFiles/fptc_flow.dir/dataset.cpp.o" "gcc" "src/flow/CMakeFiles/fptc_flow.dir/dataset.cpp.o.d"
+  "/root/repo/src/flow/features.cpp" "src/flow/CMakeFiles/fptc_flow.dir/features.cpp.o" "gcc" "src/flow/CMakeFiles/fptc_flow.dir/features.cpp.o.d"
+  "/root/repo/src/flow/filters.cpp" "src/flow/CMakeFiles/fptc_flow.dir/filters.cpp.o" "gcc" "src/flow/CMakeFiles/fptc_flow.dir/filters.cpp.o.d"
+  "/root/repo/src/flow/io.cpp" "src/flow/CMakeFiles/fptc_flow.dir/io.cpp.o" "gcc" "src/flow/CMakeFiles/fptc_flow.dir/io.cpp.o.d"
+  "/root/repo/src/flow/split.cpp" "src/flow/CMakeFiles/fptc_flow.dir/split.cpp.o" "gcc" "src/flow/CMakeFiles/fptc_flow.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fptc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fptc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_flow.dir/dataset.cpp.o"
+  "CMakeFiles/fptc_flow.dir/dataset.cpp.o.d"
+  "CMakeFiles/fptc_flow.dir/features.cpp.o"
+  "CMakeFiles/fptc_flow.dir/features.cpp.o.d"
+  "CMakeFiles/fptc_flow.dir/filters.cpp.o"
+  "CMakeFiles/fptc_flow.dir/filters.cpp.o.d"
+  "CMakeFiles/fptc_flow.dir/io.cpp.o"
+  "CMakeFiles/fptc_flow.dir/io.cpp.o.d"
+  "CMakeFiles/fptc_flow.dir/split.cpp.o"
+  "CMakeFiles/fptc_flow.dir/split.cpp.o.d"
+  "libfptc_flow.a"
+  "libfptc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfptc_flow.a"
+)

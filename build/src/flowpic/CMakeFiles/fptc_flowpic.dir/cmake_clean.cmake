@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_flowpic.dir/flowpic.cpp.o"
+  "CMakeFiles/fptc_flowpic.dir/flowpic.cpp.o.d"
+  "libfptc_flowpic.a"
+  "libfptc_flowpic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_flowpic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_gbt.dir/gbt.cpp.o"
+  "CMakeFiles/fptc_gbt.dir/gbt.cpp.o.d"
+  "libfptc_gbt.a"
+  "libfptc_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_nn.dir/conv.cpp.o"
+  "CMakeFiles/fptc_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/layers.cpp.o"
+  "CMakeFiles/fptc_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/loss.cpp.o"
+  "CMakeFiles/fptc_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/models.cpp.o"
+  "CMakeFiles/fptc_nn.dir/models.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fptc_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/sequential.cpp.o"
+  "CMakeFiles/fptc_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fptc_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/fptc_nn.dir/tensor.cpp.o"
+  "CMakeFiles/fptc_nn.dir/tensor.cpp.o.d"
+  "libfptc_nn.a"
+  "libfptc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/fptc_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/fptc_stats.dir/distributions.cpp.o"
+  "CMakeFiles/fptc_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/fptc_stats.dir/kde.cpp.o"
+  "CMakeFiles/fptc_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/fptc_stats.dir/metrics.cpp.o"
+  "CMakeFiles/fptc_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/fptc_stats.dir/ranking.cpp.o"
+  "CMakeFiles/fptc_stats.dir/ranking.cpp.o.d"
+  "CMakeFiles/fptc_stats.dir/tukey.cpp.o"
+  "CMakeFiles/fptc_stats.dir/tukey.cpp.o.d"
+  "libfptc_stats.a"
+  "libfptc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_subflow.dir/subflow.cpp.o"
+  "CMakeFiles/fptc_subflow.dir/subflow.cpp.o.d"
+  "libfptc_subflow.a"
+  "libfptc_subflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_subflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficgen/mobile.cpp" "src/trafficgen/CMakeFiles/fptc_trafficgen.dir/mobile.cpp.o" "gcc" "src/trafficgen/CMakeFiles/fptc_trafficgen.dir/mobile.cpp.o.d"
+  "/root/repo/src/trafficgen/traffic_model.cpp" "src/trafficgen/CMakeFiles/fptc_trafficgen.dir/traffic_model.cpp.o" "gcc" "src/trafficgen/CMakeFiles/fptc_trafficgen.dir/traffic_model.cpp.o.d"
+  "/root/repo/src/trafficgen/ucdavis19.cpp" "src/trafficgen/CMakeFiles/fptc_trafficgen.dir/ucdavis19.cpp.o" "gcc" "src/trafficgen/CMakeFiles/fptc_trafficgen.dir/ucdavis19.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/fptc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fptc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fptc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_trafficgen.dir/mobile.cpp.o"
+  "CMakeFiles/fptc_trafficgen.dir/mobile.cpp.o.d"
+  "CMakeFiles/fptc_trafficgen.dir/traffic_model.cpp.o"
+  "CMakeFiles/fptc_trafficgen.dir/traffic_model.cpp.o.d"
+  "CMakeFiles/fptc_trafficgen.dir/ucdavis19.cpp.o"
+  "CMakeFiles/fptc_trafficgen.dir/ucdavis19.cpp.o.d"
+  "libfptc_trafficgen.a"
+  "libfptc_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptc_util.dir/csv.cpp.o"
+  "CMakeFiles/fptc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fptc_util.dir/env.cpp.o"
+  "CMakeFiles/fptc_util.dir/env.cpp.o.d"
+  "CMakeFiles/fptc_util.dir/heatmap.cpp.o"
+  "CMakeFiles/fptc_util.dir/heatmap.cpp.o.d"
+  "CMakeFiles/fptc_util.dir/log.cpp.o"
+  "CMakeFiles/fptc_util.dir/log.cpp.o.d"
+  "CMakeFiles/fptc_util.dir/rng.cpp.o"
+  "CMakeFiles/fptc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fptc_util.dir/table.cpp.o"
+  "CMakeFiles/fptc_util.dir/table.cpp.o.d"
+  "libfptc_util.a"
+  "libfptc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

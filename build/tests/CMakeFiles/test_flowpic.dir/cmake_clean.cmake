@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowpic.dir/test_flowpic.cpp.o"
+  "CMakeFiles/test_flowpic.dir/test_flowpic.cpp.o.d"
+  "test_flowpic"
+  "test_flowpic.pdb"
+  "test_flowpic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowpic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

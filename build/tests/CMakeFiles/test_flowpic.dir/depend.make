@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flowpic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_nn_tensor.cpp" "tests/CMakeFiles/test_nn_tensor.dir/test_nn_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_nn_tensor.dir/test_nn_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fptc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/subflow/CMakeFiles/fptc_subflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbt/CMakeFiles/fptc_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/fptc_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/fptc_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowpic/CMakeFiles/fptc_flowpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fptc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fptc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fptc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fptc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trafficgen.dir/test_trafficgen.cpp.o"
+  "CMakeFiles/test_trafficgen.dir/test_trafficgen.cpp.o.d"
+  "test_trafficgen"
+  "test_trafficgen.pdb"
+  "test_trafficgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_io[1]_include.cmake")
+include("/root/repo/build/tests/test_flowpic[1]_include.cmake")
+include("/root/repo/build/tests/test_augment[1]_include.cmake")
+include("/root/repo/build/tests/test_trafficgen[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_gradcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_models[1]_include.cmake")
+include("/root/repo/build/tests/test_listings[1]_include.cmake")
+include("/root/repo/build/tests/test_gbt[1]_include.cmake")
+include("/root/repo/build/tests/test_subflow[1]_include.cmake")
+include("/root/repo/build/tests/test_core_data[1]_include.cmake")
+include("/root/repo/build/tests/test_core_training[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
