@@ -13,6 +13,8 @@
 #include "fptc/stats/descriptive.hpp"
 #include "fptc/util/csv.hpp"
 #include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
 #include "fptc/util/table.hpp"
 
@@ -61,6 +63,9 @@ int main()
     const char* artifacts_dir = std::getenv("FPTC_ARTIFACTS_DIR");
     util::CsvWriter csv({"augmentation", "resolution", "split", "seed", "script", "human",
                          "leftover", "epochs"});
+    util::CampaignJournal journal("table4");
+    long total_retries = 0;
+    long total_faults = 0;
 
     std::cout << "=== Table 4 (G1.1): data augmentations in supervised training ===\n"
               << "(" << scale.splits << " splits x " << scale.seeds
@@ -86,22 +91,36 @@ int main()
             const int cell_splits =
                 (!scale.full && resolution >= 64) ? std::max(1, scale.splits / 2) : scale.splits;
             auto& cell = cells[resolution][augmentation];
+            const auto aug_name = std::string(augment::augmentation_name(augmentation));
             for (int split = 0; split < cell_splits; ++split) {
                 for (int seed = 0; seed < scale.seeds; ++seed) {
-                    const auto run = core::run_ucdavis_supervised(
-                        data, augmentation, 1000 + static_cast<std::uint64_t>(split),
-                        50 + static_cast<std::uint64_t>(seed), options);
-                    cell.script.push_back(100.0 * run.script_accuracy());
-                    cell.human.push_back(100.0 * run.human_accuracy());
-                    cell.leftover.push_back(100.0 * run.leftover_accuracy());
-                    csv.add_row({std::string(augment::augmentation_name(augmentation)),
-                                 std::to_string(resolution), std::to_string(split),
+                    const std::string key = "res=" + std::to_string(resolution) +
+                                            "|aug=" + aug_name + "|split=" +
+                                            std::to_string(split) + "|seed=" +
+                                            std::to_string(seed);
+                    const auto fields = journal.run_or_replay(key, [&] {
+                        const auto run = core::run_ucdavis_supervised(
+                            data, augmentation, 1000 + static_cast<std::uint64_t>(split),
+                            50 + static_cast<std::uint64_t>(seed), options);
+                        return std::map<std::string, std::string>{
+                            {"script", util::field_from_double(100.0 * run.script_accuracy())},
+                            {"human", util::field_from_double(100.0 * run.human_accuracy())},
+                            {"leftover", util::field_from_double(100.0 * run.leftover_accuracy())},
+                            {"epochs", std::to_string(run.epochs_run)},
+                            {"retries", std::to_string(run.retries)},
+                            {"faults", std::to_string(run.faults_detected)}};
+                    });
+                    cell.script.push_back(util::field_double(fields, "script"));
+                    cell.human.push_back(util::field_double(fields, "human"));
+                    cell.leftover.push_back(util::field_double(fields, "leftover"));
+                    total_retries += util::field_long(fields, "retries");
+                    total_faults += util::field_long(fields, "faults");
+                    csv.add_row({aug_name, std::to_string(resolution), std::to_string(split),
                                  std::to_string(seed), util::format_double(cell.script.back()),
                                  util::format_double(cell.human.back()),
                                  util::format_double(cell.leftover.back()),
-                                 std::to_string(run.epochs_run)});
-                    util::log_info("table4: res " + std::to_string(resolution) + " " +
-                                   std::string(augment::augmentation_name(augmentation)) +
+                                 std::to_string(util::field_long(fields, "epochs"))});
+                    util::log_info("table4: res " + std::to_string(resolution) + " " + aug_name +
                                    " split " + std::to_string(split) + " seed " +
                                    std::to_string(seed) + " -> script " +
                                    util::format_double(cell.script.back()) + " human " +
@@ -150,6 +169,15 @@ int main()
               << " (paper's own reproduction: -2.05), human " << util::format_double(diff_human)
               << " (paper: -21.96 — the data shift)\n";
     std::cout << "expected shape: small script deltas, ~20% human drop, leftover ≈ script.\n";
+
+    if (!journal.summary().empty()) {
+        std::cout << journal.summary() << '\n';
+    }
+    if (total_retries > 0 || total_faults > 0 || util::fault_injector().enabled()) {
+        std::cout << "fault tolerance: " << total_faults << " divergent step(s) detected, "
+                  << total_retries << " rollback retrie(s); injected: "
+                  << util::fault_injector().summary() << '\n';
+    }
 
     if (artifacts_dir != nullptr) {
         const std::string path = std::string(artifacts_dir) + "/table4_runs.csv";

@@ -11,10 +11,14 @@
 #include "fptc/core/campaign.hpp"
 #include "fptc/stats/descriptive.hpp"
 #include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
 #include "fptc/util/table.hpp"
 
 #include <iostream>
+#include <map>
+#include <string>
 #include <vector>
 
 int main()
@@ -26,6 +30,9 @@ int main()
     const auto scale = util::resolve_scale(5, 5, /*default_splits=*/2, /*default_seeds=*/1);
     const int finetune_seeds = scale.full ? 5 : 2;
     const auto data = core::load_ucdavis();
+    util::CampaignJournal journal("table5");
+    long total_retries = 0;
+    long total_faults = 0;
 
     std::cout << "=== Table 5 (G2): dropout & projection dimension vs fine-tuning ===\n"
               << "(" << scale.splits << " splits x " << scale.seeds << " SimCLR seeds x "
@@ -48,13 +55,30 @@ int main()
             for (int split = 0; split < scale.splits; ++split) {
                 for (int simclr_seed = 0; simclr_seed < scale.seeds; ++simclr_seed) {
                     for (int ft_seed = 0; ft_seed < finetune_seeds; ++ft_seed) {
-                        const auto run = core::run_ucdavis_simclr(
-                            data, 1000 + static_cast<std::uint64_t>(split),
-                            70 + static_cast<std::uint64_t>(simclr_seed),
-                            90 + static_cast<std::uint64_t>(ft_seed), options);
-                        script_scores.push_back(100.0 * run.script_accuracy());
-                        human_scores.push_back(100.0 * run.human_accuracy());
-                        epoch_total += run.pretrain_epochs;
+                        const std::string key =
+                            "proj=" + std::to_string(projection_dim) +
+                            "|dropout=" + (with_dropout ? "1" : "0") +
+                            "|split=" + std::to_string(split) +
+                            "|seed=" + std::to_string(simclr_seed) +
+                            "|ft=" + std::to_string(ft_seed);
+                        const auto fields = journal.run_or_replay(key, [&] {
+                            const auto run = core::run_ucdavis_simclr(
+                                data, 1000 + static_cast<std::uint64_t>(split),
+                                70 + static_cast<std::uint64_t>(simclr_seed),
+                                90 + static_cast<std::uint64_t>(ft_seed), options);
+                            return std::map<std::string, std::string>{
+                                {"script",
+                                 util::field_from_double(100.0 * run.script_accuracy())},
+                                {"human", util::field_from_double(100.0 * run.human_accuracy())},
+                                {"epochs", std::to_string(run.pretrain_epochs)},
+                                {"retries", std::to_string(run.retries)},
+                                {"faults", std::to_string(run.faults_detected)}};
+                        });
+                        script_scores.push_back(util::field_double(fields, "script"));
+                        human_scores.push_back(util::field_double(fields, "human"));
+                        epoch_total += static_cast<double>(util::field_long(fields, "epochs"));
+                        total_retries += util::field_long(fields, "retries");
+                        total_faults += util::field_long(fields, "faults");
                         ++pretrains;
                         util::log_info(
                             "table5: proj " + std::to_string(projection_dim) + " dropout " +
@@ -79,5 +103,13 @@ int main()
                  "92.18±0.31 / 74.69±1.13 (w/o); proj 84: 92.02±0.36 / 73.31±1.04 (w/),\n"
                  "92.54±0.33 / 74.35±1.38 (w/o).  Takeaways: dropout does not help (and hurts\n"
                  "human); a larger projection brings no significant gain.\n";
+    if (!journal.summary().empty()) {
+        std::cout << journal.summary() << '\n';
+    }
+    if (total_retries > 0 || total_faults > 0 || util::fault_injector().enabled()) {
+        std::cout << "fault tolerance: " << total_faults << " divergent step(s) detected, "
+                  << total_retries << " rollback retrie(s); injected: "
+                  << util::fault_injector().summary() << '\n';
+    }
     return 0;
 }

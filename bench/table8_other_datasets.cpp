@@ -11,10 +11,14 @@
 #include "fptc/stats/descriptive.hpp"
 #include "fptc/trafficgen/mobile.hpp"
 #include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
 #include "fptc/util/table.hpp"
 
 #include <iostream>
+#include <map>
+#include <string>
 #include <vector>
 
 int main()
@@ -47,6 +51,10 @@ int main()
     }
     std::cout << '\n';
 
+    util::CampaignJournal journal("table8");
+    long total_retries = 0;
+    long total_faults = 0;
+
     util::Table table("Weighted F1 (%) per augmentation and dataset");
     std::vector<std::string> header = {"Augmentation"};
     for (const auto& entry : datasets) {
@@ -63,10 +71,23 @@ int main()
             options.augment_copies = scale.full ? 10 : 2;
             for (int split = 0; split < scale.splits; ++split) {
                 for (int seed = 0; seed < scale.seeds; ++seed) {
-                    const auto run = core::run_replication_supervised(
-                        entry.dataset, augmentation, 400 + static_cast<std::uint64_t>(split),
-                        60 + static_cast<std::uint64_t>(seed), options);
-                    scores.push_back(100.0 * run.weighted_f1());
+                    const std::string key =
+                        "dataset=" + entry.title +
+                        "|aug=" + std::string(augment::augmentation_name(augmentation)) +
+                        "|split=" + std::to_string(split) + "|seed=" + std::to_string(seed);
+                    const auto fields = journal.run_or_replay(key, [&] {
+                        const auto run = core::run_replication_supervised(
+                            entry.dataset, augmentation, 400 + static_cast<std::uint64_t>(split),
+                            60 + static_cast<std::uint64_t>(seed), options);
+                        return std::map<std::string, std::string>{
+                            {"f1", util::field_from_double(100.0 * run.weighted_f1())},
+                            {"epochs", std::to_string(run.epochs_run)},
+                            {"retries", std::to_string(run.retries)},
+                            {"faults", std::to_string(run.faults_detected)}};
+                    });
+                    scores.push_back(util::field_double(fields, "f1"));
+                    total_retries += util::field_long(fields, "retries");
+                    total_faults += util::field_long(fields, "faults");
                 }
             }
             const auto ci = stats::mean_ci(scores);
@@ -82,5 +103,13 @@ int main()
     std::cout << table.to_string() << '\n';
     std::cout << "shape to verify: Change RTT / Time shift best across datasets; larger gaps\n"
                  "between augmentations than on UCDAVIS19; Rotate degrades MIRAGE-19.\n";
+    if (!journal.summary().empty()) {
+        std::cout << journal.summary() << '\n';
+    }
+    if (total_retries > 0 || total_faults > 0 || util::fault_injector().enabled()) {
+        std::cout << "fault tolerance: " << total_faults << " divergent step(s) detected, "
+                  << total_retries << " rollback retrie(s); injected: "
+                  << util::fault_injector().summary() << '\n';
+    }
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 namespace fptc::core {
@@ -162,7 +163,14 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
     auto trainable = network.online.parameters();
     const auto predictor_params = network.predictor.parameters();
     trainable.insert(trainable.end(), predictor_params.begin(), predictor_params.end());
-    nn::Adam optimizer(trainable, config.learning_rate);
+    auto optimizer = std::make_unique<nn::Adam>(trainable, config.learning_rate);
+
+    // The guard snapshots the target network too: its EMA state must roll
+    // back together with the online weights it trails.
+    auto guarded = trainable;
+    const auto target_params = network.target.parameters();
+    guarded.insert(guarded.end(), target_params.begin(), target_params.end());
+    DivergenceGuard guard(guarded, config.guard);
 
     const std::size_t dim = nn::effective_input_dim(views.config().resolution);
     std::vector<std::size_t> order(flows.size());
@@ -174,10 +182,11 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
     double best_loss = std::numeric_limits<double>::infinity();
     int epochs_since_improvement = 0;
 
-    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (int epoch = 0; epoch < config.max_epochs;) {
         rng.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
+        bool diverged = false;
         for (std::size_t start = 0; start + 1 < order.size(); start += config.batch_samples) {
             const std::size_t end = std::min(start + config.batch_samples, order.size());
             const std::size_t batch = end - start;
@@ -208,15 +217,30 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
             const auto loss_ba = byol_regression(p_b, target_a);
             network.online.backward(network.predictor.backward(loss_ba.grad));
 
-            optimizer.step();
+            if (guard.step_diverged(0.5 * (loss_ab.loss + loss_ba.loss))) {
+                diverged = true;
+                break;
+            }
+            optimizer->step();
             ema_update(network.online, network.target, config.ema_decay);
 
             epoch_loss += 0.5 * (loss_ab.loss + loss_ba.loss);
             ++batches;
         }
+        if (diverged) {
+            if (!guard.rollback()) {
+                throw DivergenceError("pretrain_byol: diverged " +
+                                      std::to_string(guard.retries()) +
+                                      " time(s); retry budget exhausted");
+            }
+            optimizer = std::make_unique<nn::Adam>(trainable, config.learning_rate);
+            rng = util::Rng(guard.retry_seed(config.seed));
+            continue;
+        }
         if (batches == 0) {
             break;
         }
+        guard.commit();
         result.final_loss = epoch_loss / static_cast<double>(batches);
         result.epochs_run = epoch + 1;
         if (result.final_loss < best_loss - config.min_delta) {
@@ -225,7 +249,10 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
         } else if (++epochs_since_improvement >= config.patience) {
             break;
         }
+        ++epoch;
     }
+    result.retries = guard.retries();
+    result.faults_detected = guard.faults_detected();
     return result;
 }
 
@@ -280,7 +307,7 @@ SimClrRunResult run_ucdavis_byol(const UcdavisData& data, std::uint64_t split_se
     const auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
 
     const auto train_embedded = embed_set(network.online, train_set);
-    (void)train_head(head, train_embedded, ft_config);
+    const auto head_result = train_head(head, train_embedded, ft_config);
 
     SimClrRunResult result{
         .script_confusion =
@@ -289,6 +316,8 @@ SimClrRunResult run_ucdavis_byol(const UcdavisData& data, std::uint64_t split_se
             evaluate_head(head, embed_set(network.online, human_set), data.num_classes()),
         .pretrain_epochs = pretrain_result.epochs_run,
         .top5_accuracy = 0.0, // BYOL has no contrastive accuracy (no negatives)
+        .retries = pretrain_result.retries + head_result.retries,
+        .faults_detected = pretrain_result.faults_detected + head_result.faults_detected,
     };
     return result;
 }

@@ -85,11 +85,11 @@ namespace {
 }
 
 /// Train a supervised LeNet per the paper's protocol on pre-built sets.
-[[nodiscard]] std::pair<nn::Sequential, int> train_lenet(const SampleSet& train,
-                                                         const SampleSet& validation,
-                                                         std::size_t num_classes,
-                                                         const SupervisedOptions& options,
-                                                         std::uint64_t train_seed)
+[[nodiscard]] std::pair<nn::Sequential, TrainResult> train_lenet(const SampleSet& train,
+                                                                 const SampleSet& validation,
+                                                                 std::size_t num_classes,
+                                                                 const SupervisedOptions& options,
+                                                                 std::uint64_t train_seed)
 {
     nn::ModelConfig model_config;
     model_config.flowpic_dim = options.flowpic.resolution;
@@ -102,8 +102,8 @@ namespace {
     TrainConfig train_config;
     train_config.max_epochs = options.max_epochs;
     train_config.seed = util::mix_seed(train_seed, 0xBEEF);
-    const auto result = train_supervised(network, train, validation, train_config);
-    return {std::move(network), result.epochs_run};
+    auto result = train_supervised(network, train, validation, train_config);
+    return {std::move(network), std::move(result)};
 }
 
 } // namespace
@@ -130,14 +130,16 @@ SupervisedRunResult run_ucdavis_supervised(const UcdavisData& data,
     const auto train_set = augment_for(options, train_flows, augmentation, augment_rng);
     const auto val_set = rasterize_for(options, val_flows);
 
-    auto [network, epochs] =
+    auto [network, training] =
         train_lenet(train_set, val_set, data.num_classes(), options, train_seed);
 
     SupervisedRunResult result{
         .script_confusion = stats::ConfusionMatrix(data.num_classes()),
         .human_confusion = stats::ConfusionMatrix(data.num_classes()),
         .leftover_confusion = stats::ConfusionMatrix(data.num_classes()),
-        .epochs_run = epochs,
+        .epochs_run = training.epochs_run,
+        .retries = training.retries,
+        .faults_detected = training.faults_detected,
     };
     result.script_confusion =
         evaluate(network, rasterize_for(options, data.script.flows), data.num_classes());
@@ -200,13 +202,15 @@ namespace {
     const auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
 
     const auto train_embedded = embed_set(network, train_set);
-    (void)train_head(head, train_embedded, ft_config);
+    const auto head_result = train_head(head, train_embedded, ft_config);
 
     SimClrRunResult result{
         .script_confusion = evaluate_head(head, embed_set(network, script_set), data.num_classes()),
         .human_confusion = evaluate_head(head, embed_set(network, human_set), data.num_classes()),
         .pretrain_epochs = pretrain_result.epochs_run,
         .top5_accuracy = pretrain_result.best_top5_accuracy,
+        .retries = pretrain_result.retries + head_result.retries,
+        .faults_detected = pretrain_result.faults_detected + head_result.faults_detected,
     };
     return result;
 }
@@ -246,7 +250,7 @@ SupervisedRunResult run_ucdavis_enlarged_supervised(const UcdavisData& data,
     const auto train_set = augment_for(options, train_flows, augmentation, augment_rng);
     const auto val_set = rasterize_for(options, val_flows);
 
-    auto [network, epochs] = train_lenet(train_set, val_set, data.num_classes(), options, seed);
+    auto [network, training] = train_lenet(train_set, val_set, data.num_classes(), options, seed);
 
     SupervisedRunResult result{
         .script_confusion =
@@ -254,7 +258,9 @@ SupervisedRunResult run_ucdavis_enlarged_supervised(const UcdavisData& data,
         .human_confusion =
             evaluate(network, rasterize_for(options, data.human.flows), data.num_classes()),
         .leftover_confusion = stats::ConfusionMatrix(data.num_classes()),
-        .epochs_run = epochs,
+        .epochs_run = training.epochs_run,
+        .retries = training.retries,
+        .faults_detected = training.faults_detected,
     };
     return result;
 }
@@ -292,7 +298,7 @@ SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data, std::uint64
     auto head = nn::make_finetune_head(head_config);
     const auto ft_config = finetune_config(util::mix_seed(seed, 0x7A1));
     const auto train_embedded = embed_set(network, train_set);
-    (void)train_head(head, train_embedded, ft_config);
+    const auto head_result = train_head(head, train_embedded, ft_config);
 
     SimClrRunResult result{
         .script_confusion = evaluate_head(
@@ -303,6 +309,8 @@ SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data, std::uint64
             data.num_classes()),
         .pretrain_epochs = pretrain_result.epochs_run,
         .top5_accuracy = pretrain_result.best_top5_accuracy,
+        .retries = pretrain_result.retries + head_result.retries,
+        .faults_detected = pretrain_result.faults_detected + head_result.faults_detected,
     };
     return result;
 }
@@ -321,13 +329,15 @@ ReplicationRunResult run_replication_supervised(const flow::Dataset& dataset,
     const auto train_set = augment_for(options, train_flows, augmentation, augment_rng);
     const auto val_set = rasterize_for(options, val_flows);
 
-    auto [network, epochs] =
+    auto [network, training] =
         train_lenet(train_set, val_set, dataset.num_classes(), options, train_seed);
 
     ReplicationRunResult result{
         .test_confusion =
             evaluate(network, rasterize_for(options, test_flows), dataset.num_classes()),
-        .epochs_run = epochs,
+        .epochs_run = training.epochs_run,
+        .retries = training.retries,
+        .faults_detected = training.faults_detected,
     };
     return result;
 }

@@ -47,12 +47,15 @@ struct ByolConfig {
     int patience = 3;         ///< on the (decreasing) regression loss
     double min_delta = 1e-3;
     std::uint64_t seed = 11;
+    GuardConfig guard{};      ///< divergence detection / rollback budget
 };
 
 /// Outcome of BYOL pre-training.
 struct ByolResult {
     int epochs_run = 0;
     double final_loss = 0.0;  ///< mean symmetric regression loss (in [0, 4])
+    int retries = 0;          ///< divergence rollbacks performed
+    int faults_detected = 0;  ///< divergent steps observed (injected incl.)
 };
 
 /// Pre-train the online network on unlabeled flows; the target follows by

@@ -55,6 +55,8 @@ struct SupervisedRunResult {
     stats::ConfusionMatrix human_confusion;
     stats::ConfusionMatrix leftover_confusion;
     int epochs_run = 0;
+    int retries = 0;          ///< divergence rollbacks across the run
+    int faults_detected = 0;  ///< divergent steps observed (injected incl.)
 
     [[nodiscard]] double script_accuracy() const { return script_confusion.accuracy(); }
     [[nodiscard]] double human_accuracy() const { return human_confusion.accuracy(); }
@@ -89,6 +91,8 @@ struct SimClrRunResult {
     stats::ConfusionMatrix human_confusion;
     int pretrain_epochs = 0;
     double top5_accuracy = 0.0;
+    int retries = 0;          ///< divergence rollbacks (pre-train + fine-tune)
+    int faults_detected = 0;  ///< divergent steps observed (injected incl.)
 
     [[nodiscard]] double script_accuracy() const { return script_confusion.accuracy(); }
     [[nodiscard]] double human_accuracy() const { return human_confusion.accuracy(); }
@@ -128,6 +132,8 @@ struct SimClrRunResult {
 struct ReplicationRunResult {
     stats::ConfusionMatrix test_confusion;
     int epochs_run = 0;
+    int retries = 0;          ///< divergence rollbacks across the run
+    int faults_detected = 0;  ///< divergent steps observed (injected incl.)
 
     [[nodiscard]] double weighted_f1() const { return test_confusion.weighted_f1(); }
 };

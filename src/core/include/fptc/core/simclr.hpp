@@ -31,6 +31,7 @@ struct SimClrConfig {
     int max_epochs = 20;
     int patience = 3;               ///< on the top-5 contrastive accuracy
     std::uint64_t seed = 11;
+    GuardConfig guard{};            ///< divergence detection / rollback budget
 };
 
 /// Pre-training outcome.
@@ -38,6 +39,8 @@ struct SimClrResult {
     int epochs_run = 0;
     double best_top5_accuracy = 0.0;
     double final_loss = 0.0;
+    int retries = 0;          ///< divergence rollbacks performed
+    int faults_detected = 0;  ///< divergent steps observed (injected incl.)
 };
 
 /// Pre-train `network` on unlabeled flows with the view-pair generator.

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "fptc/core/data.hpp"
+#include "fptc/core/guard.hpp"
 #include "fptc/nn/sequential.hpp"
 #include "fptc/stats/metrics.hpp"
 
@@ -25,6 +26,7 @@ struct TrainConfig {
     double min_delta = 1e-3;  ///< required improvement of the monitored loss
     bool use_adam = true;     ///< Adam (tcbench default) vs plain SGD
     std::uint64_t seed = 7;   ///< batch shuffling seed
+    GuardConfig guard{};      ///< divergence detection / rollback budget
 };
 
 /// Outcome of one training run.
@@ -33,11 +35,17 @@ struct TrainResult {
     double best_validation_loss = 0.0;
     double final_train_loss = 0.0;
     std::vector<double> validation_history;
+    int retries = 0;          ///< divergence rollbacks performed
+    int faults_detected = 0;  ///< divergent steps observed (injected incl.)
 };
 
 /// Train `network` on `train`, early-stopping on `validation` loss.  When
 /// the validation set is empty, early stopping monitors the training loss
-/// instead (the paper's fine-tuning protocol).
+/// instead (the paper's fine-tuning protocol).  Divergent steps (NaN/Inf
+/// loss, exploding gradients, injected faults) roll the network back to the
+/// last clean epoch and retry with a derived shuffle seed and a fresh
+/// optimizer; throws DivergenceError once config.guard.max_retries
+/// consecutive attempts fail.
 [[nodiscard]] TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
                                            const SampleSet& validation, const TrainConfig& config);
 

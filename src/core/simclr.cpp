@@ -22,7 +22,8 @@ namespace {
         throw std::invalid_argument("pretrain_contrastive: need at least 2 flows");
     }
     util::Rng rng(config.seed);
-    nn::Adam optimizer(network.parameters(), config.learning_rate);
+    auto optimizer = std::make_unique<nn::Adam>(network.parameters(), config.learning_rate);
+    DivergenceGuard guard(network.parameters(), config.guard);
 
     const std::size_t dim = nn::effective_input_dim(views.config().resolution);
     const std::size_t plane = dim * dim;
@@ -36,11 +37,12 @@ namespace {
     double best_top5 = 0.0;
     int epochs_since_improvement = 0;
 
-    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (int epoch = 0; epoch < config.max_epochs;) {
         rng.shuffle(order);
         double epoch_loss = 0.0;
         double epoch_top5 = 0.0;
         std::size_t batches = 0;
+        bool diverged = false;
 
         for (std::size_t start = 0; start + 1 < order.size(); start += config.batch_samples) {
             const std::size_t end = std::min(start + config.batch_samples, order.size());
@@ -82,15 +84,30 @@ namespace {
                                   : nn::nt_xent(projections, config.temperature);
             network.zero_grad();
             network.backward(loss.grad);
-            optimizer.step();
+            if (guard.step_diverged(loss.loss)) {
+                diverged = true;
+                break;
+            }
+            optimizer->step();
 
             epoch_loss += loss.loss;
             epoch_top5 += nn::contrastive_top_k_accuracy(projections, 5);
             ++batches;
         }
+        if (diverged) {
+            if (!guard.rollback()) {
+                throw DivergenceError("pretrain_contrastive: diverged " +
+                                      std::to_string(guard.retries()) +
+                                      " time(s); retry budget exhausted");
+            }
+            optimizer = std::make_unique<nn::Adam>(network.parameters(), config.learning_rate);
+            rng = util::Rng(guard.retry_seed(config.seed));
+            continue;
+        }
         if (batches == 0) {
             break;
         }
+        guard.commit();
         result.final_loss = epoch_loss / static_cast<double>(batches);
         const double top5 = epoch_top5 / static_cast<double>(batches);
         result.epochs_run = epoch + 1;
@@ -104,8 +121,11 @@ namespace {
                 break;
             }
         }
+        ++epoch;
     }
     result.best_top5_accuracy = best_top5;
+    result.retries = guard.retries();
+    result.faults_detected = guard.faults_detected();
     return result;
 }
 
@@ -173,12 +193,14 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
         throw std::invalid_argument("train_head: empty training set");
     }
     util::Rng rng(config.seed);
-    std::unique_ptr<nn::Optimizer> optimizer;
-    if (config.use_adam) {
-        optimizer = std::make_unique<nn::Adam>(head.parameters(), config.learning_rate);
-    } else {
-        optimizer = std::make_unique<nn::Sgd>(head.parameters(), config.learning_rate);
-    }
+    const auto make_optimizer = [&]() -> std::unique_ptr<nn::Optimizer> {
+        if (config.use_adam) {
+            return std::make_unique<nn::Adam>(head.parameters(), config.learning_rate);
+        }
+        return std::make_unique<nn::Sgd>(head.parameters(), config.learning_rate);
+    };
+    auto optimizer = make_optimizer();
+    DivergenceGuard guard(head.parameters(), config.guard);
 
     std::vector<std::size_t> order(train.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -188,10 +210,11 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
     TrainResult result;
     double best = std::numeric_limits<double>::infinity();
     int epochs_since_improvement = 0;
-    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (int epoch = 0; epoch < config.max_epochs;) {
         rng.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
+        bool diverged = false;
         for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
             const std::size_t end = std::min(start + config.batch_size, order.size());
             const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
@@ -204,10 +227,24 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
             const auto loss = nn::cross_entropy(logits, batch_labels);
             head.zero_grad();
             (void)head.backward(loss.grad);
+            if (guard.step_diverged(loss.loss)) {
+                diverged = true;
+                break;
+            }
             optimizer->step();
             epoch_loss += loss.loss;
             ++batches;
         }
+        if (diverged) {
+            if (!guard.rollback()) {
+                throw DivergenceError("train_head: diverged " + std::to_string(guard.retries()) +
+                                      " time(s); retry budget exhausted");
+            }
+            optimizer = make_optimizer();
+            rng = util::Rng(guard.retry_seed(config.seed));
+            continue;
+        }
+        guard.commit();
         result.final_train_loss = epoch_loss / static_cast<double>(batches);
         result.epochs_run = epoch + 1;
         result.validation_history.push_back(result.final_train_loss);
@@ -222,8 +259,11 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
                 break;
             }
         }
+        ++epoch;
     }
     result.best_validation_loss = best;
+    result.retries = guard.retries();
+    result.faults_detected = guard.faults_detected();
     return result;
 }
 

@@ -18,12 +18,14 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
         throw std::invalid_argument("train_supervised: empty training set");
     }
     util::Rng rng(config.seed);
-    std::unique_ptr<nn::Optimizer> optimizer;
-    if (config.use_adam) {
-        optimizer = std::make_unique<nn::Adam>(network.parameters(), config.learning_rate);
-    } else {
-        optimizer = std::make_unique<nn::Sgd>(network.parameters(), config.learning_rate);
-    }
+    const auto make_optimizer = [&]() -> std::unique_ptr<nn::Optimizer> {
+        if (config.use_adam) {
+            return std::make_unique<nn::Adam>(network.parameters(), config.learning_rate);
+        }
+        return std::make_unique<nn::Sgd>(network.parameters(), config.learning_rate);
+    };
+    auto optimizer = make_optimizer();
+    DivergenceGuard guard(network.parameters(), config.guard);
 
     std::vector<std::size_t> order(train.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -35,10 +37,11 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
     int epochs_since_improvement = 0;
     const bool monitor_validation = validation.size() > 0;
 
-    for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (int epoch = 0; epoch < config.max_epochs;) {
         rng.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
+        bool diverged = false;
         for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
             const std::size_t end = std::min(start + config.batch_size, order.size());
             const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
@@ -51,10 +54,27 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
             const auto loss = nn::cross_entropy(logits, batch_labels);
             network.zero_grad();
             (void)network.backward(loss.grad);
+            if (guard.step_diverged(loss.loss)) {
+                diverged = true;
+                break; // abort the epoch before the bad update is applied
+            }
             optimizer->step();
             epoch_loss += loss.loss;
             ++batches;
         }
+        if (diverged) {
+            if (!guard.rollback()) {
+                throw DivergenceError("train_supervised: diverged " +
+                                      std::to_string(guard.retries()) +
+                                      " time(s); retry budget exhausted");
+            }
+            // Fresh optimizer state and a derived shuffle stream, then
+            // re-run the same epoch from the last good snapshot.
+            optimizer = make_optimizer();
+            rng = util::Rng(guard.retry_seed(config.seed));
+            continue;
+        }
+        guard.commit();
         result.final_train_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
         result.epochs_run = epoch + 1;
 
@@ -71,8 +91,11 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
                 break;
             }
         }
+        ++epoch;
     }
     result.best_validation_loss = best_monitored;
+    result.retries = guard.retries();
+    result.faults_detected = guard.faults_detected();
     return result;
 }
 

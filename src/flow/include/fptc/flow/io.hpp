@@ -16,8 +16,10 @@
 
 #include "fptc/flow/dataset.hpp"
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace fptc::flow {
 
@@ -25,10 +27,43 @@ namespace fptc::flow {
 void write_dataset_csv(const Dataset& dataset, std::ostream& out);
 void write_dataset_csv(const Dataset& dataset, const std::string& path);
 
+/// A row rejected by the quarantine-and-continue reader.
+struct BadRow {
+    std::size_t line_number = 0;  ///< 1-based, counting the header as line 1
+    std::string line;             ///< raw row content
+    std::string error;            ///< why it was rejected
+};
+
+/// Outcome details of a lenient read.
+struct CsvReadReport {
+    std::vector<BadRow> quarantined;  ///< rejected rows, in file order
+    std::size_t rows_read = 0;        ///< accepted packet rows
+    std::size_t injected_faults = 0;  ///< rows mangled by the fault injector
+};
+
+/// Parse behavior knobs.
+struct CsvReadOptions {
+    /// Collect malformed rows (with their 1-based line numbers) into the
+    /// report and keep parsing, instead of throwing on the first one.  Flow
+    /// ids need not be contiguous in this mode: rows of a quarantined flow
+    /// head still attach to a usable dataset.
+    bool quarantine = false;
+    /// Hard cap on quarantined rows: beyond this the file is considered
+    /// unusable and the reader throws even in quarantine mode.
+    std::size_t max_quarantined = 10000;
+};
+
 /// Parse a dataset back.  Class names are rebuilt from the class_name
-/// column (label indices must be consistent with it).  Throws
-/// std::runtime_error on malformed input.
+/// column (label indices must be consistent with it).  The header row is
+/// validated column-by-column; every error message carries the 1-based
+/// line number.  Strict mode (default) throws std::runtime_error on the
+/// first malformed row; quarantine mode collects bad rows into `report`
+/// and continues.
 [[nodiscard]] Dataset read_dataset_csv(std::istream& in);
 [[nodiscard]] Dataset read_dataset_csv(const std::string& path);
+[[nodiscard]] Dataset read_dataset_csv(std::istream& in, const CsvReadOptions& options,
+                                       CsvReadReport* report = nullptr);
+[[nodiscard]] Dataset read_dataset_csv(const std::string& path, const CsvReadOptions& options,
+                                       CsvReadReport* report = nullptr);
 
 } // namespace fptc::flow

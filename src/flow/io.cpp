@@ -1,17 +1,29 @@
 #include "fptc/flow/io.hpp"
 
+#include "fptc/util/fault.hpp"
+#include "fptc/util/journal.hpp"
+#include "fptc/util/log.hpp"
+
 #include <charconv>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 namespace fptc::flow {
 
 namespace {
 
+constexpr const char* kColumns[] = {"flow_id", "label",     "class_name", "timestamp",
+                                    "size",    "direction", "is_ack",     "background"};
+constexpr std::size_t kColumnCount = sizeof(kColumns) / sizeof(kColumns[0]);
 constexpr const char* kHeader = "flow_id,label,class_name,timestamp,size,direction,is_ack,background";
+
+/// Labels beyond this are treated as corruption (they would otherwise grow
+/// the class vocabulary — and its allocation — without bound).
+constexpr std::size_t kMaxLabel = 1'000'000;
 
 [[nodiscard]] std::vector<std::string> split_fields(const std::string& line)
 {
@@ -29,28 +41,63 @@ constexpr const char* kHeader = "flow_id,label,class_name,timestamp,size,directi
     return fields;
 }
 
+[[nodiscard]] std::string line_prefix(std::size_t line_number)
+{
+    return "read_dataset_csv: line " + std::to_string(line_number) + ": ";
+}
+
 template <typename T>
-[[nodiscard]] T parse_number(const std::string& field, const char* what)
+[[nodiscard]] T parse_number(const std::string& field, const char* what, std::size_t line_number)
 {
     T value{};
     const auto* begin = field.data();
     const auto* end = begin + field.size();
     const auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr != end) {
-        throw std::runtime_error(std::string("read_dataset_csv: bad ") + what + " '" + field + "'");
+        throw std::runtime_error(line_prefix(line_number) + "bad " + what + " '" + field + "'");
     }
     return value;
 }
 
-[[nodiscard]] double parse_double(const std::string& field, const char* what)
+[[nodiscard]] double parse_double(const std::string& field, const char* what,
+                                  std::size_t line_number)
 {
     // std::from_chars<double> is not universally available; strtod suffices.
     char* end = nullptr;
     const double value = std::strtod(field.c_str(), &end);
-    if (end != field.c_str() + field.size()) {
-        throw std::runtime_error(std::string("read_dataset_csv: bad ") + what + " '" + field + "'");
+    if (field.empty() || end != field.c_str() + field.size()) {
+        throw std::runtime_error(line_prefix(line_number) + "bad " + what + " '" + field + "'");
     }
     return value;
+}
+
+/// Column-by-column header validation: naming the first wrong column catches
+/// reordered exports that would otherwise parse silently wherever the field
+/// types happen to line up.
+void validate_header(const std::string& raw_header)
+{
+    std::string line = raw_header;
+    // Tolerate a UTF-8 BOM and trailing CR on the header.
+    if (line.size() >= 3 && static_cast<unsigned char>(line[0]) == 0xEF) {
+        line.erase(0, 3);
+    }
+    if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+    }
+    const auto columns = split_fields(line);
+    if (columns.size() != kColumnCount) {
+        throw std::runtime_error("read_dataset_csv: line 1: header has " +
+                                 std::to_string(columns.size()) + " columns, expected " +
+                                 std::to_string(kColumnCount) + " ('" + kHeader + "')");
+    }
+    for (std::size_t c = 0; c < kColumnCount; ++c) {
+        if (columns[c] != kColumns[c]) {
+            throw std::runtime_error("read_dataset_csv: line 1: header column " +
+                                     std::to_string(c + 1) + " is '" + columns[c] +
+                                     "', expected '" + kColumns[c] +
+                                     "' — refusing to guess a column order");
+        }
+    }
 }
 
 } // namespace
@@ -77,83 +124,147 @@ void write_dataset_csv(const Dataset& dataset, std::ostream& out)
 
 void write_dataset_csv(const Dataset& dataset, const std::string& path)
 {
-    std::ofstream file(path);
-    if (!file) {
-        throw std::runtime_error("write_dataset_csv: cannot open " + path);
-    }
-    write_dataset_csv(dataset, file);
+    // Atomic temp-file + rename: a killed export never leaves a partial
+    // dataset behind for a later campaign to trip over.
+    std::ostringstream buffer;
+    write_dataset_csv(dataset, buffer);
+    util::atomic_write_file(path, buffer.str());
 }
 
-Dataset read_dataset_csv(std::istream& in)
+Dataset read_dataset_csv(std::istream& in, const CsvReadOptions& options, CsvReadReport* report)
 {
+    CsvReadReport local_report;
+    CsvReadReport& rep = report != nullptr ? *report : local_report;
+    rep = CsvReadReport{};
+
     std::string line;
     if (!std::getline(in, line)) {
         throw std::runtime_error("read_dataset_csv: empty input");
     }
-    // Tolerate a UTF-8 BOM and trailing CR on the header.
-    if (line.size() >= 3 && static_cast<unsigned char>(line[0]) == 0xEF) {
-        line.erase(0, 3);
-    }
-    if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-    }
-    if (line != kHeader) {
-        throw std::runtime_error("read_dataset_csv: unexpected header '" + line + "'");
-    }
+    validate_header(line);
 
     Dataset dataset;
+    // Strict mode enforces contiguous ascending flow ids (the written
+    // format).  Quarantine mode only requires that each flow's rows stay
+    // contiguous: when a flow's first row was dropped the remaining rows
+    // still begin a usable flow, but a flow id *resuming* after other flows
+    // is corruption.
     long current_flow = -1;
+    bool flow_open = false;
+    std::unordered_set<long> seen_flow_ids;
     std::size_t line_number = 1;
+
     while (std::getline(in, line)) {
         ++line_number;
         if (line.empty()) {
             continue;
         }
-        const auto fields = split_fields(line);
-        if (fields.size() != 8) {
-            throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
-                                     ": expected 8 fields, got " + std::to_string(fields.size()));
+        if (options.quarantine && util::fault_injector().inject_csv_corruption()) {
+            // Deterministically mangle the row (wrong field count) so the
+            // quarantine path is exercised end-to-end.
+            line.insert(0, "~fault~,");
+            ++rep.injected_faults;
         }
-        const auto flow_id = parse_number<long>(fields[0], "flow_id");
-        const auto label = parse_number<std::size_t>(fields[1], "label");
-        const auto& class_name = fields[2];
-
-        if (flow_id != current_flow) {
-            if (flow_id != current_flow + 1) {
-                throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
-                                         ": flow_id must be contiguous ascending");
+        try {
+            const auto fields = split_fields(line);
+            if (fields.size() != kColumnCount) {
+                throw std::runtime_error(line_prefix(line_number) + "expected " +
+                                         std::to_string(kColumnCount) + " fields, got " +
+                                         std::to_string(fields.size()));
             }
-            current_flow = flow_id;
-            Flow flow;
-            flow.label = label;
-            flow.background = fields[7] == "1";
-            dataset.flows.push_back(std::move(flow));
-            // Grow the vocabulary as labels appear.
-            if (label >= dataset.class_names.size()) {
-                dataset.class_names.resize(label + 1);
-            }
-            if (dataset.class_names[label].empty()) {
-                dataset.class_names[label] = class_name;
-            } else if (dataset.class_names[label] != class_name) {
-                throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
-                                         ": class name mismatch for label " +
+            const auto flow_id = parse_number<long>(fields[0], "flow_id", line_number);
+            const auto label = parse_number<std::size_t>(fields[1], "label", line_number);
+            if (label > kMaxLabel) {
+                throw std::runtime_error(line_prefix(line_number) + "implausible label " +
                                          std::to_string(label));
             }
-        }
+            const auto& class_name = fields[2];
 
-        Packet packet;
-        packet.timestamp = parse_double(fields[3], "timestamp");
-        packet.size = parse_number<int>(fields[4], "size");
-        if (fields[5] == "up") {
-            packet.direction = Direction::upstream;
-        } else if (fields[5] == "down") {
-            packet.direction = Direction::downstream;
-        } else {
-            throw std::runtime_error("read_dataset_csv: line " + std::to_string(line_number) +
-                                     ": bad direction '" + fields[5] + "'");
+            // Parse the packet before creating any flow, so a malformed row
+            // never leaves a half-registered flow behind.
+            Packet packet;
+            packet.timestamp = parse_double(fields[3], "timestamp", line_number);
+            packet.size = parse_number<int>(fields[4], "size", line_number);
+            if (fields[5] == "up") {
+                packet.direction = Direction::upstream;
+            } else if (fields[5] == "down") {
+                packet.direction = Direction::downstream;
+            } else {
+                throw std::runtime_error(line_prefix(line_number) + "bad direction '" + fields[5] +
+                                         "'");
+            }
+            packet.is_ack = fields[6] == "1";
+
+            if (!flow_open || flow_id != current_flow) {
+                if (!options.quarantine) {
+                    if (flow_id != current_flow + 1) {
+                        throw std::runtime_error(line_prefix(line_number) +
+                                                 "flow_id must be contiguous ascending (got " +
+                                                 std::to_string(flow_id) + " after " +
+                                                 std::to_string(current_flow) + ")");
+                    }
+                } else if (seen_flow_ids.count(flow_id) > 0) {
+                    throw std::runtime_error(line_prefix(line_number) + "flow_id " +
+                                             std::to_string(flow_id) +
+                                             " resumes after other flows (rows of one flow must "
+                                             "be contiguous)");
+                }
+                // Vocabulary consistency is checked before the flow is
+                // registered so a mismatch quarantines cleanly.
+                if (label < dataset.class_names.size() && !dataset.class_names[label].empty() &&
+                    dataset.class_names[label] != class_name) {
+                    throw std::runtime_error(line_prefix(line_number) +
+                                             "class name mismatch for label " +
+                                             std::to_string(label) + " ('" + class_name +
+                                             "' vs '" + dataset.class_names[label] + "')");
+                }
+                current_flow = flow_id;
+                flow_open = true;
+                seen_flow_ids.insert(flow_id);
+                Flow flow;
+                flow.label = label;
+                flow.background = fields[7] == "1";
+                dataset.flows.push_back(std::move(flow));
+                // Grow the vocabulary as labels appear.
+                if (label >= dataset.class_names.size()) {
+                    dataset.class_names.resize(label + 1);
+                }
+                if (dataset.class_names[label].empty()) {
+                    dataset.class_names[label] = class_name;
+                }
+            }
+            dataset.flows.back().packets.push_back(packet);
+            ++rep.rows_read;
+        } catch (const std::runtime_error& error) {
+            if (!options.quarantine) {
+                throw;
+            }
+            rep.quarantined.push_back(BadRow{line_number, line, error.what()});
+            if (rep.quarantined.size() > options.max_quarantined) {
+                throw std::runtime_error("read_dataset_csv: more than " +
+                                         std::to_string(options.max_quarantined) +
+                                         " quarantined rows — input looks unusable (first: " +
+                                         rep.quarantined.front().error + ")");
+            }
         }
-        packet.is_ack = fields[6] == "1";
-        dataset.flows.back().packets.push_back(packet);
+    }
+    if (!rep.quarantined.empty()) {
+        util::log_info("read_dataset_csv: quarantined " +
+                       std::to_string(rep.quarantined.size()) + " bad row(s), kept " +
+                       std::to_string(rep.rows_read) + " (first: " +
+                       rep.quarantined.front().error + ")");
+    }
+    // Drop flows whose every packet row was quarantined: an empty flow
+    // cannot be rasterized and would poison downstream campaigns.
+    if (options.quarantine) {
+        std::vector<Flow> kept;
+        kept.reserve(dataset.flows.size());
+        for (auto& flow : dataset.flows) {
+            if (!flow.packets.empty()) {
+                kept.push_back(std::move(flow));
+            }
+        }
+        dataset.flows = std::move(kept);
     }
     // Fill any gaps in the vocabulary with placeholder names.
     for (std::size_t label = 0; label < dataset.class_names.size(); ++label) {
@@ -164,13 +275,24 @@ Dataset read_dataset_csv(std::istream& in)
     return dataset;
 }
 
-Dataset read_dataset_csv(const std::string& path)
+Dataset read_dataset_csv(std::istream& in)
+{
+    return read_dataset_csv(in, CsvReadOptions{}, nullptr);
+}
+
+Dataset read_dataset_csv(const std::string& path, const CsvReadOptions& options,
+                         CsvReadReport* report)
 {
     std::ifstream file(path);
     if (!file) {
         throw std::runtime_error("read_dataset_csv: cannot open " + path);
     }
-    return read_dataset_csv(file);
+    return read_dataset_csv(file, options, report);
+}
+
+Dataset read_dataset_csv(const std::string& path)
+{
+    return read_dataset_csv(path, CsvReadOptions{}, nullptr);
 }
 
 } // namespace fptc::flow

@@ -3,25 +3,47 @@
 // The paper publishes trained models among its artifacts; this module plays
 // that role: a tiny versioned binary format for the parameter tensors of a
 // Sequential (or any parameter list).  Shapes are stored and verified on
-// load, so loading into a mismatched architecture fails loudly.
+// load, so loading into a mismatched architecture fails loudly, naming the
+// offending parameter.
+//
+// Format v2 (current) appends a CRC32 of the payload, so truncated or
+// bit-flipped checkpoints are rejected instead of silently loading garbage.
+// v1 files (no checksum) remain readable.  save_network writes via a temp
+// file + atomic rename and re-verifies the written bytes, retrying once on
+// a corrupted write — the recovery path exercised by the fault injector's
+// truncated-write faults.
 #pragma once
 
 #include "fptc/nn/sequential.hpp"
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 namespace fptc::nn {
 
-/// Write all parameters to a binary stream.  Throws std::runtime_error on
-/// stream failure.
-void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out);
+/// Current checkpoint format version (v2 = checksummed).
+inline constexpr std::uint32_t kSerializeVersion = 2;
 
-/// Read parameters back; shapes must match exactly.  Throws
-/// std::runtime_error on format/shape mismatch or stream failure.
+/// Write all parameters to a binary stream.  `version` may be 1 (legacy,
+/// no checksum — kept for compatibility tests) or 2.  Throws
+/// std::runtime_error on stream failure or unknown version.
+void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out,
+                     std::uint32_t version = kSerializeVersion);
+
+/// Read parameters back; count and shapes must match exactly.  Accepts v1
+/// and v2 streams.  Throws std::runtime_error on format/shape/checksum
+/// mismatch or stream failure, naming the parameter index in the message.
 void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in);
 
-/// Convenience wrappers over whole networks and files.
+/// Structurally validate a checkpoint stream (magic, version, shape table,
+/// payload length, v2 checksum) without loading it into a network.  Returns
+/// false and fills `error` (when non-null) on any defect.
+[[nodiscard]] bool verify_checkpoint(std::istream& in, std::string* error = nullptr);
+
+/// Convenience wrappers over whole networks and files.  save_network is
+/// atomic (temp file + rename) and verifies the written checkpoint,
+/// rewriting it once if the bytes on disk fail validation.
 void save_network(Sequential& network, const std::string& path);
 void load_network(Sequential& network, const std::string& path);
 

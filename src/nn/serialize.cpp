@@ -1,9 +1,16 @@
 #include "fptc/nn/serialize.hpp"
 
+#include "fptc/util/fault.hpp"
+#include "fptc/util/journal.hpp"
+#include "fptc/util/log.hpp"
+
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace fptc::nn {
@@ -11,37 +18,143 @@ namespace fptc::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x46505443; // "FPTC"
-constexpr std::uint32_t kVersion = 1;
 
-void write_u64(std::ostream& out, std::uint64_t value)
+// ---- CRC32 (IEEE 802.3, reflected 0xEDB88320) ------------------------------
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc_table()
 {
-    out.write(reinterpret_cast<const char*>(&value), sizeof value);
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
 }
 
-[[nodiscard]] std::uint64_t read_u64(std::istream& in)
+constexpr auto kCrcTable = make_crc_table();
+
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const char* data, std::size_t size)
 {
-    std::uint64_t value = 0;
-    in.read(reinterpret_cast<char*>(&value), sizeof value);
-    if (!in) {
-        throw std::runtime_error("load_parameters: truncated stream");
+    crc ^= 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = kCrcTable[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
     }
-    return value;
+    return crc ^ 0xFFFFFFFFu;
+}
+
+// ---- checksummed stream helpers --------------------------------------------
+
+/// Writes raw bytes while accumulating the payload CRC (v2).
+struct CrcWriter {
+    std::ostream& out;
+    std::uint32_t crc = 0;
+    bool checksummed = false;
+
+    void write(const char* data, std::size_t size)
+    {
+        out.write(data, static_cast<std::streamsize>(size));
+        if (checksummed) {
+            crc = crc32_update(crc, data, size);
+        }
+    }
+
+    void write_u64(std::uint64_t value)
+    {
+        write(reinterpret_cast<const char*>(&value), sizeof value);
+    }
+};
+
+/// Reads raw bytes while accumulating the payload CRC (v2); error messages
+/// carry `context` so callers learn *which* parameter was truncated.
+struct CrcReader {
+    std::istream& in;
+    std::uint32_t crc = 0;
+    bool checksummed = false;
+
+    void read(char* data, std::size_t size, const std::string& context)
+    {
+        in.read(data, static_cast<std::streamsize>(size));
+        if (!in) {
+            throw std::runtime_error("load_parameters: truncated stream while reading " + context);
+        }
+        if (checksummed) {
+            crc = crc32_update(crc, data, size);
+        }
+    }
+
+    [[nodiscard]] std::uint64_t read_u64(const std::string& context)
+    {
+        std::uint64_t value = 0;
+        read(reinterpret_cast<char*>(&value), sizeof value, context);
+        return value;
+    }
+};
+
+[[nodiscard]] std::string shape_to_string(const Shape& shape)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i > 0) {
+            out += ", ";
+        }
+        out += std::to_string(shape[i]);
+    }
+    return out + "]";
+}
+
+/// Sanity cap on a single tensor's element count (guards dimension products
+/// read from corrupt files before they turn into huge allocations).
+constexpr std::uint64_t kMaxElements = 1ULL << 33;
+constexpr std::uint64_t kMaxRank = 16;
+
+/// Parse version from the 8-byte header; throws on bad magic or version.
+[[nodiscard]] std::uint32_t read_header(std::istream& in, const char* who)
+{
+    std::uint64_t header = 0;
+    in.read(reinterpret_cast<char*>(&header), sizeof header);
+    if (!in) {
+        throw std::runtime_error(std::string(who) + ": truncated stream while reading header");
+    }
+    if ((header >> 32) != kMagic) {
+        throw std::runtime_error(std::string(who) + ": bad magic (not an FPTC checkpoint)");
+    }
+    const auto version = static_cast<std::uint32_t>(header & 0xffffffffULL);
+    if (version < 1 || version > kSerializeVersion) {
+        throw std::runtime_error(std::string(who) + ": unsupported format version " +
+                                 std::to_string(version) + " (supported: 1.." +
+                                 std::to_string(kSerializeVersion) + ")");
+    }
+    return version;
 }
 
 } // namespace
 
-void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out)
+void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out,
+                     std::uint32_t version)
 {
-    write_u64(out, (static_cast<std::uint64_t>(kMagic) << 32) | kVersion);
-    write_u64(out, parameters.size());
+    if (version < 1 || version > kSerializeVersion) {
+        throw std::runtime_error("save_parameters: unsupported format version " +
+                                 std::to_string(version));
+    }
+    std::uint64_t header = (static_cast<std::uint64_t>(kMagic) << 32) | version;
+    out.write(reinterpret_cast<const char*>(&header), sizeof header);
+
+    CrcWriter writer{out, 0, version >= 2};
+    writer.write_u64(parameters.size());
     for (const auto* p : parameters) {
-        write_u64(out, p->value.shape().size());
+        writer.write_u64(p->value.shape().size());
         for (const auto d : p->value.shape()) {
-            write_u64(out, d);
+            writer.write_u64(d);
         }
         const auto data = p->value.data();
-        out.write(reinterpret_cast<const char*>(data.data()),
-                  static_cast<std::streamsize>(data.size() * sizeof(float)));
+        writer.write(reinterpret_cast<const char*>(data.data()), data.size() * sizeof(float));
+    }
+    if (version >= 2) {
+        const std::uint64_t crc = writer.crc;
+        out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
     }
     if (!out) {
         throw std::runtime_error("save_parameters: stream failure");
@@ -50,42 +163,146 @@ void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& ou
 
 void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in)
 {
-    const std::uint64_t header = read_u64(in);
-    if ((header >> 32) != kMagic || (header & 0xffffffffULL) != kVersion) {
-        throw std::runtime_error("load_parameters: bad magic/version");
-    }
-    const std::uint64_t count = read_u64(in);
+    const std::uint32_t version = read_header(in, "load_parameters");
+    CrcReader reader{in, 0, version >= 2};
+
+    const std::uint64_t count = reader.read_u64("parameter count");
     if (count != parameters.size()) {
-        throw std::runtime_error("load_parameters: parameter count mismatch (file has " +
+        throw std::runtime_error("load_parameters: parameter count mismatch (stream has " +
                                  std::to_string(count) + ", network has " +
                                  std::to_string(parameters.size()) + ")");
     }
-    for (auto* p : parameters) {
-        const std::uint64_t rank = read_u64(in);
+    // Stage tensor data first and commit only after full validation, so a
+    // corrupt stream (bad shape, truncation, checksum mismatch) never leaves
+    // the target network half-overwritten.
+    std::vector<std::vector<float>> staged(parameters.size());
+    for (std::size_t index = 0; index < parameters.size(); ++index) {
+        auto* p = parameters[index];
+        const std::string context = "parameter " + std::to_string(index) +
+                                    (p->name.empty() ? "" : " ('" + p->name + "')");
+        const std::uint64_t rank = reader.read_u64(context + " rank");
+        if (rank > kMaxRank) {
+            throw std::runtime_error("load_parameters: " + context + ": implausible rank " +
+                                     std::to_string(rank) + " (corrupt stream?)");
+        }
         Shape shape(rank);
         for (auto& d : shape) {
-            d = read_u64(in);
+            d = reader.read_u64(context + " shape");
         }
         if (shape != p->value.shape()) {
-            throw std::runtime_error("load_parameters: shape mismatch for parameter '" + p->name +
-                                     "'");
+            throw std::runtime_error("load_parameters: " + context + ": shape mismatch (stream " +
+                                     shape_to_string(shape) + ", network " +
+                                     shape_to_string(p->value.shape()) + ")");
         }
-        auto data = p->value.data();
-        in.read(reinterpret_cast<char*>(data.data()),
-                static_cast<std::streamsize>(data.size() * sizeof(float)));
+        staged[index].resize(p->value.size());
+        reader.read(reinterpret_cast<char*>(staged[index].data()),
+                    staged[index].size() * sizeof(float), context + " data");
+    }
+    if (version >= 2) {
+        const std::uint32_t computed = reader.crc;
+        std::uint64_t stored = 0;
+        in.read(reinterpret_cast<char*>(&stored), sizeof stored);
         if (!in) {
-            throw std::runtime_error("load_parameters: truncated tensor data");
+            throw std::runtime_error("load_parameters: truncated stream while reading checksum");
+        }
+        if (stored != computed) {
+            throw std::runtime_error(
+                "load_parameters: checksum mismatch (stored " + std::to_string(stored) +
+                ", computed " + std::to_string(computed) + ") — checkpoint corrupt or truncated");
         }
     }
+    for (std::size_t index = 0; index < parameters.size(); ++index) {
+        auto data = parameters[index]->value.data();
+        std::copy(staged[index].begin(), staged[index].end(), data.begin());
+    }
+}
+
+bool verify_checkpoint(std::istream& in, std::string* error)
+{
+    try {
+        const std::uint32_t version = read_header(in, "verify_checkpoint");
+        CrcReader reader{in, 0, version >= 2};
+        const std::uint64_t count = reader.read_u64("parameter count");
+        constexpr std::uint64_t kMaxParameters = 1ULL << 20;
+        if (count > kMaxParameters) {
+            throw std::runtime_error("verify_checkpoint: implausible parameter count " +
+                                     std::to_string(count));
+        }
+        std::array<char, 4096> buffer;
+        for (std::uint64_t index = 0; index < count; ++index) {
+            const std::string context = "parameter " + std::to_string(index);
+            const std::uint64_t rank = reader.read_u64(context + " rank");
+            if (rank > kMaxRank) {
+                throw std::runtime_error("verify_checkpoint: " + context + ": implausible rank " +
+                                         std::to_string(rank));
+            }
+            std::uint64_t elements = 1;
+            for (std::uint64_t d = 0; d < rank; ++d) {
+                const std::uint64_t dim = reader.read_u64(context + " shape");
+                if (dim == 0 || elements > kMaxElements / std::max<std::uint64_t>(dim, 1)) {
+                    throw std::runtime_error("verify_checkpoint: " + context +
+                                             ": implausible shape");
+                }
+                elements *= dim;
+            }
+            std::uint64_t remaining = elements * sizeof(float);
+            while (remaining > 0) {
+                const std::size_t chunk =
+                    static_cast<std::size_t>(std::min<std::uint64_t>(remaining, buffer.size()));
+                reader.read(buffer.data(), chunk, context + " data");
+                remaining -= chunk;
+            }
+        }
+        if (version >= 2) {
+            std::uint64_t stored = 0;
+            in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+            if (!in) {
+                throw std::runtime_error("verify_checkpoint: truncated checksum");
+            }
+            if (stored != reader.crc) {
+                throw std::runtime_error("verify_checkpoint: checksum mismatch");
+            }
+        }
+    } catch (const std::exception& e) {
+        if (error != nullptr) {
+            *error = e.what();
+        }
+        return false;
+    }
+    return true;
 }
 
 void save_network(Sequential& network, const std::string& path)
 {
-    std::ofstream file(path, std::ios::binary);
-    if (!file) {
-        throw std::runtime_error("save_network: cannot open " + path);
+    // Serialize to memory first so a truncated write never leaves a partial
+    // file at `path` (atomic temp + rename), then re-verify the bytes on
+    // disk; a corrupted write (e.g. the fault injector's truncated-write
+    // fault, or a full disk) is detected and rewritten once.
+    std::ostringstream buffer(std::ios::binary);
+    save_parameters(network.parameters(), buffer);
+    const std::string blob = buffer.str();
+
+    constexpr int kAttempts = 2;
+    std::string last_error;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        std::string written = blob;
+        if (util::fault_injector().inject_truncated_write()) {
+            written.resize(written.size() / 2);
+            util::log_info("save_network: fault injector truncated checkpoint write to " + path);
+        }
+        util::atomic_write_file(path, written);
+
+        std::ifstream readback(path, std::ios::binary);
+        std::string error;
+        if (readback && verify_checkpoint(readback, &error)) {
+            return;
+        }
+        last_error = error.empty() ? "cannot re-open " + path : error;
+        util::log_info("save_network: checkpoint verification failed (" + last_error +
+                       "); rewriting");
     }
-    save_parameters(network.parameters(), file);
+    throw std::runtime_error("save_network: checkpoint at " + path +
+                             " failed verification after rewrite: " + last_error);
 }
 
 void load_network(Sequential& network, const std::string& path)

@@ -1,6 +1,7 @@
 #include "fptc/util/csv.hpp"
 
-#include <fstream>
+#include "fptc/util/journal.hpp"
+
 #include <sstream>
 #include <stdexcept>
 
@@ -55,14 +56,9 @@ std::string CsvWriter::to_string() const
 
 void CsvWriter::write_file(const std::string& path) const
 {
-    std::ofstream file(path);
-    if (!file) {
-        throw std::runtime_error("CsvWriter: cannot open " + path);
-    }
-    file << to_string();
-    if (!file) {
-        throw std::runtime_error("CsvWriter: write failed for " + path);
-    }
+    // Temp-file + rename so a killed campaign never leaves a partial
+    // artifact behind.
+    atomic_write_file(path, to_string());
 }
 
 } // namespace fptc::util

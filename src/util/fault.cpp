@@ -1,0 +1,87 @@
+#include "fptc/util/fault.hpp"
+
+#include "fptc/util/env.hpp"
+
+#include <sstream>
+
+namespace fptc::util {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+{
+    configure(plan);
+}
+
+void FaultInjector::configure(const FaultPlan& plan)
+{
+    plan_ = plan;
+    rng_ = Rng(mix_seed(plan.seed, 0xFA17));
+    counters_ = FaultCounters{};
+    training_steps_ = 0;
+}
+
+bool FaultInjector::enabled() const noexcept
+{
+    return plan_.nan_loss_every > 0 || plan_.truncate_writes > 0 || plan_.csv_row_percent > 0.0;
+}
+
+bool FaultInjector::inject_nan_loss()
+{
+    if (plan_.nan_loss_every <= 0) {
+        return false;
+    }
+    ++training_steps_;
+    if (training_steps_ % static_cast<std::uint64_t>(plan_.nan_loss_every) != 0) {
+        return false;
+    }
+    ++counters_.nan_losses;
+    return true;
+}
+
+bool FaultInjector::inject_truncated_write()
+{
+    if (plan_.truncate_writes <= 0 ||
+        counters_.truncated_writes >= static_cast<std::uint64_t>(plan_.truncate_writes)) {
+        return false;
+    }
+    ++counters_.truncated_writes;
+    return true;
+}
+
+bool FaultInjector::inject_csv_corruption()
+{
+    if (plan_.csv_row_percent <= 0.0) {
+        return false;
+    }
+    if (!rng_.bernoulli(plan_.csv_row_percent / 100.0)) {
+        return false;
+    }
+    ++counters_.corrupted_csv_rows;
+    return true;
+}
+
+std::string FaultInjector::summary() const
+{
+    std::ostringstream out;
+    out << "nan_loss=" << counters_.nan_losses << " truncated_writes="
+        << counters_.truncated_writes << " csv_rows=" << counters_.corrupted_csv_rows;
+    return out.str();
+}
+
+FaultPlan fault_plan_from_env()
+{
+    FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(env_int("FPTC_FAULT_SEED").value_or(0));
+    plan.nan_loss_every = static_cast<int>(env_int("FPTC_FAULT_NAN_EVERY").value_or(0));
+    plan.truncate_writes = static_cast<int>(env_int("FPTC_FAULT_TRUNCATE_WRITES").value_or(0));
+    plan.csv_row_percent =
+        static_cast<double>(env_int("FPTC_FAULT_CSV_PERCENT").value_or(0));
+    return plan;
+}
+
+FaultInjector& fault_injector()
+{
+    static FaultInjector injector(fault_plan_from_env());
+    return injector;
+}
+
+} // namespace fptc::util

@@ -1,0 +1,95 @@
+// Deterministic fault injection for testing recovery paths.
+//
+// The fault-tolerance layer (divergence guards, checksummed checkpoints,
+// CSV quarantine) only earns its keep if the failure paths themselves are
+// exercised regularly.  This module provides a seeded, deterministic
+// injector that the guarded code paths consult at well-defined points:
+//
+//   * training steps may have their loss forced to NaN,
+//   * checkpoint writes may be truncated mid-stream,
+//   * CSV rows may be mangled before parsing (lenient reads only).
+//
+// A process-wide injector is configured once from environment variables:
+//
+//   FPTC_FAULT_SEED=n             stream seed (default 0)
+//   FPTC_FAULT_NAN_EVERY=k        force every k-th guarded training step's
+//                                 loss to NaN (0 = off)
+//   FPTC_FAULT_TRUNCATE_WRITES=n  truncate the first n checkpoint writes
+//   FPTC_FAULT_CSV_PERCENT=p      mangle ~p% of CSV rows in lenient reads
+//
+// All injections are counted so campaign summaries can report exactly how
+// many faults were injected and survived.
+#pragma once
+
+#include "fptc/util/rng.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace fptc::util {
+
+/// What to inject.  Default-constructed plan injects nothing.
+struct FaultPlan {
+    std::uint64_t seed = 0;        ///< seed of the injector's own stream
+    int nan_loss_every = 0;        ///< every k-th guarded step diverges (0 = off)
+    int truncate_writes = 0;       ///< first n checkpoint writes are truncated
+    double csv_row_percent = 0.0;  ///< % of CSV rows mangled in lenient reads
+};
+
+/// Tallies of injected faults since the last configure().
+struct FaultCounters {
+    std::uint64_t nan_losses = 0;
+    std::uint64_t truncated_writes = 0;
+    std::uint64_t corrupted_csv_rows = 0;
+
+    [[nodiscard]] std::uint64_t total() const noexcept
+    {
+        return nan_losses + truncated_writes + corrupted_csv_rows;
+    }
+};
+
+/// Seeded deterministic fault injector.  Not thread-safe (campaigns are
+/// single-threaded today; revisit with the sharded-campaign work).
+class FaultInjector {
+public:
+    /// Inert injector (all inject_* return false).
+    FaultInjector() = default;
+
+    explicit FaultInjector(const FaultPlan& plan);
+
+    /// Replace the plan and reset counters and the injection stream.
+    void configure(const FaultPlan& plan);
+
+    /// True when any fault class is armed.
+    [[nodiscard]] bool enabled() const noexcept;
+
+    /// Consulted once per guarded training step; true = treat this step's
+    /// loss as NaN.  Counter-based: fires on every k-th call.
+    [[nodiscard]] bool inject_nan_loss();
+
+    /// Consulted once per checkpoint write; true = truncate the write.
+    [[nodiscard]] bool inject_truncated_write();
+
+    /// Consulted once per CSV row in lenient reads; Bernoulli(p).
+    [[nodiscard]] bool inject_csv_corruption();
+
+    [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
+
+    /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12".
+    [[nodiscard]] std::string summary() const;
+
+private:
+    FaultPlan plan_{};
+    Rng rng_{0};
+    FaultCounters counters_{};
+    std::uint64_t training_steps_ = 0;
+};
+
+/// The process-wide injector.  First use configures it from the
+/// FPTC_FAULT_* environment variables; tests may reconfigure it directly.
+[[nodiscard]] FaultInjector& fault_injector();
+
+/// Parse the FPTC_FAULT_* environment variables into a plan.
+[[nodiscard]] FaultPlan fault_plan_from_env();
+
+} // namespace fptc::util

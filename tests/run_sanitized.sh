@@ -1,0 +1,14 @@
+#!/bin/sh
+# Build and run the full test suite under AddressSanitizer + UBSan
+# (the "asan-ubsan" CMake preset).  Usage, from the repo root:
+#
+#   tests/run_sanitized.sh [extra ctest args...]
+#
+# e.g. tests/run_sanitized.sh -R Serialize
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

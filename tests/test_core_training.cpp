@@ -1,10 +1,15 @@
 // Tests of the training loops: supervised early stopping, evaluation,
-// SimCLR pre-training mechanics and the frozen-trunk fine-tuning path.
+// SimCLR pre-training mechanics, the frozen-trunk fine-tuning path and the
+// divergence guard (NaN-loss detection, rollback, bounded retries).
 #include "fptc/core/campaign.hpp"
+#include "fptc/core/guard.hpp"
 #include "fptc/core/simclr.hpp"
 #include "fptc/core/trainer.hpp"
+#include "fptc/util/fault.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 namespace {
 
@@ -171,6 +176,87 @@ TEST(SimClr, FinetuneConfigMatchesPaperProtocol)
     EXPECT_DOUBLE_EQ(config.learning_rate, 1e-2);
     EXPECT_EQ(config.patience, 5);
     EXPECT_DOUBLE_EQ(config.min_delta, 1e-3);
+}
+
+TEST(Guard, RecoversFromInjectedNanLosses)
+{
+    // Inject a NaN loss on every 7th guarded step: the guard must roll back,
+    // reseed and finish the training with the usual accuracy.
+    util::FaultPlan plan;
+    plan.nan_loss_every = 7;
+    util::fault_injector().configure(plan);
+
+    const auto train = toy_samples(40, 1);
+    const auto test = toy_samples(20, 3);
+    nn::ModelConfig model_config;
+    model_config.num_classes = 2;
+    model_config.with_dropout = false;
+    auto network = nn::make_supervised_network(model_config);
+    TrainConfig config;
+    config.max_epochs = 8;
+    const auto result = train_supervised(network, train, SampleSet{}, config);
+    util::fault_injector().configure(util::FaultPlan{});
+
+    EXPECT_GE(result.retries, 1);
+    EXPECT_GE(result.faults_detected, 1);
+    const auto confusion = evaluate(network, test, 2);
+    EXPECT_GT(confusion.accuracy(), 0.9);
+}
+
+TEST(Guard, ExhaustedRetryBudgetThrows)
+{
+    // Every guarded step diverges: no epoch can ever commit, so the
+    // consecutive-failure budget must run out and surface as an error.
+    util::FaultPlan plan;
+    plan.nan_loss_every = 1;
+    util::fault_injector().configure(plan);
+
+    const auto train = toy_samples(10, 1);
+    nn::ModelConfig model_config;
+    model_config.num_classes = 2;
+    auto network = nn::make_supervised_network(model_config);
+    TrainConfig config;
+    config.max_epochs = 3;
+    config.guard.max_retries = 2;
+    EXPECT_THROW((void)train_supervised(network, train, SampleSet{}, config), DivergenceError);
+    util::fault_injector().configure(util::FaultPlan{});
+}
+
+TEST(Guard, RollbackRestoresSnapshot)
+{
+    nn::ModelConfig model_config;
+    model_config.num_classes = 2;
+    auto network = nn::make_supervised_network(model_config);
+    const auto params = network.parameters();
+    const float original = params[0]->value.data()[0];
+
+    DivergenceGuard guard(params, GuardConfig{});
+    params[0]->value.data()[0] = original + 42.0f;
+    EXPECT_TRUE(guard.step_diverged(std::nan("")));
+    EXPECT_TRUE(guard.rollback());
+    EXPECT_EQ(params[0]->value.data()[0], original);
+    EXPECT_EQ(guard.retries(), 1);
+
+    // Committing adopts the current weights and resets the failure streak.
+    params[0]->value.data()[0] = original + 1.0f;
+    guard.commit();
+    EXPECT_FALSE(guard.step_diverged(0.5));
+    EXPECT_TRUE(guard.step_diverged(1e9)); // beyond loss_limit
+    EXPECT_TRUE(guard.rollback());
+    EXPECT_EQ(params[0]->value.data()[0], original + 1.0f);
+}
+
+TEST(Guard, RetrySeedsAreDistinct)
+{
+    nn::ModelConfig model_config;
+    auto network = nn::make_supervised_network(model_config);
+    DivergenceGuard guard(network.parameters(), GuardConfig{});
+    const auto first = guard.retry_seed(7);
+    EXPECT_TRUE(guard.step_diverged(std::nan("")));
+    EXPECT_TRUE(guard.rollback());
+    const auto second = guard.retry_seed(7);
+    EXPECT_NE(first, second);
+    EXPECT_NE(first, 7u);
 }
 
 TEST(SimClr, PretrainValidation)

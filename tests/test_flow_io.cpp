@@ -1,10 +1,14 @@
-// Tests for the monolithic CSV dataset format (fptc/flow/io.hpp).
+// Tests for the monolithic CSV dataset format (fptc/flow/io.hpp): strict
+// round-trips, line-numbered errors, header validation and the
+// quarantine-and-continue reader.
 #include "fptc/flow/io.hpp"
 #include "fptc/trafficgen/ucdavis19.hpp"
+#include "fptc/util/fault.hpp"
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 namespace {
 
@@ -106,6 +110,128 @@ TEST(FlowIo, RejectsInconsistentClassNames)
         "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
     std::stringstream buffer(header + "0,0,alpha,0.0,100,up,0,0\n1,0,beta,0.0,100,up,0,0\n");
     EXPECT_THROW((void)read_dataset_csv(buffer), std::runtime_error);
+}
+
+TEST(FlowIo, ErrorsCarryLineNumbers)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    // The bad row is the third line of the file (header is line 1).
+    std::stringstream buffer(header + "0,0,x,0.0,100,up,0,0\n0,0,x,oops,100,up,0,0\n");
+    try {
+        (void)read_dataset_csv(buffer);
+        FAIL() << "expected parse failure";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("timestamp"), std::string::npos) << e.what();
+    }
+}
+
+TEST(FlowIo, HeaderErrorsNameTheColumn)
+{
+    std::stringstream buffer(
+        "flow_id,label,klass,timestamp,size,direction,is_ack,background\n");
+    try {
+        (void)read_dataset_csv(buffer);
+        FAIL() << "expected header rejection";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("column 3"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("'klass'"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("'class_name'"), std::string::npos) << e.what();
+    }
+}
+
+TEST(FlowIo, QuarantineCollectsBadRowsAndContinues)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    std::stringstream buffer(header + "0,0,alpha,0.0,100,up,0,0\n"   // line 2: good
+                             + "0,0,alpha,bogus,100,up,0,0\n"        // line 3: bad timestamp
+                             + "1,1,beta,0.0,100,up,0\n"             // line 4: 7 fields
+                             + "2,1,beta,0.5,200,down,1,0\n");       // line 5: good
+    CsvReadReport report;
+    CsvReadOptions options;
+    options.quarantine = true;
+    const auto dataset = read_dataset_csv(buffer, options, &report);
+
+    ASSERT_EQ(report.quarantined.size(), 2u);
+    EXPECT_EQ(report.quarantined[0].line_number, 3u);
+    EXPECT_EQ(report.quarantined[1].line_number, 4u);
+    EXPECT_NE(report.quarantined[0].error.find("timestamp"), std::string::npos);
+    EXPECT_EQ(report.rows_read, 2u);
+    ASSERT_EQ(dataset.flows.size(), 2u);
+    EXPECT_EQ(dataset.flows[0].packets.size(), 1u);
+    EXPECT_EQ(dataset.flows[1].label, 1u);
+}
+
+TEST(FlowIo, QuarantineRejectsResumedFlows)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    // Flow 0 resumes after flow 1: its second appearance must be quarantined,
+    // not appended to the first.
+    std::stringstream buffer(header + "0,0,alpha,0.0,100,up,0,0\n"
+                             + "1,1,beta,0.0,100,up,0,0\n"
+                             + "0,0,alpha,1.0,100,up,0,0\n");
+    CsvReadReport report;
+    CsvReadOptions options;
+    options.quarantine = true;
+    const auto dataset = read_dataset_csv(buffer, options, &report);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0].line_number, 4u);
+    EXPECT_EQ(dataset.flows.size(), 2u);
+    EXPECT_EQ(dataset.flows[0].packets.size(), 1u);
+}
+
+TEST(FlowIo, QuarantineCapThrows)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    std::string body;
+    for (int i = 0; i < 5; ++i) {
+        body += "garbage\n";
+    }
+    std::stringstream buffer(header + body);
+    CsvReadOptions options;
+    options.quarantine = true;
+    options.max_quarantined = 3;
+    EXPECT_THROW((void)read_dataset_csv(buffer, options, nullptr), std::runtime_error);
+}
+
+TEST(FlowIo, InjectedCsvFaultsAreQuarantined)
+{
+    // 100% row corruption: every row is mangled, quarantined and counted.
+    fptc::util::FaultPlan plan;
+    plan.csv_row_percent = 100.0;
+    fptc::util::fault_injector().configure(plan);
+
+    const auto original = tiny_dataset();
+    std::stringstream buffer;
+    write_dataset_csv(original, buffer);
+    CsvReadReport report;
+    CsvReadOptions options;
+    options.quarantine = true;
+    const auto dataset = read_dataset_csv(buffer, options, &report);
+    fptc::util::fault_injector().configure(fptc::util::FaultPlan{});
+
+    EXPECT_EQ(report.injected_faults, 3u); // one per packet row
+    EXPECT_EQ(report.quarantined.size(), 3u);
+    EXPECT_EQ(report.rows_read, 0u);
+    EXPECT_TRUE(dataset.flows.empty()); // all-quarantined flows are dropped
+}
+
+TEST(FlowIo, StrictModeIgnoresCsvFaultInjection)
+{
+    fptc::util::FaultPlan plan;
+    plan.csv_row_percent = 100.0;
+    fptc::util::fault_injector().configure(plan);
+
+    const auto original = tiny_dataset();
+    std::stringstream buffer;
+    write_dataset_csv(original, buffer);
+    const auto restored = read_dataset_csv(buffer); // strict read: no mangling
+    fptc::util::fault_injector().configure(fptc::util::FaultPlan{});
+    EXPECT_EQ(restored.flows.size(), original.flows.size());
 }
 
 TEST(FlowIo, FillsVocabularyGaps)

@@ -1,8 +1,11 @@
 // Unit tests for fptc::util — RNG determinism and distribution sanity,
-// table/CSV rendering, heatmaps and campaign-scale resolution.
+// table/CSV rendering, heatmaps, campaign-scale resolution, the run
+// journal and the fault injector.
 #include "fptc/util/csv.hpp"
 #include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
 #include "fptc/util/heatmap.hpp"
+#include "fptc/util/journal.hpp"
 #include "fptc/util/rng.hpp"
 #include "fptc/util/table.hpp"
 
@@ -10,8 +13,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <set>
+#include <string>
 
 namespace {
 
@@ -274,6 +282,220 @@ TEST(Heatmap, DownsamplesLargeInput)
     options.show_scale = false;
     const auto text = fptc::util::render_heatmap(values, 128, 128, options);
     EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 18); // 16 + borders
+}
+
+class TempFile {
+public:
+    explicit TempFile(const std::string& name)
+        : path_((std::filesystem::temp_directory_path() / name).string())
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+};
+
+TEST(Journal, JsonLineRoundTrip)
+{
+    fptc::util::JournalRecord record;
+    record.key = "table4|res=32|aug=rotate|split=0|seed=1";
+    record.fields = {{"script", "98.25"}, {"note", "quote \" and \\ and\ntab\t"}};
+    const auto line = fptc::util::to_json_line(record);
+    const auto parsed = fptc::util::parse_json_line(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->key, record.key);
+    EXPECT_EQ(parsed->fields, record.fields);
+}
+
+TEST(Journal, ParseRejectsTornLines)
+{
+    EXPECT_FALSE(fptc::util::parse_json_line("").has_value());
+    EXPECT_FALSE(fptc::util::parse_json_line("{\"key\":\"a\",\"x\":\"1").has_value());
+    EXPECT_FALSE(fptc::util::parse_json_line("not json at all").has_value());
+    EXPECT_FALSE(fptc::util::parse_json_line("{\"x\":\"1\"}").has_value()); // no key
+}
+
+TEST(Journal, RecordsSurviveReopen)
+{
+    TempFile file("fptc_test_journal.jsonl");
+    {
+        fptc::util::RunJournal journal(file.path());
+        EXPECT_EQ(journal.size(), 0u);
+        journal.record("unit-a", {{"score", "1.5"}});
+        journal.record("unit-b", {{"score", "2.5"}});
+    }
+    fptc::util::RunJournal reopened(file.path());
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.recovered_records(), 2u);
+    EXPECT_TRUE(reopened.completed("unit-a"));
+    EXPECT_FALSE(reopened.completed("unit-c"));
+    const auto* fields = reopened.find("unit-b");
+    ASSERT_NE(fields, nullptr);
+    EXPECT_EQ(fields->at("score"), "2.5");
+}
+
+TEST(Journal, TornTailIsDiscarded)
+{
+    TempFile file("fptc_test_journal_torn.jsonl");
+    {
+        fptc::util::RunJournal journal(file.path());
+        journal.record("unit-a", {{"score", "1"}});
+    }
+    {
+        // Simulate a crash mid-append: a half-written final line.
+        std::ofstream out(file.path(), std::ios::app);
+        out << "{\"key\":\"unit-b\",\"score\":\"2";
+    }
+    fptc::util::RunJournal reopened(file.path());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.discarded_lines(), 1u);
+    EXPECT_FALSE(reopened.completed("unit-b"));
+
+    // compact() rewrites the file without the torn line.
+    reopened.compact();
+    fptc::util::RunJournal compacted(file.path());
+    EXPECT_EQ(compacted.size(), 1u);
+    EXPECT_EQ(compacted.discarded_lines(), 0u);
+}
+
+TEST(Journal, LastRecordWinsOnRerecord)
+{
+    TempFile file("fptc_test_journal_dup.jsonl");
+    {
+        fptc::util::RunJournal journal(file.path());
+        journal.record("unit", {{"score", "1"}});
+        journal.record("unit", {{"score", "2"}});
+    }
+    fptc::util::RunJournal reopened(file.path());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.find("unit")->at("score"), "2");
+}
+
+TEST(Journal, AtomicWriteFileReplacesContent)
+{
+    TempFile file("fptc_test_atomic.txt");
+    fptc::util::atomic_write_file(file.path(), "first");
+    fptc::util::atomic_write_file(file.path(), "second");
+    std::ifstream in(file.path());
+    std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "second");
+}
+
+TEST(Journal, FieldDoubleRoundTripsExactly)
+{
+    const double value = 0.1 + 0.2; // not representable prettily
+    const auto text = fptc::util::field_from_double(value);
+    std::map<std::string, std::string> fields{{"v", text}};
+    EXPECT_EQ(fptc::util::field_double(fields, "v"), value);
+    EXPECT_THROW((void)fptc::util::field_double(fields, "missing"), std::runtime_error);
+}
+
+TEST(Journal, CampaignJournalReplaysRecordedUnits)
+{
+    TempFile file("fptc_test_campaign.jsonl");
+    ::setenv("FPTC_JOURNAL", file.path().c_str(), 1);
+    int executions = 0;
+    const auto run = [&] {
+        ++executions;
+        return std::map<std::string, std::string>{{"score", "9"}};
+    };
+    {
+        fptc::util::CampaignJournal journal("testbench");
+        ASSERT_TRUE(journal.enabled());
+        EXPECT_EQ(journal.run_or_replay("u1", run).at("score"), "9");
+        EXPECT_EQ(journal.run_or_replay("u2", run).at("score"), "9");
+        EXPECT_EQ(journal.executed(), 2u);
+        EXPECT_EQ(journal.replayed(), 0u);
+    }
+    {
+        // A re-launched campaign replays both units without executing.
+        fptc::util::CampaignJournal journal("testbench");
+        EXPECT_EQ(journal.run_or_replay("u1", run).at("score"), "9");
+        EXPECT_EQ(journal.run_or_replay("u2", run).at("score"), "9");
+        EXPECT_EQ(journal.replayed(), 2u);
+        EXPECT_EQ(journal.executed(), 0u);
+        EXPECT_NE(journal.summary().find("2 replayed"), std::string::npos);
+    }
+    EXPECT_EQ(executions, 2);
+    {
+        // Keys are namespaced per campaign: another bench re-executes.
+        fptc::util::CampaignJournal journal("otherbench");
+        (void)journal.run_or_replay("u1", run);
+        EXPECT_EQ(journal.executed(), 1u);
+    }
+    ::unsetenv("FPTC_JOURNAL");
+}
+
+TEST(Journal, CampaignJournalDisabledWithoutEnv)
+{
+    ::unsetenv("FPTC_JOURNAL");
+    fptc::util::CampaignJournal journal("testbench");
+    EXPECT_FALSE(journal.enabled());
+    int executions = 0;
+    const auto run = [&] {
+        ++executions;
+        return std::map<std::string, std::string>{};
+    };
+    (void)journal.run_or_replay("u1", run);
+    (void)journal.run_or_replay("u1", run);
+    EXPECT_EQ(executions, 2); // every call executes without a journal
+    EXPECT_TRUE(journal.summary().empty());
+}
+
+TEST(Fault, InertByDefault)
+{
+    fptc::util::FaultInjector injector;
+    EXPECT_FALSE(injector.enabled());
+    EXPECT_FALSE(injector.inject_nan_loss());
+    EXPECT_FALSE(injector.inject_truncated_write());
+    EXPECT_FALSE(injector.inject_csv_corruption());
+    EXPECT_EQ(injector.counters().total(), 0u);
+}
+
+TEST(Fault, NanLossFiresEveryKthStep)
+{
+    fptc::util::FaultPlan plan;
+    plan.nan_loss_every = 3;
+    fptc::util::FaultInjector injector(plan);
+    EXPECT_TRUE(injector.enabled());
+    int fired = 0;
+    for (int i = 0; i < 12; ++i) {
+        fired += injector.inject_nan_loss() ? 1 : 0;
+    }
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(injector.counters().nan_losses, 4u);
+}
+
+TEST(Fault, TruncatedWritesAreFirstN)
+{
+    fptc::util::FaultPlan plan;
+    plan.truncate_writes = 2;
+    fptc::util::FaultInjector injector(plan);
+    EXPECT_TRUE(injector.inject_truncated_write());
+    EXPECT_TRUE(injector.inject_truncated_write());
+    EXPECT_FALSE(injector.inject_truncated_write());
+    EXPECT_EQ(injector.counters().truncated_writes, 2u);
+}
+
+TEST(Fault, CsvCorruptionIsDeterministicInSeed)
+{
+    fptc::util::FaultPlan plan;
+    plan.seed = 5;
+    plan.csv_row_percent = 30.0;
+    fptc::util::FaultInjector a(plan);
+    fptc::util::FaultInjector b(plan);
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        const bool hit = a.inject_csv_corruption();
+        EXPECT_EQ(hit, b.inject_csv_corruption());
+        fired += hit ? 1 : 0;
+    }
+    EXPECT_GT(fired, 30); // ~60 expected
+    EXPECT_LT(fired, 100);
+    EXPECT_EQ(a.summary(), b.summary());
 }
 
 TEST(Env, ResolveScaleDefaults)
