@@ -9,12 +9,16 @@
 // splits/seeds; the 1500x1500 column (the paper's own 30-minutes-per-run
 // bottleneck) is enabled with FPTC_FULL=1.  Results are also dumped as CSV
 // to FPTC_ARTIFACTS_DIR when set.
+//
+// Campaign units run through CampaignExecutor (FPTC_JOBS workers, per-unit
+// watchdog / retry / degradation); aggregation happens in submission order so
+// stdout is bit-identical for any worker count.
 #include "fptc/core/campaign.hpp"
+#include "fptc/core/executor.hpp"
 #include "fptc/stats/descriptive.hpp"
 #include "fptc/util/csv.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
-#include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
 #include "fptc/util/table.hpp"
 
@@ -44,6 +48,15 @@ struct CellScores {
     std::vector<double> script;
     std::vector<double> human;
     std::vector<double> leftover;
+    std::size_t expected = 0;  ///< units scheduled for this cell
+};
+
+struct UnitMeta {
+    std::size_t resolution;
+    augment::AugmentationKind augmentation;
+    std::string aug_name;
+    int split;
+    int seed;
 };
 
 } // namespace
@@ -63,7 +76,6 @@ int main()
     const char* artifacts_dir = std::getenv("FPTC_ARTIFACTS_DIR");
     util::CsvWriter csv({"augmentation", "resolution", "split", "seed", "script", "human",
                          "leftover", "epochs"});
-    util::CampaignJournal journal("table4");
     long total_retries = 0;
     long total_faults = 0;
 
@@ -75,8 +87,8 @@ int main()
     }
     std::cout << (scale.full ? "" : "; set FPTC_FULL=1 for the 1500x1500 column") << ")\n\n";
 
-    // cell_scores[resolution][augmentation]
-    std::map<std::size_t, std::map<augment::AugmentationKind, CellScores>> cells;
+    core::CampaignExecutor executor("table4");
+    std::vector<UnitMeta> units;
 
     for (const auto resolution : resolutions) {
         for (const auto augmentation : augment::all_augmentations()) {
@@ -90,7 +102,6 @@ int main()
             // reduced scale to keep the default suite under budget.
             const int cell_splits =
                 (!scale.full && resolution >= 64) ? std::max(1, scale.splits / 2) : scale.splits;
-            auto& cell = cells[resolution][augmentation];
             const auto aug_name = std::string(augment::augmentation_name(augmentation));
             for (int split = 0; split < cell_splits; ++split) {
                 for (int seed = 0; seed < scale.seeds; ++seed) {
@@ -98,10 +109,14 @@ int main()
                                             "|aug=" + aug_name + "|split=" +
                                             std::to_string(split) + "|seed=" +
                                             std::to_string(seed);
-                    const auto fields = journal.run_or_replay(key, [&] {
+                    units.push_back({resolution, augmentation, aug_name, split, seed});
+                    executor.submit(key, [&data, options, augmentation, split,
+                                          seed](const util::CancelToken& token) {
+                        auto unit_options = options;
+                        unit_options.hooks.cancel = &token;
                         const auto run = core::run_ucdavis_supervised(
                             data, augmentation, 1000 + static_cast<std::uint64_t>(split),
-                            50 + static_cast<std::uint64_t>(seed), options);
+                            50 + static_cast<std::uint64_t>(seed), unit_options);
                         return std::map<std::string, std::string>{
                             {"script", util::field_from_double(100.0 * run.script_accuracy())},
                             {"human", util::field_from_double(100.0 * run.human_accuracy())},
@@ -110,24 +125,42 @@ int main()
                             {"retries", std::to_string(run.retries)},
                             {"faults", std::to_string(run.faults_detected)}};
                     });
-                    cell.script.push_back(util::field_double(fields, "script"));
-                    cell.human.push_back(util::field_double(fields, "human"));
-                    cell.leftover.push_back(util::field_double(fields, "leftover"));
-                    total_retries += util::field_long(fields, "retries");
-                    total_faults += util::field_long(fields, "faults");
-                    csv.add_row({aug_name, std::to_string(resolution), std::to_string(split),
-                                 std::to_string(seed), util::format_double(cell.script.back()),
-                                 util::format_double(cell.human.back()),
-                                 util::format_double(cell.leftover.back()),
-                                 std::to_string(util::field_long(fields, "epochs"))});
-                    util::log_info("table4: res " + std::to_string(resolution) + " " + aug_name +
-                                   " split " + std::to_string(split) + " seed " +
-                                   std::to_string(seed) + " -> script " +
-                                   util::format_double(cell.script.back()) + " human " +
-                                   util::format_double(cell.human.back()));
                 }
             }
         }
+    }
+
+    executor.run_all();
+
+    // Ordered reduction: walk outcomes in submission order so the table, the
+    // CSV artifact and the log lines are identical for every FPTC_JOBS.
+    // cell_scores[resolution][augmentation]
+    std::map<std::size_t, std::map<augment::AugmentationKind, CellScores>> cells;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const auto& meta = units[i];
+        const auto& outcome = executor.outcome(i);
+        auto& cell = cells[meta.resolution][meta.augmentation];
+        ++cell.expected;
+        if (!outcome.succeeded()) {
+            continue;  // degraded/cancelled: the cell is marked, not averaged
+        }
+        const auto& fields = outcome.fields;
+        cell.script.push_back(util::field_double(fields, "script"));
+        cell.human.push_back(util::field_double(fields, "human"));
+        cell.leftover.push_back(util::field_double(fields, "leftover"));
+        total_retries += util::field_long(fields, "retries");
+        total_faults += util::field_long(fields, "faults");
+        csv.add_row({meta.aug_name, std::to_string(meta.resolution),
+                     std::to_string(meta.split), std::to_string(meta.seed),
+                     util::format_double(cell.script.back()),
+                     util::format_double(cell.human.back()),
+                     util::format_double(cell.leftover.back()),
+                     std::to_string(util::field_long(fields, "epochs"))});
+        util::log_info("table4: res " + std::to_string(meta.resolution) + " " + meta.aug_name +
+                       " split " + std::to_string(meta.split) + " seed " +
+                       std::to_string(meta.seed) + " -> script " +
+                       util::format_double(cell.script.back()) + " human " +
+                       util::format_double(cell.human.back()));
     }
 
     for (const auto test_set : {"script", "human", "leftover"}) {
@@ -146,37 +179,51 @@ int main()
                 const auto& scores = std::string(test_set) == "script" ? cell.script
                                      : std::string(test_set) == "human" ? cell.human
                                                                         : cell.leftover;
-                const auto ci = stats::mean_ci(scores);
-                row.push_back(util::format_mean_ci(ci.mean, ci.half_width));
+                const auto ci = stats::degraded_cell_ci(scores, cell.expected);
+                row.push_back(util::format_degraded_mean_ci(ci.ci.mean, ci.ci.half_width,
+                                                            ci.ci.n, ci.missing));
             }
             table.add_row(row);
+        }
+        if (executor.degraded() > 0) {
+            table.add_footnote("†N: N scheduled run(s) of that cell degraded; "
+                               "mean over survivors only.");
         }
         std::cout << table.to_string() << '\n';
     }
 
     // Mean diff vs the Ref-Paper at 32x32 (the paper reports -2.05 script,
-    // -21.96 human at this resolution for its own reproduction).
+    // -21.96 human at this resolution for its own reproduction).  Cells with
+    // no surviving runs are excluded from the average.
     double diff_script = 0.0;
     double diff_human = 0.0;
+    int diff_cells = 0;
     for (const auto& [augmentation, ref] : kRefPaper32) {
         const auto& cell = cells[32][augmentation];
+        if (cell.script.empty()) {
+            continue;
+        }
         diff_script += stats::mean_ci(cell.script).mean - ref.first;
         diff_human += stats::mean_ci(cell.human).mean - ref.second;
+        ++diff_cells;
     }
-    diff_script /= static_cast<double>(kRefPaper32.size());
-    diff_human /= static_cast<double>(kRefPaper32.size());
+    if (diff_cells > 0) {
+        diff_script /= static_cast<double>(diff_cells);
+        diff_human /= static_cast<double>(diff_cells);
+    }
     std::cout << "mean diff vs Ref-Paper at 32x32: script " << util::format_double(diff_script)
               << " (paper's own reproduction: -2.05), human " << util::format_double(diff_human)
               << " (paper: -21.96 — the data shift)\n";
     std::cout << "expected shape: small script deltas, ~20% human drop, leftover ≈ script.\n";
 
-    if (!journal.summary().empty()) {
-        std::cout << journal.summary() << '\n';
-    }
-    if (total_retries > 0 || total_faults > 0 || util::fault_injector().enabled()) {
+    std::cout << executor.summary() << '\n';
+    util::log_info(executor.timing_summary());
+    if (total_retries > 0 || total_faults > 0 || executor.retried_units() > 0 ||
+        executor.degraded() > 0 || util::fault_injector().enabled()) {
         std::cout << "fault tolerance: " << total_faults << " divergent step(s) detected, "
-                  << total_retries << " rollback retrie(s); injected: "
-                  << util::fault_injector().summary() << '\n';
+                  << total_retries << " rollback retrie(s), " << executor.retried_units()
+                  << " unit re-execution(s); injected: " << util::fault_injector().summary()
+                  << '\n';
     }
 
     if (artifacts_dir != nullptr) {

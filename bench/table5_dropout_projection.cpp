@@ -8,17 +8,22 @@
 // removing dropout helps human (74.69±1.13); enlarging the projection to 84
 // gives no significant gain.  Expected shape here: script in the low 90s,
 // human in the 70s, no-dropout >= with-dropout on human.
+//
+// Campaign units run through CampaignExecutor (FPTC_JOBS workers, per-unit
+// watchdog / retry / degradation); aggregation happens in submission order so
+// stdout is bit-identical for any worker count.
 #include "fptc/core/campaign.hpp"
+#include "fptc/core/executor.hpp"
 #include "fptc/stats/descriptive.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
-#include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
 #include "fptc/util/table.hpp"
 
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 int main()
@@ -30,7 +35,6 @@ int main()
     const auto scale = util::resolve_scale(5, 5, /*default_splits=*/2, /*default_seeds=*/1);
     const int finetune_seeds = scale.full ? 5 : 2;
     const auto data = core::load_ucdavis();
-    util::CampaignJournal journal("table5");
     long total_retries = 0;
     long total_faults = 0;
 
@@ -41,13 +45,26 @@ int main()
     util::Table table("Fine-tune accuracy (32x32, 10 samples per class)");
     table.set_header({"Proj. dim", "Dropout", "script", "human", "pretrain epochs (avg)"});
 
+    struct UnitMeta {
+        std::size_t cell;  ///< index into the 2x2 ablation grid
+        std::size_t projection_dim;
+        bool with_dropout;
+        int split;
+    };
+    struct Cell {
+        std::vector<double> script;
+        std::vector<double> human;
+        double epoch_total = 0.0;
+        std::size_t expected = 0;
+    };
+
+    core::CampaignExecutor executor("table5");
+    std::vector<UnitMeta> units;
+    std::vector<Cell> cells(4);
+    std::size_t cell_index = 0;
+
     for (const std::size_t projection_dim : {std::size_t{30}, std::size_t{84}}) {
         for (const bool with_dropout : {true, false}) {
-            std::vector<double> script_scores;
-            std::vector<double> human_scores;
-            double epoch_total = 0.0;
-            int pretrains = 0;
-
             core::SimClrOptions options;
             options.projection_dim = projection_dim;
             options.with_dropout = with_dropout;
@@ -61,11 +78,15 @@ int main()
                             "|split=" + std::to_string(split) +
                             "|seed=" + std::to_string(simclr_seed) +
                             "|ft=" + std::to_string(ft_seed);
-                        const auto fields = journal.run_or_replay(key, [&] {
+                        units.push_back({cell_index, projection_dim, with_dropout, split});
+                        executor.submit(key, [&data, options, split, simclr_seed,
+                                              ft_seed](const util::CancelToken& token) {
+                            auto unit_options = options;
+                            unit_options.hooks.cancel = &token;
                             const auto run = core::run_ucdavis_simclr(
                                 data, 1000 + static_cast<std::uint64_t>(split),
                                 70 + static_cast<std::uint64_t>(simclr_seed),
-                                90 + static_cast<std::uint64_t>(ft_seed), options);
+                                90 + static_cast<std::uint64_t>(ft_seed), unit_options);
                             return std::map<std::string, std::string>{
                                 {"script",
                                  util::field_from_double(100.0 * run.script_accuracy())},
@@ -74,28 +95,62 @@ int main()
                                 {"retries", std::to_string(run.retries)},
                                 {"faults", std::to_string(run.faults_detected)}};
                         });
-                        script_scores.push_back(util::field_double(fields, "script"));
-                        human_scores.push_back(util::field_double(fields, "human"));
-                        epoch_total += static_cast<double>(util::field_long(fields, "epochs"));
-                        total_retries += util::field_long(fields, "retries");
-                        total_faults += util::field_long(fields, "faults");
-                        ++pretrains;
-                        util::log_info(
-                            "table5: proj " + std::to_string(projection_dim) + " dropout " +
-                            std::to_string(with_dropout) + " split " + std::to_string(split) +
-                            " -> script " + util::format_double(script_scores.back()) +
-                            " human " + util::format_double(human_scores.back()));
                     }
                 }
             }
-
-            const auto script_ci = stats::mean_ci(script_scores);
-            const auto human_ci = stats::mean_ci(human_scores);
-            table.add_row({std::to_string(projection_dim), with_dropout ? "w/" : "w/o",
-                           util::format_mean_ci(script_ci.mean, script_ci.half_width),
-                           util::format_mean_ci(human_ci.mean, human_ci.half_width),
-                           util::format_double(epoch_total / pretrains, 1)});
+            ++cell_index;
         }
+    }
+
+    executor.run_all();
+
+    // Ordered reduction (submission order) keeps stdout bit-identical for
+    // every FPTC_JOBS value.
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const auto& meta = units[i];
+        const auto& outcome = executor.outcome(i);
+        auto& cell = cells[meta.cell];
+        ++cell.expected;
+        if (!outcome.succeeded()) {
+            continue;  // degraded/cancelled: the cell is marked, not averaged
+        }
+        const auto& fields = outcome.fields;
+        cell.script.push_back(util::field_double(fields, "script"));
+        cell.human.push_back(util::field_double(fields, "human"));
+        cell.epoch_total += static_cast<double>(util::field_long(fields, "epochs"));
+        total_retries += util::field_long(fields, "retries");
+        total_faults += util::field_long(fields, "faults");
+        util::log_info("table5: proj " + std::to_string(meta.projection_dim) + " dropout " +
+                       std::to_string(meta.with_dropout) + " split " +
+                       std::to_string(meta.split) + " -> script " +
+                       util::format_double(cell.script.back()) + " human " +
+                       util::format_double(cell.human.back()));
+    }
+
+    cell_index = 0;
+    for (const std::size_t projection_dim : {std::size_t{30}, std::size_t{84}}) {
+        for (const bool with_dropout : {true, false}) {
+            const auto& cell = cells[cell_index++];
+            const auto script_ci = stats::degraded_cell_ci(cell.script, cell.expected);
+            const auto human_ci = stats::degraded_cell_ci(cell.human, cell.expected);
+            const auto survivors = cell.script.size();
+            table.add_row({std::to_string(projection_dim), with_dropout ? "w/" : "w/o",
+                           util::format_degraded_mean_ci(script_ci.ci.mean,
+                                                         script_ci.ci.half_width,
+                                                         script_ci.ci.n, script_ci.missing),
+                           util::format_degraded_mean_ci(human_ci.ci.mean,
+                                                         human_ci.ci.half_width, human_ci.ci.n,
+                                                         human_ci.missing),
+                           survivors > 0
+                               ? util::format_double(cell.epoch_total /
+                                                         static_cast<double>(survivors),
+                                                     1)
+                               : "n/a"});
+        }
+    }
+    if (executor.degraded() > 0) {
+        table.add_footnote("†N: N scheduled run(s) of that cell degraded; "
+                           "mean over survivors only.");
     }
 
     std::cout << table.to_string() << '\n';
@@ -103,13 +158,14 @@ int main()
                  "92.18±0.31 / 74.69±1.13 (w/o); proj 84: 92.02±0.36 / 73.31±1.04 (w/),\n"
                  "92.54±0.33 / 74.35±1.38 (w/o).  Takeaways: dropout does not help (and hurts\n"
                  "human); a larger projection brings no significant gain.\n";
-    if (!journal.summary().empty()) {
-        std::cout << journal.summary() << '\n';
-    }
-    if (total_retries > 0 || total_faults > 0 || util::fault_injector().enabled()) {
+    std::cout << executor.summary() << '\n';
+    util::log_info(executor.timing_summary());
+    if (total_retries > 0 || total_faults > 0 || executor.retried_units() > 0 ||
+        executor.degraded() > 0 || util::fault_injector().enabled()) {
         std::cout << "fault tolerance: " << total_faults << " divergent step(s) detected, "
-                  << total_retries << " rollback retrie(s); injected: "
-                  << util::fault_injector().summary() << '\n';
+                  << total_retries << " rollback retrie(s), " << executor.retried_units()
+                  << " unit re-execution(s); injected: " << util::fault_injector().summary()
+                  << '\n';
     }
     return 0;
 }

@@ -7,12 +7,16 @@
 // Paper shape to verify: Change RTT and Time shift are the top strategies on
 // every dataset; the augmentation gap widens vs UCDAVIS19 (up to ~14% on
 // MIRAGE-19) and Rotate *hurts* badly on MIRAGE-19.
+//
+// Campaign units run through CampaignExecutor (FPTC_JOBS workers, per-unit
+// watchdog / retry / degradation); aggregation happens in submission order so
+// stdout is bit-identical for any worker count.
 #include "fptc/core/campaign.hpp"
+#include "fptc/core/executor.hpp"
 #include "fptc/stats/descriptive.hpp"
 #include "fptc/trafficgen/mobile.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
-#include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
 #include "fptc/util/table.hpp"
 
@@ -51,7 +55,6 @@ int main()
     }
     std::cout << '\n';
 
-    util::CampaignJournal journal("table8");
     long total_retries = 0;
     long total_faults = 0;
 
@@ -62,54 +65,99 @@ int main()
     }
     table.set_header(header);
 
+    struct Cell {
+        std::vector<double> scores;
+        std::size_t expected = 0;
+    };
+
+    core::CampaignExecutor executor("table8");
+    std::vector<std::size_t> unit_cells;  ///< submission index -> cell index
+    // cells laid out augmentation-major: cell = aug_index * datasets + dataset
+    std::vector<Cell> cells(augment::all_augmentations().size() * datasets.size());
+
+    std::size_t aug_index = 0;
     for (const auto augmentation : augment::all_augmentations()) {
-        std::vector<std::string> row = {std::string(augment::augmentation_name(augmentation))};
-        for (const auto& entry : datasets) {
-            std::vector<double> scores;
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            const auto& entry = datasets[d];
             core::SupervisedOptions options;
             options.max_epochs = scale.max_epochs;
             options.augment_copies = scale.full ? 10 : 2;
+            const std::size_t cell = aug_index * datasets.size() + d;
             for (int split = 0; split < scale.splits; ++split) {
                 for (int seed = 0; seed < scale.seeds; ++seed) {
                     const std::string key =
                         "dataset=" + entry.title +
                         "|aug=" + std::string(augment::augmentation_name(augmentation)) +
                         "|split=" + std::to_string(split) + "|seed=" + std::to_string(seed);
-                    const auto fields = journal.run_or_replay(key, [&] {
+                    unit_cells.push_back(cell);
+                    executor.submit(key, [&entry, options, augmentation, split,
+                                          seed](const util::CancelToken& token) {
+                        auto unit_options = options;
+                        unit_options.hooks.cancel = &token;
                         const auto run = core::run_replication_supervised(
                             entry.dataset, augmentation, 400 + static_cast<std::uint64_t>(split),
-                            60 + static_cast<std::uint64_t>(seed), options);
+                            60 + static_cast<std::uint64_t>(seed), unit_options);
                         return std::map<std::string, std::string>{
                             {"f1", util::field_from_double(100.0 * run.weighted_f1())},
                             {"epochs", std::to_string(run.epochs_run)},
                             {"retries", std::to_string(run.retries)},
                             {"faults", std::to_string(run.faults_detected)}};
                     });
-                    scores.push_back(util::field_double(fields, "f1"));
-                    total_retries += util::field_long(fields, "retries");
-                    total_faults += util::field_long(fields, "faults");
                 }
             }
-            const auto ci = stats::mean_ci(scores);
-            row.push_back(util::format_mean_ci(ci.mean, ci.half_width));
+        }
+        ++aug_index;
+    }
+
+    executor.run_all();
+
+    // Ordered reduction (submission order) keeps stdout bit-identical for
+    // every FPTC_JOBS value.
+    for (std::size_t i = 0; i < unit_cells.size(); ++i) {
+        auto& cell = cells[unit_cells[i]];
+        ++cell.expected;
+        const auto& outcome = executor.outcome(i);
+        if (!outcome.succeeded()) {
+            continue;  // degraded/cancelled: the cell is marked, not averaged
+        }
+        cell.scores.push_back(util::field_double(outcome.fields, "f1"));
+        total_retries += util::field_long(outcome.fields, "retries");
+        total_faults += util::field_long(outcome.fields, "faults");
+    }
+
+    aug_index = 0;
+    for (const auto augmentation : augment::all_augmentations()) {
+        std::vector<std::string> row = {std::string(augment::augmentation_name(augmentation))};
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            const auto& cell = cells[aug_index * datasets.size() + d];
+            const auto ci = stats::degraded_cell_ci(cell.scores, cell.expected);
+            row.push_back(util::format_degraded_mean_ci(ci.ci.mean, ci.ci.half_width, ci.ci.n,
+                                                        ci.missing));
             util::log_info("table8: " + std::string(augment::augmentation_name(augmentation)) +
-                           " on " + entry.title + " -> " + util::format_double(ci.mean));
+                           " on " + datasets[d].title + " -> " +
+                           util::format_double(ci.ci.mean));
         }
         table.add_row(row);
+        ++aug_index;
     }
     table.add_footnote("Paper reference (weighted F1): e.g. MIRAGE-19 no-aug 69.91±1.57, "
                        "Change RTT 74.28±1.22, Rotate 60.35±1.17 (rotation hurts).");
+    if (executor.degraded() > 0) {
+        table.add_footnote("†N: N scheduled run(s) of that cell degraded; "
+                           "mean over survivors only.");
+    }
 
     std::cout << table.to_string() << '\n';
     std::cout << "shape to verify: Change RTT / Time shift best across datasets; larger gaps\n"
                  "between augmentations than on UCDAVIS19; Rotate degrades MIRAGE-19.\n";
-    if (!journal.summary().empty()) {
-        std::cout << journal.summary() << '\n';
-    }
-    if (total_retries > 0 || total_faults > 0 || util::fault_injector().enabled()) {
+    std::cout << executor.summary() << '\n';
+    util::log_info(executor.timing_summary());
+    if (total_retries > 0 || total_faults > 0 || executor.retried_units() > 0 ||
+        executor.degraded() > 0 || util::fault_injector().enabled()) {
         std::cout << "fault tolerance: " << total_faults << " divergent step(s) detected, "
-                  << total_retries << " rollback retrie(s); injected: "
-                  << util::fault_injector().summary() << '\n';
+                  << total_retries << " rollback retrie(s), " << executor.retried_units()
+                  << " unit re-execution(s); injected: " << util::fault_injector().summary()
+                  << '\n';
     }
     return 0;
 }

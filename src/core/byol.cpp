@@ -188,6 +188,7 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
         std::size_t batches = 0;
         bool diverged = false;
         for (std::size_t start = 0; start + 1 < order.size(); start += config.batch_samples) {
+            config.hooks.poll();
             const std::size_t end = std::min(start + config.batch_samples, order.size());
             const std::size_t batch = end - start;
             nn::Tensor view_a({batch, 1, dim, dim});
@@ -280,6 +281,7 @@ SimClrRunResult run_ucdavis_byol(const UcdavisData& data, std::uint64_t split_se
     ByolConfig pretrain_config;
     pretrain_config.max_epochs = options.pretrain_max_epochs;
     pretrain_config.seed = util::mix_seed(pretrain_seed, 0xB402);
+    pretrain_config.hooks = options.hooks;
     const auto pretrain_result = pretrain_byol(network, pool, views, pretrain_config);
 
     // 10-shot labeled subset of the pool, as in run_ucdavis_simclr.
@@ -304,7 +306,8 @@ SimClrRunResult run_ucdavis_byol(const UcdavisData& data, std::uint64_t split_se
     nn::ModelConfig head_config = model_config;
     head_config.seed = util::mix_seed(finetune_seed, 0x4EAD);
     auto head = nn::make_finetune_head(head_config);
-    const auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
+    auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
+    ft_config.hooks = options.hooks;
 
     const auto train_embedded = embed_set(network.online, train_set);
     const auto head_result = train_head(head, train_embedded, ft_config);

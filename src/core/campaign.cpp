@@ -102,6 +102,7 @@ namespace {
     TrainConfig train_config;
     train_config.max_epochs = options.max_epochs;
     train_config.seed = util::mix_seed(train_seed, 0xBEEF);
+    train_config.hooks = options.hooks;
     auto result = train_supervised(network, train, validation, train_config);
     return {std::move(network), std::move(result)};
 }
@@ -176,6 +177,7 @@ namespace {
     SimClrConfig pretrain_config;
     pretrain_config.max_epochs = options.pretrain_max_epochs;
     pretrain_config.seed = util::mix_seed(pretrain_seed, 0x517);
+    pretrain_config.hooks = options.hooks;
     const auto pretrain_result =
         supervised ? pretrain_supcon(network, pool_flows, views, pretrain_config)
                    : pretrain_simclr(network, pool_flows, views, pretrain_config);
@@ -199,7 +201,8 @@ namespace {
     nn::ModelConfig head_config = model_config;
     head_config.seed = util::mix_seed(finetune_seed, 0x4EAD);
     auto head = nn::make_finetune_head(head_config);
-    const auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
+    auto ft_config = finetune_config(util::mix_seed(finetune_seed, 0x7A1));
+    ft_config.hooks = options.hooks;
 
     const auto train_embedded = embed_set(network, train_set);
     const auto head_result = train_head(head, train_embedded, ft_config);
@@ -281,6 +284,7 @@ SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data, std::uint64
     SimClrConfig pretrain_config;
     pretrain_config.max_epochs = options.pretrain_max_epochs;
     pretrain_config.seed = util::mix_seed(seed, 0x517);
+    pretrain_config.hooks = options.hooks;
     const auto pretrain_result =
         pretrain_simclr(network, data.pretraining.flows, views, pretrain_config);
 
@@ -296,7 +300,8 @@ SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data, std::uint64
     nn::ModelConfig head_config = model_config;
     head_config.seed = util::mix_seed(seed, 0x4EAD);
     auto head = nn::make_finetune_head(head_config);
-    const auto ft_config = finetune_config(util::mix_seed(seed, 0x7A1));
+    auto ft_config = finetune_config(util::mix_seed(seed, 0x7A1));
+    ft_config.hooks = options.hooks;
     const auto train_embedded = embed_set(network, train_set);
     const auto head_result = train_head(head, train_embedded, ft_config);
 

@@ -1,0 +1,256 @@
+#include "fptc/core/executor.hpp"
+
+#include "fptc/core/guard.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/log.hpp"
+#include "fptc/util/rng.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <sstream>
+#include <thread>
+
+namespace fptc::core {
+
+namespace {
+
+/// FNV-1a over the unit key: a stable, platform-independent stream id for
+/// the backoff jitter (std::hash is not stable across implementations).
+[[nodiscard]] std::uint64_t key_hash(const std::string& key) noexcept
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+ExecutorConfig executor_config_from_env()
+{
+    ExecutorConfig config;
+    config.jobs = static_cast<int>(util::env_int("FPTC_JOBS").value_or(1));
+    config.jobs = std::max(1, config.jobs);
+    config.unit_timeout_s = util::env_double("FPTC_UNIT_TIMEOUT_S").value_or(0.0);
+    config.unit_retries = static_cast<int>(util::env_int("FPTC_UNIT_RETRIES").value_or(2));
+    config.unit_retries = std::max(0, config.unit_retries);
+    config.backoff_base_ms = util::env_double("FPTC_UNIT_BACKOFF_MS").value_or(50.0);
+    return config;
+}
+
+double backoff_delay_ms(const ExecutorConfig& config, const std::string& key, int retry)
+{
+    if (retry < 1 || config.backoff_base_ms <= 0.0) {
+        return 0.0;
+    }
+    double delay = config.backoff_base_ms;
+    for (int i = 1; i < retry; ++i) {
+        delay *= 2.0;
+        if (delay >= config.backoff_max_ms) {
+            break;
+        }
+    }
+    util::Rng jitter(util::mix_seed(config.backoff_seed, key_hash(key),
+                                    static_cast<std::uint64_t>(retry)));
+    delay *= 0.5 + jitter.uniform();
+    return std::min(delay, config.backoff_max_ms);
+}
+
+ErrorClass classify_exception(const std::exception& error) noexcept
+{
+    if (const auto* unit_error = dynamic_cast<const UnitError*>(&error)) {
+        return unit_error->error_class();
+    }
+    if (const auto* cancelled = dynamic_cast<const util::CancelledError*>(&error)) {
+        return cancelled->kind() == util::CancelKind::timeout ? ErrorClass::timeout
+                                                              : ErrorClass::cancelled;
+    }
+    if (dynamic_cast<const DivergenceError*>(&error) != nullptr) {
+        return ErrorClass::fatal;
+    }
+    if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr) {
+        return ErrorClass::transient;
+    }
+    return ErrorClass::fatal;
+}
+
+CampaignExecutor::CampaignExecutor(std::string campaign, ExecutorConfig config)
+    : campaign_(std::move(campaign)), config_(config), journal_(campaign_)
+{
+}
+
+std::size_t CampaignExecutor::submit(std::string key, UnitFn run)
+{
+    units_.push_back(Unit{std::move(key), std::move(run)});
+    return units_.size() - 1;
+}
+
+void CampaignExecutor::run_unit(std::size_t index)
+{
+    const Unit& unit = units_[index];
+    UnitOutcome outcome;
+    outcome.key = unit.key;
+    const auto unit_start = std::chrono::steady_clock::now();
+
+    const int max_attempts = config_.unit_retries + 1;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        if (campaign_cancel_.cancelled()) {
+            outcome.status = UnitStatus::cancelled;
+            outcome.final_error = ErrorClass::cancelled;
+            outcome.error_chain.push_back("cancelled: campaign cancelled before attempt");
+            break;
+        }
+        if (attempt > 0) {
+            const double delay = backoff_delay_ms(config_, unit.key, attempt);
+            util::log_info("executor[" + campaign_ + "]: retrying " + unit.key +
+                           " (unit retry " + std::to_string(attempt) + "/" +
+                           std::to_string(config_.unit_retries) + " after " +
+                           std::to_string(static_cast<long>(delay)) + "ms backoff)");
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(static_cast<std::int64_t>(delay * 1000.0)));
+            ++outcome.unit_retries;
+        }
+        ++outcome.attempts;
+
+        util::CancelToken token;
+        token.set_parent(&campaign_cancel_);
+        token.set_timeout(config_.unit_timeout_s);
+        if (util::fault_injector().inject_unit_stall()) {
+            // Simulated hang: the unit's next poll sleeps until the watchdog
+            // deadline trips it (capped so a stall without a watchdog ends).
+            const auto cap_ms = config_.unit_timeout_s > 0.0
+                                    ? static_cast<std::int64_t>(config_.unit_timeout_s * 2000.0) + 1000
+                                    : std::int64_t{500};
+            token.arm_stall(std::chrono::milliseconds(cap_ms));
+        }
+
+        try {
+            if (util::fault_injector().inject_unit_transient()) {
+                throw UnitError(ErrorClass::transient, "injected transient fault");
+            }
+            outcome.fields = unit.run(token);
+            outcome.status = UnitStatus::ok;
+            journal_.commit(unit.key, outcome.fields);
+            break;
+        } catch (const std::exception& error) {
+            const ErrorClass klass = classify_exception(error);
+            outcome.error_chain.push_back(std::string(error_class_name(klass)) + ": " +
+                                          error.what());
+            outcome.final_error = klass;
+            if (klass == ErrorClass::transient && attempt + 1 < max_attempts) {
+                continue;
+            }
+            outcome.status = klass == ErrorClass::cancelled ? UnitStatus::cancelled
+                                                            : UnitStatus::degraded;
+            util::log_info("executor[" + campaign_ + "]: unit " + unit.key + " " +
+                           (outcome.status == UnitStatus::cancelled ? "cancelled"
+                                                                    : "degraded") +
+                           " after " + std::to_string(outcome.attempts) + " attempt(s): " +
+                           outcome.error_chain.back());
+            break;
+        }
+    }
+    outcome.busy_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - unit_start).count();
+    outcomes_[index] = std::move(outcome);
+}
+
+void CampaignExecutor::worker_loop()
+{
+    while (true) {
+        const std::size_t slot = next_pending_.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= pending_.size()) {
+            return;
+        }
+        run_unit(pending_[slot]);
+    }
+}
+
+void CampaignExecutor::run_all()
+{
+    if (ran_) {
+        throw std::logic_error("CampaignExecutor::run_all: already ran");
+    }
+    ran_ = true;
+    outcomes_.assign(units_.size(), UnitOutcome{});
+
+    // Replay journal-completed units up front; only the rest hit the pool.
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        if (auto fields = journal_.try_replay(units_[i].key)) {
+            outcomes_[i].key = units_[i].key;
+            outcomes_[i].status = UnitStatus::replayed;
+            outcomes_[i].fields = *std::move(fields);
+        } else {
+            pending_.push_back(i);
+        }
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(config_.jobs),
+                                               pending_.size()));
+    if (workers <= 1) {
+        worker_loop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int i = 0; i < workers; ++i) {
+            pool.emplace_back([this] { worker_loop(); });
+        }
+        for (auto& thread : pool) {
+            thread.join();
+        }
+    }
+    wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  wall_start)
+                        .count();
+
+    for (const auto& outcome : outcomes_) {
+        switch (outcome.status) {
+        case UnitStatus::ok: ++executed_; break;
+        case UnitStatus::replayed: ++resumed_; break;
+        case UnitStatus::degraded: ++degraded_count_; break;
+        case UnitStatus::cancelled: break;
+        }
+        if (outcome.unit_retries > 0) {
+            ++retried_units_;
+        }
+        busy_seconds_ += outcome.busy_seconds;
+    }
+}
+
+std::string CampaignExecutor::summary() const
+{
+    std::size_t cancelled = 0;
+    for (const auto& outcome : outcomes_) {
+        if (outcome.status == UnitStatus::cancelled) {
+            ++cancelled;
+        }
+    }
+    std::ostringstream out;
+    out << "executor[" << campaign_ << "]: " << units_.size() << " unit(s): " << executed_
+        << " executed, " << resumed_ << " resumed, " << retried_units_ << " retried, "
+        << degraded_count_ << " degraded";
+    if (cancelled > 0) {
+        out << ", " << cancelled << " cancelled";
+    }
+    return out.str();
+}
+
+std::string CampaignExecutor::timing_summary() const
+{
+    std::ostringstream out;
+    out << "executor[" << campaign_ << "]: " << config_.jobs << " worker(s), wall "
+        << wall_seconds_ << "s";
+    if (wall_seconds_ > 0.0 && busy_seconds_ > 0.0) {
+        out << ", busy " << busy_seconds_ << "s, speedup "
+            << busy_seconds_ / wall_seconds_ << "x";
+    }
+    return out.str();
+}
+
+} // namespace fptc::core

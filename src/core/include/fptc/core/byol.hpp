@@ -48,6 +48,7 @@ struct ByolConfig {
     double min_delta = 1e-3;
     std::uint64_t seed = 11;
     GuardConfig guard{};      ///< divergence detection / rollback budget
+    TrainHooks hooks{};       ///< executor supervision (cancellation)
 };
 
 /// Outcome of BYOL pre-training.

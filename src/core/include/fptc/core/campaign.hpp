@@ -47,6 +47,8 @@ struct SupervisedOptions {
     /// Use the 2-channel direction-aware flowpic (footnote 3 extension,
     /// bench/ablation_directional) instead of the paper's direction-blind one.
     bool directional = false;
+    /// Executor supervision; forwarded into every training loop of the run.
+    TrainHooks hooks{};
 };
 
 /// Result of one supervised experiment (one split x one training seed).
@@ -83,6 +85,8 @@ struct SimClrOptions {
     augment::AugmentationKind second = augment::AugmentationKind::time_shift;
     int pretrain_max_epochs = 12;
     flowpic::FlowpicConfig flowpic{};
+    /// Executor supervision; forwarded into pre-training and fine-tuning.
+    TrainHooks hooks{};
 };
 
 /// Result of one SimCLR experiment.

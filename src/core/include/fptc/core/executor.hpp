@@ -1,0 +1,217 @@
+// Supervised parallel campaign executor.
+//
+// The paper's evaluation protocol is a large grid of (config, split, seed)
+// campaign units — Tables 4-9 alone are hundreds of independent trainings.
+// CampaignExecutor runs those units on a fixed worker pool where every unit
+// executes under a supervisor:
+//
+//   * watchdog   — a per-unit deadline (FPTC_UNIT_TIMEOUT_S) armed on a
+//                  CancelToken that the training loops poll per batch,
+//   * taxonomy   — failures are classified transient / fatal / timeout /
+//                  cancelled (UnitError carries the class explicitly),
+//   * retry      — transient failures re-execute the unit after a
+//                  seeded-deterministic exponential backoff, up to
+//                  FPTC_UNIT_RETRIES re-executions,
+//   * degrade    — a unit that exhausts its budget (or fails terminally) is
+//                  recorded as degraded with its full error chain and the
+//                  campaign continues; aggregation marks the affected table
+//                  cells instead of aborting the whole bench.
+//
+// Determinism: units are pure functions of their seeds and aggregation
+// happens in submission order, so campaign tables are bit-identical for any
+// FPTC_JOBS value (per-unit RNG streams already exist; the pool only changes
+// *when* a unit runs, never *what* it computes).  Completed units are
+// committed to the PR-1 RunJournal (thread-safe appends), so a killed
+// campaign resumes bit-identically too.
+//
+// Retry accounting: epoch-level divergence rollbacks (DivergenceGuard) are
+// reported by the *successful* attempt only — each re-execution constructs
+// fresh guards, so rollbacks from abandoned attempts are never folded into
+// the recorded TrainResult.  Unit-level re-executions are counted separately
+// in UnitOutcome::unit_retries and the campaign summary reports both.
+#pragma once
+
+#include "fptc/util/cancel.hpp"
+#include "fptc/util/journal.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fptc::core {
+
+/// Failure classes of the executor's error taxonomy.
+enum class ErrorClass {
+    transient,  ///< plausibly succeeds on re-execution (retried with backoff)
+    fatal,      ///< deterministic failure; retrying cannot help
+    timeout,    ///< killed by the per-unit watchdog deadline
+    cancelled,  ///< campaign-wide cancellation reached the unit
+};
+
+[[nodiscard]] constexpr const char* error_class_name(ErrorClass klass) noexcept
+{
+    switch (klass) {
+    case ErrorClass::transient: return "transient";
+    case ErrorClass::fatal: return "fatal";
+    case ErrorClass::timeout: return "timeout";
+    case ErrorClass::cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+/// Typed unit failure.  Unit functions may throw this directly to pick their
+/// class; all other exceptions are classified by the executor (see
+/// classify_exception).
+class UnitError : public std::runtime_error {
+public:
+    UnitError(ErrorClass klass, const std::string& message)
+        : std::runtime_error(message), class_(klass)
+    {
+    }
+
+    [[nodiscard]] ErrorClass error_class() const noexcept { return class_; }
+
+private:
+    ErrorClass class_;
+};
+
+/// Executor tuning; defaults preserve the exact sequential seed behaviour.
+struct ExecutorConfig {
+    int jobs = 1;                 ///< worker threads (FPTC_JOBS)
+    double unit_timeout_s = 0.0;  ///< per-unit watchdog deadline, 0 = off
+    int unit_retries = 2;         ///< transient re-executions per unit budget
+    double backoff_base_ms = 50.0;   ///< first retry delay (doubles per retry)
+    double backoff_max_ms = 5000.0;  ///< delay cap
+    std::uint64_t backoff_seed = 0x5EED;  ///< jitter stream seed
+};
+
+/// Resolve the executor configuration from FPTC_JOBS, FPTC_UNIT_TIMEOUT_S,
+/// FPTC_UNIT_RETRIES and FPTC_UNIT_BACKOFF_MS.
+[[nodiscard]] ExecutorConfig executor_config_from_env();
+
+/// Deterministic backoff before re-execution `retry` (1-based) of `key`:
+/// exponential in the retry index with seeded jitter in [0.5, 1.5), capped
+/// at backoff_max_ms.  Pure in (config, key, retry) — tests rely on this.
+[[nodiscard]] double backoff_delay_ms(const ExecutorConfig& config, const std::string& key,
+                                      int retry);
+
+/// How a unit ended.
+enum class UnitStatus {
+    ok,         ///< executed and committed
+    replayed,   ///< resumed from the journal without executing
+    degraded,   ///< failed terminally; campaign continued without it
+    cancelled,  ///< campaign cancelled before/while the unit ran
+};
+
+/// Per-unit record of one supervised execution.
+struct UnitOutcome {
+    std::string key;
+    UnitStatus status = UnitStatus::ok;
+    std::map<std::string, std::string> fields;  ///< metrics (ok / replayed)
+    std::vector<std::string> error_chain;       ///< "class: message" per attempt
+    int attempts = 0;      ///< executions performed (0 when replayed)
+    int unit_retries = 0;  ///< re-executions after transient failures
+    double busy_seconds = 0.0;  ///< wall time spent executing this unit
+    ErrorClass final_error = ErrorClass::transient;  ///< set when degraded/cancelled
+
+    [[nodiscard]] bool succeeded() const noexcept
+    {
+        return status == UnitStatus::ok || status == UnitStatus::replayed;
+    }
+};
+
+/// Fixed-pool supervised executor for one campaign's units.
+///
+/// Usage: submit() every unit (cheap closures capturing seeds/options), then
+/// run_all() once, then aggregate outcomes() in submission order.  The unit
+/// function receives the per-attempt CancelToken; wire it into the campaign
+/// options' TrainHooks so the watchdog reaches the training loops.
+class CampaignExecutor {
+public:
+    using UnitFn =
+        std::function<std::map<std::string, std::string>(const util::CancelToken&)>;
+
+    /// `campaign` namespaces journal keys (journaling armed by FPTC_JOURNAL,
+    /// exactly as CampaignJournal does).
+    explicit CampaignExecutor(std::string campaign,
+                              ExecutorConfig config = executor_config_from_env());
+
+    /// Queue a unit; returns its index.  Not thread-safe; submit everything
+    /// before run_all().
+    std::size_t submit(std::string key, UnitFn run);
+
+    /// Execute all submitted units on the pool (blocks).  Journal-completed
+    /// units are replayed without occupying a worker.  Safe to call once.
+    void run_all();
+
+    /// Trip the campaign-wide token: running units unwind at their next
+    /// poll, pending units are marked cancelled.  Callable from any thread.
+    void cancel_all() const noexcept { campaign_cancel_.cancel(util::CancelKind::cancelled); }
+
+    [[nodiscard]] const std::vector<UnitOutcome>& outcomes() const noexcept
+    {
+        return outcomes_;
+    }
+    [[nodiscard]] const UnitOutcome& outcome(std::size_t index) const
+    {
+        return outcomes_.at(index);
+    }
+
+    [[nodiscard]] std::size_t units() const noexcept { return units_.size(); }
+    [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+    [[nodiscard]] std::size_t resumed() const noexcept { return resumed_; }
+    [[nodiscard]] std::size_t degraded() const noexcept { return degraded_count_; }
+    [[nodiscard]] std::size_t retried_units() const noexcept { return retried_units_; }
+
+    /// Deterministic one-line summary for campaign stdout (counts only — no
+    /// timings, so bench output stays bit-identical across FPTC_JOBS).
+    [[nodiscard]] std::string summary() const;
+
+    /// Wall-clock / busy-time / speedup line for stderr logging (timings are
+    /// inherently nondeterministic, so they never go to stdout).
+    [[nodiscard]] std::string timing_summary() const;
+
+    [[nodiscard]] const ExecutorConfig& config() const noexcept { return config_; }
+
+private:
+    struct Unit {
+        std::string key;
+        UnitFn run;
+    };
+
+    void run_unit(std::size_t index);
+    void worker_loop();
+
+    std::string campaign_;
+    ExecutorConfig config_;
+    util::CampaignJournal journal_;
+    mutable util::CancelToken campaign_cancel_;
+    std::vector<Unit> units_;
+    std::vector<UnitOutcome> outcomes_;
+    std::vector<std::size_t> pending_;  ///< indexes needing execution
+    std::atomic<std::size_t> next_pending_{0};
+    bool ran_ = false;
+
+    std::size_t executed_ = 0;
+    std::size_t resumed_ = 0;
+    std::size_t degraded_count_ = 0;
+    std::size_t retried_units_ = 0;
+    double wall_seconds_ = 0.0;
+    double busy_seconds_ = 0.0;
+};
+
+/// Map an in-flight exception to the taxonomy.  UnitError keeps its class;
+/// CancelledError maps to timeout/cancelled; DivergenceError is fatal (the
+/// unit is deterministic in its seeds, so it would diverge again);
+/// std::bad_alloc is transient (memory pressure passes); anything else is
+/// fatal.
+[[nodiscard]] ErrorClass classify_exception(const std::exception& error) noexcept;
+
+} // namespace fptc::core

@@ -32,6 +32,7 @@ struct SimClrConfig {
     int patience = 3;               ///< on the top-5 contrastive accuracy
     std::uint64_t seed = 11;
     GuardConfig guard{};            ///< divergence detection / rollback budget
+    TrainHooks hooks{};             ///< executor supervision (cancellation)
 };
 
 /// Pre-training outcome.

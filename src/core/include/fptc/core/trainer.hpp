@@ -10,11 +10,29 @@
 #include "fptc/core/guard.hpp"
 #include "fptc/nn/sequential.hpp"
 #include "fptc/stats/metrics.hpp"
+#include "fptc/util/cancel.hpp"
 
 #include <cstdint>
 #include <vector>
 
 namespace fptc::core {
+
+/// Supervision hooks threaded through every training loop (supervised,
+/// SimCLR, SupCon, BYOL).  The campaign executor wires its per-unit
+/// CancelToken in here so a watchdog deadline or campaign-wide cancellation
+/// unwinds the loop at the next batch boundary — before any result is
+/// committed, so a cancelled unit leaves no partial journal record.
+struct TrainHooks {
+    const util::CancelToken* cancel = nullptr;  ///< polled once per batch
+
+    /// Cancellation point; throws util::CancelledError once the token trips.
+    void poll() const
+    {
+        if (cancel != nullptr) {
+            cancel->poll();
+        }
+    }
+};
 
 /// Training hyper-parameters (defaults = the paper's supervised protocol;
 /// max_epochs is an additional cap for CPU budgets).
@@ -27,6 +45,7 @@ struct TrainConfig {
     bool use_adam = true;     ///< Adam (tcbench default) vs plain SGD
     std::uint64_t seed = 7;   ///< batch shuffling seed
     GuardConfig guard{};      ///< divergence detection / rollback budget
+    TrainHooks hooks{};       ///< executor supervision (cancellation)
 };
 
 /// Outcome of one training run.

@@ -45,6 +45,7 @@ namespace {
         bool diverged = false;
 
         for (std::size_t start = 0; start + 1 < order.size(); start += config.batch_samples) {
+            config.hooks.poll();
             const std::size_t end = std::min(start + config.batch_samples, order.size());
             const std::size_t batch_size = end - start;
             if (batch_size < 2) {
@@ -216,6 +217,7 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
         std::size_t batches = 0;
         bool diverged = false;
         for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+            config.hooks.poll();
             const std::size_t end = std::min(start + config.batch_size, order.size());
             const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
             const auto inputs = rows_of(train.features, batch_indices);

@@ -43,6 +43,7 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
         std::size_t batches = 0;
         bool diverged = false;
         for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+            config.hooks.poll();
             const std::size_t end = std::min(start + config.batch_size, order.size());
             const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
             const auto inputs = train.batch(batch_indices);

@@ -73,6 +73,15 @@ MeanCi mean_ci(std::span<const double> values, double confidence)
     return result;
 }
 
+DegradedCellCi degraded_cell_ci(std::span<const double> values, std::size_t expected,
+                                double confidence)
+{
+    DegradedCellCi cell;
+    cell.ci = mean_ci(values, confidence);
+    cell.missing = expected > values.size() ? expected - values.size() : 0;
+    return cell;
+}
+
 BoxSummary box_summary(std::vector<double> values) noexcept
 {
     BoxSummary summary;

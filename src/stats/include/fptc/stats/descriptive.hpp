@@ -36,6 +36,23 @@ struct MeanCi {
 /// the half width is 0.
 [[nodiscard]] MeanCi mean_ci(std::span<const double> values, double confidence = 0.95);
 
+/// Campaign table cell aggregate that tolerates degraded units: the CI over
+/// the surviving scores plus how many of the expected contributions are
+/// missing.  A degraded cell is *marked*, never silently averaged — see
+/// util::format_degraded_mean_ci for the rendering.
+struct DegradedCellCi {
+    MeanCi ci;                ///< over the surviving values only
+    std::size_t missing = 0;  ///< expected - surviving contributions
+
+    [[nodiscard]] bool complete() const noexcept { return missing == 0; }
+    [[nodiscard]] bool empty() const noexcept { return ci.n == 0; }
+};
+
+/// Aggregate `values` (the surviving unit scores of one table cell) against
+/// the number of units the campaign scheduled for that cell.
+[[nodiscard]] DegradedCellCi degraded_cell_ci(std::span<const double> values,
+                                              std::size_t expected, double confidence = 0.95);
+
 /// Five-number-style summary used by the boxplot figures (Fig. 11): median,
 /// quartiles and 5th/95th percentile whiskers.
 struct BoxSummary {

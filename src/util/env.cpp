@@ -19,6 +19,20 @@ std::optional<std::int64_t> env_int(const std::string& name)
     return static_cast<std::int64_t>(value);
 }
 
+std::optional<double> env_double(const std::string& name)
+{
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0') {
+        return std::nullopt;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(raw, &end);
+    if (end == raw) {
+        return std::nullopt;
+    }
+    return value;
+}
+
 bool full_scale()
 {
     return env_int("FPTC_FULL").value_or(0) != 0;

@@ -13,19 +13,25 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
 
 void FaultInjector::configure(const FaultPlan& plan)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     plan_ = plan;
     rng_ = Rng(mix_seed(plan.seed, 0xFA17));
     counters_ = FaultCounters{};
     training_steps_ = 0;
+    unit_executions_stall_ = 0;
+    unit_executions_transient_ = 0;
 }
 
 bool FaultInjector::enabled() const noexcept
 {
-    return plan_.nan_loss_every > 0 || plan_.truncate_writes > 0 || plan_.csv_row_percent > 0.0;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return plan_.nan_loss_every > 0 || plan_.truncate_writes > 0 ||
+           plan_.csv_row_percent > 0.0 || plan_.stall_units > 0 || plan_.transient_units > 0;
 }
 
 bool FaultInjector::inject_nan_loss()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (plan_.nan_loss_every <= 0) {
         return false;
     }
@@ -39,6 +45,7 @@ bool FaultInjector::inject_nan_loss()
 
 bool FaultInjector::inject_truncated_write()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (plan_.truncate_writes <= 0 ||
         counters_.truncated_writes >= static_cast<std::uint64_t>(plan_.truncate_writes)) {
         return false;
@@ -49,6 +56,7 @@ bool FaultInjector::inject_truncated_write()
 
 bool FaultInjector::inject_csv_corruption()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (plan_.csv_row_percent <= 0.0) {
         return false;
     }
@@ -59,11 +67,43 @@ bool FaultInjector::inject_csv_corruption()
     return true;
 }
 
+bool FaultInjector::inject_unit_stall()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.stall_units <= 0 ||
+        unit_executions_stall_ >= static_cast<std::uint64_t>(plan_.stall_units)) {
+        return false;
+    }
+    ++unit_executions_stall_;
+    ++counters_.stalled_units;
+    return true;
+}
+
+bool FaultInjector::inject_unit_transient()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.transient_units <= 0 ||
+        unit_executions_transient_ >= static_cast<std::uint64_t>(plan_.transient_units)) {
+        return false;
+    }
+    ++unit_executions_transient_;
+    ++counters_.transient_units;
+    return true;
+}
+
+FaultCounters FaultInjector::counters() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
 std::string FaultInjector::summary() const
 {
+    const auto counts = counters();
     std::ostringstream out;
-    out << "nan_loss=" << counters_.nan_losses << " truncated_writes="
-        << counters_.truncated_writes << " csv_rows=" << counters_.corrupted_csv_rows;
+    out << "nan_loss=" << counts.nan_losses << " truncated_writes=" << counts.truncated_writes
+        << " csv_rows=" << counts.corrupted_csv_rows << " stalled_units="
+        << counts.stalled_units << " transient_units=" << counts.transient_units;
     return out.str();
 }
 
@@ -75,6 +115,8 @@ FaultPlan fault_plan_from_env()
     plan.truncate_writes = static_cast<int>(env_int("FPTC_FAULT_TRUNCATE_WRITES").value_or(0));
     plan.csv_row_percent =
         static_cast<double>(env_int("FPTC_FAULT_CSV_PERCENT").value_or(0));
+    plan.stall_units = static_cast<int>(env_int("FPTC_FAULT_STALL_UNITS").value_or(0));
+    plan.transient_units = static_cast<int>(env_int("FPTC_FAULT_TRANSIENT_UNITS").value_or(0));
     return plan;
 }
 

@@ -20,6 +20,10 @@ namespace fptc::util {
 /// unparsable.
 [[nodiscard]] std::optional<std::int64_t> env_int(const std::string& name);
 
+/// Read a floating point environment variable (e.g. FPTC_UNIT_TIMEOUT_S=0.25);
+/// returns std::nullopt when unset or unparsable.
+[[nodiscard]] std::optional<double> env_double(const std::string& name);
+
 /// True when FPTC_FULL is set to a non-zero value.
 [[nodiscard]] bool full_scale();
 

@@ -1,13 +1,17 @@
 // Deterministic fault injection for testing recovery paths.
 //
 // The fault-tolerance layer (divergence guards, checksummed checkpoints,
-// CSV quarantine) only earns its keep if the failure paths themselves are
-// exercised regularly.  This module provides a seeded, deterministic
-// injector that the guarded code paths consult at well-defined points:
+// CSV quarantine, the supervised campaign executor) only earns its keep if
+// the failure paths themselves are exercised regularly.  This module
+// provides a seeded, deterministic injector that the guarded code paths
+// consult at well-defined points:
 //
 //   * training steps may have their loss forced to NaN,
 //   * checkpoint writes may be truncated mid-stream,
-//   * CSV rows may be mangled before parsing (lenient reads only).
+//   * CSV rows may be mangled before parsing (lenient reads only),
+//   * campaign unit executions may stall (hang until the watchdog deadline
+//     kills them) or throw a transient UnitError (exercising the executor's
+//     retry/backoff path).
 //
 // A process-wide injector is configured once from environment variables:
 //
@@ -16,14 +20,26 @@
 //                                 loss to NaN (0 = off)
 //   FPTC_FAULT_TRUNCATE_WRITES=n  truncate the first n checkpoint writes
 //   FPTC_FAULT_CSV_PERCENT=p      mangle ~p% of CSV rows in lenient reads
+//   FPTC_FAULT_STALL_UNITS=n      stall the first n campaign unit executions
+//   FPTC_FAULT_TRANSIENT_UNITS=n  fail the first n campaign unit executions
+//                                 with a transient error
 //
-// All injections are counted so campaign summaries can report exactly how
-// many faults were injected and survived.
+// All injections are counted per class so campaign summaries can report
+// exactly how many faults were injected and survived.
+//
+// Thread safety: the injector is consulted from executor worker threads
+// (unit-level faults) and from the training loops they run (NaN losses), so
+// every method is internally synchronized.  Note that with FPTC_JOBS > 1 the
+// *step-granular* classes (NaN losses, CSV rows) interleave across workers
+// in scheduling order, so which unit absorbs a given injection is no longer
+// deterministic; the unit-granular classes (stall, transient) stay
+// deterministic in *count* — exactly the first n executions are hit.
 #pragma once
 
 #include "fptc/util/rng.hpp"
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace fptc::util {
@@ -34,6 +50,8 @@ struct FaultPlan {
     int nan_loss_every = 0;        ///< every k-th guarded step diverges (0 = off)
     int truncate_writes = 0;       ///< first n checkpoint writes are truncated
     double csv_row_percent = 0.0;  ///< % of CSV rows mangled in lenient reads
+    int stall_units = 0;           ///< first n unit executions stall
+    int transient_units = 0;       ///< first n unit executions throw transient
 };
 
 /// Tallies of injected faults since the last configure().
@@ -41,15 +59,17 @@ struct FaultCounters {
     std::uint64_t nan_losses = 0;
     std::uint64_t truncated_writes = 0;
     std::uint64_t corrupted_csv_rows = 0;
+    std::uint64_t stalled_units = 0;
+    std::uint64_t transient_units = 0;
 
     [[nodiscard]] std::uint64_t total() const noexcept
     {
-        return nan_losses + truncated_writes + corrupted_csv_rows;
+        return nan_losses + truncated_writes + corrupted_csv_rows + stalled_units +
+               transient_units;
     }
 };
 
-/// Seeded deterministic fault injector.  Not thread-safe (campaigns are
-/// single-threaded today; revisit with the sharded-campaign work).
+/// Seeded deterministic fault injector.  Thread-safe: see the module note.
 class FaultInjector {
 public:
     /// Inert injector (all inject_* return false).
@@ -73,16 +93,28 @@ public:
     /// Consulted once per CSV row in lenient reads; Bernoulli(p).
     [[nodiscard]] bool inject_csv_corruption();
 
-    [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
+    /// Consulted once per campaign unit execution (including retries); true =
+    /// this execution should stall until the watchdog kills it.
+    [[nodiscard]] bool inject_unit_stall();
 
-    /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12".
+    /// Consulted once per campaign unit execution; true = this execution
+    /// should fail with a transient UnitError before doing any work.
+    [[nodiscard]] bool inject_unit_transient();
+
+    [[nodiscard]] FaultCounters counters() const;
+
+    /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12
+    /// stalled_units=1 transient_units=2".
     [[nodiscard]] std::string summary() const;
 
 private:
+    mutable std::mutex mutex_;
     FaultPlan plan_{};
     Rng rng_{0};
     FaultCounters counters_{};
     std::uint64_t training_steps_ = 0;
+    std::uint64_t unit_executions_stall_ = 0;
+    std::uint64_t unit_executions_transient_ = 0;
 };
 
 /// The process-wide injector.  First use configures it from the

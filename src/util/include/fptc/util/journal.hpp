@@ -16,11 +16,17 @@
 //
 // Line format (flat JSON object, "key" is reserved):
 //   {"key":"table4|res=32|aug=rotate|split=0|seed=1","script":"98.25",...}
+//
+// Thread safety: the campaign executor commits finished units from a worker
+// pool, so RunJournal and CampaignJournal synchronize internally — each
+// record() appends and flushes its one line under the journal mutex, so
+// concurrent appends never interleave bytes within a line.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,18 +63,25 @@ public:
     /// True when `key` has a committed record.
     [[nodiscard]] bool completed(const std::string& key) const;
 
-    /// Recorded fields for `key`, or nullptr.
+    /// Recorded fields for `key`, or nullptr.  The pointer is only stable
+    /// while no other thread records; concurrent readers should prefer
+    /// find_copy().
     [[nodiscard]] const std::map<std::string, std::string>* find(const std::string& key) const;
 
-    /// Commit a finished unit: append one line and flush it.  Re-recording a
-    /// key replaces the in-memory entry (last record wins on reload too).
+    /// Copy of the recorded fields for `key` (safe under concurrent record()).
+    [[nodiscard]] std::optional<std::map<std::string, std::string>> find_copy(
+        const std::string& key) const;
+
+    /// Commit a finished unit: append one line and flush it, all under the
+    /// journal lock.  Re-recording a key replaces the in-memory entry (last
+    /// record wins on reload too).
     void record(const std::string& key, std::map<std::string, std::string> fields);
 
     /// Rewrite the file atomically with one line per live record (drops torn
     /// lines and superseded duplicates).
     void compact();
 
-    [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+    [[nodiscard]] std::size_t size() const;
 
     /// Records loaded from disk at open time.
     [[nodiscard]] std::size_t recovered_records() const noexcept { return recovered_records_; }
@@ -79,6 +92,7 @@ public:
     [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
 private:
+    mutable std::mutex mutex_;
     std::string path_;
     std::map<std::string, std::map<std::string, std::string>> records_;
     std::vector<std::string> order_;  ///< first-commit order, for compact()
@@ -101,13 +115,23 @@ public:
         const std::string& key,
         const std::function<std::map<std::string, std::string>()>& run);
 
-    [[nodiscard]] std::size_t replayed() const noexcept { return replayed_; }
-    [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+    /// Recorded fields for `key` if the unit already completed (counts as a
+    /// replay); std::nullopt when absent or journaling is disabled.
+    [[nodiscard]] std::optional<std::map<std::string, std::string>> try_replay(
+        const std::string& key);
+
+    /// Commit a finished unit (counts as an execution).  No-op append when
+    /// journaling is disabled; the execution is still counted.
+    void commit(const std::string& key, const std::map<std::string, std::string>& fields);
+
+    [[nodiscard]] std::size_t replayed() const;
+    [[nodiscard]] std::size_t executed() const;
 
     /// One-line progress report for campaign summaries ("" when disabled).
     [[nodiscard]] std::string summary() const;
 
 private:
+    mutable std::mutex mutex_;  ///< guards the replay/execute counters
     std::string campaign_;
     std::optional<RunJournal> journal_;
     std::size_t replayed_ = 0;

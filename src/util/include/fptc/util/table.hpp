@@ -46,4 +46,11 @@ private:
 /// Format "mean ±ci" the way the paper reports accuracy cells, e.g. "96.80 ±0.37".
 [[nodiscard]] std::string format_mean_ci(double mean, double ci, int decimals = 2);
 
+/// Format a cell whose aggregation is missing degraded campaign units:
+/// "96.80 ±0.37" when complete, "96.80 ±0.37 †2" when 2 of its units
+/// degraded, and "n/a †3" when no unit survived.  Pair with a table
+/// footnote explaining the † marker.
+[[nodiscard]] std::string format_degraded_mean_ci(double mean, double ci, std::size_t surviving,
+                                                  std::size_t missing, int decimals = 2);
+
 } // namespace fptc::util

@@ -2,6 +2,7 @@
 
 #include "fptc/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -170,11 +171,11 @@ void atomic_write_file(const std::string& path, const std::string& content)
     const fs::path target(path);
     // Unique-enough temp name in the same directory so rename() stays
     // within one filesystem (a cross-device rename is a copy, not atomic).
-    static std::uint64_t sequence = 0;
+    static std::atomic<std::uint64_t> sequence{0};
     const fs::path temp = target.parent_path() /
                           (target.filename().string() + ".tmp." +
                            std::to_string(static_cast<unsigned long>(::getpid())) + "." +
-                           std::to_string(++sequence));
+                           std::to_string(sequence.fetch_add(1) + 1));
     {
         std::ofstream out(temp, std::ios::binary | std::ios::trunc);
         if (!out) {
@@ -235,17 +236,33 @@ RunJournal::RunJournal(std::string path) : path_(std::move(path))
 
 bool RunJournal::completed(const std::string& key) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return records_.find(key) != records_.end();
 }
 
 const std::map<std::string, std::string>* RunJournal::find(const std::string& key) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = records_.find(key);
     return it == records_.end() ? nullptr : &it->second;
 }
 
+std::optional<std::map<std::string, std::string>> RunJournal::find_copy(
+    const std::string& key) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = records_.find(key);
+    if (it == records_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
 void RunJournal::record(const std::string& key, std::map<std::string, std::string> fields)
 {
+    // One append + one flush per record, all under the lock: concurrent
+    // workers can never interleave bytes within a line.
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::ofstream out(path_, std::ios::app);
     if (!out) {
         throw std::runtime_error("RunJournal: cannot open " + path_);
@@ -263,12 +280,19 @@ void RunJournal::record(const std::string& key, std::map<std::string, std::strin
 
 void RunJournal::compact()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::string content;
     for (const auto& key : order_) {
         content += to_json_line(JournalRecord{key, records_.at(key)});
         content += '\n';
     }
     atomic_write_file(path_, content);
+}
+
+std::size_t RunJournal::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return order_.size();
 }
 
 CampaignJournal::CampaignJournal(std::string campaign) : campaign_(std::move(campaign))
@@ -286,20 +310,55 @@ CampaignJournal::CampaignJournal(std::string campaign) : campaign_(std::move(cam
 std::map<std::string, std::string> CampaignJournal::run_or_replay(
     const std::string& key, const std::function<std::map<std::string, std::string>()>& run)
 {
-    const std::string full_key = campaign_ + "|" + key;
-    if (journal_) {
-        if (const auto* fields = journal_->find(full_key)) {
-            ++replayed_;
-            log_debug("journal: replaying " + full_key);
-            return *fields;
-        }
+    if (auto fields = try_replay(key)) {
+        return *std::move(fields);
     }
     auto fields = run();
-    ++executed_;
-    if (journal_) {
-        journal_->record(full_key, fields);
-    }
+    commit(key, fields);
     return fields;
+}
+
+std::optional<std::map<std::string, std::string>> CampaignJournal::try_replay(
+    const std::string& key)
+{
+    if (!journal_) {
+        return std::nullopt;
+    }
+    const std::string full_key = campaign_ + "|" + key;
+    auto fields = journal_->find_copy(full_key);
+    if (!fields) {
+        return std::nullopt;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++replayed_;
+    }
+    log_debug("journal: replaying " + full_key);
+    return fields;
+}
+
+void CampaignJournal::commit(const std::string& key,
+                             const std::map<std::string, std::string>& fields)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++executed_;
+    }
+    if (journal_) {
+        journal_->record(campaign_ + "|" + key, fields);
+    }
+}
+
+std::size_t CampaignJournal::replayed() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return replayed_;
+}
+
+std::size_t CampaignJournal::executed() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return executed_;
 }
 
 std::string CampaignJournal::summary() const
@@ -307,8 +366,8 @@ std::string CampaignJournal::summary() const
     if (!journal_) {
         return {};
     }
-    return "journal " + journal_->path() + ": " + std::to_string(replayed_) + " replayed, " +
-           std::to_string(executed_) + " executed";
+    return "journal " + journal_->path() + ": " + std::to_string(replayed()) + " replayed, " +
+           std::to_string(executed()) + " executed";
 }
 
 std::string field_from_double(double value)

@@ -136,4 +136,17 @@ std::string format_mean_ci(double mean, double ci, int decimals)
     return format_double(mean, decimals) + " ±" + format_double(ci, decimals);
 }
 
+std::string format_degraded_mean_ci(double mean, double ci, std::size_t surviving,
+                                    std::size_t missing, int decimals)
+{
+    if (missing == 0) {
+        return format_mean_ci(mean, ci, decimals);
+    }
+    const std::string marker = " †" + std::to_string(missing);
+    if (surviving == 0) {
+        return "n/a" + marker;
+    }
+    return format_mean_ci(mean, ci, decimals) + marker;
+}
+
 } // namespace fptc::util

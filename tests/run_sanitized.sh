@@ -1,10 +1,16 @@
 #!/bin/sh
-# Build and run the full test suite under AddressSanitizer + UBSan
-# (the "asan-ubsan" CMake preset).  Usage, from the repo root:
+# Build and run the test suite under sanitizers.  Two stages:
+#
+#   1. the full suite under AddressSanitizer + UBSan ("asan-ubsan" preset),
+#   2. the concurrency-sensitive executor / cancellation / journal tests
+#      under ThreadSanitizer ("tsan" preset).
+#
+# Usage, from the repo root:
 #
 #   tests/run_sanitized.sh [extra ctest args...]
 #
-# e.g. tests/run_sanitized.sh -R Serialize
+# e.g. tests/run_sanitized.sh -R Serialize  (extra args apply to the
+# asan stage; the tsan stage always runs its fixed concurrency filter)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,3 +18,7 @@ cd "$(dirname "$0")/.."
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util
+ctest --preset tsan -j "$(nproc)" -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy'
