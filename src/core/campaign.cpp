@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace fptc::core {
 
@@ -84,6 +85,23 @@ namespace {
                : augment_set(flows, kind, options.augment_copies, options.flowpic, rng);
 }
 
+/// Data-boundary guard: quarantined samples (corrupt tensors scrubbed by
+/// core/data) are logged and tolerated while the set stays usable; an empty
+/// or majority-quarantined set throws so the executor degrades the cell
+/// (†N) instead of letting corruption skew a mean±CI.
+void require_usable(const SampleSet& set, const char* what)
+{
+    if (set.quarantined > 0) {
+        util::log_info("campaign: quarantined " + std::to_string(set.quarantined) +
+                       " corrupt " + what + " sample(s)");
+    }
+    if (set.size() == 0 || set.quarantined > set.size()) {
+        throw std::runtime_error(std::string("campaign: ") + what + " sample set unusable (" +
+                                 std::to_string(set.size()) + " kept, " +
+                                 std::to_string(set.quarantined) + " quarantined)");
+    }
+}
+
 /// Train a supervised LeNet per the paper's protocol on pre-built sets.
 [[nodiscard]] std::pair<nn::Sequential, TrainResult> train_lenet(const SampleSet& train,
                                                                  const SampleSet& validation,
@@ -91,6 +109,8 @@ namespace {
                                                                  const SupervisedOptions& options,
                                                                  std::uint64_t train_seed)
 {
+    require_usable(train, "training");
+    require_usable(validation, "validation");
     nn::ModelConfig model_config;
     model_config.flowpic_dim = options.flowpic.resolution;
     model_config.input_channels = options.directional ? 2 : 1;

@@ -3,7 +3,9 @@
 #include "fptc/nn/models.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace fptc::core {
 
@@ -35,6 +37,7 @@ void SampleSet::append(const SampleSet& other)
     }
     images.insert(images.end(), other.images.begin(), other.images.end());
     labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+    quarantined += other.quarantined;
 }
 
 std::vector<float> pool_to_effective(const flowpic::Flowpic& pic)
@@ -63,6 +66,30 @@ std::vector<float> pool_to_effective(const flowpic::Flowpic& pic)
 
 namespace {
 
+/// First hard semantic defect in a flowpic tensor, or empty when it honors
+/// the insertion-time contract (shape, finiteness, non-negativity).  These
+/// defects cannot be produced by the rasterize/augment pipeline on valid
+/// input — color jitter clamps at zero and counts are accumulations of
+/// non-negative packet sizes — so any hit indicates corruption (bad cache,
+/// injected fault, memory damage) and the sample is quarantined rather than
+/// averaged into a mean±CI.
+[[nodiscard]] std::string image_defect(const std::vector<float>& image, std::size_t expected_size)
+{
+    if (image.size() != expected_size) {
+        return "shape mismatch (" + std::to_string(image.size()) + " values, expected " +
+               std::to_string(expected_size) + ")";
+    }
+    for (const float v : image) {
+        if (!std::isfinite(v)) {
+            return "non-finite value";
+        }
+        if (v < 0.0f) {
+            return "negative value";
+        }
+    }
+    return {};
+}
+
 void normalize_image(std::vector<float>& image)
 {
     // Per-image max normalization for the CNN input.
@@ -81,6 +108,10 @@ void push_sample(SampleSet& set, flowpic::Flowpic pic, std::size_t label)
 {
     auto image = pool_to_effective(pic);
     normalize_image(image);
+    if (!image_defect(image, set.channels * set.dim * set.dim).empty()) {
+        ++set.quarantined;
+        return;
+    }
     set.images.push_back(std::move(image));
     set.labels.push_back(label);
 }
@@ -94,11 +125,58 @@ void push_directional_sample(SampleSet& set, const flowpic::Flowpic& up,
     const auto down_plane = pool_to_effective(down);
     up_plane.insert(up_plane.end(), down_plane.begin(), down_plane.end());
     normalize_image(up_plane);
+    if (!image_defect(up_plane, set.channels * set.dim * set.dim).empty()) {
+        ++set.quarantined;
+        return;
+    }
     set.images.push_back(std::move(up_plane));
     set.labels.push_back(label);
 }
 
 } // namespace
+
+SampleValidationReport validate_samples(SampleSet& set)
+{
+    SampleValidationReport report;
+    const std::size_t expected = set.channels * set.dim * set.dim;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < set.images.size(); ++i) {
+        ++report.checked;
+        std::string defect = image_defect(set.images[i], expected);
+        if (defect.empty()) {
+            // Full-contract checks beyond the insertion-time subset: the set
+            // stores max-normalized images, so values above 1 or an all-zero
+            // tensor mark a sample that never went through normalize_image.
+            float mass = 0.0f;
+            float max_value = 0.0f;
+            for (const float v : set.images[i]) {
+                mass += v;
+                max_value = std::max(max_value, v);
+            }
+            if (max_value > 1.0f + 1e-4f) {
+                defect = "value above normalized max (" + std::to_string(max_value) + ")";
+            } else if (mass <= 0.0f) {
+                defect = "zero mass (empty flowpic)";
+            }
+        }
+        if (!defect.empty()) {
+            ++report.quarantined;
+            if (report.first_defect.empty()) {
+                report.first_defect = "sample " + std::to_string(i) + ": " + defect;
+            }
+            continue;
+        }
+        if (kept != i) {
+            set.images[kept] = std::move(set.images[i]);
+            set.labels[kept] = set.labels[i];
+        }
+        ++kept;
+    }
+    set.images.resize(kept);
+    set.labels.resize(kept);
+    set.quarantined += report.quarantined;
+    return report;
+}
 
 SampleSet rasterize(std::span<const flow::Flow> flows, const flowpic::FlowpicConfig& config)
 {

@@ -1,6 +1,7 @@
 #include "fptc/core/executor.hpp"
 
 #include "fptc/core/guard.hpp"
+#include "fptc/util/durable.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
 #include "fptc/util/log.hpp"
@@ -71,6 +72,12 @@ ErrorClass classify_exception(const std::exception& error) noexcept
     }
     if (dynamic_cast<const DivergenceError*>(&error) != nullptr) {
         return ErrorClass::fatal;
+    }
+    if (const auto* io_error = dynamic_cast<const util::IoError*>(&error)) {
+        // Durable-I/O failures carry their own hint: ENOSPC / fsync trouble
+        // is resource exhaustion (retry, then degrade the cell), a bad path
+        // or unexpected syscall error is deterministic.
+        return io_error->transient() ? ErrorClass::transient : ErrorClass::fatal;
     }
     if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr) {
         return ErrorClass::transient;

@@ -31,6 +31,11 @@ struct SampleSet {
     std::size_t channels = 1;                ///< 1 (plain) or 2 (directional)
     std::vector<std::vector<float>> images;  ///< channels*dim*dim floats each, max-normalized
     std::vector<std::size_t> labels;
+    /// Samples dropped at the data boundary because their tensor was
+    /// semantically invalid (non-finite or negative pixels, wrong shape) —
+    /// e.g. a corrupted cache or an injected fault.  Counted, never
+    /// silently averaged into a mean±CI.
+    std::size_t quarantined = 0;
 
     [[nodiscard]] std::size_t size() const noexcept { return images.size(); }
 
@@ -43,6 +48,24 @@ struct SampleSet {
     /// Append all samples of another set (dims must match).
     void append(const SampleSet& other);
 };
+
+/// Result of a semantic validation pass over a SampleSet.
+struct SampleValidationReport {
+    std::size_t checked = 0;      ///< samples inspected
+    std::size_t quarantined = 0;  ///< samples scrubbed from the set
+    std::string first_defect;     ///< human-readable description of the first defect
+
+    [[nodiscard]] bool clean() const noexcept { return quarantined == 0; }
+};
+
+/// Validate every sample of `set` against the flowpic tensor contract:
+/// correct `channels*dim*dim` shape, all values finite, non-negative and
+/// ≤ 1 (max-normalized), and positive mass for a non-empty image.  Offending
+/// samples (and their labels) are scrubbed from the set in place and counted
+/// in `set.quarantined`.  Use on externally sourced sets (CSV caches) before
+/// training; the rasterize/augment push paths already enforce the
+/// finite/non-negative/shape subset at insertion.
+SampleValidationReport validate_samples(SampleSet& set);
 
 /// Rasterize flows without augmentation.
 [[nodiscard]] SampleSet rasterize(std::span<const flow::Flow> flows,

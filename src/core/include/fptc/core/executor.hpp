@@ -210,8 +210,9 @@ private:
 /// Map an in-flight exception to the taxonomy.  UnitError keeps its class;
 /// CancelledError maps to timeout/cancelled; DivergenceError is fatal (the
 /// unit is deterministic in its seeds, so it would diverge again);
-/// std::bad_alloc is transient (memory pressure passes); anything else is
-/// fatal.
+/// util::IoError follows its own transient() hint (ENOSPC/fsync failures
+/// are retryable resource exhaustion, bad paths are not); std::bad_alloc
+/// is transient (memory pressure passes); anything else is fatal.
 [[nodiscard]] ErrorClass classify_exception(const std::exception& error) noexcept;
 
 } // namespace fptc::core

@@ -5,6 +5,7 @@
 #include "fptc/util/log.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -25,19 +26,36 @@ constexpr const char* kHeader = "flow_id,label,class_name,timestamp,size,directi
 /// the class vocabulary — and its allocation — without bound).
 constexpr std::size_t kMaxLabel = 1'000'000;
 
+/// Split `line` on ',' into `fields`, reusing the vector's strings (and
+/// their heap buffers) across calls — the bulk-ingestion loop calls this
+/// once per row, so per-row allocations would dominate the parse.
+/// '\r' is stripped anywhere, matching the historical behaviour.
+void split_fields_into(const std::string& line, std::vector<std::string>& fields)
+{
+    std::size_t used = 0;
+    auto next_field = [&fields, &used]() -> std::string& {
+        if (used == fields.size()) {
+            fields.emplace_back();
+        }
+        std::string& field = fields[used++];
+        field.clear();  // keeps capacity
+        return field;
+    };
+    std::string* current = &next_field();
+    for (const char c : line) {
+        if (c == ',') {
+            current = &next_field();
+        } else if (c != '\r') {
+            current->push_back(c);
+        }
+    }
+    fields.resize(used);
+}
+
 [[nodiscard]] std::vector<std::string> split_fields(const std::string& line)
 {
     std::vector<std::string> fields;
-    std::string current;
-    for (const char c : line) {
-        if (c == ',') {
-            fields.push_back(std::move(current));
-            current.clear();
-        } else if (c != '\r') {
-            current += c;
-        }
-    }
-    fields.push_back(std::move(current));
+    split_fields_into(line, fields);
     return fields;
 }
 
@@ -62,10 +80,23 @@ template <typename T>
 [[nodiscard]] double parse_double(const std::string& field, const char* what,
                                   std::size_t line_number)
 {
-    // std::from_chars<double> is not universally available; strtod suffices.
+    // std::from_chars<double> is not universally available; strtod suffices
+    // for the numeric grammar — but it also accepts "nan", "inf"/"infinity",
+    // hex floats ("0x1p3") and leading whitespace, none of which a dataset
+    // row may legitimately contain (a NaN timestamp would silently poison
+    // every downstream flowpic).  Restrict the alphabet to plain decimal
+    // notation first, then reject any non-finite result (e.g. "1e999").
+    for (const char c : field) {
+        const bool decimal = (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+                             c == 'e' || c == 'E';
+        if (!decimal) {
+            throw std::runtime_error(line_prefix(line_number) + "bad " + what + " '" + field +
+                                     "'");
+        }
+    }
     char* end = nullptr;
     const double value = std::strtod(field.c_str(), &end);
-    if (field.empty() || end != field.c_str() + field.size()) {
+    if (field.empty() || end != field.c_str() + field.size() || !std::isfinite(value)) {
         throw std::runtime_error(line_prefix(line_number) + "bad " + what + " '" + field + "'");
     }
     return value;
@@ -124,8 +155,9 @@ void write_dataset_csv(const Dataset& dataset, std::ostream& out)
 
 void write_dataset_csv(const Dataset& dataset, const std::string& path)
 {
-    // Atomic temp-file + rename: a killed export never leaves a partial
-    // dataset behind for a later campaign to trip over.
+    // Durable temp-file + fsync + rename: a killed export never leaves a
+    // partial (or, after power loss, empty-but-renamed) dataset behind for
+    // a later campaign to trip over.
     std::ostringstream buffer;
     write_dataset_csv(dataset, buffer);
     util::atomic_write_file(path, buffer.str());
@@ -153,6 +185,7 @@ Dataset read_dataset_csv(std::istream& in, const CsvReadOptions& options, CsvRea
     bool flow_open = false;
     std::unordered_set<long> seen_flow_ids;
     std::size_t line_number = 1;
+    std::vector<std::string> fields;  // reused across rows (split_fields_into)
 
     while (std::getline(in, line)) {
         ++line_number;
@@ -166,7 +199,7 @@ Dataset read_dataset_csv(std::istream& in, const CsvReadOptions& options, CsvRea
             ++rep.injected_faults;
         }
         try {
-            const auto fields = split_fields(line);
+            split_fields_into(line, fields);
             if (fields.size() != kColumnCount) {
                 throw std::runtime_error(line_prefix(line_number) + "expected " +
                                          std::to_string(kColumnCount) + " fields, got " +

@@ -275,9 +275,13 @@ bool verify_checkpoint(std::istream& in, std::string* error)
 void save_network(Sequential& network, const std::string& path)
 {
     // Serialize to memory first so a truncated write never leaves a partial
-    // file at `path` (atomic temp + rename), then re-verify the bytes on
-    // disk; a corrupted write (e.g. the fault injector's truncated-write
-    // fault, or a full disk) is detected and rewritten once.
+    // file at `path` (durable temp + fsync + rename + dir fsync via
+    // util::atomic_write_file), then re-verify the bytes on disk; a
+    // corrupted write (e.g. the fault injector's truncated-write fault, or
+    // a full disk) is detected and rewritten once.  An ENOSPC or fsync
+    // failure surfaces as util::IoError (transient), which the campaign
+    // executor retries and then degrades — the previous checkpoint at
+    // `path`, if any, is left untouched.
     std::ostringstream buffer(std::ios::binary);
     save_parameters(network.parameters(), buffer);
     const std::string blob = buffer.str();

@@ -51,13 +51,16 @@ std::string CsvWriter::to_string() const
         }
         out << '\n';
     }
+    if (!out) {
+        throw std::runtime_error("CsvWriter::to_string: render stream failure");
+    }
     return out.str();
 }
 
 void CsvWriter::write_file(const std::string& path) const
 {
-    // Temp-file + rename so a killed campaign never leaves a partial
-    // artifact behind.
+    // Durable temp-file + fsync + rename so a killed (or power-cut)
+    // campaign never leaves a partial or empty artifact behind.
     atomic_write_file(path, to_string());
 }
 

@@ -20,13 +20,17 @@ void FaultInjector::configure(const FaultPlan& plan)
     training_steps_ = 0;
     unit_executions_stall_ = 0;
     unit_executions_transient_ = 0;
+    durable_bytes_ = 0;
+    durable_writes_ = 0;
 }
 
 bool FaultInjector::enabled() const noexcept
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     return plan_.nan_loss_every > 0 || plan_.truncate_writes > 0 ||
-           plan_.csv_row_percent > 0.0 || plan_.stall_units > 0 || plan_.transient_units > 0;
+           plan_.csv_row_percent > 0.0 || plan_.stall_units > 0 || plan_.transient_units > 0 ||
+           plan_.enospc_after_bytes > 0 || plan_.short_writes > 0 ||
+           plan_.fsync_failures > 0 || plan_.crash_at_write > 0;
 }
 
 bool FaultInjector::inject_nan_loss()
@@ -91,6 +95,52 @@ bool FaultInjector::inject_unit_transient()
     return true;
 }
 
+bool FaultInjector::inject_enospc(std::size_t bytes)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.enospc_after_bytes <= 0) {
+        return false;
+    }
+    if (durable_bytes_ + bytes > static_cast<std::uint64_t>(plan_.enospc_after_bytes)) {
+        ++counters_.enospc_failures;
+        return true;
+    }
+    durable_bytes_ += bytes;
+    return false;
+}
+
+std::size_t FaultInjector::clamp_write(std::size_t length)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.short_writes <= 0 || length < 2 ||
+        counters_.short_write_clamps >= static_cast<std::uint64_t>(plan_.short_writes)) {
+        return length;
+    }
+    ++counters_.short_write_clamps;
+    return length / 2;
+}
+
+bool FaultInjector::inject_fsync_failure()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.fsync_failures <= 0 ||
+        counters_.fsync_failures >= static_cast<std::uint64_t>(plan_.fsync_failures)) {
+        return false;
+    }
+    ++counters_.fsync_failures;
+    return true;
+}
+
+bool FaultInjector::inject_crash_at_write()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.crash_at_write <= 0) {
+        return false;
+    }
+    ++durable_writes_;
+    return durable_writes_ == static_cast<std::uint64_t>(plan_.crash_at_write);
+}
+
 FaultCounters FaultInjector::counters() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -103,7 +153,9 @@ std::string FaultInjector::summary() const
     std::ostringstream out;
     out << "nan_loss=" << counts.nan_losses << " truncated_writes=" << counts.truncated_writes
         << " csv_rows=" << counts.corrupted_csv_rows << " stalled_units="
-        << counts.stalled_units << " transient_units=" << counts.transient_units;
+        << counts.stalled_units << " transient_units=" << counts.transient_units
+        << " enospc=" << counts.enospc_failures << " short_writes="
+        << counts.short_write_clamps << " fsync_fail=" << counts.fsync_failures;
     return out.str();
 }
 
@@ -117,6 +169,10 @@ FaultPlan fault_plan_from_env()
         static_cast<double>(env_int("FPTC_FAULT_CSV_PERCENT").value_or(0));
     plan.stall_units = static_cast<int>(env_int("FPTC_FAULT_STALL_UNITS").value_or(0));
     plan.transient_units = static_cast<int>(env_int("FPTC_FAULT_TRANSIENT_UNITS").value_or(0));
+    plan.enospc_after_bytes = env_int("FPTC_FAULT_ENOSPC_AFTER_BYTES").value_or(0);
+    plan.short_writes = static_cast<int>(env_int("FPTC_FAULT_SHORT_WRITES").value_or(0));
+    plan.fsync_failures = static_cast<int>(env_int("FPTC_FAULT_FSYNC_FAIL").value_or(0));
+    plan.crash_at_write = static_cast<int>(env_int("FPTC_FAULT_CRASH_AT_WRITE").value_or(0));
     return plan;
 }
 

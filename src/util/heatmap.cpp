@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace fptc::util {
 
@@ -71,6 +72,9 @@ std::string render_heatmap(std::span<const float> values, std::size_t rows, std:
         }
         out << ", '@'=max  [" << lo << ", " << hi << "]\n";
     }
+    if (!out) {
+        throw std::runtime_error("render_heatmap: render stream failure");
+    }
     return out.str();
 }
 
@@ -98,6 +102,9 @@ std::string render_confusion(const std::vector<std::vector<double>>& matrix,
             out << buffer;
         }
         out << '\n';
+    }
+    if (!out) {
+        throw std::runtime_error("render_confusion: render stream failure");
     }
     return out.str();
 }
@@ -133,6 +140,9 @@ std::string render_curve(std::span<const double> xs, std::span<const double> ys,
     }
     out << '+' << std::string(width, '-') << "\n x: [" << x_lo << ", " << x_hi << "], peak y: " << y_hi
         << '\n';
+    if (!out) {
+        throw std::runtime_error("render_curve: render stream failure");
+    }
     return out.str();
 }
 

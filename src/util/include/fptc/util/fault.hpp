@@ -11,7 +11,11 @@
 //   * CSV rows may be mangled before parsing (lenient reads only),
 //   * campaign unit executions may stall (hang until the watchdog deadline
 //     kills them) or throw a transient UnitError (exercising the executor's
-//     retry/backoff path).
+//     retry/backoff path),
+//   * the durable I/O layer (util/durable.hpp) may fail at the syscall
+//     level: ENOSPC after a cumulative byte budget, short (partial) writes,
+//     fsync failures, and a hard _exit at the K-th durable write (the
+//     kill-point knob of the crash-consistency torture harness).
 //
 // A process-wide injector is configured once from environment variables:
 //
@@ -23,6 +27,13 @@
 //   FPTC_FAULT_STALL_UNITS=n      stall the first n campaign unit executions
 //   FPTC_FAULT_TRANSIENT_UNITS=n  fail the first n campaign unit executions
 //                                 with a transient error
+//   FPTC_FAULT_ENOSPC_AFTER_BYTES=n  durable writes fail with ENOSPC once n
+//                                 cumulative bytes went through the shim
+//   FPTC_FAULT_SHORT_WRITES=n     the first n durable writes only take half
+//                                 their bytes (exercises the write loop)
+//   FPTC_FAULT_FSYNC_FAIL=n       the first n durable fsyncs fail with EIO
+//   FPTC_FAULT_CRASH_AT_WRITE=k   hard _exit mid-payload at the k-th durable
+//                                 write of the process (simulated power loss)
 //
 // All injections are counted per class so campaign summaries can report
 // exactly how many faults were injected and survived.
@@ -52,6 +63,10 @@ struct FaultPlan {
     double csv_row_percent = 0.0;  ///< % of CSV rows mangled in lenient reads
     int stall_units = 0;           ///< first n unit executions stall
     int transient_units = 0;       ///< first n unit executions throw transient
+    std::int64_t enospc_after_bytes = 0;  ///< durable-write byte budget before ENOSPC (0 = off)
+    int short_writes = 0;          ///< first n durable writes are cut to half
+    int fsync_failures = 0;        ///< first n durable fsyncs fail with EIO
+    int crash_at_write = 0;        ///< _exit at the k-th durable write (0 = off)
 };
 
 /// Tallies of injected faults since the last configure().
@@ -61,11 +76,14 @@ struct FaultCounters {
     std::uint64_t corrupted_csv_rows = 0;
     std::uint64_t stalled_units = 0;
     std::uint64_t transient_units = 0;
+    std::uint64_t enospc_failures = 0;   ///< durable writes refused with ENOSPC
+    std::uint64_t short_write_clamps = 0;///< durable writes cut short
+    std::uint64_t fsync_failures = 0;    ///< durable fsyncs failed with EIO
 
     [[nodiscard]] std::uint64_t total() const noexcept
     {
         return nan_losses + truncated_writes + corrupted_csv_rows + stalled_units +
-               transient_units;
+               transient_units + enospc_failures + short_write_clamps + fsync_failures;
     }
 };
 
@@ -101,6 +119,25 @@ public:
     /// should fail with a transient UnitError before doing any work.
     [[nodiscard]] bool inject_unit_transient();
 
+    /// Consulted by the durable I/O shim before every write with the byte
+    /// count about to go to disk; true = the cumulative budget
+    /// (enospc_after_bytes) is exhausted and the write must fail with
+    /// ENOSPC.  Bytes are accumulated across the whole process.
+    [[nodiscard]] bool inject_enospc(std::size_t bytes);
+
+    /// Clamp a durable write length: the first short_writes calls return
+    /// half the requested length (>= 1), exercising the caller's
+    /// partial-write loop.  Later calls return `length` unchanged.
+    [[nodiscard]] std::size_t clamp_write(std::size_t length);
+
+    /// Consulted once per durable fsync; true = fail it with EIO.
+    [[nodiscard]] bool inject_fsync_failure();
+
+    /// Consulted once per durable write; true exactly at the k-th
+    /// (crash_at_write) durable write of the process: the caller must write
+    /// a partial payload and _exit — the kill point of the torture harness.
+    [[nodiscard]] bool inject_crash_at_write();
+
     [[nodiscard]] FaultCounters counters() const;
 
     /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12
@@ -115,6 +152,8 @@ private:
     std::uint64_t training_steps_ = 0;
     std::uint64_t unit_executions_stall_ = 0;
     std::uint64_t unit_executions_transient_ = 0;
+    std::uint64_t durable_bytes_ = 0;   ///< cumulative bytes through the shim
+    std::uint64_t durable_writes_ = 0;  ///< shim write calls (crash kill-point index)
 };
 
 /// The process-wide injector.  First use configures it from the

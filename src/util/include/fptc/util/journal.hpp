@@ -8,11 +8,14 @@
 // from the recorded metrics — producing output identical to an
 // uninterrupted run with the same seeds.
 //
-// Durability model: each record() appends one line and flushes it before
-// returning, so a kill loses at most the in-flight run.  A crash mid-append
-// leaves a torn final line; reload detects and drops it (counted in
-// discarded_lines()).  compact() rewrites the journal atomically
-// (temp file + rename) to shed torn or superseded lines.
+// Durability model: each record() appends one line via the durable I/O
+// layer (util/durable.hpp: one O_APPEND write + fsync), so a kill or power
+// loss loses at most the in-flight run.  A crash mid-append leaves a torn
+// final line; reload detects and drops it (counted in discarded_lines()).
+// compact() rewrites the journal atomically and durably (temp file + fsync
+// + rename + parent-dir fsync) to shed torn or superseded lines; a crash
+// anywhere inside compact() leaves either the old or the new journal fully
+// readable, never a mix.
 //
 // Line format (flat JSON object, "key" is reserved):
 //   {"key":"table4|res=32|aug=rotate|split=0|seed=1","script":"98.25",...}
@@ -48,9 +51,11 @@ struct JournalRecord {
 /// Parse one journal line; std::nullopt on torn/malformed input.
 [[nodiscard]] std::optional<JournalRecord> parse_json_line(const std::string& line);
 
-/// Write `content` to `path` atomically: temp file in the same directory,
-/// flushed, then renamed over the target.  Readers never observe a partial
-/// file.  Throws std::runtime_error on I/O failure.
+/// Write `content` to `path` atomically and durably: temp file in the same
+/// directory, fsynced, renamed over the target, parent directory fsynced
+/// (a thin wrapper over util::DurableFile).  Readers never observe a
+/// partial file and the replacement survives power loss.  Throws
+/// util::IoError (a std::runtime_error) on I/O failure.
 void atomic_write_file(const std::string& path, const std::string& content);
 
 /// Append-only JSONL journal of completed campaign units.

@@ -28,10 +28,17 @@ public:
     [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
     /// Render with box-drawing alignment suitable for terminals and logs.
+    /// Throws std::runtime_error if the render stream fails.
     [[nodiscard]] std::string to_string() const;
 
-    /// Render as a GitHub-flavored markdown table.
+    /// Render as a GitHub-flavored markdown table.  Throws
+    /// std::runtime_error if the render stream fails.
     [[nodiscard]] std::string to_markdown() const;
+
+    /// Persist the rendered table (text, or markdown when `markdown`) to
+    /// `path` through the durable I/O layer (temp + fsync + rename); throws
+    /// util::IoError with errno context on failure.
+    void write_file(const std::string& path, bool markdown = false) const;
 
 private:
     std::string title_;

@@ -1,12 +1,10 @@
 #include "fptc/util/journal.hpp"
 
+#include "fptc/util/durable.hpp"
 #include "fptc/util/log.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <unistd.h>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -167,48 +165,16 @@ std::optional<JournalRecord> parse_json_line(const std::string& line)
 
 void atomic_write_file(const std::string& path, const std::string& content)
 {
-    namespace fs = std::filesystem;
-    const fs::path target(path);
-    // Unique-enough temp name in the same directory so rename() stays
-    // within one filesystem (a cross-device rename is a copy, not atomic).
-    static std::atomic<std::uint64_t> sequence{0};
-    const fs::path temp = target.parent_path() /
-                          (target.filename().string() + ".tmp." +
-                           std::to_string(static_cast<unsigned long>(::getpid())) + "." +
-                           std::to_string(sequence.fetch_add(1) + 1));
-    {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            throw std::runtime_error("atomic_write_file: cannot open " + temp.string());
-        }
-        out.write(content.data(), static_cast<std::streamsize>(content.size()));
-        out.flush();
-        if (!out) {
-            std::error_code ignored;
-            fs::remove(temp, ignored);
-            throw std::runtime_error("atomic_write_file: write failed for " + temp.string());
-        }
-    }
-    std::error_code ec;
-    fs::rename(temp, target, ec);
-    if (ec) {
-        std::error_code ignored;
-        fs::remove(temp, ignored);
-        throw std::runtime_error("atomic_write_file: rename to " + path + " failed: " +
-                                 ec.message());
-    }
+    // Full durable transaction: temp + fsync + rename + parent-dir fsync
+    // (see util/durable.hpp for the crash-window guarantees).
+    DurableFile::write_file(path, content);
 }
 
 RunJournal::RunJournal(std::string path) : path_(std::move(path))
 {
     // Validate writability up front: a bad path must fail here, before the
     // campaign sinks CPU time into a unit whose record() would then throw.
-    {
-        std::ofstream probe(path_, std::ios::app);
-        if (!probe) {
-            throw std::runtime_error("RunJournal: cannot open " + path_ + " for writing");
-        }
-    }
+    probe_appendable(path_);
     std::ifstream in(path_);
     if (!in) {
         return; // fresh journal (the append probe just created it)
@@ -260,18 +226,14 @@ std::optional<std::map<std::string, std::string>> RunJournal::find_copy(
 
 void RunJournal::record(const std::string& key, std::map<std::string, std::string> fields)
 {
-    // One append + one flush per record, all under the lock: concurrent
-    // workers can never interleave bytes within a line.
+    // One durable append (write + fsync) per record, all under the lock:
+    // concurrent workers can never interleave bytes within a line, and a
+    // record() that returned survives power loss.  A failed append throws
+    // *before* the in-memory maps change, so a retried unit re-commits the
+    // same line — and even a duplicate line is safe (last record wins on
+    // reload).
     const std::lock_guard<std::mutex> lock(mutex_);
-    std::ofstream out(path_, std::ios::app);
-    if (!out) {
-        throw std::runtime_error("RunJournal: cannot open " + path_);
-    }
-    out << to_json_line(JournalRecord{key, fields}) << '\n';
-    out.flush();
-    if (!out) {
-        throw std::runtime_error("RunJournal: append failed for " + path_);
-    }
+    durable_append_line(path_, to_json_line(JournalRecord{key, fields}));
     if (records_.find(key) == records_.end()) {
         order_.push_back(key);
     }

@@ -1,9 +1,12 @@
 #include "fptc/util/table.hpp"
 
+#include "fptc/util/durable.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace fptc::util {
 
@@ -88,6 +91,10 @@ std::string Table::to_string() const
     for (const auto& note : footnotes_) {
         out << note << '\n';
     }
+    if (!out) {
+        throw std::runtime_error("Table::to_string: render stream failure for table '" + title_ +
+                                 "'");
+    }
     return out.str();
 }
 
@@ -118,7 +125,16 @@ std::string Table::to_markdown() const
     for (const auto& note : footnotes_) {
         out << "\n_" << note << "_\n";
     }
+    if (!out) {
+        throw std::runtime_error("Table::to_markdown: render stream failure for table '" +
+                                 title_ + "'");
+    }
     return out.str();
+}
+
+void Table::write_file(const std::string& path, bool markdown) const
+{
+    DurableFile::write_file(path, markdown ? to_markdown() : to_string());
 }
 
 std::string format_double(double value, int decimals)

@@ -1,24 +1,33 @@
 #!/bin/sh
-# Build and run the test suite under sanitizers.  Two stages:
+# Build and run the test suite under sanitizers.  Three stages:
 #
-#   1. the full suite under AddressSanitizer + UBSan ("asan-ubsan" preset),
+#   1. the full suite under AddressSanitizer + UBSan ("asan-ubsan" preset) —
+#      excluding CrashTortureQuick, whose sanitized bench binary would blow
+#      the time budget (it runs against the optimized build in stage 3),
 #   2. the concurrency-sensitive executor / cancellation / journal tests
-#      under ThreadSanitizer ("tsan" preset).
+#      under ThreadSanitizer ("tsan" preset),
+#   3. a bounded (<60s) kill-point torture sweep (tests/run_torture.sh
+#      --quick) against the default optimized build: crash at the first
+#      durable writes, resume from the journal, assert bit-identical tables.
 #
 # Usage, from the repo root:
 #
 #   tests/run_sanitized.sh [extra ctest args...]
 #
 # e.g. tests/run_sanitized.sh -R Serialize  (extra args apply to the
-# asan stage; the tsan stage always runs its fixed concurrency filter)
+# asan stage; the tsan and torture stages always run their fixed selection)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" "$@"
+ctest --preset asan-ubsan -j "$(nproc)" -E CrashTortureQuick "$@"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util
 ctest --preset tsan -j "$(nproc)" -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy'
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" --target table4_augmentations
+tests/run_torture.sh --quick build/bench/table4_augmentations

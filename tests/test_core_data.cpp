@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 namespace {
 
 using namespace fptc;
@@ -128,6 +131,63 @@ TEST(CoreData, PoolToEffectiveIsIdentityForSmall)
     for (std::size_t i = 0; i < pooled.size(); ++i) {
         EXPECT_FLOAT_EQ(pooled[i], pic.counts()[i]);
     }
+}
+
+TEST(CoreData, ValidateSamplesPassesCleanSets)
+{
+    auto set = rasterize(sample_flows(4), {.resolution = 32});
+    const auto report = validate_samples(set);
+    EXPECT_TRUE(report.clean()) << report.first_defect;
+    EXPECT_EQ(report.checked, 4u);
+    EXPECT_EQ(set.size(), 4u);
+    EXPECT_EQ(set.quarantined, 0u);
+}
+
+TEST(CoreData, ValidateSamplesQuarantinesCorruptTensors)
+{
+    auto set = rasterize(sample_flows(5), {.resolution = 32});
+    // Simulate a corrupted cache: NaN pixel, negative pixel, wrong shape,
+    // un-normalized value, all-zero tensor.
+    set.images[0][10] = std::numeric_limits<float>::quiet_NaN();
+    set.images[1][20] = -0.5f;
+    set.images[2].resize(10);
+    set.images[3][5] = 3.0f;
+    std::fill(set.images[4].begin(), set.images[4].end(), 0.0f);
+
+    const auto report = validate_samples(set);
+    EXPECT_EQ(report.checked, 5u);
+    EXPECT_EQ(report.quarantined, 5u);
+    EXPECT_FALSE(report.first_defect.empty());
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_EQ(set.labels.size(), 0u);
+    EXPECT_EQ(set.quarantined, 5u);
+}
+
+TEST(CoreData, ValidateSamplesScrubsInPlaceKeepingOrder)
+{
+    auto set = rasterize(sample_flows(4), {.resolution = 32});
+    const auto survivor_a = set.images[0];
+    const auto survivor_b = set.images[3];
+    set.images[1][0] = std::numeric_limits<float>::infinity();
+    set.images[2][0] = -1.0f;
+    const auto report = validate_samples(set);
+    EXPECT_EQ(report.quarantined, 2u);
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.images[0], survivor_a);
+    EXPECT_EQ(set.images[1], survivor_b);
+    EXPECT_EQ(set.labels.size(), 2u);
+}
+
+TEST(CoreData, AppendCarriesQuarantineCount)
+{
+    auto a = rasterize(sample_flows(2), {.resolution = 32});
+    auto b = rasterize(sample_flows(2), {.resolution = 32});
+    b.images[0][0] = std::numeric_limits<float>::quiet_NaN();
+    (void)validate_samples(b);
+    EXPECT_EQ(b.quarantined, 1u);
+    a.append(b);
+    EXPECT_EQ(a.quarantined, 1u);
+    EXPECT_EQ(a.size(), 3u);
 }
 
 TEST(CoreData, PoolToEffectiveKeepsMaxima)

@@ -1,0 +1,334 @@
+// Crash-consistency tests for the durable I/O layer (fptc/util/durable.hpp)
+// and its consumers: atomic replace semantics, abort cleanup, injected
+// ENOSPC / short-write / fsync-failure faults, and hard kill points
+// (FPTC_FAULT_CRASH_AT_WRITE) exercised as gtest death tests.  The
+// process-level K-sweep over a real campaign lives in tests/run_torture.sh;
+// this file proves the per-artifact crash windows at the library level.
+//
+// Note: these tests use EXPECT_EXIT, so they are intentionally NOT named
+// after the suites the tsan stage of run_sanitized.sh selects (death tests
+// fork, which thread sanitizers dislike).
+#include "fptc/util/durable.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using namespace fptc;
+
+[[nodiscard]] std::string read_all(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class CrashConsistency : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("fptc_crash_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::create_directories(dir_);
+        util::fault_injector().configure(util::FaultPlan{});
+    }
+
+    void TearDown() override
+    {
+        util::fault_injector().configure(util::FaultPlan{});
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    [[nodiscard]] std::string path(const std::string& name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    /// Count leftover "<name>.tmp.*" siblings of an artifact.
+    [[nodiscard]] std::size_t temp_debris(const std::string& name) const
+    {
+        std::size_t count = 0;
+        for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+            if (entry.path().filename().string().rfind(name + ".tmp.", 0) == 0) {
+                ++count;
+            }
+        }
+        return count;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CrashConsistency, DurableFileWriteCommitPublishesContent)
+{
+    const auto target = path("table.txt");
+    util::DurableFile file(target);
+    EXPECT_FALSE(std::filesystem::exists(target));  // nothing visible pre-commit
+    file.write("hello ");
+    file.write("world\n");
+    EXPECT_FALSE(std::filesystem::exists(target));
+    file.commit();
+    EXPECT_EQ(read_all(target), "hello world\n");
+    EXPECT_EQ(temp_debris("table.txt"), 0u);
+}
+
+TEST_F(CrashConsistency, AbortedDurableFileLeavesNoDebrisAndNoTarget)
+{
+    const auto target = path("aborted.txt");
+    {
+        util::DurableFile file(target);
+        file.write("half-finished");
+        // no commit: destructor must unlink the temp
+    }
+    EXPECT_FALSE(std::filesystem::exists(target));
+    EXPECT_EQ(temp_debris("aborted.txt"), 0u);
+}
+
+TEST_F(CrashConsistency, WriteFileReplacesAtomically)
+{
+    const auto target = path("replace.txt");
+    util::DurableFile::write_file(target, "old content\n");
+    util::DurableFile::write_file(target, "new content\n");
+    EXPECT_EQ(read_all(target), "new content\n");
+    EXPECT_EQ(temp_debris("replace.txt"), 0u);
+}
+
+TEST_F(CrashConsistency, BadDirectoryIsFatalIoError)
+{
+    const auto target = path("no/such/dir/file.txt");
+    try {
+        util::DurableFile::write_file(target, "x");
+        FAIL() << "expected IoError";
+    } catch (const util::IoError& e) {
+        EXPECT_FALSE(e.transient()) << e.what();  // bad path never heals
+    }
+    EXPECT_THROW(util::probe_appendable(target), util::IoError);
+}
+
+TEST_F(CrashConsistency, EnospcSurfacesTransientAndPreservesOldContent)
+{
+    const auto target = path("enospc.txt");
+    util::DurableFile::write_file(target, "previous generation\n");
+
+    util::FaultPlan plan;
+    plan.enospc_after_bytes = 4;
+    util::fault_injector().configure(plan);
+    try {
+        util::DurableFile::write_file(target, "a replacement that exceeds the byte budget\n");
+        FAIL() << "expected IoError";
+    } catch (const util::IoError& e) {
+        EXPECT_TRUE(e.transient()) << e.what();
+    }
+    EXPECT_GE(util::fault_injector().counters().enospc_failures, 1u);
+    util::fault_injector().configure(util::FaultPlan{});  // (resets counters)
+
+    EXPECT_EQ(read_all(target), "previous generation\n");  // target untouched
+    EXPECT_EQ(temp_debris("enospc.txt"), 0u);              // temp unlinked
+}
+
+TEST_F(CrashConsistency, ShortWritesAreTransparentlyCompleted)
+{
+    util::FaultPlan plan;
+    plan.short_writes = 5;
+    util::fault_injector().configure(plan);
+
+    const auto target = path("short.txt");
+    const std::string content(512, 'x');
+    util::DurableFile::write_file(target, content);
+    EXPECT_GE(util::fault_injector().counters().short_write_clamps, 1u);
+    util::fault_injector().configure(util::FaultPlan{});  // (resets counters)
+
+    EXPECT_EQ(read_all(target), content);  // full-write loop absorbed the clamps
+}
+
+TEST_F(CrashConsistency, FsyncFailureIsTransientAndPublishesNothing)
+{
+    const auto target = path("fsync.txt");
+    util::FaultPlan plan;
+    plan.fsync_failures = 1;
+    util::fault_injector().configure(plan);
+    try {
+        util::DurableFile::write_file(target, "never durable\n");
+        FAIL() << "expected IoError";
+    } catch (const util::IoError& e) {
+        EXPECT_TRUE(e.transient()) << e.what();
+    }
+    util::fault_injector().configure(util::FaultPlan{});
+
+    EXPECT_FALSE(std::filesystem::exists(target));  // failed fsync -> no rename
+    EXPECT_EQ(temp_debris("fsync.txt"), 0u);
+
+    // A retry from clean state (what the executor does) now succeeds.
+    util::DurableFile::write_file(target, "durable after retry\n");
+    EXPECT_EQ(read_all(target), "durable after retry\n");
+}
+
+TEST_F(CrashConsistency, DurableAppendLineAccumulates)
+{
+    const auto target = path("journal.jsonl");
+    util::durable_append_line(target, "{\"key\":\"a\"}");
+    util::durable_append_line(target, "{\"key\":\"b\"}");
+    EXPECT_EQ(read_all(target), "{\"key\":\"a\"}\n{\"key\":\"b\"}\n");
+}
+
+TEST_F(CrashConsistency, EnospcMidJournalAppendIsRetryable)
+{
+    const auto target = path("run.jsonl");
+    util::RunJournal journal(target);
+    journal.record("unit-1", {{"score", "1.0"}});
+
+    util::FaultPlan plan;
+    plan.enospc_after_bytes = 4;
+    util::fault_injector().configure(plan);
+    try {
+        journal.record("unit-2", {{"score", "2.0"}});
+        FAIL() << "expected IoError";
+    } catch (const util::IoError& e) {
+        EXPECT_TRUE(e.transient()) << e.what();
+    }
+    util::fault_injector().configure(util::FaultPlan{});
+
+    // The failed commit was not half-applied: not in memory, not on disk.
+    EXPECT_FALSE(journal.completed("unit-2"));
+    util::RunJournal reloaded(target);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_TRUE(reloaded.completed("unit-1"));
+
+    // The executor's retry path: re-record after the fault clears.
+    journal.record("unit-2", {{"score", "2.0"}});
+    util::RunJournal final_state(target);
+    EXPECT_EQ(final_state.size(), 2u);
+}
+
+// ---- hard kill points (death tests) ----------------------------------------
+
+using ::testing::ExitedWithCode;
+
+TEST_F(CrashConsistency, CrashAtWritePublishesNothing)
+{
+    const auto target = path("crashed.txt");
+    EXPECT_EXIT(
+        {
+            util::FaultPlan plan;
+            plan.crash_at_write = 1;
+            util::fault_injector().configure(plan);
+            util::DurableFile::write_file(target, "this write never completes\n");
+        },
+        ExitedWithCode(util::kCrashExitCode), "");
+    // The child died mid-temp-write: the target must not exist.  Temp debris
+    // is legitimate after a hard crash (no destructor ran) but must never
+    // carry the final name.
+    EXPECT_FALSE(std::filesystem::exists(target));
+}
+
+TEST_F(CrashConsistency, CrashMidAppendTearsOnlyTheFinalLine)
+{
+    const auto target = path("torn.jsonl");
+    {
+        util::RunJournal journal(target);
+        journal.record("unit-1", {{"score", "1.0"}});
+    }
+    EXPECT_EXIT(
+        {
+            util::RunJournal journal(target);
+            util::FaultPlan plan;
+            plan.crash_at_write = 1;
+            util::fault_injector().configure(plan);
+            journal.record("unit-2", {{"score", "2.0"}});
+        },
+        ExitedWithCode(util::kCrashExitCode), "");
+
+    // Reload: the earlier record survives; the half-written line is detected
+    // and dropped, not parsed into a bogus record.
+    util::RunJournal reloaded(target);
+    EXPECT_TRUE(reloaded.completed("unit-1"));
+    EXPECT_FALSE(reloaded.completed("unit-2"));
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_EQ(reloaded.discarded_lines(), 1u);
+}
+
+TEST_F(CrashConsistency, CrashInsideCompactLeavesOldJournalReadable)
+{
+    const auto target = path("compact.jsonl");
+    {
+        util::RunJournal journal(target);
+        journal.record("unit-1", {{"score", "1.0"}});
+        journal.record("unit-2", {{"score", "2.0"}});
+        journal.record("unit-1", {{"score", "1.5"}});  // superseded duplicate
+    }
+    EXPECT_EXIT(
+        {
+            util::RunJournal journal(target);
+            util::FaultPlan plan;
+            plan.crash_at_write = 1;  // dies while writing compact()'s temp file
+            util::fault_injector().configure(plan);
+            journal.compact();
+        },
+        ExitedWithCode(util::kCrashExitCode), "");
+
+    // The crash hit the temp write, before any rename: the original journal
+    // (including the superseded duplicate line) is fully intact.
+    util::RunJournal reloaded(target);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.discarded_lines(), 0u);
+    const auto fields = reloaded.find_copy("unit-1");
+    ASSERT_TRUE(fields.has_value());
+    EXPECT_EQ(fields->at("score"), "1.5");  // last record wins
+}
+
+TEST_F(CrashConsistency, CrashBetweenTempWriteAndRenameLeavesOldJournalReadable)
+{
+    const auto target = path("window.jsonl");
+    {
+        util::RunJournal journal(target);
+        journal.record("unit-1", {{"score", "1.0"}});
+    }
+    const auto before = read_all(target);
+    ASSERT_FALSE(before.empty());
+    EXPECT_EXIT(
+        {
+            // The exact crash window compact() is exposed to: temp fully
+            // written but the rename never issued.
+            util::DurableFile file(target);
+            file.write("{\"key\":\"rewritten\"}\n");
+            ::_exit(util::kCrashExitCode);
+        },
+        ExitedWithCode(util::kCrashExitCode), "");
+
+    EXPECT_EQ(read_all(target), before);  // old journal byte-identical
+    util::RunJournal reloaded(target);
+    EXPECT_TRUE(reloaded.completed("unit-1"));
+}
+
+TEST_F(CrashConsistency, FaultPlanFromEnvParsesDurableKnobs)
+{
+    ::setenv("FPTC_FAULT_ENOSPC_AFTER_BYTES", "1024", 1);
+    ::setenv("FPTC_FAULT_SHORT_WRITES", "3", 1);
+    ::setenv("FPTC_FAULT_FSYNC_FAIL", "2", 1);
+    ::setenv("FPTC_FAULT_CRASH_AT_WRITE", "7", 1);
+    const auto plan = util::fault_plan_from_env();
+    ::unsetenv("FPTC_FAULT_ENOSPC_AFTER_BYTES");
+    ::unsetenv("FPTC_FAULT_SHORT_WRITES");
+    ::unsetenv("FPTC_FAULT_FSYNC_FAIL");
+    ::unsetenv("FPTC_FAULT_CRASH_AT_WRITE");
+
+    EXPECT_EQ(plan.enospc_after_bytes, 1024);
+    EXPECT_EQ(plan.short_writes, 3);
+    EXPECT_EQ(plan.fsync_failures, 2);
+    EXPECT_EQ(plan.crash_at_write, 7);
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 #include "fptc/core/trainer.hpp"
 #include "fptc/nn/models.hpp"
 #include "fptc/util/cancel.hpp"
+#include "fptc/util/durable.hpp"
 #include "fptc/util/fault.hpp"
 #include "fptc/util/journal.hpp"
 
@@ -150,6 +151,12 @@ TEST(ExceptionTaxonomy, ClassifiesKnownTypes)
     EXPECT_EQ(classify_exception(DivergenceError("diverged")), ErrorClass::fatal);
     EXPECT_EQ(classify_exception(std::bad_alloc{}), ErrorClass::transient);
     EXPECT_EQ(classify_exception(std::runtime_error("boom")), ErrorClass::fatal);
+    // Durable-I/O failures carry their own transient hint (ENOSPC vs bad
+    // path): the executor must retry the former and degrade on the latter.
+    EXPECT_EQ(classify_exception(util::IoError("disk full", /*transient=*/true)),
+              ErrorClass::transient);
+    EXPECT_EQ(classify_exception(util::IoError("bad path", /*transient=*/false)),
+              ErrorClass::fatal);
 }
 
 TEST(Executor, ResultsAreIdenticalAcrossWorkerCounts)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -232,6 +233,51 @@ TEST(FlowIo, StrictModeIgnoresCsvFaultInjection)
     const auto restored = read_dataset_csv(buffer); // strict read: no mangling
     fptc::util::fault_injector().configure(fptc::util::FaultPlan{});
     EXPECT_EQ(restored.flows.size(), original.flows.size());
+}
+
+TEST(FlowIo, RejectsNonFiniteAndExoticTimestamps)
+{
+    // strtod accepts "nan", "inf"/"infinity", hex floats and leading
+    // whitespace; none may enter a dataset (a NaN timestamp silently poisons
+    // every downstream flowpic).  Regression for the hardened parse_double.
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    const char* bad[] = {"nan",   "NAN", "-nan", "inf", "INF",  "infinity", "-inf",
+                         "0x1p3", "0X2", " 1.0", "1.0 ", "1e999", "-1e999", ""};
+    for (const char* value : bad) {
+        std::stringstream buffer(header + std::string("0,0,x,") + value + ",100,up,0,0\n");
+        try {
+            (void)read_dataset_csv(buffer);
+            FAIL() << "expected rejection of timestamp '" << value << "'";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("timestamp"), std::string::npos)
+                << value << ": " << e.what();
+        }
+    }
+    const char* good[] = {"1.5", "-2.5e-3", "1E2", "0.0", "+3.25", ".5"};
+    for (const char* value : good) {
+        std::stringstream buffer(header + std::string("0,0,x,") + value + ",100,up,0,0\n");
+        const auto dataset = read_dataset_csv(buffer);
+        ASSERT_EQ(dataset.flows.size(), 1u) << value;
+        EXPECT_DOUBLE_EQ(dataset.flows[0].packets.at(0).timestamp, std::strtod(value, nullptr))
+            << value;
+    }
+}
+
+TEST(FlowIo, NonFiniteTimestampsAreQuarantinedNotLoaded)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    std::stringstream buffer(header + "0,0,x,0.0,100,up,0,0\n"
+                             + "1,0,x,nan,100,up,0,0\n"
+                             + "2,0,x,1e999,100,up,0,0\n");
+    CsvReadReport report;
+    CsvReadOptions options;
+    options.quarantine = true;
+    const auto dataset = read_dataset_csv(buffer, options, &report);
+    EXPECT_EQ(report.quarantined.size(), 2u);
+    ASSERT_EQ(dataset.flows.size(), 1u);
+    EXPECT_DOUBLE_EQ(dataset.flows[0].packets.at(0).timestamp, 0.0);
 }
 
 TEST(FlowIo, FillsVocabularyGaps)

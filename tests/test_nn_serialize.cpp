@@ -4,6 +4,7 @@
 // save_network truncated-write recovery path.
 #include "fptc/nn/models.hpp"
 #include "fptc/nn/serialize.hpp"
+#include "fptc/util/durable.hpp"
 #include "fptc/util/fault.hpp"
 
 #include <gtest/gtest.h>
@@ -232,6 +233,80 @@ TEST(Serialize, NetworkFileRoundTrip)
             EXPECT_EQ(da[k], db[k]);
         }
     }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, V1FileOnDiskRemainsLoadable)
+{
+    // Compat: a checkpoint written by the v1 (pre-checksum) format and
+    // sitting on disk must still load into a current network byte-for-byte.
+    nn::ModelConfig config;
+    config.num_classes = 3;
+    auto network = nn::make_finetune_head(config);
+    std::ostringstream blob(std::ios::binary);
+    nn::save_parameters(network.parameters(), blob, /*version=*/1);
+    const auto path = (std::filesystem::temp_directory_path() / "fptc_test_v1.bin").string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << blob.str();
+    }
+
+    auto restored = nn::make_finetune_head(config);
+    for (auto* p : restored.parameters()) {
+        p->value.fill(0.0f);
+    }
+    nn::load_network(restored, path);
+    const auto a = network.parameters();
+    const auto b = restored.parameters();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto da = a[i]->value.data();
+        const auto db = b[i]->value.data();
+        for (std::size_t k = 0; k < da.size(); ++k) {
+            EXPECT_EQ(da[k], db[k]);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, EnospcMidCheckpointLeavesPreviousCheckpointIntact)
+{
+    // A full disk during save_network must surface as a transient IoError
+    // (executor retries, then degrades) and must NOT touch the previous
+    // checkpoint at the same path: the durable layer writes a temp file and
+    // only renames after a successful fsync.
+    nn::ModelConfig config;
+    config.num_classes = 3;
+    auto network = nn::make_finetune_head(config);
+    const auto path =
+        (std::filesystem::temp_directory_path() / "fptc_test_enospc.bin").string();
+    nn::save_network(network, path);
+
+    auto changed = nn::make_finetune_head(config);
+    for (auto* p : changed.parameters()) {
+        p->value.fill(42.0f);
+    }
+    util::FaultPlan plan;
+    plan.enospc_after_bytes = 16; // budget exhausts inside the payload write
+    util::fault_injector().configure(plan);
+    try {
+        nn::save_network(changed, path);
+        FAIL() << "expected IoError from injected ENOSPC";
+    } catch (const util::IoError& e) {
+        EXPECT_TRUE(e.transient()) << e.what();
+        EXPECT_NE(std::string(e.what()).find("errno"), std::string::npos) << e.what();
+    }
+    util::fault_injector().configure(util::FaultPlan{});
+
+    // The original checkpoint still verifies and still holds the ORIGINAL
+    // parameters (not the 42-filled ones).
+    std::ifstream readback(path, std::ios::binary);
+    std::string error;
+    ASSERT_TRUE(nn::verify_checkpoint(readback, &error)) << error;
+    auto restored = nn::make_finetune_head(config);
+    nn::load_network(restored, path);
+    EXPECT_EQ(restored.parameters()[0]->value.data()[0],
+              network.parameters()[0]->value.data()[0]);
     std::remove(path.c_str());
 }
 
