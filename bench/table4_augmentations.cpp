@@ -116,10 +116,20 @@ int main()
                                             std::to_string(split) + "|seed=" +
                                             std::to_string(seed);
                     units.push_back({resolution, augmentation, aug_name, split, seed});
+                    // Admission-control footprint: training samples after
+                    // augmentation expansion plus the evaluation sets.
+                    core::FootprintEstimate footprint;
+                    footprint.resolution = resolution;
+                    footprint.samples = per_class * data.num_classes() *
+                                        (1 + static_cast<std::size_t>(options.augment_copies));
+                    footprint.eval_samples = data.script.size() + data.human.size() +
+                                             options.leftover_cap;
+                    footprint.batch = options.batch_size;
                     executor.submit(key, [&data, options, augmentation, split,
-                                          seed](const util::CancelToken& token) {
+                                          seed](const core::UnitContext& ctx) {
                         auto unit_options = options;
-                        unit_options.hooks.cancel = &token;
+                        unit_options.hooks.cancel = &ctx.cancel;
+                        unit_options.batch_size = ctx.batch(options.batch_size);
                         const auto run = core::run_ucdavis_supervised(
                             data, augmentation, 1000 + static_cast<std::uint64_t>(split),
                             50 + static_cast<std::uint64_t>(seed), unit_options);
@@ -130,7 +140,7 @@ int main()
                             {"epochs", std::to_string(run.epochs_run)},
                             {"retries", std::to_string(run.retries)},
                             {"faults", std::to_string(run.faults_detected)}};
-                    });
+                    }, core::estimate_unit_bytes(footprint));
                 }
             }
         }

@@ -79,10 +79,18 @@ int main()
                             "|seed=" + std::to_string(simclr_seed) +
                             "|ft=" + std::to_string(ft_seed);
                         units.push_back({cell_index, projection_dim, with_dropout, split});
+                        // Admission-control footprint: unlabeled pool (two
+                        // augmented views per sample) plus the evaluation sets.
+                        core::FootprintEstimate footprint;
+                        footprint.resolution = options.flowpic.resolution;
+                        footprint.samples = 2 * options.per_class * data.num_classes();
+                        footprint.eval_samples = data.script.size() + data.human.size();
+                        footprint.batch = 2 * options.batch_samples;
                         executor.submit(key, [&data, options, split, simclr_seed,
-                                              ft_seed](const util::CancelToken& token) {
+                                              ft_seed](const core::UnitContext& ctx) {
                             auto unit_options = options;
-                            unit_options.hooks.cancel = &token;
+                            unit_options.hooks.cancel = &ctx.cancel;
+                            unit_options.batch_samples = ctx.batch(options.batch_samples);
                             const auto run = core::run_ucdavis_simclr(
                                 data, 1000 + static_cast<std::uint64_t>(split),
                                 70 + static_cast<std::uint64_t>(simclr_seed),
@@ -94,7 +102,7 @@ int main()
                                 {"epochs", std::to_string(run.pretrain_epochs)},
                                 {"retries", std::to_string(run.retries)},
                                 {"faults", std::to_string(run.faults_detected)}};
-                        });
+                        }, core::estimate_unit_bytes(footprint));
                     }
                 }
             }

@@ -90,10 +90,20 @@ int main()
                         "|aug=" + std::string(augment::augmentation_name(augmentation)) +
                         "|split=" + std::to_string(split) + "|seed=" + std::to_string(seed);
                     unit_cells.push_back(cell);
+                    // Admission-control footprint: the 80% training split
+                    // expanded by the augmentation, plus the 10% test split.
+                    core::FootprintEstimate footprint;
+                    footprint.resolution = options.flowpic.resolution;
+                    footprint.samples =
+                        entry.dataset.size() * 8 / 10 *
+                        (1 + static_cast<std::size_t>(options.augment_copies));
+                    footprint.eval_samples = entry.dataset.size() / 10;
+                    footprint.batch = options.batch_size;
                     executor.submit(key, [&entry, options, augmentation, split,
-                                          seed](const util::CancelToken& token) {
+                                          seed](const core::UnitContext& ctx) {
                         auto unit_options = options;
-                        unit_options.hooks.cancel = &token;
+                        unit_options.hooks.cancel = &ctx.cancel;
+                        unit_options.batch_size = ctx.batch(options.batch_size);
                         const auto run = core::run_replication_supervised(
                             entry.dataset, augmentation, 400 + static_cast<std::uint64_t>(split),
                             60 + static_cast<std::uint64_t>(seed), unit_options);
@@ -102,7 +112,7 @@ int main()
                             {"epochs", std::to_string(run.epochs_run)},
                             {"retries", std::to_string(run.retries)},
                             {"faults", std::to_string(run.faults_detected)}};
-                    });
+                    }, core::estimate_unit_bytes(footprint));
                 }
             }
         }

@@ -120,6 +120,7 @@ void require_usable(const SampleSet& set, const char* what)
 
     nn::Sequential network = nn::make_supervised_network(model_config);
     TrainConfig train_config;
+    train_config.batch_size = options.batch_size;
     train_config.max_epochs = options.max_epochs;
     train_config.seed = util::mix_seed(train_seed, 0xBEEF);
     train_config.hooks = options.hooks;
@@ -195,6 +196,7 @@ namespace {
     const augment::ViewPairGenerator views(options.first, options.second, options.flowpic);
 
     SimClrConfig pretrain_config;
+    pretrain_config.batch_samples = options.batch_samples;
     pretrain_config.max_epochs = options.pretrain_max_epochs;
     pretrain_config.seed = util::mix_seed(pretrain_seed, 0x517);
     pretrain_config.hooks = options.hooks;
@@ -302,6 +304,7 @@ SimClrRunResult run_ucdavis_enlarged_simclr(const UcdavisData& data, std::uint64
     const augment::ViewPairGenerator views(options.first, options.second, options.flowpic);
 
     SimClrConfig pretrain_config;
+    pretrain_config.batch_samples = options.batch_samples;
     pretrain_config.max_epochs = options.pretrain_max_epochs;
     pretrain_config.seed = util::mix_seed(seed, 0x517);
     pretrain_config.hooks = options.hooks;

@@ -35,6 +35,11 @@ void SampleSet::append(const SampleSet& other)
     if (other.dim != dim || other.channels != channels) {
         throw std::invalid_argument("SampleSet::append: shape mismatch");
     }
+    std::size_t added_bytes = 0;
+    for (const auto& image : other.images) {
+        added_bytes += image.size() * sizeof(float);
+    }
+    storage.grow(added_bytes);
     images.insert(images.end(), other.images.begin(), other.images.end());
     labels.insert(labels.end(), other.labels.begin(), other.labels.end());
     quarantined += other.quarantined;
@@ -112,6 +117,7 @@ void push_sample(SampleSet& set, flowpic::Flowpic pic, std::size_t label)
         ++set.quarantined;
         return;
     }
+    set.storage.grow(image.size() * sizeof(float));
     set.images.push_back(std::move(image));
     set.labels.push_back(label);
 }
@@ -129,6 +135,7 @@ void push_directional_sample(SampleSet& set, const flowpic::Flowpic& up,
         ++set.quarantined;
         return;
     }
+    set.storage.grow(up_plane.size() * sizeof(float));
     set.images.push_back(std::move(up_plane));
     set.labels.push_back(label);
 }
@@ -140,6 +147,7 @@ SampleValidationReport validate_samples(SampleSet& set)
     SampleValidationReport report;
     const std::size_t expected = set.channels * set.dim * set.dim;
     std::size_t kept = 0;
+    std::size_t freed_bytes = 0;
     for (std::size_t i = 0; i < set.images.size(); ++i) {
         ++report.checked;
         std::string defect = image_defect(set.images[i], expected);
@@ -161,6 +169,7 @@ SampleValidationReport validate_samples(SampleSet& set)
         }
         if (!defect.empty()) {
             ++report.quarantined;
+            freed_bytes += set.images[i].size() * sizeof(float);
             if (report.first_defect.empty()) {
                 report.first_defect = "sample " + std::to_string(i) + ": " + defect;
             }
@@ -174,6 +183,7 @@ SampleValidationReport validate_samples(SampleSet& set)
     }
     set.images.resize(kept);
     set.labels.resize(kept);
+    set.storage.shrink(freed_bytes);
     set.quarantined += report.quarantined;
     return report;
 }

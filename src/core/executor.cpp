@@ -1,10 +1,12 @@
 #include "fptc/core/executor.hpp"
 
 #include "fptc/core/guard.hpp"
+#include "fptc/nn/models.hpp"
 #include "fptc/util/durable.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
 #include "fptc/util/log.hpp"
+#include "fptc/util/membudget.hpp"
 #include "fptc/util/rng.hpp"
 
 #include <algorithm>
@@ -40,7 +42,25 @@ ExecutorConfig executor_config_from_env()
     config.unit_retries = static_cast<int>(util::env_int("FPTC_UNIT_RETRIES").value_or(2));
     config.unit_retries = std::max(0, config.unit_retries);
     config.backoff_base_ms = util::env_double("FPTC_UNIT_BACKOFF_MS").value_or(50.0);
+    config.mem_budget_bytes =
+        static_cast<std::size_t>(util::env_int("FPTC_MEM_BUDGET_MB").value_or(0)) * 1024 * 1024;
     return config;
+}
+
+std::size_t estimate_unit_bytes(const FootprintEstimate& estimate)
+{
+    const std::size_t d = nn::effective_input_dim(estimate.resolution);
+    const std::size_t channels = std::max<std::size_t>(1, estimate.channels);
+    const std::size_t pixel_bytes = channels * d * d * sizeof(float);
+    // Stored sample sets (train + eval) at the effective input dimension.
+    const std::size_t stored = (estimate.samples + estimate.eval_samples) * pixel_bytes;
+    // Two native-resolution grids alive while a flow rasterizes (the flowpic
+    // plus its pooled copy; directional sets hold an up/down pair).
+    const std::size_t rasterize = 2 * estimate.resolution * estimate.resolution * sizeof(float);
+    // Per-step tensor traffic: input batch plus activations and gradients,
+    // a conservative constant multiple of the batch tensor.
+    const std::size_t batch_traffic = std::max<std::size_t>(1, estimate.batch) * pixel_bytes * 12;
+    return stored + rasterize + batch_traffic;
 }
 
 double backoff_delay_ms(const ExecutorConfig& config, const std::string& key, int retry)
@@ -79,6 +99,11 @@ ErrorClass classify_exception(const std::exception& error) noexcept
         // or unexpected syscall error is deterministic.
         return io_error->transient() ? ErrorClass::transient : ErrorClass::fatal;
     }
+    if (const auto* budget = dynamic_cast<const util::BudgetExceeded*>(&error)) {
+        // Memory-budget refusals carry the same kind of hint: pressure from
+        // concurrent units passes, a structurally oversized unit does not.
+        return budget->transient() ? ErrorClass::transient : ErrorClass::fatal;
+    }
     if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr) {
         return ErrorClass::transient;
     }
@@ -90,9 +115,9 @@ CampaignExecutor::CampaignExecutor(std::string campaign, ExecutorConfig config)
 {
 }
 
-std::size_t CampaignExecutor::submit(std::string key, UnitFn run)
+std::size_t CampaignExecutor::submit(std::string key, UnitFn run, std::size_t estimated_bytes)
 {
-    units_.push_back(Unit{std::move(key), std::move(run)});
+    units_.push_back(Unit{std::move(key), std::move(run), estimated_bytes});
     return units_.size() - 1;
 }
 
@@ -104,6 +129,8 @@ void CampaignExecutor::run_unit(std::size_t index)
     const auto unit_start = std::chrono::steady_clock::now();
 
     const int max_attempts = config_.unit_retries + 1;
+    int shrink = 0;
+    bool shrink_retry_used = false;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         if (campaign_cancel_.cancelled()) {
             outcome.status = UnitStatus::cancelled;
@@ -134,12 +161,21 @@ void CampaignExecutor::run_unit(std::size_t index)
                                     : std::int64_t{500};
             token.arm_stall(std::chrono::milliseconds(cap_ms));
         }
+        // Every attempt gets a fresh allocation-fault byte scope, so the
+        // FPTC_FAULT_ALLOC_FAIL_AFTER_MB refusal point depends only on this
+        // unit's own charges — deterministic for any FPTC_JOBS.
+        util::fault_injector().begin_alloc_scope();
 
         try {
             if (util::fault_injector().inject_unit_transient()) {
                 throw UnitError(ErrorClass::transient, "injected transient fault");
             }
-            outcome.fields = unit.run(token);
+            if (shrink == 0 && util::fault_injector().inject_unit_alloc_fail(index)) {
+                throw util::BudgetExceeded("fault-injected unit " + unit.key,
+                                           unit.estimated_bytes, 0);
+            }
+            const UnitContext context{token, shrink};
+            outcome.fields = unit.run(context);
             outcome.status = UnitStatus::ok;
             journal_.commit(unit.key, outcome.fields);
             break;
@@ -148,6 +184,21 @@ void CampaignExecutor::run_unit(std::size_t index)
             outcome.error_chain.push_back(std::string(error_class_name(klass)) + ": " +
                                           error.what());
             outcome.final_error = klass;
+            const bool budget_refusal =
+                dynamic_cast<const util::BudgetExceeded*>(&error) != nullptr;
+            if (budget_refusal && !shrink_retry_used && klass == ErrorClass::transient) {
+                // OOM-graceful path: one immediate re-execution at half batch
+                // size.  It does not consume the transient retry budget —
+                // halving the footprint is the mitigation, not waiting.
+                shrink_retry_used = true;
+                shrink = 1;
+                outcome.shrinks = 1;
+                shrunk_units_.fetch_add(1, std::memory_order_relaxed);
+                util::log_info("executor[" + campaign_ + "]: unit " + unit.key +
+                               " hit the memory budget; retrying at half batch size");
+                --attempt;
+                continue;
+            }
             if (klass == ErrorClass::transient && attempt + 1 < max_attempts) {
                 continue;
             }
@@ -168,12 +219,52 @@ void CampaignExecutor::run_unit(std::size_t index)
 
 void CampaignExecutor::worker_loop()
 {
+    std::unique_lock<std::mutex> lock(sched_mutex_);
     while (true) {
-        const std::size_t slot = next_pending_.fetch_add(1, std::memory_order_relaxed);
-        if (slot >= pending_.size()) {
+        const std::size_t budget = config_.mem_budget_bytes;
+        std::size_t pick = pending_.size();
+        bool any_unclaimed = false;
+        for (std::size_t slot = 0; slot < pending_.size(); ++slot) {
+            if (claimed_[slot] != 0) {
+                continue;
+            }
+            any_unclaimed = true;
+            const std::size_t estimate = units_[pending_[slot]].estimated_bytes;
+            const bool fits = budget == 0 || estimate == 0 ||
+                              (est_outstanding_ < budget && estimate <= budget - est_outstanding_);
+            // Deadlock-free admission: with nothing running there is nothing
+            // to wait for, so even an over-budget estimate is admitted (the
+            // accountant still enforces the hard cap mid-unit).
+            if (fits || running_ == 0) {
+                pick = slot;
+                break;
+            }
+            if (deferred_marked_[slot] == 0) {
+                deferred_marked_[slot] = 1;
+                ++deferred_units_;
+                util::log_info("executor[" + campaign_ + "]: deferring " +
+                               units_[pending_[slot]].key + " (estimate " +
+                               std::to_string(estimate) + " B over remaining budget)");
+            }
+        }
+        if (!any_unclaimed) {
             return;
         }
-        run_unit(pending_[slot]);
+        if (pick == pending_.size()) {
+            // Nothing admissible right now; park until a unit completes.
+            sched_cv_.wait(lock);
+            continue;
+        }
+        claimed_[pick] = 1;
+        ++running_;
+        const std::size_t estimate = units_[pending_[pick]].estimated_bytes;
+        est_outstanding_ += estimate;
+        lock.unlock();
+        run_unit(pending_[pick]);
+        lock.lock();
+        --running_;
+        est_outstanding_ -= estimate;
+        sched_cv_.notify_all();
     }
 }
 
@@ -195,6 +286,8 @@ void CampaignExecutor::run_all()
             pending_.push_back(i);
         }
     }
+    claimed_.assign(pending_.size(), 0);
+    deferred_marked_.assign(pending_.size(), 0);
 
     const auto wall_start = std::chrono::steady_clock::now();
     const int workers =
@@ -228,6 +321,25 @@ void CampaignExecutor::run_all()
         }
         busy_seconds_ += outcome.busy_seconds;
     }
+
+    // Surface the resource-governance counters: a journal record for
+    // post-mortems (the replay path only looks up unit keys, so the reserved
+    // key is inert on resume) and a stderr line for live runs.  Peak bytes
+    // are scheduling-dependent with FPTC_JOBS > 1, so they never go to
+    // stdout.
+    const auto& budget = util::mem_budget();
+    if (executed_ > 0 || degraded_count_ > 0) {
+        // Skipped for campaigns cancelled before any unit committed: a
+        // cancelled campaign must leave no journal trace at all.
+        journal_.commit("__membudget__",
+                        {{"peak_bytes", std::to_string(budget.peak_bytes())},
+                         {"budget_bytes", std::to_string(budget.budget_bytes())},
+                         {"rejections", std::to_string(budget.rejections())},
+                         {"deferred", std::to_string(deferred_units_)},
+                         {"shrunk", std::to_string(shrunk_units())}});
+    }
+    util::log_info("executor[" + campaign_ + "]: mem " + budget.summary() + " deferred=" +
+                   std::to_string(deferred_units_) + " shrunk=" + std::to_string(shrunk_units()));
 }
 
 std::string CampaignExecutor::summary() const
@@ -242,6 +354,14 @@ std::string CampaignExecutor::summary() const
     out << "executor[" << campaign_ << "]: " << units_.size() << " unit(s): " << executed_
         << " executed, " << resumed_ << " resumed, " << retried_units_ << " retried, "
         << degraded_count_ << " degraded";
+    // Resource-governance counters appear only when they fired, so the line
+    // is unchanged for unconstrained runs.
+    if (shrunk_units() > 0) {
+        out << ", " << shrunk_units() << " shrunk";
+    }
+    if (deferred_units_ > 0) {
+        out << ", " << deferred_units_ << " deferred";
+    }
     if (cancelled > 0) {
         out << ", " << cancelled << " cancelled";
     }

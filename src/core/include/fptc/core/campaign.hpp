@@ -47,6 +47,10 @@ struct SupervisedOptions {
     /// Use the 2-channel direction-aware flowpic (footnote 3 extension,
     /// bench/ablation_directional) instead of the paper's direction-blind one.
     bool directional = false;
+    /// Training batch size.  Campaign units size this via UnitContext::batch
+    /// so the executor's shrink retry halves the unit's footprint after a
+    /// BudgetExceeded.
+    std::size_t batch_size = 32;
     /// Executor supervision; forwarded into every training loop of the run.
     TrainHooks hooks{};
 };
@@ -85,6 +89,10 @@ struct SimClrOptions {
     augment::AugmentationKind second = augment::AugmentationKind::time_shift;
     int pretrain_max_epochs = 12;
     flowpic::FlowpicConfig flowpic{};
+    /// Contrastive batch size (samples per batch; each contributes two
+    /// views).  Sized via UnitContext::batch under the executor so the
+    /// shrink retry halves the unit's footprint.
+    std::size_t batch_samples = 32;
     /// Executor supervision; forwarded into pre-training and fine-tuning.
     TrainHooks hooks{};
 };

@@ -17,6 +17,7 @@
 #include "fptc/flow/dataset.hpp"
 #include "fptc/flowpic/flowpic.hpp"
 #include "fptc/nn/tensor.hpp"
+#include "fptc/util/membudget.hpp"
 #include "fptc/util/rng.hpp"
 
 #include <span>
@@ -36,6 +37,11 @@ struct SampleSet {
     /// e.g. a corrupted cache or an injected fault.  Counted, never
     /// silently averaged into a mean±CI.
     std::size_t quarantined = 0;
+    /// Accounted bytes of `images` against the process memory budget: the
+    /// push/append paths grow it, validate_samples credits scrubbed samples
+    /// back.  Direct writes to `images` (tests) bypass it; Charge::shrink
+    /// clamps, so the accounting can undercount but never go negative.
+    util::Charge storage{0, "core::SampleSet"};
 
     [[nodiscard]] std::size_t size() const noexcept { return images.size(); }
 

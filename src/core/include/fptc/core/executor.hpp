@@ -12,6 +12,15 @@
 //   * retry      — transient failures re-execute the unit after a
 //                  seeded-deterministic exponential backoff, up to
 //                  FPTC_UNIT_RETRIES re-executions,
+//   * admission  — when FPTC_MEM_BUDGET_MB is set, each unit's estimated
+//                  footprint (estimate_unit_bytes) is checked against the
+//                  remaining budget before a worker picks it up; units that
+//                  do not fit are deferred until running units release
+//                  memory.  Deadlock-free: a unit is always admitted when
+//                  the pool is otherwise idle,
+//   * shrink     — a unit that still hits util::BudgetExceeded mid-flight is
+//                  re-executed once at half batch size (UnitContext::batch)
+//                  before the degrade path takes over,
 //   * degrade    — a unit that exhausts its budget (or fails terminally) is
 //                  recorded as degraded with its full error chain and the
 //                  campaign continues; aggregation marks the affected table
@@ -33,8 +42,10 @@
 
 #include "fptc/util/cancel.hpp"
 #include "fptc/util/journal.hpp"
+#include "fptc/util/membudget.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -90,11 +101,32 @@ struct ExecutorConfig {
     double backoff_base_ms = 50.0;   ///< first retry delay (doubles per retry)
     double backoff_max_ms = 5000.0;  ///< delay cap
     std::uint64_t backoff_seed = 0x5EED;  ///< jitter stream seed
+    /// Admission-control budget (FPTC_MEM_BUDGET_MB, bytes; 0 = off): a unit
+    /// whose footprint estimate does not fit what running units leave of the
+    /// budget is deferred instead of spawned.
+    std::size_t mem_budget_bytes = 0;
 };
 
 /// Resolve the executor configuration from FPTC_JOBS, FPTC_UNIT_TIMEOUT_S,
-/// FPTC_UNIT_RETRIES and FPTC_UNIT_BACKOFF_MS.
+/// FPTC_UNIT_RETRIES, FPTC_UNIT_BACKOFF_MS and FPTC_MEM_BUDGET_MB.
 [[nodiscard]] ExecutorConfig executor_config_from_env();
+
+/// Inputs of a unit's memory-footprint estimate.
+struct FootprintEstimate {
+    std::size_t resolution = 32;    ///< native flowpic resolution
+    std::size_t samples = 0;        ///< training samples (after augmentation)
+    std::size_t eval_samples = 0;   ///< validation/test samples
+    std::size_t batch = 32;         ///< training batch size
+    std::size_t channels = 1;       ///< flowpic channels (1 or 2)
+};
+
+/// Estimate the accounted working-set bytes of one campaign unit: the stored
+/// sample sets at the network's effective input dimension, the transient
+/// native-resolution rasterization grids, and the per-batch tensor traffic
+/// of a training step.  Intentionally coarse (admission control needs the
+/// right order of magnitude, not allocator truth) but monotone in every
+/// input, so bigger cells always report bigger estimates.
+[[nodiscard]] std::size_t estimate_unit_bytes(const FootprintEstimate& estimate);
 
 /// Deterministic backoff before re-execution `retry` (1-based) of `key`:
 /// exponential in the retry index with seeded jitter in [0.5, 1.5), capped
@@ -118,6 +150,7 @@ struct UnitOutcome {
     std::vector<std::string> error_chain;       ///< "class: message" per attempt
     int attempts = 0;      ///< executions performed (0 when replayed)
     int unit_retries = 0;  ///< re-executions after transient failures
+    int shrinks = 0;       ///< batch halvings after BudgetExceeded (0 or 1)
     double busy_seconds = 0.0;  ///< wall time spent executing this unit
     ErrorClass final_error = ErrorClass::transient;  ///< set when degraded/cancelled
 
@@ -127,16 +160,34 @@ struct UnitOutcome {
     }
 };
 
+/// Per-attempt execution context handed to a unit function.  Carries the
+/// watchdog token (wire it into the campaign options' TrainHooks) and the
+/// resource-governance state of this attempt: `shrink` counts the batch
+/// halvings applied after a BudgetExceeded, and batch() maps a nominal batch
+/// size to the effective one.
+struct UnitContext {
+    const util::CancelToken& cancel;  ///< per-attempt watchdog token
+    int shrink = 0;                   ///< halvings applied (0 on the first try)
+
+    /// Effective batch size for this attempt: `base` halved `shrink` times,
+    /// never below 1.
+    [[nodiscard]] std::size_t batch(std::size_t base) const noexcept
+    {
+        const std::size_t halved = base >> static_cast<unsigned>(shrink);
+        return halved < 1 ? 1 : halved;
+    }
+};
+
 /// Fixed-pool supervised executor for one campaign's units.
 ///
 /// Usage: submit() every unit (cheap closures capturing seeds/options), then
 /// run_all() once, then aggregate outcomes() in submission order.  The unit
-/// function receives the per-attempt CancelToken; wire it into the campaign
-/// options' TrainHooks so the watchdog reaches the training loops.
+/// function receives the per-attempt UnitContext; wire its cancel token into
+/// the campaign options' TrainHooks so the watchdog reaches the training
+/// loops, and size batches with ctx.batch() so the shrink retry works.
 class CampaignExecutor {
 public:
-    using UnitFn =
-        std::function<std::map<std::string, std::string>(const util::CancelToken&)>;
+    using UnitFn = std::function<std::map<std::string, std::string>(const UnitContext&)>;
 
     /// `campaign` namespaces journal keys (journaling armed by FPTC_JOURNAL,
     /// exactly as CampaignJournal does).
@@ -144,8 +195,9 @@ public:
                               ExecutorConfig config = executor_config_from_env());
 
     /// Queue a unit; returns its index.  Not thread-safe; submit everything
-    /// before run_all().
-    std::size_t submit(std::string key, UnitFn run);
+    /// before run_all().  `estimated_bytes` (estimate_unit_bytes) feeds the
+    /// admission control; 0 = unknown, always admissible.
+    std::size_t submit(std::string key, UnitFn run, std::size_t estimated_bytes = 0);
 
     /// Execute all submitted units on the pool (blocks).  Journal-completed
     /// units are replayed without occupying a worker.  Safe to call once.
@@ -169,6 +221,14 @@ public:
     [[nodiscard]] std::size_t resumed() const noexcept { return resumed_; }
     [[nodiscard]] std::size_t degraded() const noexcept { return degraded_count_; }
     [[nodiscard]] std::size_t retried_units() const noexcept { return retried_units_; }
+    /// Units that waited at least once because their footprint estimate did
+    /// not fit the remaining admission budget.
+    [[nodiscard]] std::size_t deferred_units() const noexcept { return deferred_units_; }
+    /// Units re-executed at half batch size after a BudgetExceeded.
+    [[nodiscard]] std::size_t shrunk_units() const noexcept
+    {
+        return shrunk_units_.load(std::memory_order_relaxed);
+    }
 
     /// Deterministic one-line summary for campaign stdout (counts only — no
     /// timings, so bench output stays bit-identical across FPTC_JOBS).
@@ -184,6 +244,7 @@ private:
     struct Unit {
         std::string key;
         UnitFn run;
+        std::size_t estimated_bytes = 0;  ///< admission-control footprint
     };
 
     void run_unit(std::size_t index);
@@ -196,13 +257,26 @@ private:
     std::vector<Unit> units_;
     std::vector<UnitOutcome> outcomes_;
     std::vector<std::size_t> pending_;  ///< indexes needing execution
-    std::atomic<std::size_t> next_pending_{0};
     bool ran_ = false;
+
+    // Admission scheduler: workers claim pending slots under sched_mutex_,
+    // skipping units whose estimate does not fit what the running set leaves
+    // of mem_budget_bytes; they park on sched_cv_ until a completion frees
+    // estimated memory.  A unit is always admitted when nothing is running,
+    // so the scheduler cannot deadlock on an oversized estimate.
+    std::mutex sched_mutex_;
+    std::condition_variable sched_cv_;
+    std::vector<char> claimed_;          ///< pending slot picked by a worker
+    std::vector<char> deferred_marked_;  ///< pending slot counted as deferred
+    std::size_t running_ = 0;            ///< units currently executing
+    std::size_t est_outstanding_ = 0;    ///< estimate sum of running units
 
     std::size_t executed_ = 0;
     std::size_t resumed_ = 0;
     std::size_t degraded_count_ = 0;
     std::size_t retried_units_ = 0;
+    std::size_t deferred_units_ = 0;
+    std::atomic<std::size_t> shrunk_units_{0};
     double wall_seconds_ = 0.0;
     double busy_seconds_ = 0.0;
 };
@@ -211,8 +285,11 @@ private:
 /// CancelledError maps to timeout/cancelled; DivergenceError is fatal (the
 /// unit is deterministic in its seeds, so it would diverge again);
 /// util::IoError follows its own transient() hint (ENOSPC/fsync failures
-/// are retryable resource exhaustion, bad paths are not); std::bad_alloc
-/// is transient (memory pressure passes); anything else is fatal.
+/// are retryable resource exhaustion, bad paths are not);
+/// util::BudgetExceeded follows its transient() hint too (memory pressure
+/// passes once concurrent units release their charges — and the executor
+/// additionally grants it one shrink retry at half batch size);
+/// std::bad_alloc is transient; anything else is fatal.
 [[nodiscard]] ErrorClass classify_exception(const std::exception& error) noexcept;
 
 } // namespace fptc::core

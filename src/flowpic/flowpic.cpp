@@ -7,7 +7,9 @@
 namespace fptc::flowpic {
 
 Flowpic::Flowpic(std::size_t resolution, std::vector<float> counts)
-    : resolution_(resolution), counts_(std::move(counts))
+    : resolution_(resolution),
+      charge_(counts.size() * sizeof(float), "flowpic::Flowpic"),
+      counts_(std::move(counts))
 {
     if (resolution_ == 0 || counts_.size() != resolution_ * resolution_) {
         throw std::invalid_argument("Flowpic: counts size must be resolution^2");

@@ -14,6 +14,7 @@
 
 #include "fptc/flow/dataset.hpp"
 #include "fptc/flow/packet.hpp"
+#include "fptc/util/membudget.hpp"
 
 #include <cstddef>
 #include <span>
@@ -64,6 +65,10 @@ public:
 
 private:
     std::size_t resolution_;
+    // A 1500x1500 grid is ~9 MB — the dominant per-flow cost at the paper's
+    // highest resolution, so every grid is charged against the process
+    // memory budget for the life of the flowpic.
+    util::Charge charge_;
     std::vector<float> counts_;
 };
 

@@ -1,5 +1,7 @@
 #include "fptc/gbt/gbt.hpp"
 
+#include "fptc/util/membudget.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -133,6 +135,15 @@ void GbtClassifier::fit(const std::vector<std::vector<float>>& features,
     }
 
     const auto bins = build_bins(features, config_.num_bins);
+    // Charge the whole training working set (binned design matrix, margin /
+    // probability / gradient / hessian buffers, split histograms) against the
+    // process memory budget up front, before the allocations happen; released
+    // when fit() returns or unwinds.
+    const util::Charge working_set(
+        num_features_ * n * sizeof(std::uint16_t) + 2 * n * num_classes_ * sizeof(double) +
+            2 * n * sizeof(float) +
+            2 * static_cast<std::size_t>(config_.num_bins) * sizeof(double),
+        "gbt::fit");
     // Binned design matrix, column-major for cache-friendly histogram builds.
     std::vector<std::vector<std::uint16_t>> binned(num_features_,
                                                    std::vector<std::uint16_t>(n));
@@ -157,6 +168,9 @@ void GbtClassifier::fit(const std::vector<std::vector<float>>& features,
     std::vector<double> hist_h(max_bins);
 
     for (int round = 0; round < config_.num_rounds; ++round) {
+        if (config_.cancel != nullptr) {
+            config_.cancel->poll();
+        }
         // Softmax over current margins.
         for (std::size_t i = 0; i < n; ++i) {
             const double* m = margins.data() + i * num_classes_;
@@ -176,6 +190,9 @@ void GbtClassifier::fit(const std::vector<std::vector<float>>& features,
         }
 
         for (std::size_t k = 0; k < num_classes_; ++k) {
+            if (config_.cancel != nullptr) {
+                config_.cancel->poll();
+            }
             for (std::size_t i = 0; i < n; ++i) {
                 const double p = probabilities[i * num_classes_ + k];
                 gradients[i] = static_cast<float>(p - (labels[i] == k ? 1.0 : 0.0));
@@ -195,6 +212,9 @@ void GbtClassifier::fit(const std::vector<std::vector<float>>& features,
             }
 
             while (!stack.empty()) {
+                if (config_.cancel != nullptr) {
+                    config_.cancel->poll();
+                }
                 NodeBuildState state = std::move(stack.back());
                 stack.pop_back();
 

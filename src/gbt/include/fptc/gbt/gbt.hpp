@@ -13,6 +13,8 @@
 // flowpic input"); average_tree_depth() exposes the same diagnostic.
 #pragma once
 
+#include "fptc/util/cancel.hpp"
+
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -30,6 +32,11 @@ struct GbtConfig {
     double gamma = 0.0;            ///< minimum gain to split
     double min_child_weight = 1.0; ///< minimum hessian sum per child
     int num_bins = 32;             ///< histogram bins per feature
+    /// Watchdog hook: fit() polls this token per boosting round, per class
+    /// tree and per node build, so a table3 unit unwinds with CancelledError
+    /// when its executor deadline trips instead of blowing past
+    /// FPTC_UNIT_TIMEOUT_S.  Null = never cancelled.
+    const util::CancelToken* cancel = nullptr;
 };
 
 /// A regression tree stored as a flat node array.

@@ -7,6 +7,7 @@
 // hand-written backward passes easy to audit against the math.
 #pragma once
 
+#include "fptc/util/membudget.hpp"
 #include "fptc/util/rng.hpp"
 
 #include <cstddef>
@@ -71,6 +72,12 @@ public:
 
 private:
     Shape shape_;
+    // Declared before data_ so construction charges the accountant *before*
+    // the backing store is allocated: under FPTC_MEM_BUDGET_MB a refused
+    // tensor throws BudgetExceeded without ever touching the allocator.
+    // Implicit copy/move/destroy keep the charge balanced (util::Charge
+    // copies re-reserve, moves transfer, destructors release).
+    util::Charge charge_;
     std::vector<float> data_;
 };
 

@@ -16,9 +16,17 @@ std::size_t element_count(const Shape& shape) noexcept
     return count;
 }
 
-Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      charge_(element_count(shape_) * sizeof(float), "nn::Tensor"),
+      data_(element_count(shape_), 0.0f)
+{
+}
 
-Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data))
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)),
+      charge_(data.size() * sizeof(float), "nn::Tensor"),
+      data_(std::move(data))
 {
     if (data_.size() != element_count(shape_)) {
         throw std::invalid_argument("Tensor: data size does not match shape");

@@ -1,9 +1,20 @@
 #include "fptc/util/env.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace fptc::util {
+
+namespace {
+
+[[noreturn]] void bad_knob(const std::string& name, const char* raw, const char* why)
+{
+    throw EnvError(name + "='" + raw + "': " + why);
+}
+
+} // namespace
 
 std::optional<std::int64_t> env_int(const std::string& name)
 {
@@ -11,10 +22,17 @@ std::optional<std::int64_t> env_int(const std::string& name)
     if (raw == nullptr || *raw == '\0') {
         return std::nullopt;
     }
+    errno = 0;
     char* end = nullptr;
     const long long value = std::strtoll(raw, &end, 10);
-    if (end == raw) {
-        return std::nullopt;
+    if (end == raw || *end != '\0') {
+        bad_knob(name, raw, "not an integer");
+    }
+    if (errno == ERANGE) {
+        bad_knob(name, raw, "overflows 64-bit integer");
+    }
+    if (value < 0) {
+        bad_knob(name, raw, "must be non-negative");
     }
     return static_cast<std::int64_t>(value);
 }
@@ -25,10 +43,20 @@ std::optional<double> env_double(const std::string& name)
     if (raw == nullptr || *raw == '\0') {
         return std::nullopt;
     }
+    errno = 0;
     char* end = nullptr;
     const double value = std::strtod(raw, &end);
-    if (end == raw) {
-        return std::nullopt;
+    if (end == raw || *end != '\0') {
+        bad_knob(name, raw, "not a number");
+    }
+    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+        bad_knob(name, raw, "overflows double");
+    }
+    if (!std::isfinite(value)) {
+        bad_knob(name, raw, "must be finite");
+    }
+    if (value < 0.0) {
+        bad_knob(name, raw, "must be non-negative");
     }
     return value;
 }

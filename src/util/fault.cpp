@@ -22,6 +22,14 @@ void FaultInjector::configure(const FaultPlan& plan)
     unit_executions_transient_ = 0;
     durable_bytes_ = 0;
     durable_writes_ = 0;
+    const std::uint64_t threshold =
+        plan.alloc_fail_after_mb > 0
+            ? static_cast<std::uint64_t>(plan.alloc_fail_after_mb) * 1024 * 1024
+            : 0;
+    alloc_fail_threshold_bytes_.store(threshold, std::memory_order_relaxed);
+    // Bumping the epoch lazily invalidates every thread's byte scope.
+    alloc_scope_epoch_.fetch_add(1, std::memory_order_relaxed);
+    alloc_rejections_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::enabled() const noexcept
@@ -30,7 +38,8 @@ bool FaultInjector::enabled() const noexcept
     return plan_.nan_loss_every > 0 || plan_.truncate_writes > 0 ||
            plan_.csv_row_percent > 0.0 || plan_.stall_units > 0 || plan_.transient_units > 0 ||
            plan_.enospc_after_bytes > 0 || plan_.short_writes > 0 ||
-           plan_.fsync_failures > 0 || plan_.crash_at_write > 0;
+           plan_.fsync_failures > 0 || plan_.crash_at_write > 0 ||
+           plan_.alloc_fail_after_mb > 0 || plan_.alloc_fail_units > 0;
 }
 
 bool FaultInjector::inject_nan_loss()
@@ -141,10 +150,62 @@ bool FaultInjector::inject_crash_at_write()
     return durable_writes_ == static_cast<std::uint64_t>(plan_.crash_at_write);
 }
 
+namespace {
+
+/// Per-thread byte tally for the alloc_fail_after_mb class.  `epoch` ties the
+/// tally to a configure()/begin_alloc_scope() generation so stale bytes from
+/// a previous plan or unit execution never leak into the current scope.
+struct AllocScope {
+    std::uint64_t epoch = 0;
+    std::uint64_t bytes = 0;
+};
+
+thread_local AllocScope t_alloc_scope;
+
+} // namespace
+
+bool FaultInjector::inject_alloc_fail(std::size_t bytes)
+{
+    const std::uint64_t threshold = alloc_fail_threshold_bytes_.load(std::memory_order_relaxed);
+    if (threshold == 0) {
+        return false;
+    }
+    const std::uint64_t epoch = alloc_scope_epoch_.load(std::memory_order_relaxed);
+    if (t_alloc_scope.epoch != epoch) {
+        t_alloc_scope.epoch = epoch;
+        t_alloc_scope.bytes = 0;
+    }
+    if (t_alloc_scope.bytes + bytes > threshold) {
+        ++alloc_rejections_;
+        return true;
+    }
+    t_alloc_scope.bytes += bytes;
+    return false;
+}
+
+void FaultInjector::begin_alloc_scope()
+{
+    t_alloc_scope.epoch = alloc_scope_epoch_.load(std::memory_order_relaxed);
+    t_alloc_scope.bytes = 0;
+}
+
+bool FaultInjector::inject_unit_alloc_fail(std::size_t unit_index)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.alloc_fail_units <= 0 ||
+        unit_index >= static_cast<std::size_t>(plan_.alloc_fail_units)) {
+        return false;
+    }
+    ++counters_.alloc_unit_failures;
+    return true;
+}
+
 FaultCounters FaultInjector::counters() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return counters_;
+    FaultCounters counts = counters_;
+    counts.alloc_rejections = alloc_rejections_.load(std::memory_order_relaxed);
+    return counts;
 }
 
 std::string FaultInjector::summary() const
@@ -155,7 +216,9 @@ std::string FaultInjector::summary() const
         << " csv_rows=" << counts.corrupted_csv_rows << " stalled_units="
         << counts.stalled_units << " transient_units=" << counts.transient_units
         << " enospc=" << counts.enospc_failures << " short_writes="
-        << counts.short_write_clamps << " fsync_fail=" << counts.fsync_failures;
+        << counts.short_write_clamps << " fsync_fail=" << counts.fsync_failures
+        << " alloc_reject=" << counts.alloc_rejections
+        << " alloc_units=" << counts.alloc_unit_failures;
     return out.str();
 }
 
@@ -173,6 +236,8 @@ FaultPlan fault_plan_from_env()
     plan.short_writes = static_cast<int>(env_int("FPTC_FAULT_SHORT_WRITES").value_or(0));
     plan.fsync_failures = static_cast<int>(env_int("FPTC_FAULT_FSYNC_FAIL").value_or(0));
     plan.crash_at_write = static_cast<int>(env_int("FPTC_FAULT_CRASH_AT_WRITE").value_or(0));
+    plan.alloc_fail_after_mb = env_int("FPTC_FAULT_ALLOC_FAIL_AFTER_MB").value_or(0);
+    plan.alloc_fail_units = static_cast<int>(env_int("FPTC_FAULT_ALLOC_FAIL_UNITS").value_or(0));
     return plan;
 }
 

@@ -12,16 +12,31 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 namespace fptc::util {
 
-/// Read an integer environment variable; returns std::nullopt when unset or
-/// unparsable.
+/// A malformed FPTC_* knob.  Every numeric knob is validated strictly: a
+/// non-numeric value, trailing garbage ("12abc"), a negative number, or one
+/// that overflows the target type is a hard configuration error carrying the
+/// offending name and value — silently falling back to a default would make
+/// a typo'd campaign run with the wrong scale/budget and waste hours before
+/// anyone notices.
+class EnvError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Read a non-negative integer environment variable.  Unset or empty returns
+/// std::nullopt; anything else that is not a plain non-negative decimal
+/// integer throws EnvError.
 [[nodiscard]] std::optional<std::int64_t> env_int(const std::string& name);
 
-/// Read a floating point environment variable (e.g. FPTC_UNIT_TIMEOUT_S=0.25);
-/// returns std::nullopt when unset or unparsable.
+/// Read a non-negative, finite floating point environment variable (e.g.
+/// FPTC_UNIT_TIMEOUT_S=0.25).  Unset or empty returns std::nullopt;
+/// non-numeric, trailing garbage, negative, non-finite or overflowing values
+/// throw EnvError.
 [[nodiscard]] std::optional<double> env_double(const std::string& name);
 
 /// True when FPTC_FULL is set to a non-zero value.

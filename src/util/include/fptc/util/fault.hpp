@@ -15,7 +15,11 @@
 //   * the durable I/O layer (util/durable.hpp) may fail at the syscall
 //     level: ENOSPC after a cumulative byte budget, short (partial) writes,
 //     fsync failures, and a hard _exit at the K-th durable write (the
-//     kill-point knob of the crash-consistency torture harness).
+//     kill-point knob of the crash-consistency torture harness),
+//   * the memory accountant (util/membudget.hpp) may refuse reservations:
+//     after a per-unit-execution byte budget (simulated memory pressure
+//     inside a unit), or for the first n submitted units outright
+//     (exercising the executor's shrink-then-degrade OOM path).
 //
 // A process-wide injector is configured once from environment variables:
 //
@@ -34,6 +38,15 @@
 //   FPTC_FAULT_FSYNC_FAIL=n       the first n durable fsyncs fail with EIO
 //   FPTC_FAULT_CRASH_AT_WRITE=k   hard _exit mid-payload at the k-th durable
 //                                 write of the process (simulated power loss)
+//   FPTC_FAULT_ALLOC_FAIL_AFTER_MB=m  the memory accountant refuses further
+//                                 reservations once a unit execution has
+//                                 charged m MB (per-execution byte scope:
+//                                 the executor resets it at each attempt)
+//   FPTC_FAULT_ALLOC_FAIL_UNITS=n refuse the first reservation of the first
+//                                 n *submitted* units (by submission index,
+//                                 initial executions only — a shrink retry
+//                                 is spared, so targeted units shrink once
+//                                 and then succeed deterministically)
 //
 // All injections are counted per class so campaign summaries can report
 // exactly how many faults were injected and survived.
@@ -44,11 +57,17 @@
 // *step-granular* classes (NaN losses, CSV rows) interleave across workers
 // in scheduling order, so which unit absorbs a given injection is no longer
 // deterministic; the unit-granular classes (stall, transient) stay
-// deterministic in *count* — exactly the first n executions are hit.
+// deterministic in *count* — exactly the first n executions are hit.  The
+// alloc classes are deterministic in *target* for any FPTC_JOBS: AFTER_MB
+// scopes its byte budget per unit execution (thread-local, reset by
+// begin_alloc_scope()), and ALLOC_FAIL_UNITS selects units by submission
+// index, so the same units are hit regardless of worker interleaving.
 #pragma once
 
 #include "fptc/util/rng.hpp"
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -67,6 +86,8 @@ struct FaultPlan {
     int short_writes = 0;          ///< first n durable writes are cut to half
     int fsync_failures = 0;        ///< first n durable fsyncs fail with EIO
     int crash_at_write = 0;        ///< _exit at the k-th durable write (0 = off)
+    std::int64_t alloc_fail_after_mb = 0;  ///< per-unit-execution charge budget in MB (0 = off)
+    int alloc_fail_units = 0;      ///< refuse the first reservation of units 0..n-1 (0 = off)
 };
 
 /// Tallies of injected faults since the last configure().
@@ -79,11 +100,14 @@ struct FaultCounters {
     std::uint64_t enospc_failures = 0;   ///< durable writes refused with ENOSPC
     std::uint64_t short_write_clamps = 0;///< durable writes cut short
     std::uint64_t fsync_failures = 0;    ///< durable fsyncs failed with EIO
+    std::uint64_t alloc_rejections = 0;  ///< accountant reservations refused (AFTER_MB)
+    std::uint64_t alloc_unit_failures = 0; ///< units targeted by ALLOC_FAIL_UNITS
 
     [[nodiscard]] std::uint64_t total() const noexcept
     {
         return nan_losses + truncated_writes + corrupted_csv_rows + stalled_units +
-               transient_units + enospc_failures + short_write_clamps + fsync_failures;
+               transient_units + enospc_failures + short_write_clamps + fsync_failures +
+               alloc_rejections + alloc_unit_failures;
     }
 };
 
@@ -138,6 +162,25 @@ public:
     /// a partial payload and _exit — the kill point of the torture harness.
     [[nodiscard]] bool inject_crash_at_write();
 
+    /// Consulted by MemBudget::reserve with every charge's byte count; true =
+    /// the calling thread's current allocation scope has exhausted its
+    /// alloc_fail_after_mb budget and the reservation must be refused.
+    /// Lock-free fast path (one atomic load when the class is unarmed);
+    /// bytes accumulate in a thread-local scope reset by begin_alloc_scope(),
+    /// so the refusal point depends only on the unit's own charges — the
+    /// same unit fails for any FPTC_JOBS.
+    [[nodiscard]] bool inject_alloc_fail(std::size_t bytes);
+
+    /// Reset the calling thread's allocation-fault byte scope.  The executor
+    /// calls this at the start of every unit execution (each attempt).
+    void begin_alloc_scope();
+
+    /// Consulted once per initial (non-shrunk) unit execution with the
+    /// unit's submission index; true = this unit's first reservation must be
+    /// refused (alloc_fail_units class).  Index-targeted, so deterministic
+    /// for any FPTC_JOBS.
+    [[nodiscard]] bool inject_unit_alloc_fail(std::size_t unit_index);
+
     [[nodiscard]] FaultCounters counters() const;
 
     /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12
@@ -154,6 +197,14 @@ private:
     std::uint64_t unit_executions_transient_ = 0;
     std::uint64_t durable_bytes_ = 0;   ///< cumulative bytes through the shim
     std::uint64_t durable_writes_ = 0;  ///< shim write calls (crash kill-point index)
+
+    // Alloc-fault state lives outside the mutex: inject_alloc_fail sits on
+    // the tensor-allocation hot path, so the armed check is a single relaxed
+    // atomic load and the per-scope byte tally is thread-local (keyed by an
+    // epoch that configure() bumps, which lazily resets every thread's scope).
+    std::atomic<std::uint64_t> alloc_fail_threshold_bytes_{0};  ///< 0 = unarmed
+    std::atomic<std::uint64_t> alloc_scope_epoch_{1};
+    std::atomic<std::uint64_t> alloc_rejections_{0};
 };
 
 /// The process-wide injector.  First use configures it from the

@@ -1,0 +1,79 @@
+#include "fptc/util/membudget.hpp"
+
+#include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace fptc::util {
+
+void MemBudget::reserve(std::size_t bytes, const char* what)
+{
+    if (bytes == 0) {
+        return;
+    }
+    if (fault_injector().inject_alloc_fail(bytes)) {
+        rejections_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t budget = budget_.load(std::memory_order_relaxed);
+        const std::size_t used = in_use_.load(std::memory_order_acquire);
+        const std::size_t available = (budget != 0 && budget > used) ? budget - used : 0;
+        throw BudgetExceeded(std::string("fault-injected: ") + what, bytes, available);
+    }
+    std::size_t used = in_use_.load(std::memory_order_acquire);
+    for (;;) {
+        const std::size_t budget = budget_.load(std::memory_order_relaxed);
+        if (budget != 0 && (used >= budget || bytes > budget - used)) {
+            rejections_.fetch_add(1, std::memory_order_relaxed);
+            throw BudgetExceeded(what, bytes, used < budget ? budget - used : 0);
+        }
+        if (in_use_.compare_exchange_weak(used, used + bytes, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            break;
+        }
+    }
+    reserved_total_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::size_t now = used + bytes;
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(peak, now, std::memory_order_release,
+                                                      std::memory_order_relaxed)) {
+    }
+}
+
+void MemBudget::release(std::size_t bytes) noexcept
+{
+    if (bytes == 0) {
+        return;
+    }
+    std::size_t used = in_use_.load(std::memory_order_acquire);
+    for (;;) {
+        const std::size_t next = bytes < used ? used - bytes : 0;
+        if (in_use_.compare_exchange_weak(used, next, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            break;
+        }
+    }
+}
+
+std::string MemBudget::summary() const
+{
+    std::ostringstream out;
+    out << "in_use=" << in_use() << " peak=" << peak_bytes() << " budget=" << budget_bytes()
+        << " rejections=" << rejections();
+    return out.str();
+}
+
+MemBudget& mem_budget()
+{
+    static MemBudget instance;
+    static const bool configured = [] {
+        if (const auto mb = env_int("FPTC_MEM_BUDGET_MB"); mb && *mb > 0) {
+            instance.set_budget_bytes(static_cast<std::size_t>(*mb) * 1024 * 1024);
+        }
+        return true;
+    }();
+    (void)configured;
+    return instance;
+}
+
+} // namespace fptc::util

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Resource-governance gate (MemBudgetQuick ctest): run the tiny table4
+# campaign under a deliberately tight FPTC_MEM_BUDGET_MB and assert the
+# OOM-graceful contract of the executor's admission control:
+#
+#   * the campaign COMPLETES with exit 0 — memory pressure degrades cells
+#     (deferred admissions, shrink retries, †N markers), it never aborts,
+#   * the accountant's peak never exceeds the configured budget (the hard
+#     cap is enforced at reserve time, not merely observed),
+#   * accounting is balanced: in_use returns to 0 by the end of the run,
+#   * the governance actually engaged — at least one deferral, shrink,
+#     rejection or degraded cell; a budget that constrains nothing would
+#     make this gate vacuous,
+#   * the __membudget__ journal record is present for post-mortems.
+#
+# Usage, from the repo root (binary defaults to build/bench/table4_augmentations):
+#
+#   tests/run_membudget.sh [path/to/table4_augmentations]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${1:-build/bench/table4_augmentations}
+if [[ ! -x "$BIN" ]]; then
+    echo "run_membudget: FAIL: bench binary '$BIN' not found (build the default preset first)" >&2
+    exit 1
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fptc_membudget.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# Tight enough that the 64x64 units (the big footprints of the quick
+# campaign) cannot all overlap, loose enough that every unit still fits the
+# pool-idle admission path and the campaign completes.
+BUDGET_MB=24
+
+echo "run_membudget: quick table4 under FPTC_MEM_BUDGET_MB=$BUDGET_MB, 2 jobs..."
+status=0
+env FPTC_SPLITS=1 FPTC_SEEDS=1 FPTC_EPOCHS=1 FPTC_SAMPLES=0.1 FPTC_PER_CLASS=25 \
+    FPTC_JOBS=2 FPTC_MEM_BUDGET_MB="$BUDGET_MB" \
+    FPTC_JOURNAL="$WORK/journal.jsonl" FPTC_ARTIFACTS_DIR="$WORK" \
+    "$BIN" >"$WORK/stdout.txt" 2>"$WORK/stderr.txt" || status=$?
+
+if [[ "$status" != 0 ]]; then
+    echo "run_membudget: FAIL: campaign under memory budget exited with $status (must degrade, never abort)" >&2
+    tail -20 "$WORK/stderr.txt" >&2
+    exit 1
+fi
+
+# The executor logs its accountant state at the end of run_all:
+#   executor[table4]: mem in_use=A peak=B budget=C rejections=D deferred=E shrunk=F
+MEM_LINE=$(grep -o 'mem in_use=[0-9]* peak=[0-9]* budget=[0-9]* rejections=[0-9]* deferred=[0-9]* shrunk=[0-9]*' \
+    "$WORK/stderr.txt" | tail -1)
+if [[ -z "$MEM_LINE" ]]; then
+    echo "run_membudget: FAIL: no executor mem line on stderr" >&2
+    exit 1
+fi
+field() { echo "$MEM_LINE" | grep -o "$1=[0-9]*" | cut -d= -f2; }
+IN_USE=$(field in_use)
+PEAK=$(field peak)
+BUDGET_BYTES=$(field budget)
+REJECTIONS=$(field rejections)
+DEFERRED=$(field deferred)
+SHRUNK=$(field shrunk)
+echo "run_membudget: $MEM_LINE"
+
+if [[ "$BUDGET_BYTES" != $((BUDGET_MB * 1024 * 1024)) ]]; then
+    echo "run_membudget: FAIL: accountant budget $BUDGET_BYTES B does not match FPTC_MEM_BUDGET_MB=$BUDGET_MB" >&2
+    exit 1
+fi
+if [[ "$PEAK" -gt "$BUDGET_BYTES" ]]; then
+    echo "run_membudget: FAIL: peak accounted bytes $PEAK exceed the budget $BUDGET_BYTES" >&2
+    exit 1
+fi
+if [[ "$PEAK" -eq 0 ]]; then
+    echo "run_membudget: FAIL: peak is 0 — the hot owners charged nothing" >&2
+    exit 1
+fi
+if [[ "$IN_USE" != 0 ]]; then
+    echo "run_membudget: FAIL: $IN_USE accounted bytes still in use after the campaign (leak)" >&2
+    exit 1
+fi
+
+DEGRADED=0
+if grep -q '†' "$WORK/stdout.txt"; then DEGRADED=1; fi
+if [[ "$DEFERRED" -eq 0 && "$SHRUNK" -eq 0 && "$REJECTIONS" -eq 0 && "$DEGRADED" -eq 0 ]]; then
+    echo "run_membudget: FAIL: budget $BUDGET_MB MB constrained nothing (no deferral/shrink/rejection/degrade) — tighten it" >&2
+    exit 1
+fi
+
+if ! grep -q '__membudget__' "$WORK/journal.jsonl"; then
+    echo "run_membudget: FAIL: no __membudget__ record in the journal" >&2
+    exit 1
+fi
+
+for artifact in table4_script.txt table4_human.txt table4_leftover.txt; do
+    if [[ ! -s "$WORK/$artifact" ]]; then
+        echo "run_membudget: FAIL: campaign under budget produced no $artifact" >&2
+        exit 1
+    fi
+done
+
+echo "run_membudget: PASS (peak $PEAK B <= budget $BUDGET_BYTES B; deferred=$DEFERRED shrunk=$SHRUNK rejections=$REJECTIONS degraded-marks=$DEGRADED; balanced)"

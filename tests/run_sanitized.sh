@@ -1,33 +1,45 @@
-#!/bin/sh
-# Build and run the test suite under sanitizers.  Three stages:
+#!/usr/bin/env bash
+# Build and run the test suite under sanitizers.  Four stages:
 #
 #   1. the full suite under AddressSanitizer + UBSan ("asan-ubsan" preset) —
-#      excluding CrashTortureQuick, whose sanitized bench binary would blow
-#      the time budget (it runs against the optimized build in stage 3),
-#   2. the concurrency-sensitive executor / cancellation / journal tests
-#      under ThreadSanitizer ("tsan" preset),
+#      excluding the CrashTortureQuick / MemBudgetQuick bench gates, whose
+#      sanitized binaries would blow the time budget (they run against the
+#      optimized build in stages 3-4),
+#   2. the concurrency-sensitive executor / cancellation / journal / memory
+#      accountant tests under ThreadSanitizer ("tsan" preset),
 #   3. a bounded (<60s) kill-point torture sweep (tests/run_torture.sh
 #      --quick) against the default optimized build: crash at the first
-#      durable writes, resume from the journal, assert bit-identical tables.
+#      durable writes, resume from the journal, assert bit-identical tables,
+#   4. the resource-governance gate (tests/run_membudget.sh) against the
+#      same build: a tight FPTC_MEM_BUDGET_MB must degrade gracefully with
+#      peak <= budget and balanced accounting.
 #
 # Usage, from the repo root:
 #
 #   tests/run_sanitized.sh [extra ctest args...]
 #
 # e.g. tests/run_sanitized.sh -R Serialize  (extra args apply to the
-# asan stage; the tsan and torture stages always run their fixed selection)
-set -eu
+# asan stage; the tsan, torture and membudget stages always run their fixed
+# selection)
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" -E CrashTortureQuick "$@"
+ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util
-ctest --preset tsan -j "$(nproc)" -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy'
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget
+ctest --preset tsan -j "$(nproc)" \
+    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge' \
+    -E 'MemBudgetQuick'
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target table4_augmentations
+if [[ ! -x build/bench/table4_augmentations ]]; then
+    echo "run_sanitized: FAIL: build/bench/table4_augmentations missing after build" >&2
+    exit 1
+fi
 tests/run_torture.sh --quick build/bench/table4_augmentations
+tests/run_membudget.sh build/bench/table4_augmentations

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Kill-point torture harness for the durable I/O layer.
 #
 # Sweeps FPTC_FAULT_CRASH_AT_WRITE over K = 1..N against a tiny table4
@@ -22,7 +22,7 @@
 #
 # --quick sweeps only K = 1..3 (wired as the CrashTortureQuick ctest);
 # the full sweep walks K upward until a run completes without crashing.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -50,7 +50,7 @@ fi
 echo "run_torture: static gate ok (no raw std::ofstream persistence in src/)"
 
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/fptc_torture.XXXXXX")
-trap 'rm -rf "$WORK"' EXIT
+trap 'rm -rf "$WORK"' EXIT INT TERM
 
 # Tiny campaign: 7 augmentations x {32,64}, 1 split x 1 seed = 14 units, on
 # a shrunken dataset and training split (the pretraining partition's

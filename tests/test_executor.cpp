@@ -48,8 +48,8 @@ struct InjectorReset {
 /// Deterministic synthetic unit: fields derived only from the key.
 CampaignExecutor::UnitFn synthetic_unit(const std::string& key)
 {
-    return [key](const util::CancelToken& token) {
-        token.poll();
+    return [key](const UnitContext& ctx) {
+        ctx.cancel.poll();
         std::uint64_t hash = 1469598103934665603ULL;
         for (const unsigned char c : key) {
             hash = (hash ^ c) * 1099511628211ULL;
@@ -157,6 +157,13 @@ TEST(ExceptionTaxonomy, ClassifiesKnownTypes)
               ErrorClass::transient);
     EXPECT_EQ(classify_exception(util::IoError("bad path", /*transient=*/false)),
               ErrorClass::fatal);
+    // Memory-budget refusals follow the same pattern: concurrent pressure is
+    // transient (and earns a shrink retry), a structurally oversized unit is
+    // not.
+    EXPECT_EQ(classify_exception(util::BudgetExceeded("x", 10, 5, /*transient=*/true)),
+              ErrorClass::transient);
+    EXPECT_EQ(classify_exception(util::BudgetExceeded("x", 10, 5, /*transient=*/false)),
+              ErrorClass::fatal);
 }
 
 TEST(Executor, ResultsAreIdenticalAcrossWorkerCounts)
@@ -235,7 +242,7 @@ TEST(Executor, ExhaustedBudgetDegradesWithoutAborting)
     auto config = quick_config(1);
     config.unit_retries = 1;
     CampaignExecutor executor("exec-degrade", config);
-    executor.submit("doomed", [](const util::CancelToken&) -> std::map<std::string, std::string> {
+    executor.submit("doomed", [](const UnitContext&) -> std::map<std::string, std::string> {
         throw UnitError(ErrorClass::transient, "always failing");
     });
     executor.submit("healthy", synthetic_unit("healthy"));
@@ -256,7 +263,7 @@ TEST(Executor, ExhaustedBudgetDegradesWithoutAborting)
 TEST(Executor, FatalErrorsAreNotRetried)
 {
     CampaignExecutor executor("exec-fatal", quick_config(1));
-    executor.submit("fatal", [](const util::CancelToken&) -> std::map<std::string, std::string> {
+    executor.submit("fatal", [](const UnitContext&) -> std::map<std::string, std::string> {
         throw std::runtime_error("deterministic failure");
     });
     executor.run_all();
@@ -278,7 +285,7 @@ TEST(Executor, EpochAndUnitRetriesAreCountedSeparately)
     // The unit reports 2 epoch-level rollback retries (as a TrainResult
     // would); the executor adds 1 unit-level re-execution on top.  The two
     // counters must never be folded together.
-    executor.submit("unit", [](const util::CancelToken&) {
+    executor.submit("unit", [](const UnitContext&) {
         return std::map<std::string, std::string>{{"retries", "2"}};
     });
     executor.run_all();
@@ -295,10 +302,10 @@ TEST(Executor, CancellationLeavesNoJournalRecord)
     ::setenv("FPTC_JOURNAL", file.path().c_str(), 1);
 
     CampaignExecutor executor("exec-cancel", quick_config(1));
-    executor.submit("first", [&executor](const util::CancelToken& token)
+    executor.submit("first", [&executor](const UnitContext& ctx)
                         -> std::map<std::string, std::string> {
         executor.cancel_all();
-        token.poll();  // unwinds before any fields are produced
+        ctx.cancel.poll();  // unwinds before any fields are produced
         return {};
     });
     executor.submit("second", synthetic_unit("second"));
@@ -369,7 +376,7 @@ TEST(Executor, JournalResumeUnderParallelExecutionIsIdentical)
     {
         CampaignExecutor executor("exec-resume", quick_config(2));
         for (const auto& key : keys) {
-            executor.submit(key, [](const util::CancelToken&)
+            executor.submit(key, [](const UnitContext&)
                                      -> std::map<std::string, std::string> {
                 ADD_FAILURE() << "resumed unit must not re-execute";
                 return {};
@@ -405,6 +412,193 @@ TEST(Executor, ConfigComesFromEnvironment)
     const auto defaults = executor_config_from_env();
     EXPECT_EQ(defaults.jobs, 1);  // default preserves sequential seed behaviour
     EXPECT_DOUBLE_EQ(defaults.unit_timeout_s, 0.0);
+}
+
+TEST(Executor, AdmissionDefersUnitsThatExceedRemainingBudget)
+{
+    auto config = quick_config(2);
+    config.mem_budget_bytes = 1 << 20;  // 1 MiB: only one 700 KiB unit fits
+    CampaignExecutor executor("exec-admission", config);
+    for (int i = 0; i < 3; ++i) {
+        const std::string key = "unit=" + std::to_string(i);
+        executor.submit(key, [key](const UnitContext& ctx) {
+            ctx.cancel.poll();
+            // Long enough that both workers overlap and the second one must
+            // observe the first unit's outstanding estimate.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return std::map<std::string, std::string>{{"key", key}};
+        }, 700 * 1024);
+    }
+    executor.run_all();
+
+    EXPECT_EQ(executor.executed(), 3u);
+    EXPECT_EQ(executor.degraded(), 0u);
+    // With two workers and room for only one unit at a time, at least one
+    // unit had to wait for memory at least once.
+    EXPECT_GE(executor.deferred_units(), 1u);
+    EXPECT_NE(executor.summary().find("deferred"), std::string::npos);
+}
+
+TEST(Executor, IdlePoolAdmitsOversizedEstimate)
+{
+    auto config = quick_config(1);
+    config.mem_budget_bytes = 1 << 20;
+    CampaignExecutor executor("exec-oversized", config);
+    // Estimate 10x the budget: with nothing running there is nothing to wait
+    // for, so the unit must be admitted instead of deadlocking the pool.
+    executor.submit("huge", synthetic_unit("huge"), 10 << 20);
+    executor.run_all();
+
+    EXPECT_EQ(executor.executed(), 1u);
+    EXPECT_EQ(executor.outcome(0).status, UnitStatus::ok);
+    EXPECT_EQ(executor.deferred_units(), 0u);
+}
+
+TEST(Executor, BudgetExceededEarnsOneShrinkRetryAtHalfBatch)
+{
+    CampaignExecutor executor("exec-shrink", quick_config(1));
+    executor.submit("shrinks", [](const UnitContext& ctx) {
+        if (ctx.shrink == 0) {
+            throw util::BudgetExceeded("simulated pressure", 1 << 20, 0);
+        }
+        return std::map<std::string, std::string>{
+            {"batch", std::to_string(ctx.batch(32))}};
+    });
+    executor.run_all();
+
+    const auto& outcome = executor.outcome(0);
+    EXPECT_EQ(outcome.status, UnitStatus::ok);
+    EXPECT_EQ(outcome.shrinks, 1);
+    EXPECT_EQ(outcome.fields.at("batch"), "16");  // ctx.batch halves once
+    // The shrink retry is the mitigation, not a wait: it consumes neither the
+    // transient retry budget nor a backoff delay.
+    EXPECT_EQ(outcome.attempts, 2);
+    EXPECT_EQ(outcome.unit_retries, 0);
+    EXPECT_EQ(executor.shrunk_units(), 1u);
+    EXPECT_NE(executor.summary().find("1 shrunk"), std::string::npos);
+}
+
+TEST(Executor, ShrinkRetryNeverFloorsBatchBelowOne)
+{
+    util::CancelToken token;
+    const UnitContext ctx0{token, 0};
+    const UnitContext ctx1{token, 1};
+    EXPECT_EQ(ctx0.batch(32), 32u);
+    EXPECT_EQ(ctx1.batch(32), 16u);
+    EXPECT_EQ(ctx1.batch(1), 1u);  // never 0
+}
+
+TEST(Executor, AllocFailUnitsIsDeterministicAcrossWorkerCounts)
+{
+    InjectorReset reset;
+    std::vector<std::vector<std::map<std::string, std::string>>> per_jobs;
+    for (const int jobs : {1, 2, 4}) {
+        util::FaultPlan plan;
+        plan.alloc_fail_units = 2;  // the first two *submitted* units
+        util::fault_injector().configure(plan);
+
+        CampaignExecutor executor("exec-alloc-units", quick_config(jobs));
+        for (int i = 0; i < 6; ++i) {
+            const std::string key = "unit=" + std::to_string(i);
+            executor.submit(key, [key](const UnitContext& ctx) {
+                return std::map<std::string, std::string>{
+                    {"batch", std::to_string(ctx.batch(32))}, {"key", key}};
+            });
+        }
+        executor.run_all();
+
+        // Targeting is by submission index, not execution order: exactly the
+        // first two units shrink, for every worker count.
+        EXPECT_EQ(executor.executed(), 6u);
+        EXPECT_EQ(executor.degraded(), 0u);
+        EXPECT_EQ(executor.shrunk_units(), 2u);
+        EXPECT_EQ(executor.outcome(0).shrinks, 1);
+        EXPECT_EQ(executor.outcome(1).shrinks, 1);
+        EXPECT_EQ(executor.outcome(2).shrinks, 0);
+        EXPECT_EQ(util::fault_injector().counters().alloc_unit_failures, 2u);
+        std::vector<std::map<std::string, std::string>> fields;
+        for (const auto& outcome : executor.outcomes()) {
+            fields.push_back(outcome.fields);
+        }
+        per_jobs.push_back(std::move(fields));
+    }
+    EXPECT_EQ(per_jobs[0], per_jobs[1]);
+    EXPECT_EQ(per_jobs[0], per_jobs[2]);
+}
+
+TEST(Executor, AllocFailAfterMbScopesBytesPerUnitAttempt)
+{
+    InjectorReset reset;
+    std::vector<std::vector<std::map<std::string, std::string>>> per_jobs;
+    for (const int jobs : {1, 2}) {
+        util::FaultPlan plan;
+        plan.alloc_fail_after_mb = 1;  // refuse past 1 MiB of charges per attempt
+        util::fault_injector().configure(plan);
+
+        CampaignExecutor executor("exec-alloc-mb", quick_config(jobs));
+        for (int i = 0; i < 3; ++i) {
+            const std::string key = "unit=" + std::to_string(i);
+            // Charge batch * 4 KiB: 2 MiB at the nominal batch of 512 (trips
+            // the 1 MiB threshold), exactly 1 MiB after one shrink (passes —
+            // the refusal point counts only this attempt's own bytes, so the
+            // outcome is identical for any FPTC_JOBS).
+            executor.submit(key, [key](const UnitContext& ctx) {
+                const util::Charge working(ctx.batch(512) * 4096, "test-unit");
+                return std::map<std::string, std::string>{
+                    {"bytes", std::to_string(working.bytes())}, {"key", key}};
+            });
+        }
+        executor.run_all();
+
+        EXPECT_EQ(executor.executed(), 3u);
+        EXPECT_EQ(executor.degraded(), 0u);
+        EXPECT_EQ(executor.shrunk_units(), 3u);  // every unit shrinks exactly once
+        for (const auto& outcome : executor.outcomes()) {
+            EXPECT_EQ(outcome.shrinks, 1);
+            EXPECT_EQ(outcome.fields.at("bytes"), std::to_string(1 << 20));
+        }
+        EXPECT_GE(util::fault_injector().counters().alloc_rejections, 3u);
+        std::vector<std::map<std::string, std::string>> fields;
+        for (const auto& outcome : executor.outcomes()) {
+            fields.push_back(outcome.fields);
+        }
+        per_jobs.push_back(std::move(fields));
+    }
+    EXPECT_EQ(per_jobs[0], per_jobs[1]);
+    // Accounting stayed balanced across all the refusals and retries.
+    EXPECT_EQ(util::mem_budget().in_use(), 0u);
+}
+
+TEST(Executor, FootprintEstimateIsMonotone)
+{
+    FootprintEstimate small;
+    small.samples = 100;
+    small.eval_samples = 50;
+    const auto base = estimate_unit_bytes(small);
+    EXPECT_GT(base, 0u);
+
+    auto more_samples = small;
+    more_samples.samples = 200;
+    EXPECT_GT(estimate_unit_bytes(more_samples), base);
+
+    auto higher_res = small;
+    higher_res.resolution = 64;
+    EXPECT_GT(estimate_unit_bytes(higher_res), base);
+
+    auto bigger_batch = small;
+    bigger_batch.batch = 64;
+    EXPECT_GT(estimate_unit_bytes(bigger_batch), base);
+
+    auto two_channels = small;
+    two_channels.channels = 2;
+    EXPECT_GT(estimate_unit_bytes(two_channels), base);
+
+    // 1500x1500 rasterizes at native resolution but is stored at the
+    // network's pooled input dimension, so the estimate grows far slower
+    // than resolution^2.
+    auto full_res = small;
+    full_res.resolution = 1500;
+    EXPECT_GT(estimate_unit_bytes(full_res), base);
 }
 
 TEST(JournalThreadSafety, ConcurrentRecordsNeverTearLines)

@@ -192,4 +192,43 @@ TEST(GbtTree, EmptyTreePredictsZero)
     EXPECT_EQ(tree.depth(), 0);
 }
 
+TEST(Gbt, TrainingPollsTheCancelToken)
+{
+    // The executor's watchdog cancels via this token; fit() must unwind at
+    // its next poll instead of finishing the boosting schedule.
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(40, 3, 4, 0.5, features, labels);
+
+    fptc::util::CancelToken token;
+    token.cancel(fptc::util::CancelKind::timeout);
+    GbtConfig config;
+    config.cancel = &token;
+    GbtClassifier model(config, 3);
+    EXPECT_THROW(model.fit(features, labels), fptc::util::CancelledError);
+}
+
+TEST(Gbt, UntrippedTokenDoesNotDisturbTraining)
+{
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    make_blobs(40, 2, 3, 0.5, features, labels);
+
+    fptc::util::CancelToken token;
+    GbtConfig cancellable;
+    cancellable.num_rounds = 10;
+    cancellable.cancel = &token;
+    GbtConfig plain;
+    plain.num_rounds = 10;
+
+    GbtClassifier a(cancellable, 2);
+    GbtClassifier b(plain, 2);
+    a.fit(features, labels);
+    b.fit(features, labels);
+    // Polling is observation-only: the fitted model is bit-identical.
+    for (const auto& sample : features) {
+        EXPECT_EQ(a.predict(sample), b.predict(sample));
+    }
+}
+
 } // namespace

@@ -9,6 +9,7 @@
 #include "fptc/stats/ranking.hpp"
 #include "fptc/stats/tukey.hpp"
 #include "fptc/util/rng.hpp"
+#include "fptc/util/table.hpp"
 
 #include <gtest/gtest.h>
 
@@ -375,6 +376,70 @@ TEST(Metrics, AccuracyOfVectors)
     const std::vector<std::size_t> truth{0, 1, 2, 1};
     const std::vector<std::size_t> predicted{0, 1, 1, 1};
     EXPECT_DOUBLE_EQ(accuracy_of(truth, predicted), 0.75);
+}
+
+TEST(DegradedCell, CompleteCellHasNoMissingMarker)
+{
+    const std::vector<double> scores{90.0, 92.0, 94.0};
+    const auto cell = fptc::stats::degraded_cell_ci(scores, 3);
+    EXPECT_TRUE(cell.complete());
+    EXPECT_FALSE(cell.empty());
+    EXPECT_EQ(cell.missing, 0u);
+    EXPECT_DOUBLE_EQ(cell.ci.mean, 92.0);
+    const auto rendered = fptc::util::format_degraded_mean_ci(cell.ci.mean, cell.ci.half_width,
+                                                              cell.ci.n, cell.missing);
+    EXPECT_EQ(rendered.find("†"), std::string::npos);
+}
+
+TEST(DegradedCell, ZeroSurvivorsRendersNaMarkerNeverNan)
+{
+    const std::vector<double> none;
+    const auto cell = fptc::stats::degraded_cell_ci(none, 4);
+    EXPECT_TRUE(cell.empty());
+    EXPECT_EQ(cell.missing, 4u);
+    // The CI over zero survivors must be inert zeros, not NaN.
+    EXPECT_FALSE(std::isnan(cell.ci.mean));
+    EXPECT_FALSE(std::isnan(cell.ci.half_width));
+    const auto rendered = fptc::util::format_degraded_mean_ci(cell.ci.mean, cell.ci.half_width,
+                                                              cell.ci.n, cell.missing);
+    EXPECT_EQ(rendered, "n/a †4");
+    EXPECT_EQ(rendered.find("nan"), std::string::npos);
+}
+
+TEST(DegradedCell, OneSurvivorHasZeroHalfWidth)
+{
+    const std::vector<double> one{88.5};
+    const auto cell = fptc::stats::degraded_cell_ci(one, 3);
+    EXPECT_EQ(cell.missing, 2u);
+    EXPECT_DOUBLE_EQ(cell.ci.mean, 88.5);
+    EXPECT_DOUBLE_EQ(cell.ci.half_width, 0.0);  // no spread from one value
+    EXPECT_FALSE(std::isnan(cell.ci.half_width));
+    const auto rendered = fptc::util::format_degraded_mean_ci(cell.ci.mean, cell.ci.half_width,
+                                                              cell.ci.n, cell.missing);
+    EXPECT_EQ(rendered, "88.50 ±0.00 †2");
+}
+
+TEST(DegradedCell, PartialSurvivorsKeepTheirCiAndTheMarker)
+{
+    const std::vector<double> scores{90.0, 94.0};
+    const auto cell = fptc::stats::degraded_cell_ci(scores, 5);
+    EXPECT_EQ(cell.missing, 3u);
+    EXPECT_DOUBLE_EQ(cell.ci.mean, 92.0);
+    EXPECT_GT(cell.ci.half_width, 0.0);
+    const auto rendered = fptc::util::format_degraded_mean_ci(cell.ci.mean, cell.ci.half_width,
+                                                              cell.ci.n, cell.missing);
+    EXPECT_NE(rendered.find("†3"), std::string::npos);
+    EXPECT_EQ(rendered.find("nan"), std::string::npos);
+}
+
+TEST(DegradedCell, MoreSurvivorsThanExpectedClampsMissingToZero)
+{
+    // Defensive: a miscounted `expected` below the survivor count must not
+    // underflow into a giant missing marker.
+    const std::vector<double> scores{1.0, 2.0, 3.0};
+    const auto cell = fptc::stats::degraded_cell_ci(scores, 2);
+    EXPECT_EQ(cell.missing, 0u);
+    EXPECT_TRUE(cell.complete());
 }
 
 } // namespace

@@ -524,4 +524,106 @@ TEST(Env, ResolveScaleOverrides)
     ::unsetenv("FPTC_SPLITS");
 }
 
+/// setenv/getenv RAII so a throwing assertion cannot leak the knob into
+/// later tests.
+class KnobGuard {
+public:
+    KnobGuard(const char* name, const char* value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~KnobGuard() { ::unsetenv(name_); }
+
+private:
+    const char* name_;
+};
+
+TEST(Env, IntKnobParsesStrictly)
+{
+    {
+        KnobGuard knob("FPTC_TEST_KNOB", "42");
+        EXPECT_EQ(fptc::util::env_int("FPTC_TEST_KNOB").value_or(-1), 42);
+    }
+    EXPECT_FALSE(fptc::util::env_int("FPTC_TEST_KNOB").has_value());  // unset
+    {
+        KnobGuard knob("FPTC_TEST_KNOB", "");
+        EXPECT_FALSE(fptc::util::env_int("FPTC_TEST_KNOB").has_value());  // empty
+    }
+    {
+        KnobGuard knob("FPTC_TEST_KNOB", "0");
+        EXPECT_EQ(fptc::util::env_int("FPTC_TEST_KNOB").value_or(-1), 0);
+    }
+}
+
+TEST(Env, IntKnobRejectsGarbageWithNameAndValue)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "fast");
+    try {
+        (void)fptc::util::env_int("FPTC_TEST_KNOB");
+        FAIL() << "non-numeric knob must throw";
+    } catch (const fptc::util::EnvError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("FPTC_TEST_KNOB"), std::string::npos);
+        EXPECT_NE(what.find("fast"), std::string::npos);
+    }
+}
+
+TEST(Env, IntKnobRejectsTrailingGarbage)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "12abc");
+    EXPECT_THROW((void)fptc::util::env_int("FPTC_TEST_KNOB"), fptc::util::EnvError);
+}
+
+TEST(Env, IntKnobRejectsNegative)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "-3");
+    EXPECT_THROW((void)fptc::util::env_int("FPTC_TEST_KNOB"), fptc::util::EnvError);
+}
+
+TEST(Env, IntKnobRejectsOverflow)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "99999999999999999999");
+    EXPECT_THROW((void)fptc::util::env_int("FPTC_TEST_KNOB"), fptc::util::EnvError);
+}
+
+TEST(Env, DoubleKnobParsesStrictly)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "0.25");
+    EXPECT_DOUBLE_EQ(fptc::util::env_double("FPTC_TEST_KNOB").value_or(-1.0), 0.25);
+}
+
+TEST(Env, DoubleKnobRejectsGarbage)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "half");
+    EXPECT_THROW((void)fptc::util::env_double("FPTC_TEST_KNOB"), fptc::util::EnvError);
+}
+
+TEST(Env, DoubleKnobRejectsTrailingGarbage)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "1.5x");
+    EXPECT_THROW((void)fptc::util::env_double("FPTC_TEST_KNOB"), fptc::util::EnvError);
+}
+
+TEST(Env, DoubleKnobRejectsNegative)
+{
+    KnobGuard knob("FPTC_TEST_KNOB", "-0.1");
+    EXPECT_THROW((void)fptc::util::env_double("FPTC_TEST_KNOB"), fptc::util::EnvError);
+}
+
+TEST(Env, DoubleKnobRejectsOverflowAndNonFinite)
+{
+    {
+        KnobGuard knob("FPTC_TEST_KNOB", "1e999");
+        EXPECT_THROW((void)fptc::util::env_double("FPTC_TEST_KNOB"), fptc::util::EnvError);
+    }
+    {
+        KnobGuard knob("FPTC_TEST_KNOB", "inf");
+        EXPECT_THROW((void)fptc::util::env_double("FPTC_TEST_KNOB"), fptc::util::EnvError);
+    }
+    {
+        KnobGuard knob("FPTC_TEST_KNOB", "nan");
+        EXPECT_THROW((void)fptc::util::env_double("FPTC_TEST_KNOB"), fptc::util::EnvError);
+    }
+}
+
 } // namespace
