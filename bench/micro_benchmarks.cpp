@@ -2,6 +2,12 @@
 // rasterization, augmentation throughput, CNN forward/backward, NT-Xent,
 // and GBT training.  These quantify the per-experiment cost that drives the
 // campaign-scale decisions documented in DESIGN.md.
+//
+// Besides the console table, every run writes BENCH_micro.json (to
+// FPTC_ARTIFACTS_DIR when set, else the working directory) with name,
+// ns/op, and bytes/op per benchmark so campaign tooling and the telemetry
+// overhead gate (tests/run_telemetry.sh) can consume the numbers without
+// scraping stdout.
 #include "fptc/augment/augmentation.hpp"
 #include "fptc/core/data.hpp"
 #include "fptc/flowpic/flowpic.hpp"
@@ -9,12 +15,48 @@
 #include "fptc/nn/loss.hpp"
 #include "fptc/nn/models.hpp"
 #include "fptc/trafficgen/ucdavis19.hpp"
+#include "fptc/util/durable.hpp"
+#include "fptc/util/membudget.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 namespace {
 
 using namespace fptc;
+
+/// Attributes MemBudget-accounted allocations to a benchmark as a
+/// bytes_per_op counter: delta of the accountant's monotonic reserved
+/// total across the timing loop, divided by iterations.  Layers that do
+/// not charge the budget report 0.
+class AllocPerOp {
+public:
+    explicit AllocPerOp(benchmark::State& state)
+        : state_(state), start_(util::mem_budget().reserved_total())
+    {
+    }
+
+    ~AllocPerOp()
+    {
+        const std::uint64_t delta = util::mem_budget().reserved_total() - start_;
+        const auto iterations = state_.iterations() > 0 ? state_.iterations() : 1;
+        state_.counters["bytes_per_op"] =
+            benchmark::Counter(static_cast<double>(delta) / static_cast<double>(iterations));
+    }
+
+    AllocPerOp(const AllocPerOp&) = delete;
+    AllocPerOp& operator=(const AllocPerOp&) = delete;
+
+private:
+    benchmark::State& state_;
+    std::uint64_t start_;
+};
 
 flow::Flow make_test_flow()
 {
@@ -27,6 +69,7 @@ void BM_FlowpicRasterize(benchmark::State& state)
     const auto flow = make_test_flow();
     flowpic::FlowpicConfig config;
     config.resolution = static_cast<std::size_t>(state.range(0));
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(flowpic::Flowpic::from_flow(flow, config));
     }
@@ -42,6 +85,7 @@ void BM_Augmentation(benchmark::State& state)
     const auto augmentation = augment::make_augmentation(kind);
     flowpic::FlowpicConfig config;
     util::Rng rng(11);
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(augmentation->augmented_flowpic(flow, config, rng));
     }
@@ -60,6 +104,7 @@ void BM_LeNetForward(benchmark::State& state)
     const std::size_t dim = nn::effective_input_dim(config.flowpic_dim);
     util::Rng rng(3);
     const auto input = nn::Tensor::randn({32, 1, dim, dim}, rng, 0.5f);
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(network.forward(input, false));
     }
@@ -78,6 +123,7 @@ void BM_LeNetTrainStep(benchmark::State& state)
     for (std::size_t i = 0; i < labels.size(); ++i) {
         labels[i] = i % 5;
     }
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         const auto logits = network.forward(input, true);
         const auto loss = nn::cross_entropy(logits, labels);
@@ -93,6 +139,7 @@ void BM_NtXent(benchmark::State& state)
     util::Rng rng(5);
     const auto projections =
         nn::Tensor::randn({static_cast<std::size_t>(state.range(0)), 30}, rng);
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(nn::nt_xent(projections, 0.07));
     }
@@ -114,6 +161,7 @@ void BM_GbtFit(benchmark::State& state)
     }
     gbt::GbtConfig config;
     config.num_rounds = 20;
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         gbt::GbtClassifier model(config, 5);
         model.fit(features, labels);
@@ -127,12 +175,114 @@ void BM_TrafficGeneration(benchmark::State& state)
     const auto profile =
         trafficgen::ucdavis19_profile(static_cast<std::size_t>(state.range(0)), false);
     util::Rng rng(13);
+    AllocPerOp alloc(state);
     for (auto _ : state) {
         benchmark::DoNotOptimize(trafficgen::generate_flow(profile, 0, rng));
     }
 }
 BENCHMARK(BM_TrafficGeneration)->Arg(0)->Arg(4);
 
+/// Shared workload for the span-overhead pair: a short FNV-1a mixing loop,
+/// heavy enough that timer noise does not dominate but small enough that a
+/// non-zero-cost disabled span would register.  tests/run_telemetry.sh
+/// compares the two benchmarks to gate disabled-path telemetry overhead.
+std::uint64_t fnv_mix(std::uint64_t h)
+{
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        h = (h ^ i) * 1099511628211ULL;
+    }
+    return h;
+}
+
+void BM_SpanOverheadBaseline(benchmark::State& state)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    AllocPerOp alloc(state);
+    for (auto _ : state) {
+        h = fnv_mix(h);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_SpanOverheadBaseline);
+
+void BM_TelemetryDisabledSpan(benchmark::State& state)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    AllocPerOp alloc(state);
+    for (auto _ : state) {
+        FPTC_TRACE_SPAN("bench_noop");
+        h = fnv_mix(h);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_TelemetryDisabledSpan);
+
+/// Console output as usual, plus a machine-readable capture of every
+/// per-iteration run for BENCH_micro.json.  Aggregate rows (when
+/// --benchmark_repetitions is used) are skipped: consumers want raw runs.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const auto& run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+                run.iterations <= 0) {
+                continue;
+            }
+            const double ns_per_op =
+                run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+            double bytes_per_op = 0.0;
+            const auto counter = run.counters.find("bytes_per_op");
+            if (counter != run.counters.end()) {
+                bytes_per_op = counter->second.value;
+            }
+            char row[256];
+            std::snprintf(row, sizeof(row),
+                          "    {\"name\": \"%s\", \"iterations\": %lld, "
+                          "\"ns_per_op\": %.3f, \"bytes_per_op\": %.1f}",
+                          run.benchmark_name().c_str(),
+                          static_cast<long long>(run.iterations), ns_per_op, bytes_per_op);
+            rows_.emplace_back(row);
+        }
+    }
+
+    [[nodiscard]] std::string json() const
+    {
+        std::string out = "{\n  \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            out += rows_[i];
+            out += i + 1 < rows_.size() ? ",\n" : "\n";
+        }
+        out += "  ]\n}\n";
+        return out;
+    }
+
+private:
+    std::vector<std::string> rows_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const char* artifacts_dir = std::getenv("FPTC_ARTIFACTS_DIR");
+    const std::string path = (artifacts_dir != nullptr && *artifacts_dir != '\0')
+                                 ? std::string(artifacts_dir) + "/BENCH_micro.json"
+                                 : std::string("BENCH_micro.json");
+    try {
+        fptc::util::DurableFile::write_file(path, reporter.json());
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "[fptc] failed to write %s: %s\n", path.c_str(), error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include "fptc/nn/loss.hpp"
 #include "fptc/nn/optimizer.hpp"
 #include "fptc/util/rng.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -183,6 +184,7 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
     int epochs_since_improvement = 0;
 
     for (int epoch = 0; epoch < config.max_epochs;) {
+        FPTC_TRACE_SPAN("epoch");
         rng.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
@@ -193,37 +195,72 @@ ByolResult pretrain_byol(ByolNetwork& network, std::span<const flow::Flow> flows
             const std::size_t batch = end - start;
             nn::Tensor view_a({batch, 1, dim, dim});
             nn::Tensor view_b({batch, 1, dim, dim});
-            for (std::size_t i = 0; i < batch; ++i) {
-                auto [a, b] = views.view_pair(flows[order[start + i]], rng);
-                write_view(view_a, i, a);
-                write_view(view_b, i, b);
+            {
+                FPTC_TRACE_SPAN("datagen");
+                for (std::size_t i = 0; i < batch; ++i) {
+                    auto [a, b] = [&] {
+                        FPTC_TRACE_SPAN("augment");
+                        return views.view_pair(flows[order[start + i]], rng);
+                    }();
+                    FPTC_TRACE_SPAN("flowpic");
+                    write_view(view_a, i, a);
+                    write_view(view_b, i, b);
+                }
             }
 
-            // Targets first (stop-gradient: only forward passes).
-            const auto target_b = network.target.forward(view_b, /*training=*/false);
-            const auto target_a = network.target.forward(view_a, /*training=*/false);
+            nn::Tensor target_a;
+            nn::Tensor target_b;
+            nn::Tensor p_a;
+            nn::Tensor p_b;
+            {
+                FPTC_TRACE_SPAN("forward");
+                // Targets first (stop-gradient: only forward passes).
+                target_b = network.target.forward(view_b, /*training=*/false);
+                target_a = network.target.forward(view_a, /*training=*/false);
+            }
 
             network.online.zero_grad();
             network.predictor.zero_grad();
 
             // Direction a -> b.
-            const auto z_a = network.online.forward(view_a, /*training=*/true);
-            const auto p_a = network.predictor.forward(z_a, /*training=*/true);
-            const auto loss_ab = byol_regression(p_a, target_b);
-            network.online.backward(network.predictor.backward(loss_ab.grad));
+            const auto z_a = [&] {
+                FPTC_TRACE_SPAN("forward");
+                return network.online.forward(view_a, /*training=*/true);
+            }();
+            p_a = network.predictor.forward(z_a, /*training=*/true);
+            const auto loss_ab = [&] {
+                FPTC_TRACE_SPAN("loss");
+                return byol_regression(p_a, target_b);
+            }();
+            {
+                FPTC_TRACE_SPAN("backward");
+                network.online.backward(network.predictor.backward(loss_ab.grad));
+            }
 
             // Direction b -> a (gradients accumulate).
-            const auto z_b = network.online.forward(view_b, /*training=*/true);
-            const auto p_b = network.predictor.forward(z_b, /*training=*/true);
-            const auto loss_ba = byol_regression(p_b, target_a);
-            network.online.backward(network.predictor.backward(loss_ba.grad));
+            const auto z_b = [&] {
+                FPTC_TRACE_SPAN("forward");
+                return network.online.forward(view_b, /*training=*/true);
+            }();
+            p_b = network.predictor.forward(z_b, /*training=*/true);
+            const auto loss_ba = [&] {
+                FPTC_TRACE_SPAN("loss");
+                return byol_regression(p_b, target_a);
+            }();
+            {
+                FPTC_TRACE_SPAN("backward");
+                network.online.backward(network.predictor.backward(loss_ba.grad));
+            }
 
             if (guard.step_diverged(0.5 * (loss_ab.loss + loss_ba.loss))) {
                 diverged = true;
                 break;
             }
-            optimizer->step();
-            ema_update(network.online, network.target, config.ema_decay);
+            {
+                FPTC_TRACE_SPAN("optimizer");
+                optimizer->step();
+                ema_update(network.online, network.target, config.ema_decay);
+            }
 
             epoch_loss += 0.5 * (loss_ab.loss + loss_ba.loss);
             ++batches;

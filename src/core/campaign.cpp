@@ -2,6 +2,7 @@
 
 #include "fptc/util/log.hpp"
 #include "fptc/util/rng.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -71,6 +72,7 @@ namespace {
 [[nodiscard]] SampleSet rasterize_for(const SupervisedOptions& options,
                                       std::span<const flow::Flow> flows)
 {
+    FPTC_TRACE_SPAN("dataset");
     return options.directional ? rasterize_directional(flows, options.flowpic)
                                : rasterize(flows, options.flowpic);
 }
@@ -80,6 +82,7 @@ namespace {
                                     std::span<const flow::Flow> flows,
                                     augment::AugmentationKind kind, util::Rng& rng)
 {
+    FPTC_TRACE_SPAN("dataset");
     return options.directional
                ? augment_set_directional(flows, kind, options.augment_copies, options.flowpic, rng)
                : augment_set(flows, kind, options.augment_copies, options.flowpic, rng);

@@ -1,6 +1,7 @@
 #include "fptc/core/data.hpp"
 
 #include "fptc/nn/models.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -115,6 +116,7 @@ void push_sample(SampleSet& set, flowpic::Flowpic pic, std::size_t label)
     normalize_image(image);
     if (!image_defect(image, set.channels * set.dim * set.dim).empty()) {
         ++set.quarantined;
+        util::metrics().counter("fptc_data_quarantined_total").add(1);
         return;
     }
     set.storage.grow(image.size() * sizeof(float));
@@ -133,6 +135,7 @@ void push_directional_sample(SampleSet& set, const flowpic::Flowpic& up,
     normalize_image(up_plane);
     if (!image_defect(up_plane, set.channels * set.dim * set.dim).empty()) {
         ++set.quarantined;
+        util::metrics().counter("fptc_data_quarantined_total").add(1);
         return;
     }
     set.storage.grow(up_plane.size() * sizeof(float));
@@ -185,6 +188,9 @@ SampleValidationReport validate_samples(SampleSet& set)
     set.labels.resize(kept);
     set.storage.shrink(freed_bytes);
     set.quarantined += report.quarantined;
+    if (report.quarantined > 0) {
+        util::metrics().counter("fptc_data_quarantined_total").add(report.quarantined);
+    }
     return report;
 }
 
@@ -196,6 +202,7 @@ SampleSet rasterize(std::span<const flow::Flow> flows, const flowpic::FlowpicCon
     set.images.reserve(flows.size());
     set.labels.reserve(flows.size());
     for (const auto& flow : flows) {
+        FPTC_TRACE_SPAN("flowpic");
         push_sample(set, flowpic::Flowpic::from_flow(flow, config), flow.label);
     }
     return set;
@@ -218,6 +225,7 @@ SampleSet augment_set(std::span<const flow::Flow> flows, augment::AugmentationKi
     set.labels.reserve(set.images.capacity());
     for (const auto& flow : flows) {
         for (int c = 0; c < copies; ++c) {
+            FPTC_TRACE_SPAN("augment");
             push_sample(set, augmentation->augmented_flowpic(flow, config, rng), flow.label);
         }
     }
@@ -234,6 +242,7 @@ SampleSet rasterize_directional(std::span<const flow::Flow> flows,
     set.images.reserve(flows.size());
     set.labels.reserve(flows.size());
     for (const auto& flow : flows) {
+        FPTC_TRACE_SPAN("flowpic");
         const auto [up, down] = flowpic::directional_flowpics(flow, config);
         push_directional_sample(set, up, down, flow.label);
     }
@@ -257,6 +266,7 @@ SampleSet augment_set_directional(std::span<const flow::Flow> flows,
     set.channels = 2;
     for (const auto& flow : flows) {
         for (int c = 0; c < copies; ++c) {
+            FPTC_TRACE_SPAN("augment");
             if (augmentation->is_time_series()) {
                 const auto transformed = augmentation->transform_flow(flow, rng);
                 const auto [up, down] = flowpic::directional_flowpics(transformed, config);

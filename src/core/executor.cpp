@@ -8,6 +8,7 @@
 #include "fptc/util/log.hpp"
 #include "fptc/util/membudget.hpp"
 #include "fptc/util/rng.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -113,6 +114,10 @@ ErrorClass classify_exception(const std::exception& error) noexcept
 CampaignExecutor::CampaignExecutor(std::string campaign, ExecutorConfig config)
     : campaign_(std::move(campaign)), config_(config), journal_(campaign_)
 {
+    // Resolve and validate the telemetry sinks now, on the campaign's main
+    // thread: an empty or unwritable FPTC_TRACE / FPTC_METRICS target throws
+    // util::EnvError here, before any unit has sunk CPU time.
+    util::telemetry_init();
 }
 
 std::size_t CampaignExecutor::submit(std::string key, UnitFn run, std::size_t estimated_bytes)
@@ -124,6 +129,7 @@ std::size_t CampaignExecutor::submit(std::string key, UnitFn run, std::size_t es
 void CampaignExecutor::run_unit(std::size_t index)
 {
     const Unit& unit = units_[index];
+    FPTC_TRACE_SPAN("unit", {{"campaign", campaign_.c_str()}, {"key", unit.key.c_str()}});
     UnitOutcome outcome;
     outcome.key = unit.key;
     const auto unit_start = std::chrono::steady_clock::now();
@@ -139,6 +145,8 @@ void CampaignExecutor::run_unit(std::size_t index)
             break;
         }
         if (attempt > 0) {
+            FPTC_TRACE_SPAN("backoff");
+            util::metrics().counter("fptc_executor_retries_total").add(1);
             const double delay = backoff_delay_ms(config_, unit.key, attempt);
             util::log_info("executor[" + campaign_ + "]: retrying " + unit.key +
                            " (unit retry " + std::to_string(attempt) + "/" +
@@ -149,6 +157,7 @@ void CampaignExecutor::run_unit(std::size_t index)
             ++outcome.unit_retries;
         }
         ++outcome.attempts;
+        FPTC_TRACE_SPAN("attempt");
 
         util::CancelToken token;
         token.set_parent(&campaign_cancel_);
@@ -193,7 +202,7 @@ void CampaignExecutor::run_unit(std::size_t index)
                 shrink_retry_used = true;
                 shrink = 1;
                 outcome.shrinks = 1;
-                shrunk_units_.fetch_add(1, std::memory_order_relaxed);
+                util::metrics().counter("fptc_executor_shrunk_total").add(1);
                 util::log_info("executor[" + campaign_ + "]: unit " + unit.key +
                                " hit the memory budget; retrying at half batch size");
                 --attempt;
@@ -241,7 +250,7 @@ void CampaignExecutor::worker_loop()
             }
             if (deferred_marked_[slot] == 0) {
                 deferred_marked_[slot] = 1;
-                ++deferred_units_;
+                util::metrics().counter("fptc_executor_deferred_total").add(1);
                 util::log_info("executor[" + campaign_ + "]: deferring " +
                                units_[pending_[slot]].key + " (estimate " +
                                std::to_string(estimate) + " B over remaining budget)");
@@ -252,6 +261,7 @@ void CampaignExecutor::worker_loop()
         }
         if (pick == pending_.size()) {
             // Nothing admissible right now; park until a unit completes.
+            FPTC_TRACE_SPAN("admission_wait");
             sched_cv_.wait(lock);
             continue;
         }
@@ -275,15 +285,28 @@ void CampaignExecutor::run_all()
     }
     ran_ = true;
     outcomes_.assign(units_.size(), UnitOutcome{});
+    util::metrics().counter("fptc_executor_units_total").add(units_.size());
+    // Touch the event-site counters so a clean campaign still exports the
+    // full executor instrument set at zero.
+    for (const char* name :
+         {"fptc_executor_executed_total", "fptc_executor_replayed_total",
+          "fptc_executor_retries_total", "fptc_executor_deferred_total",
+          "fptc_executor_shrunk_total", "fptc_executor_degraded_total",
+          "fptc_executor_cancelled_total", "fptc_membudget_rejections_total"}) {
+        (void)util::metrics().counter(name);
+    }
 
     // Replay journal-completed units up front; only the rest hit the pool.
-    for (std::size_t i = 0; i < units_.size(); ++i) {
-        if (auto fields = journal_.try_replay(units_[i].key)) {
-            outcomes_[i].key = units_[i].key;
-            outcomes_[i].status = UnitStatus::replayed;
-            outcomes_[i].fields = *std::move(fields);
-        } else {
-            pending_.push_back(i);
+    {
+        FPTC_TRACE_SPAN("journal_replay");
+        for (std::size_t i = 0; i < units_.size(); ++i) {
+            if (auto fields = journal_.try_replay(units_[i].key)) {
+                outcomes_[i].key = units_[i].key;
+                outcomes_[i].status = UnitStatus::replayed;
+                outcomes_[i].fields = *std::move(fields);
+            } else {
+                pending_.push_back(i);
+            }
         }
     }
     claimed_.assign(pending_.size(), 0);
@@ -309,37 +332,111 @@ void CampaignExecutor::run_all()
                                                   wall_start)
                         .count();
 
+    // The workers have joined (happens-before), so outcomes_ is stable: fold
+    // the admission-control deferral marks into it (run_unit assigns outcome
+    // slots wholesale, so the flag is applied here, not in the scheduler) and
+    // mirror the per-status tallies into the process-wide registry.
+    for (std::size_t slot = 0; slot < pending_.size(); ++slot) {
+        if (deferred_marked_[slot] != 0) {
+            outcomes_[pending_[slot]].deferred = true;
+        }
+    }
+    auto& registry = util::metrics();
     for (const auto& outcome : outcomes_) {
         switch (outcome.status) {
-        case UnitStatus::ok: ++executed_; break;
-        case UnitStatus::replayed: ++resumed_; break;
-        case UnitStatus::degraded: ++degraded_count_; break;
-        case UnitStatus::cancelled: break;
+        case UnitStatus::ok: registry.counter("fptc_executor_executed_total").add(1); break;
+        case UnitStatus::replayed: registry.counter("fptc_executor_replayed_total").add(1); break;
+        case UnitStatus::degraded: registry.counter("fptc_executor_degraded_total").add(1); break;
+        case UnitStatus::cancelled:
+            registry.counter("fptc_executor_cancelled_total").add(1);
+            break;
         }
-        if (outcome.unit_retries > 0) {
-            ++retried_units_;
-        }
-        busy_seconds_ += outcome.busy_seconds;
     }
 
     // Surface the resource-governance counters: a journal record for
     // post-mortems (the replay path only looks up unit keys, so the reserved
     // key is inert on resume) and a stderr line for live runs.  Peak bytes
     // are scheduling-dependent with FPTC_JOBS > 1, so they never go to
-    // stdout.
+    // stdout.  The record reads from the metrics registry — the same
+    // instruments FPTC_METRICS exports — after publishing the accountant's
+    // current state into it.
+    util::publish_membudget_metrics();
     const auto& budget = util::mem_budget();
-    if (executed_ > 0 || degraded_count_ > 0) {
+    if (executed() > 0 || degraded() > 0) {
         // Skipped for campaigns cancelled before any unit committed: a
         // cancelled campaign must leave no journal trace at all.
-        journal_.commit("__membudget__",
-                        {{"peak_bytes", std::to_string(budget.peak_bytes())},
-                         {"budget_bytes", std::to_string(budget.budget_bytes())},
-                         {"rejections", std::to_string(budget.rejections())},
-                         {"deferred", std::to_string(deferred_units_)},
-                         {"shrunk", std::to_string(shrunk_units())}});
+        journal_.commit(
+            "__membudget__",
+            {{"peak_bytes",
+              std::to_string(registry.gauge("fptc_membudget_peak_bytes").value())},
+             {"budget_bytes",
+              std::to_string(registry.gauge("fptc_membudget_budget_bytes").value())},
+             {"rejections",
+              std::to_string(registry.counter("fptc_membudget_rejections_total").value())},
+             {"deferred", std::to_string(deferred_units())},
+             {"shrunk", std::to_string(shrunk_units())}});
     }
     util::log_info("executor[" + campaign_ + "]: mem " + budget.summary() + " deferred=" +
-                   std::to_string(deferred_units_) + " shrunk=" + std::to_string(shrunk_units()));
+                   std::to_string(deferred_units()) + " shrunk=" + std::to_string(shrunk_units()));
+
+    // Campaign finished: export trace/metrics/profile so a long-running bench
+    // binary leaves artifacts per campaign (the atexit hook re-exports the
+    // final cumulative state).
+    util::telemetry_flush();
+}
+
+std::size_t CampaignExecutor::executed() const noexcept
+{
+    std::size_t count = 0;
+    for (const auto& outcome : outcomes_) {
+        count += outcome.status == UnitStatus::ok ? 1 : 0;
+    }
+    return count;
+}
+
+std::size_t CampaignExecutor::resumed() const noexcept
+{
+    std::size_t count = 0;
+    for (const auto& outcome : outcomes_) {
+        count += outcome.status == UnitStatus::replayed ? 1 : 0;
+    }
+    return count;
+}
+
+std::size_t CampaignExecutor::degraded() const noexcept
+{
+    std::size_t count = 0;
+    for (const auto& outcome : outcomes_) {
+        count += outcome.status == UnitStatus::degraded ? 1 : 0;
+    }
+    return count;
+}
+
+std::size_t CampaignExecutor::retried_units() const noexcept
+{
+    std::size_t count = 0;
+    for (const auto& outcome : outcomes_) {
+        count += outcome.unit_retries > 0 ? 1 : 0;
+    }
+    return count;
+}
+
+std::size_t CampaignExecutor::deferred_units() const noexcept
+{
+    std::size_t count = 0;
+    for (const auto& outcome : outcomes_) {
+        count += outcome.deferred ? 1 : 0;
+    }
+    return count;
+}
+
+std::size_t CampaignExecutor::shrunk_units() const noexcept
+{
+    std::size_t count = 0;
+    for (const auto& outcome : outcomes_) {
+        count += outcome.shrinks > 0 ? 1 : 0;
+    }
+    return count;
 }
 
 std::string CampaignExecutor::summary() const
@@ -351,16 +448,16 @@ std::string CampaignExecutor::summary() const
         }
     }
     std::ostringstream out;
-    out << "executor[" << campaign_ << "]: " << units_.size() << " unit(s): " << executed_
-        << " executed, " << resumed_ << " resumed, " << retried_units_ << " retried, "
-        << degraded_count_ << " degraded";
+    out << "executor[" << campaign_ << "]: " << units_.size() << " unit(s): " << executed()
+        << " executed, " << resumed() << " resumed, " << retried_units() << " retried, "
+        << degraded() << " degraded";
     // Resource-governance counters appear only when they fired, so the line
     // is unchanged for unconstrained runs.
     if (shrunk_units() > 0) {
         out << ", " << shrunk_units() << " shrunk";
     }
-    if (deferred_units_ > 0) {
-        out << ", " << deferred_units_ << " deferred";
+    if (deferred_units() > 0) {
+        out << ", " << deferred_units() << " deferred";
     }
     if (cancelled > 0) {
         out << ", " << cancelled << " cancelled";
@@ -370,12 +467,19 @@ std::string CampaignExecutor::summary() const
 
 std::string CampaignExecutor::timing_summary() const
 {
+    // Busy time folds per-unit wall time in submission order — the same
+    // summation order the old accumulating member used, so the rendered
+    // value is bit-identical for a given set of outcomes.
+    double busy_seconds = 0.0;
+    for (const auto& outcome : outcomes_) {
+        busy_seconds += outcome.busy_seconds;
+    }
     std::ostringstream out;
     out << "executor[" << campaign_ << "]: " << config_.jobs << " worker(s), wall "
         << wall_seconds_ << "s";
-    if (wall_seconds_ > 0.0 && busy_seconds_ > 0.0) {
-        out << ", busy " << busy_seconds_ << "s, speedup "
-            << busy_seconds_ / wall_seconds_ << "x";
+    if (wall_seconds_ > 0.0 && busy_seconds > 0.0) {
+        out << ", busy " << busy_seconds << "s, speedup "
+            << busy_seconds / wall_seconds_ << "x";
     }
     return out.str();
 }

@@ -38,13 +38,23 @@
 // fresh guards, so rollbacks from abandoned attempts are never folded into
 // the recorded TrainResult.  Unit-level re-executions are counted separately
 // in UnitOutcome::unit_retries and the campaign summary reports both.
+//
+// Telemetry: the executor is the primary producer of the observability
+// layer (util/telemetry.hpp).  Every unit runs under a "unit" trace span
+// (args: campaign, key) nesting per-attempt / backoff / admission-wait
+// spans, and the lifecycle events (retry, defer, shrink, degrade, execute,
+// replay, cancel) increment `fptc_executor_*` registry counters at the
+// moment they happen.  The per-instance tallies behind summary() /
+// timing_summary() are *derived from outcomes()* — the outcome vector is
+// the single source of truth, the registry aggregates across every executor
+// in the process.  The constructor calls util::telemetry_init(), so a
+// misconfigured FPTC_TRACE / FPTC_METRICS sink fails before any unit runs.
 #pragma once
 
 #include "fptc/util/cancel.hpp"
 #include "fptc/util/journal.hpp"
 #include "fptc/util/membudget.hpp"
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -151,6 +161,7 @@ struct UnitOutcome {
     int attempts = 0;      ///< executions performed (0 when replayed)
     int unit_retries = 0;  ///< re-executions after transient failures
     int shrinks = 0;       ///< batch halvings after BudgetExceeded (0 or 1)
+    bool deferred = false; ///< waited at least once for admission-control memory
     double busy_seconds = 0.0;  ///< wall time spent executing this unit
     ErrorClass final_error = ErrorClass::transient;  ///< set when degraded/cancelled
 
@@ -216,19 +227,19 @@ public:
         return outcomes_.at(index);
     }
 
+    // Tallies are derived from outcomes() — the outcome vector is the single
+    // source of truth after run_all() returns (the registry counters mirror
+    // the same events process-wide).  Call after run_all(), like outcomes().
     [[nodiscard]] std::size_t units() const noexcept { return units_.size(); }
-    [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
-    [[nodiscard]] std::size_t resumed() const noexcept { return resumed_; }
-    [[nodiscard]] std::size_t degraded() const noexcept { return degraded_count_; }
-    [[nodiscard]] std::size_t retried_units() const noexcept { return retried_units_; }
+    [[nodiscard]] std::size_t executed() const noexcept;
+    [[nodiscard]] std::size_t resumed() const noexcept;
+    [[nodiscard]] std::size_t degraded() const noexcept;
+    [[nodiscard]] std::size_t retried_units() const noexcept;
     /// Units that waited at least once because their footprint estimate did
     /// not fit the remaining admission budget.
-    [[nodiscard]] std::size_t deferred_units() const noexcept { return deferred_units_; }
+    [[nodiscard]] std::size_t deferred_units() const noexcept;
     /// Units re-executed at half batch size after a BudgetExceeded.
-    [[nodiscard]] std::size_t shrunk_units() const noexcept
-    {
-        return shrunk_units_.load(std::memory_order_relaxed);
-    }
+    [[nodiscard]] std::size_t shrunk_units() const noexcept;
 
     /// Deterministic one-line summary for campaign stdout (counts only — no
     /// timings, so bench output stays bit-identical across FPTC_JOBS).
@@ -271,14 +282,7 @@ private:
     std::size_t running_ = 0;            ///< units currently executing
     std::size_t est_outstanding_ = 0;    ///< estimate sum of running units
 
-    std::size_t executed_ = 0;
-    std::size_t resumed_ = 0;
-    std::size_t degraded_count_ = 0;
-    std::size_t retried_units_ = 0;
-    std::size_t deferred_units_ = 0;
-    std::atomic<std::size_t> shrunk_units_{0};
     double wall_seconds_ = 0.0;
-    double busy_seconds_ = 0.0;
 };
 
 /// Map an in-flight exception to the taxonomy.  UnitError keeps its class;

@@ -2,6 +2,7 @@
 
 #include "fptc/nn/loss.hpp"
 #include "fptc/nn/optimizer.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -38,6 +39,7 @@ namespace {
     int epochs_since_improvement = 0;
 
     for (int epoch = 0; epoch < config.max_epochs;) {
+        FPTC_TRACE_SPAN("epoch");
         rng.shuffle(order);
         double epoch_loss = 0.0;
         double epoch_top5 = 0.0;
@@ -55,41 +57,59 @@ namespace {
             nn::Tensor inputs({2 * batch_size, 1, dim, dim});
             std::vector<std::size_t> view_labels(2 * batch_size, 0);
             auto data = inputs.data();
-            for (std::size_t i = 0; i < batch_size; ++i) {
-                view_labels[2 * i] = view_labels[2 * i + 1] = flows[order[start + i]].label;
-                auto [view_a, view_b] = views.view_pair(flows[order[start + i]], rng);
-                auto image_a = pool_to_effective(view_a);
-                auto image_b = pool_to_effective(view_b);
-                const auto normalize = [](std::vector<float>& image) {
-                    float max_value = 0.0f;
-                    for (const float v : image) {
-                        max_value = std::max(max_value, v);
-                    }
-                    if (max_value > 0.0f) {
-                        for (auto& v : image) {
-                            v /= max_value;
+            {
+                FPTC_TRACE_SPAN("datagen");
+                for (std::size_t i = 0; i < batch_size; ++i) {
+                    view_labels[2 * i] = view_labels[2 * i + 1] = flows[order[start + i]].label;
+                    auto [view_a, view_b] = [&] {
+                        FPTC_TRACE_SPAN("augment");
+                        return views.view_pair(flows[order[start + i]], rng);
+                    }();
+                    FPTC_TRACE_SPAN("flowpic");
+                    auto image_a = pool_to_effective(view_a);
+                    auto image_b = pool_to_effective(view_b);
+                    const auto normalize = [](std::vector<float>& image) {
+                        float max_value = 0.0f;
+                        for (const float v : image) {
+                            max_value = std::max(max_value, v);
                         }
-                    }
-                };
-                normalize(image_a);
-                normalize(image_b);
-                std::copy(image_a.begin(), image_a.end(),
-                          data.begin() + static_cast<std::ptrdiff_t>((2 * i) * plane));
-                std::copy(image_b.begin(), image_b.end(),
-                          data.begin() + static_cast<std::ptrdiff_t>((2 * i + 1) * plane));
+                        if (max_value > 0.0f) {
+                            for (auto& v : image) {
+                                v /= max_value;
+                            }
+                        }
+                    };
+                    normalize(image_a);
+                    normalize(image_b);
+                    std::copy(image_a.begin(), image_a.end(),
+                              data.begin() + static_cast<std::ptrdiff_t>((2 * i) * plane));
+                    std::copy(image_b.begin(), image_b.end(),
+                              data.begin() + static_cast<std::ptrdiff_t>((2 * i + 1) * plane));
+                }
             }
 
-            const auto projections = network.forward(inputs, /*training=*/true);
-            const auto loss = supervised
-                                  ? nn::sup_con(projections, view_labels, config.temperature)
+            const auto projections = [&] {
+                FPTC_TRACE_SPAN("forward");
+                return network.forward(inputs, /*training=*/true);
+            }();
+            const auto loss = [&] {
+                FPTC_TRACE_SPAN("loss");
+                return supervised ? nn::sup_con(projections, view_labels, config.temperature)
                                   : nn::nt_xent(projections, config.temperature);
-            network.zero_grad();
-            network.backward(loss.grad);
+            }();
+            {
+                FPTC_TRACE_SPAN("backward");
+                network.zero_grad();
+                network.backward(loss.grad);
+            }
             if (guard.step_diverged(loss.loss)) {
                 diverged = true;
                 break;
             }
-            optimizer->step();
+            {
+                FPTC_TRACE_SPAN("optimizer");
+                optimizer->step();
+            }
 
             epoch_loss += loss.loss;
             epoch_top5 += nn::contrastive_top_k_accuracy(projections, 5);
@@ -212,6 +232,7 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
     double best = std::numeric_limits<double>::infinity();
     int epochs_since_improvement = 0;
     for (int epoch = 0; epoch < config.max_epochs;) {
+        FPTC_TRACE_SPAN("epoch");
         rng.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
@@ -220,20 +241,35 @@ TrainResult train_head(nn::Sequential& head, const EmbeddedSet& train, const Tra
             config.hooks.poll();
             const std::size_t end = std::min(start + config.batch_size, order.size());
             const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
-            const auto inputs = rows_of(train.features, batch_indices);
+            const auto inputs = [&] {
+                FPTC_TRACE_SPAN("datagen");
+                return rows_of(train.features, batch_indices);
+            }();
             std::vector<std::size_t> batch_labels(batch_indices.size());
             for (std::size_t i = 0; i < batch_indices.size(); ++i) {
                 batch_labels[i] = train.labels[batch_indices[i]];
             }
-            const auto logits = head.forward(inputs, /*training=*/true);
-            const auto loss = nn::cross_entropy(logits, batch_labels);
-            head.zero_grad();
-            (void)head.backward(loss.grad);
+            const auto logits = [&] {
+                FPTC_TRACE_SPAN("forward");
+                return head.forward(inputs, /*training=*/true);
+            }();
+            const auto loss = [&] {
+                FPTC_TRACE_SPAN("loss");
+                return nn::cross_entropy(logits, batch_labels);
+            }();
+            {
+                FPTC_TRACE_SPAN("backward");
+                head.zero_grad();
+                (void)head.backward(loss.grad);
+            }
             if (guard.step_diverged(loss.loss)) {
                 diverged = true;
                 break;
             }
-            optimizer->step();
+            {
+                FPTC_TRACE_SPAN("optimizer");
+                optimizer->step();
+            }
             epoch_loss += loss.loss;
             ++batches;
         }

@@ -3,6 +3,7 @@
 #include "fptc/nn/loss.hpp"
 #include "fptc/nn/optimizer.hpp"
 #include "fptc/util/rng.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -38,6 +39,7 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
     const bool monitor_validation = validation.size() > 0;
 
     for (int epoch = 0; epoch < config.max_epochs;) {
+        FPTC_TRACE_SPAN("epoch");
         rng.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t batches = 0;
@@ -46,20 +48,35 @@ TrainResult train_supervised(nn::Sequential& network, const SampleSet& train,
             config.hooks.poll();
             const std::size_t end = std::min(start + config.batch_size, order.size());
             const std::span<const std::size_t> batch_indices(order.data() + start, end - start);
-            const auto inputs = train.batch(batch_indices);
+            const auto inputs = [&] {
+                FPTC_TRACE_SPAN("datagen");
+                return train.batch(batch_indices);
+            }();
             std::vector<std::size_t> batch_labels(batch_indices.size());
             for (std::size_t i = 0; i < batch_indices.size(); ++i) {
                 batch_labels[i] = train.labels[batch_indices[i]];
             }
-            const auto logits = network.forward(inputs, /*training=*/true);
-            const auto loss = nn::cross_entropy(logits, batch_labels);
-            network.zero_grad();
-            (void)network.backward(loss.grad);
+            const auto logits = [&] {
+                FPTC_TRACE_SPAN("forward");
+                return network.forward(inputs, /*training=*/true);
+            }();
+            const auto loss = [&] {
+                FPTC_TRACE_SPAN("loss");
+                return nn::cross_entropy(logits, batch_labels);
+            }();
+            {
+                FPTC_TRACE_SPAN("backward");
+                network.zero_grad();
+                (void)network.backward(loss.grad);
+            }
             if (guard.step_diverged(loss.loss)) {
                 diverged = true;
                 break; // abort the epoch before the bad update is applied
             }
-            optimizer->step();
+            {
+                FPTC_TRACE_SPAN("optimizer");
+                optimizer->step();
+            }
             epoch_loss += loss.loss;
             ++batches;
         }

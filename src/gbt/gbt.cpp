@@ -1,6 +1,7 @@
 #include "fptc/gbt/gbt.hpp"
 
 #include "fptc/util/membudget.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -168,6 +169,7 @@ void GbtClassifier::fit(const std::vector<std::vector<float>>& features,
     std::vector<double> hist_h(max_bins);
 
     for (int round = 0; round < config_.num_rounds; ++round) {
+        FPTC_TRACE_SPAN("gbt_round");
         if (config_.cancel != nullptr) {
             config_.cancel->poll();
         }

@@ -1,6 +1,7 @@
 #include "fptc/util/durable.hpp"
 
 #include "fptc/util/fault.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <atomic>
 #include <cerrno>
@@ -134,6 +135,9 @@ void DurableFile::write(std::string_view data)
 
 void DurableFile::commit()
 {
+    // The fsync + rename + parent fsync dominate a durable transaction; one
+    // span here covers every DurableFile user (checkpoints, tables, traces).
+    FPTC_TRACE_SPAN("durable_write");
     if (fd_ < 0) {
         throw IoError("DurableFile: double commit to " + target_, /*transient=*/false);
     }
@@ -163,6 +167,7 @@ void DurableFile::write_file(const std::string& path, std::string_view content)
 
 void durable_append_line(const std::string& path, std::string_view line)
 {
+    FPTC_TRACE_SPAN("durable_write");
     const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
     if (fd < 0) {
         const int err = errno;

@@ -3,6 +3,10 @@
 // The paper's framework tracked every experiment with AimStack; here a tiny
 // stderr logger plays the progress-reporting role.  Verbosity is controlled
 // with FPTC_LOG (0=quiet, 1=info, 2=debug; default 1).
+//
+// Thread safety: every emission composes its full line first and writes it
+// with a single fwrite under one process-wide mutex, so lines from
+// FPTC_JOBS worker threads never interleave mid-line.
 #pragma once
 
 #include <string>
@@ -19,5 +23,10 @@ void log_info(const std::string& message);
 
 /// Log a line at debug level.
 void log_debug(const std::string& message);
+
+/// Write a pre-composed (possibly multi-line) block to stderr atomically
+/// under the log mutex, with no prefix and no level gate — callers check
+/// log_level() themselves (the telemetry profiler report uses this).
+void log_raw(const std::string& text);
 
 } // namespace fptc::util

@@ -2,6 +2,7 @@
 
 #include "fptc/util/durable.hpp"
 #include "fptc/util/log.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -233,6 +234,7 @@ void RunJournal::record(const std::string& key, std::map<std::string, std::strin
     // same line — and even a duplicate line is safe (last record wins on
     // reload).
     const std::lock_guard<std::mutex> lock(mutex_);
+    FPTC_TRACE_SPAN("journal_commit");
     durable_append_line(path_, to_json_line(JournalRecord{key, fields}));
     if (records_.find(key) == records_.end()) {
         order_.push_back(key);
@@ -243,6 +245,7 @@ void RunJournal::record(const std::string& key, std::map<std::string, std::strin
 void RunJournal::compact()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
+    FPTC_TRACE_SPAN("journal_compact");
     std::string content;
     for (const auto& key : order_) {
         content += to_json_line(JournalRecord{key, records_.at(key)});

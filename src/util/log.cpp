@@ -2,9 +2,38 @@
 
 #include "fptc/util/env.hpp"
 
-#include <iostream>
+#include <cstdio>
+#include <mutex>
 
 namespace fptc::util {
+
+namespace {
+
+// One mutex for every stderr emission.  FPTC_JOBS worker threads log
+// concurrently (executor retries, membudget lines, watchdog kills); a bare
+// `std::cerr << a << b << c` interleaves at operator<< granularity and
+// produces torn lines exactly when things go wrong and the log matters
+// most.  Each message is composed into a single buffer first, then written
+// with one fwrite under the lock.
+std::mutex& log_mutex()
+{
+    static std::mutex* mutex = new std::mutex();  // leaked: usable in atexit hooks
+    return *mutex;
+}
+
+void write_line(const char* prefix, const std::string& message)
+{
+    std::string line;
+    line.reserve(message.size() + 16);
+    line += prefix;
+    line += message;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(log_mutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
 
 LogLevel log_level()
 {
@@ -24,15 +53,22 @@ LogLevel log_level()
 void log_info(const std::string& message)
 {
     if (log_level() >= LogLevel::info) {
-        std::cerr << "[fptc] " << message << '\n';
+        write_line("[fptc] ", message);
     }
 }
 
 void log_debug(const std::string& message)
 {
     if (log_level() >= LogLevel::debug) {
-        std::cerr << "[fptc:debug] " << message << '\n';
+        write_line("[fptc:debug] ", message);
     }
+}
+
+void log_raw(const std::string& text)
+{
+    const std::lock_guard<std::mutex> lock(log_mutex());
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
 }
 
 } // namespace fptc::util

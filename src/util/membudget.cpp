@@ -2,11 +2,25 @@
 
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <sstream>
 #include <string>
 
 namespace fptc::util {
+
+namespace {
+
+// Refusals are mirrored into the metrics registry at the moment they happen
+// (both tallies are monotonic and never reset, so they stay equal).  The
+// refusal path is cold — a registry lookup is fine here, never in reserve()'s
+// success path.
+void count_rejection()
+{
+    metrics().counter("fptc_membudget_rejections_total").add(1);
+}
+
+} // namespace
 
 void MemBudget::reserve(std::size_t bytes, const char* what)
 {
@@ -15,6 +29,7 @@ void MemBudget::reserve(std::size_t bytes, const char* what)
     }
     if (fault_injector().inject_alloc_fail(bytes)) {
         rejections_.fetch_add(1, std::memory_order_relaxed);
+        count_rejection();
         const std::size_t budget = budget_.load(std::memory_order_relaxed);
         const std::size_t used = in_use_.load(std::memory_order_acquire);
         const std::size_t available = (budget != 0 && budget > used) ? budget - used : 0;
@@ -25,6 +40,7 @@ void MemBudget::reserve(std::size_t bytes, const char* what)
         const std::size_t budget = budget_.load(std::memory_order_relaxed);
         if (budget != 0 && (used >= budget || bytes > budget - used)) {
             rejections_.fetch_add(1, std::memory_order_relaxed);
+            count_rejection();
             throw BudgetExceeded(what, bytes, used < budget ? budget - used : 0);
         }
         if (in_use_.compare_exchange_weak(used, used + bytes, std::memory_order_acq_rel,

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Build and run the test suite under sanitizers.  Four stages:
+# Build and run the test suite under sanitizers.  Five stages:
 #
 #   1. the full suite under AddressSanitizer + UBSan ("asan-ubsan" preset) —
 #      excluding the CrashTortureQuick / MemBudgetQuick bench gates, whose
@@ -12,28 +12,32 @@
 #      durable writes, resume from the journal, assert bit-identical tables,
 #   4. the resource-governance gate (tests/run_membudget.sh) against the
 #      same build: a tight FPTC_MEM_BUDGET_MB must degrade gracefully with
-#      peak <= budget and balanced accounting.
+#      peak <= budget and balanced accounting,
+#   5. the telemetry gate (tests/run_telemetry.sh) against the tsan build:
+#      tracing + metrics armed on a threaded campaign must be race-free,
+#      keep stdout bit-identical and export valid trace/metrics JSON (the
+#      overhead micro-gate is skipped — sanitized timings are meaningless).
 #
 # Usage, from the repo root:
 #
 #   tests/run_sanitized.sh [extra ctest args...]
 #
 # e.g. tests/run_sanitized.sh -R Serialize  (extra args apply to the
-# asan stage; the tsan, torture and membudget stages always run their fixed
-# selection)
+# asan stage; the tsan, torture, membudget and telemetry stages always run
+# their fixed selection)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick' "$@"
+ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry
 ctest --preset tsan -j "$(nproc)" \
-    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge' \
-    -E 'MemBudgetQuick'
+    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation' \
+    -E 'MemBudgetQuick|TelemetryQuick'
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target table4_augmentations
@@ -43,3 +47,6 @@ if [[ ! -x build/bench/table4_augmentations ]]; then
 fi
 tests/run_torture.sh --quick build/bench/table4_augmentations
 tests/run_membudget.sh build/bench/table4_augmentations
+
+cmake --build --preset tsan -j "$(nproc)" --target table4_augmentations
+tests/run_telemetry.sh build-tsan/bench/table4_augmentations

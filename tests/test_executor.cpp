@@ -666,4 +666,64 @@ TEST(JournalThreadSafety, CampaignJournalCountersAreConsistent)
     EXPECT_EQ(journal.replayed(), static_cast<std::size_t>(kThreads * kUnitsPerThread));
 }
 
+// The tallies behind summary()/timing_summary() are now derived from the
+// recorded outcomes instead of private accumulating members; these tests pin
+// the rendered strings across that refactor.
+
+TEST(ExecutorSummary, EmptyCampaignRendersAllZeroes)
+{
+    CampaignExecutor executor("exec-empty", quick_config(2));
+    executor.run_all();
+    EXPECT_EQ(executor.summary(),
+              "executor[exec-empty]: 0 unit(s): 0 executed, 0 resumed, 0 retried, 0 degraded");
+    EXPECT_EQ(executor.executed(), 0u);
+    EXPECT_EQ(executor.resumed(), 0u);
+    EXPECT_EQ(executor.retried_units(), 0u);
+    EXPECT_EQ(executor.degraded(), 0u);
+    EXPECT_EQ(executor.deferred_units(), 0u);
+    EXPECT_EQ(executor.shrunk_units(), 0u);
+    EXPECT_NE(executor.timing_summary().find("2 worker(s), wall"), std::string::npos);
+}
+
+TEST(ExecutorSummary, AllDegradedCampaignCountsEveryUnit)
+{
+    auto config = quick_config(1);
+    config.unit_retries = 0;
+    CampaignExecutor executor("exec-all-degraded", config);
+    for (int i = 0; i < 3; ++i) {
+        executor.submit("doomed=" + std::to_string(i),
+                        [](const UnitContext&) -> std::map<std::string, std::string> {
+                            throw UnitError(ErrorClass::transient, "always failing");
+                        });
+    }
+    executor.run_all();
+    EXPECT_EQ(executor.summary(),
+              "executor[exec-all-degraded]: 3 unit(s): 0 executed, 0 resumed, 0 retried, "
+              "3 degraded");
+    EXPECT_EQ(executor.executed(), 0u);
+    EXPECT_EQ(executor.degraded(), 3u);
+}
+
+TEST(ExecutorSummary, RetryHeavyCampaignSeparatesRetriedFromDegraded)
+{
+    InjectorReset reset;
+    util::FaultPlan plan;
+    plan.transient_units = 2;  // both retries land on the first unit executed
+    util::fault_injector().configure(plan);
+
+    CampaignExecutor executor("exec-retry-heavy", quick_config(1));
+    executor.submit("flaky", synthetic_unit("flaky"));
+    executor.submit("steady", synthetic_unit("steady"));
+    executor.run_all();
+
+    EXPECT_EQ(executor.summary(),
+              "executor[exec-retry-heavy]: 2 unit(s): 2 executed, 0 resumed, 1 retried, "
+              "0 degraded");
+    EXPECT_EQ(executor.retried_units(), 1u);
+    const std::string timing = executor.timing_summary();
+    EXPECT_NE(timing.find("executor[exec-retry-heavy]: 1 worker(s), wall"),
+              std::string::npos);
+    EXPECT_NE(timing.find("busy"), std::string::npos);
+}
+
 } // namespace

@@ -1,0 +1,338 @@
+// Tests of the telemetry module: log2-histogram bucketing and quantiles,
+// registry instrument identity and text expositions, span round-trips
+// through the per-thread trace rings, ring wrap-around accounting, the
+// balanced-B/E guarantee of the Chrome trace export, and strict EnvError
+// validation of the FPTC_TRACE / FPTC_METRICS / FPTC_TRACE_EVENTS knobs.
+#include "fptc/util/env.hpp"
+#include "fptc/util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace fptc;
+
+/// Rewind the process-wide telemetry state when a test scope ends so the
+/// lazily-cached enablement flags never leak into the next test.
+struct TelemetryReset {
+    TelemetryReset() { util::telemetry_reset_for_tests(); }
+    ~TelemetryReset() { util::telemetry_reset_for_tests(); }
+};
+
+/// Scoped environment variable; restores the previous value on exit.
+class ScopedEnv {
+public:
+    ScopedEnv(const char* name, const char* value) : name_(name)
+    {
+        const char* previous = std::getenv(name);
+        had_previous_ = previous != nullptr;
+        if (had_previous_) {
+            previous_ = previous;
+        }
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_previous_) {
+            ::setenv(name_.c_str(), previous_.c_str(), 1);
+        } else {
+            ::unsetenv(name_.c_str());
+        }
+    }
+
+private:
+    std::string name_;
+    std::string previous_;
+    bool had_previous_ = false;
+};
+
+/// Enable tracing without touching the environment; the sink path is never
+/// written because the tests reset telemetry before any flush runs.
+util::TelemetryConfig tracing_config(std::size_t ring_capacity = 4096)
+{
+    util::TelemetryConfig config;
+    config.trace_path = std::string(::testing::TempDir()) + "fptc_test_trace.json";
+    config.ring_capacity = ring_capacity;
+    return config;
+}
+
+TEST(Histogram, BucketsByBitWidth)
+{
+    util::Histogram histogram;
+    histogram.observe(0);     // bucket 0
+    histogram.observe(1);     // bucket 1: [1, 1]
+    histogram.observe(2);     // bucket 2: [2, 3]
+    histogram.observe(3);     // bucket 2
+    histogram.observe(1024);  // bucket 11: [1024, 2047]
+    EXPECT_EQ(histogram.count(), 5u);
+    EXPECT_EQ(histogram.sum(), 1030u);
+    EXPECT_EQ(histogram.bucket(0), 1u);
+    EXPECT_EQ(histogram.bucket(1), 1u);
+    EXPECT_EQ(histogram.bucket(2), 2u);
+    EXPECT_EQ(histogram.bucket(11), 1u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 1030.0 / 5.0);
+}
+
+TEST(Histogram, BucketUpperBounds)
+{
+    EXPECT_EQ(util::Histogram::bucket_upper_bound(0), 0u);
+    EXPECT_EQ(util::Histogram::bucket_upper_bound(1), 1u);
+    EXPECT_EQ(util::Histogram::bucket_upper_bound(2), 3u);
+    EXPECT_EQ(util::Histogram::bucket_upper_bound(11), 2047u);
+}
+
+TEST(Histogram, QuantilesLandInTheRightBucket)
+{
+    util::Histogram histogram;
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);  // empty
+    for (int i = 0; i < 90; ++i) {
+        histogram.observe(100);  // bucket 7: [64, 127]
+    }
+    for (int i = 0; i < 10; ++i) {
+        histogram.observe(100000);  // bucket 17: [65536, 131071]
+    }
+    const double p50 = histogram.quantile(0.5);
+    EXPECT_GE(p50, 64.0);
+    EXPECT_LE(p50, 127.0);
+    const double p95 = histogram.quantile(0.95);
+    EXPECT_GE(p95, 65536.0);
+    EXPECT_LE(p95, 131071.0);
+    histogram.reset();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.95), 0.0);
+}
+
+TEST(Metrics, CounterAndGauge)
+{
+    util::Counter counter;
+    counter.add();
+    counter.add(4);
+    EXPECT_EQ(counter.value(), 5u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+
+    util::Gauge gauge;
+    gauge.set(7);
+    gauge.set_max(3);  // raise-only: lower value is ignored
+    EXPECT_EQ(gauge.value(), 7);
+    gauge.set_max(11);
+    EXPECT_EQ(gauge.value(), 11);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences)
+{
+    auto& registry = util::metrics();
+    auto& counter = registry.counter("fptc_test_stable_total");
+    counter.reset();
+    auto& again = registry.counter("fptc_test_stable_total");
+    EXPECT_EQ(&counter, &again);
+    counter.add(3);
+    EXPECT_EQ(again.value(), 3u);
+    counter.reset();
+}
+
+TEST(Metrics, PrometheusTextExposition)
+{
+    auto& registry = util::metrics();
+    registry.counter("fptc_test_expo_total").reset();
+    registry.counter("fptc_test_expo_total").add(2);
+    registry.gauge("fptc_test_expo_bytes").set(42);
+    registry.histogram("fptc_test_expo_ns").reset();
+    registry.histogram("fptc_test_expo_ns").observe(5);
+
+    const std::string text = registry.prometheus_text();
+    EXPECT_NE(text.find("# TYPE fptc_test_expo_total counter"), std::string::npos);
+    EXPECT_NE(text.find("fptc_test_expo_total 2"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE fptc_test_expo_bytes gauge"), std::string::npos);
+    EXPECT_NE(text.find("fptc_test_expo_bytes 42"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE fptc_test_expo_ns histogram"), std::string::npos);
+    EXPECT_NE(text.find("fptc_test_expo_ns_bucket{le=\"+Inf\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("fptc_test_expo_ns_count 1"), std::string::npos);
+
+    const std::string json = registry.json_text();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"fptc_test_expo_total\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+    const auto names = registry.histogram_names("fptc_test_expo");
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "fptc_test_expo_ns");
+}
+
+TEST(Tracing, SpanRoundTripThroughTheRing)
+{
+    TelemetryReset reset;
+    util::telemetry_configure_for_tests(tracing_config());
+    ASSERT_TRUE(util::trace_enabled());
+
+    {
+        FPTC_TRACE_SPAN("outer", {{"campaign", "exec-test"}});
+        FPTC_TRACE_SPAN("inner");
+    }
+
+    const auto events = util::trace_snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_STREQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_NE(std::string(events[0].args).find("\"campaign\": \"exec-test\""),
+              std::string::npos);
+    EXPECT_STREQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].phase, 'B');
+    // Destruction order: inner closes before outer.
+    EXPECT_STREQ(events[2].name, "inner");
+    EXPECT_EQ(events[2].phase, 'E');
+    EXPECT_STREQ(events[3].name, "outer");
+    EXPECT_EQ(events[3].phase, 'E');
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].tid, events[0].tid);
+        EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+    }
+}
+
+TEST(Tracing, SpansFeedPhaseHistograms)
+{
+    TelemetryReset reset;
+    util::telemetry_configure_for_tests(tracing_config());
+    auto& histogram = util::metrics().histogram("fptc_phase_unittest_duration_ns");
+    histogram.reset();
+    {
+        FPTC_TRACE_SPAN("unittest");
+    }
+    EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(Tracing, DisabledSpansRecordNothing)
+{
+    TelemetryReset reset;
+    util::telemetry_configure_for_tests(util::TelemetryConfig{});  // all sinks off
+    ASSERT_FALSE(util::trace_enabled());
+    auto& histogram = util::metrics().histogram("fptc_phase_offtest_duration_ns");
+    histogram.reset();
+    {
+        FPTC_TRACE_SPAN("offtest");
+    }
+    EXPECT_EQ(util::trace_snapshot().size(), 0u);
+    EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Tracing, RingWrapKeepsTheMostRecentWindow)
+{
+    TelemetryReset reset;
+    util::telemetry_configure_for_tests(tracing_config(/*ring_capacity=*/64));
+
+    // A fresh thread gets a fresh ring with the configured (small) capacity.
+    std::thread producer([] {
+        for (int i = 0; i < 200; ++i) {
+            FPTC_TRACE_SPAN("wrapped");
+        }
+    });
+    producer.join();
+
+    EXPECT_GT(util::trace_dropped(), 0u);
+    const auto events = util::trace_snapshot();
+    ASSERT_FALSE(events.empty());
+    EXPECT_LE(events.size(), 64u);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+    }
+}
+
+TEST(Tracing, ChromeExportBalancesBeginEndPairs)
+{
+    TelemetryReset reset;
+    util::telemetry_configure_for_tests(tracing_config(/*ring_capacity=*/64));
+
+    // Wrap the ring mid-span so the export sees orphan 'E' events (their 'B'
+    // was overwritten) and open 'B' events (still unclosed at snapshot).
+    std::thread producer([] {
+        FPTC_TRACE_SPAN("enclosing");
+        for (int i = 0; i < 100; ++i) {
+            FPTC_TRACE_SPAN("filler");
+        }
+    });
+    producer.join();
+
+    const std::string json = util::chrome_trace_json();
+    std::size_t begins = 0;
+    std::size_t ends = 0;
+    for (std::size_t pos = 0; (pos = json.find("\"ph\": \"", pos)) != std::string::npos;
+         pos += 8) {
+        if (json[pos + 7] == 'B') {
+            ++begins;
+        } else if (json[pos + 7] == 'E') {
+            ++ends;
+        }
+    }
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"fptc\""), std::string::npos);
+}
+
+TEST(Tracing, ProfilerReportListsObservedPhases)
+{
+    TelemetryReset reset;
+    auto config = tracing_config();
+    config.profile = true;
+    util::telemetry_configure_for_tests(config);
+    auto& registry = util::metrics();
+    registry.histogram("fptc_phase_reporttest_duration_ns").reset();
+    {
+        FPTC_TRACE_SPAN("reporttest");
+    }
+    const std::string report = util::profiler_report();
+    EXPECT_NE(report.find("reporttest"), std::string::npos);
+    registry.histogram("fptc_phase_reporttest_duration_ns").reset();
+}
+
+TEST(EnvValidation, EmptySinkIsRejected)
+{
+    TelemetryReset reset;
+    ScopedEnv trace("FPTC_TRACE", "");
+    EXPECT_THROW(util::telemetry_init(), util::EnvError);
+}
+
+TEST(EnvValidation, UnwritableSinkIsRejected)
+{
+    TelemetryReset reset;
+    ScopedEnv trace("FPTC_TRACE", "/nonexistent-fptc-dir/trace.json");
+    EXPECT_THROW(util::telemetry_init(), util::EnvError);
+}
+
+TEST(EnvValidation, EmptyMetricsSinkIsRejected)
+{
+    TelemetryReset reset;
+    ScopedEnv metrics_sink("FPTC_METRICS", "");
+    EXPECT_THROW(util::telemetry_init(), util::EnvError);
+}
+
+TEST(EnvValidation, TinyRingCapacityIsRejected)
+{
+    TelemetryReset reset;
+    ScopedEnv events("FPTC_TRACE_EVENTS", "10");
+    EXPECT_THROW(util::telemetry_init(), util::EnvError);
+}
+
+TEST(EnvValidation, ValidKnobsResolve)
+{
+    TelemetryReset reset;
+    const std::string path = std::string(::testing::TempDir()) + "fptc_env_trace.json";
+    ScopedEnv trace("FPTC_TRACE", path.c_str());
+    ScopedEnv events("FPTC_TRACE_EVENTS", "128");
+    const auto& config = util::telemetry_init();
+    EXPECT_EQ(config.trace_path, path);
+    EXPECT_EQ(config.ring_capacity, 128u);
+    EXPECT_TRUE(util::trace_enabled());
+    std::remove(path.c_str());
+}
+
+} // namespace
