@@ -3,12 +3,18 @@
 #include "fptc/util/fault.hpp"
 #include "fptc/util/telemetry.hpp"
 
+#include "fptc/util/log.hpp"
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -28,17 +34,6 @@ namespace {
     return err == ENOSPC || err == EDQUOT || err == EAGAIN || err == EMFILE || err == ENFILE;
 }
 
-[[nodiscard]] std::string parent_dir_of(const std::string& path)
-{
-    const auto slash = path.find_last_of('/');
-    if (slash == std::string::npos) {
-        return ".";
-    }
-    if (slash == 0) {
-        return "/";
-    }
-    return path.substr(0, slash);
-}
 
 /// The syscall shim: every durable byte goes through here.  Handles the
 /// injector's kill point (partial payload then _exit — a simulated power
@@ -198,6 +193,91 @@ void probe_appendable(const std::string& path)
                       errno_is_transient(err));
     }
     ::close(fd);
+}
+
+std::string parent_dir_of(const std::string& path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+        return ".";
+    }
+    if (slash == 0) {
+        return "/";
+    }
+    return path.substr(0, slash);
+}
+
+FileLock::FileLock(const std::string& path) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        const int err = errno;
+        throw IoError("FileLock: cannot open " + path + ": " + errno_text(err),
+                      errno_is_transient(err));
+    }
+    while (::flock(fd_, LOCK_EX) != 0) {
+        if (errno == EINTR) {
+            continue;
+        }
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw IoError("FileLock: flock of " + path + " failed: " + errno_text(err),
+                      /*transient=*/false);
+    }
+}
+
+FileLock::~FileLock()
+{
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
+}
+
+std::size_t scavenge_orphan_temps(const std::string& dir)
+{
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) {
+        return 0;
+    }
+    std::size_t removed = 0;
+    while (const dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        const auto marker = name.find(".tmp.");
+        if (marker == std::string::npos) {
+            continue;
+        }
+        // DurableFile temps are "<target>.tmp.<pid>.<seq>"; anything that
+        // does not parse that way is not ours to touch.
+        const std::string tail = name.substr(marker + 5);
+        const auto dot = tail.find('.');
+        if (dot == std::string::npos || dot == 0 || dot + 1 >= tail.size()) {
+            continue;
+        }
+        char* end = nullptr;
+        const long pid = std::strtol(tail.c_str(), &end, 10);
+        if (pid <= 0 || end != tail.c_str() + dot ||
+            tail.find_first_not_of("0123456789", dot + 1) != std::string::npos) {
+            continue;
+        }
+        if (pid == static_cast<long>(::getpid())) {
+            continue;  // our own in-flight transaction
+        }
+        if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+            continue;  // writer still alive (or unknowable): not debris
+        }
+        const std::string path = dir + "/" + name;
+        if (::unlink(path.c_str()) == 0) {
+            ++removed;
+        }
+    }
+    ::closedir(handle);
+    if (removed > 0) {
+        log_info("durable: scavenged " + std::to_string(removed) +
+                 " orphan temp file(s) in " + dir);
+    }
+    return removed;
 }
 
 void fsync_parent_dir(const std::string& path)

@@ -2,6 +2,7 @@
 
 #include "fptc/util/env.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace fptc::util {
@@ -22,6 +23,7 @@ void FaultInjector::configure(const FaultPlan& plan)
     unit_executions_transient_ = 0;
     durable_bytes_ = 0;
     durable_writes_ = 0;
+    shard_unit_completions_ = 0;
     const std::uint64_t threshold =
         plan.alloc_fail_after_mb > 0
             ? static_cast<std::uint64_t>(plan.alloc_fail_after_mb) * 1024 * 1024
@@ -39,7 +41,8 @@ bool FaultInjector::enabled() const noexcept
            plan_.csv_row_percent > 0.0 || plan_.stall_units > 0 || plan_.transient_units > 0 ||
            plan_.enospc_after_bytes > 0 || plan_.short_writes > 0 ||
            plan_.fsync_failures > 0 || plan_.crash_at_write > 0 ||
-           plan_.alloc_fail_after_mb > 0 || plan_.alloc_fail_units > 0;
+           plan_.alloc_fail_after_mb > 0 || plan_.alloc_fail_units > 0 ||
+           (plan_.kill_shard >= 0 && plan_.kill_shard_at_unit > 0);
 }
 
 bool FaultInjector::inject_nan_loss()
@@ -200,6 +203,20 @@ bool FaultInjector::inject_unit_alloc_fail(std::size_t unit_index)
     return true;
 }
 
+bool FaultInjector::inject_shard_kill(int shard_id)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.kill_shard < 0 || plan_.kill_shard_at_unit <= 0 || shard_id != plan_.kill_shard) {
+        return false;
+    }
+    ++shard_unit_completions_;
+    if (shard_unit_completions_ != static_cast<std::uint64_t>(plan_.kill_shard_at_unit)) {
+        return false;
+    }
+    ++counters_.shard_kills;
+    return true;
+}
+
 FaultCounters FaultInjector::counters() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -218,7 +235,8 @@ std::string FaultInjector::summary() const
         << " enospc=" << counts.enospc_failures << " short_writes="
         << counts.short_write_clamps << " fsync_fail=" << counts.fsync_failures
         << " alloc_reject=" << counts.alloc_rejections
-        << " alloc_units=" << counts.alloc_unit_failures;
+        << " alloc_units=" << counts.alloc_unit_failures
+        << " shard_kills=" << counts.shard_kills;
     return out.str();
 }
 
@@ -238,6 +256,23 @@ FaultPlan fault_plan_from_env()
     plan.crash_at_write = static_cast<int>(env_int("FPTC_FAULT_CRASH_AT_WRITE").value_or(0));
     plan.alloc_fail_after_mb = env_int("FPTC_FAULT_ALLOC_FAIL_AFTER_MB").value_or(0);
     plan.alloc_fail_units = static_cast<int>(env_int("FPTC_FAULT_ALLOC_FAIL_UNITS").value_or(0));
+    // "s:k" = kill shard s after its k-th unit; a plain "k" targets shard 0.
+    if (const char* spec = std::getenv("FPTC_FAULT_KILL_SHARD");
+        spec != nullptr && *spec != '\0') {
+        char* end = nullptr;
+        const long first = std::strtol(spec, &end, 10);
+        if (end != spec && *end == ':') {
+            const char* rest = end + 1;
+            const long at = std::strtol(rest, &end, 10);
+            if (end != rest && *end == '\0' && first >= 0 && at > 0) {
+                plan.kill_shard = static_cast<int>(first);
+                plan.kill_shard_at_unit = static_cast<int>(at);
+            }
+        } else if (end != spec && *end == '\0' && first > 0) {
+            plan.kill_shard = 0;
+            plan.kill_shard_at_unit = static_cast<int>(first);
+        }
+    }
     return plan;
 }
 

@@ -47,6 +47,12 @@
 //                                 initial executions only — a shrink retry
 //                                 is spared, so targeted units shrink once
 //                                 and then succeed deterministically)
+//   FPTC_FAULT_KILL_SHARD=s:k     SIGKILL shard worker s right after its k-th
+//                                 unit execution finishes but *before* the
+//                                 journal commit — the worker dies holding
+//                                 its lease with maximal lost work (plain
+//                                 "k" targets shard 0; sequential runs and
+//                                 other shards are unaffected)
 //
 // All injections are counted per class so campaign summaries can report
 // exactly how many faults were injected and survived.
@@ -88,6 +94,8 @@ struct FaultPlan {
     int crash_at_write = 0;        ///< _exit at the k-th durable write (0 = off)
     std::int64_t alloc_fail_after_mb = 0;  ///< per-unit-execution charge budget in MB (0 = off)
     int alloc_fail_units = 0;      ///< refuse the first reservation of units 0..n-1 (0 = off)
+    int kill_shard = -1;           ///< shard id to SIGKILL (-1 = off)
+    int kill_shard_at_unit = 0;    ///< kill after the target shard's k-th unit (0 = off)
 };
 
 /// Tallies of injected faults since the last configure().
@@ -102,12 +110,13 @@ struct FaultCounters {
     std::uint64_t fsync_failures = 0;    ///< durable fsyncs failed with EIO
     std::uint64_t alloc_rejections = 0;  ///< accountant reservations refused (AFTER_MB)
     std::uint64_t alloc_unit_failures = 0; ///< units targeted by ALLOC_FAIL_UNITS
+    std::uint64_t shard_kills = 0;       ///< shard-kill trigger points reached
 
     [[nodiscard]] std::uint64_t total() const noexcept
     {
         return nan_losses + truncated_writes + corrupted_csv_rows + stalled_units +
                transient_units + enospc_failures + short_write_clamps + fsync_failures +
-               alloc_rejections + alloc_unit_failures;
+               alloc_rejections + alloc_unit_failures + shard_kills;
     }
 };
 
@@ -181,6 +190,13 @@ public:
     /// for any FPTC_JOBS.
     [[nodiscard]] bool inject_unit_alloc_fail(std::size_t unit_index);
 
+    /// Consulted by a shard worker after each unit execution finishes,
+    /// before the journal commit, with its own shard id; true exactly once —
+    /// when shard `kill_shard` completes its kill_shard_at_unit-th unit.
+    /// The caller must then raise(SIGKILL): the lease stays held, the
+    /// finished work is lost, and a sibling must steal the unit.
+    [[nodiscard]] bool inject_shard_kill(int shard_id);
+
     [[nodiscard]] FaultCounters counters() const;
 
     /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12
@@ -197,6 +213,7 @@ private:
     std::uint64_t unit_executions_transient_ = 0;
     std::uint64_t durable_bytes_ = 0;   ///< cumulative bytes through the shim
     std::uint64_t durable_writes_ = 0;  ///< shim write calls (crash kill-point index)
+    std::uint64_t shard_unit_completions_ = 0;  ///< kill-shard trigger index
 
     // Alloc-fault state lives outside the mutex: inject_alloc_fail sits on
     // the tensor-allocation hot path, so the armed check is a single relaxed

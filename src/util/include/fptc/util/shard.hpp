@@ -1,0 +1,143 @@
+// Cross-process work claiming for sharded campaign execution.
+//
+// A sharded run (FPTC_SHARDS=N) executes one campaign with N worker
+// processes that share a journal *family* (util/journal.hpp): each worker
+// appends finished units to its private `<base>.shard<i>` journal, and all
+// claim coordination goes through a single shared lease file.  This module
+// provides the two cross-process primitives the executor's worker mode is
+// built on:
+//
+//   * LeaseStore — a durable claim registry over `<base>.leases`.  A lease
+//     is a JSONL record {key, shard, op, exp_ms}; every transaction (claim,
+//     heartbeat, release) appends under the family's `<base>.lock` flock,
+//     so two workers can never both think they own a unit.  Leases expire:
+//     a worker that is SIGKILLed mid-unit stops heartbeating, its lease's
+//     CLOCK_REALTIME expiry passes, and a sibling *steals* the unit by
+//     claiming over the dead lease — crash-of-a-shard costs one lease TTL,
+//     not the campaign.
+//
+//   * ShardJournalSet — a rate-limited read-only view of the *other*
+//     family members' journals (base + sibling shards), so a worker can
+//     adopt units a sibling already finished instead of re-running them.
+//
+//   * spawn_shard_worker — fork/exec of the coordinator's own binary
+//     (/proc/self/exe + /proc/self/cmdline) with a worker environment and
+//     stdout redirected to a per-shard capture file.
+//
+// Clocks: lease expiries use CLOCK_REALTIME milliseconds because they must
+// compare across processes (CLOCK_MONOTONIC has no cross-boot or
+// cross-process epoch guarantee).  A realtime clock step can thus expire or
+// extend leases early/late; the executor tolerates both — stealing a lease
+// whose owner is alive is safe because the journal commit is idempotent
+// (last record wins, both records carry identical deterministic fields).
+#pragma once
+
+#include "fptc/util/journal.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fptc::util {
+
+/// CLOCK_REALTIME in milliseconds — the shared lease clock.
+[[nodiscard]] std::int64_t now_realtime_ms();
+
+/// Decoded state of one lease after last-record-wins folding.
+struct LeaseInfo {
+    int shard = -1;             ///< current owner
+    std::int64_t exp_ms = 0;    ///< CLOCK_REALTIME expiry of the claim/beat
+};
+
+/// Durable cross-process claim registry over `<base>.leases`.
+///
+/// Thread safety: NOT internally synchronized — the executor calls it from
+/// its scheduling loop and heartbeat thread under its own mutex.  Cross-
+/// *process* safety is what this class provides (every transaction runs
+/// under the family flock).
+class LeaseStore {
+public:
+    /// `base` is the journal family base (FPTC_JOURNAL); `ttl_s` is how long
+    /// a claim lives without a heartbeat.
+    LeaseStore(std::string base, int shard_id, double ttl_s);
+
+    /// Claim `key` for this shard: returns false when an unexpired foreign
+    /// lease holds it.  Claiming over an *expired* foreign lease succeeds
+    /// and counts as a steal.
+    [[nodiscard]] bool try_claim(const std::string& key);
+
+    /// Extend this shard's leases on `keys` by one TTL from now.  Called by
+    /// the executor's heartbeat thread every TTL/3 while units run.
+    void heartbeat(const std::vector<std::string>& keys);
+
+    /// Release the lease on a finished (journaled) unit.
+    void release(const std::string& key);
+
+    /// Current live leases (expired and released entries folded away).
+    /// Snapshot for tests and diagnostics; immediately stale by design.
+    [[nodiscard]] std::map<std::string, LeaseInfo> snapshot();
+
+    /// Leases this store claimed over an expired foreign owner.
+    [[nodiscard]] std::size_t stolen() const noexcept { return stolen_; }
+
+    [[nodiscard]] double ttl_s() const noexcept { return ttl_s_; }
+
+private:
+    /// Fold the lease file into key -> latest record (release = erased).
+    [[nodiscard]] std::map<std::string, LeaseInfo> load_locked();
+    void append_locked(const std::string& key, const char* op, std::int64_t exp_ms);
+
+    std::string lease_path_;
+    std::string lock_path_;
+    int shard_id_;
+    double ttl_s_;
+    std::size_t stolen_ = 0;
+    std::size_t appends_since_compact_ = 0;
+};
+
+/// Rate-limited read-only union of the journal family's *other* members
+/// (base journal + sibling shard journals), so a worker adopts units a
+/// sibling finished instead of re-claiming them.
+class ShardJournalSet {
+public:
+    /// `own_shard` >= 0 excludes that shard's own journal (its records are
+    /// already in the worker's RunJournal).
+    ShardJournalSet(std::string base, int own_shard);
+
+    /// Re-read the sibling journals if at least `min_interval_ms` passed
+    /// since the last reload (0 forces one).  Returns true when a reload
+    /// actually happened.
+    bool maybe_reload(std::int64_t min_interval_ms);
+
+    /// Fields of `key` if some other family member committed it.
+    [[nodiscard]] std::optional<std::map<std::string, std::string>> find(
+        const std::string& key) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+private:
+    std::string base_;
+    std::string own_path_;
+    std::int64_t last_reload_ms_ = 0;
+    std::map<std::string, std::map<std::string, std::string>> records_;
+};
+
+/// One environment assignment for a spawned worker.
+struct EnvVar {
+    std::string name;
+    std::string value;  ///< empty + unset=true removes the variable
+    bool unset = false;
+};
+
+/// Fork/exec a shard worker: re-runs this process's own binary and argv
+/// (/proc/self/exe, /proc/self/cmdline) with `env` applied and stdout
+/// redirected (append) to `stdout_path`.  Returns the child pid; throws
+/// IoError when the fork or the pre-exec setup fails.  Must be called
+/// before the coordinator starts its worker pool (fork in a single-threaded
+/// process).
+[[nodiscard]] int spawn_shard_worker(const std::vector<EnvVar>& env,
+                                     const std::string& stdout_path);
+
+} // namespace fptc::util

@@ -1,0 +1,43 @@
+// Merging per-shard telemetry artifacts into one fleet-level view.
+//
+// Each shard worker of a sharded campaign run writes its own trace
+// (FPTC_TRACE namespaced to `<path>.shard<i>`) and metrics
+// (`<path>.shard<i>` + `.prom`) files — telemetry sinks are process-local
+// by design.  After the fleet drains, the coordinator (or the
+// fptc_merge_telemetry CLI) folds them into one artifact per kind:
+//
+//   * Prometheus text: counters and histogram series sum across shards
+//     (histogram `_bucket` lines are de-cumulated per shard, summed per
+//     upper bound, then re-cumulated so the merged series stays monotone
+//     even when shards exposed different sparse bucket sets); gauges take
+//     the max (they are high-water marks in this codebase).
+//
+//   * Chrome traces: event streams concatenate, with each input's
+//     "pid" rewritten to its 1-based shard slot so chrome://tracing shows
+//     one swim-lane block per process instead of piling every shard onto
+//     pid 1.
+//
+// Outputs are written via the durable I/O layer (atomic replace), and the
+// coordinator writes to `<path>.merged[.prom|.json]` rather than in place —
+// its own atexit telemetry flush would otherwise clobber a merged file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fptc::util {
+
+/// Merge Prometheus text files into `output_path` (atomic durable write).
+/// Missing/empty inputs are skipped.  Returns the number of inputs that
+/// contributed at least one sample.
+std::size_t merge_prometheus_files(const std::vector<std::string>& input_paths,
+                                   const std::string& output_path);
+
+/// Merge Chrome trace JSON files (as written by chrome_trace_json()) into
+/// `output_path`, rewriting input i's events to pid i+1.  Missing/empty
+/// inputs are skipped.  Returns the number of inputs that contributed
+/// events.
+std::size_t merge_trace_files(const std::vector<std::string>& input_paths,
+                              const std::string& output_path);
+
+} // namespace fptc::util

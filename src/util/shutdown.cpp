@@ -1,0 +1,76 @@
+#include "fptc/util/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace fptc::util {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+std::atomic<int> g_signal_count{0};
+
+/// Async-signal-safe by construction: two atomic stores and one write(2).
+/// Everything stateful (cancel propagation, journal record, telemetry
+/// flush) happens later on a normal thread that polls shutdown_signal().
+extern "C" void handle_shutdown_signal(int signum)
+{
+    const int seen = g_signal_count.fetch_add(1, std::memory_order_acq_rel);
+    if (seen >= 1) {
+        // Second signal: the operator insists.  Skip flushes and die now
+        // (_exit, like a power cut, runs no destructors).
+        ::_exit(128 + signum);
+    }
+    int expected = 0;
+    g_signal.compare_exchange_strong(expected, signum, std::memory_order_acq_rel);
+    const char* note = signum == SIGINT
+                           ? "[fptc] SIGINT: finishing in-flight batches, flushing telemetry "
+                             "(repeat to force-quit)\n"
+                           : "[fptc] SIGTERM: finishing in-flight batches, flushing telemetry "
+                             "(repeat to force-quit)\n";
+    [[maybe_unused]] const auto n = ::write(STDERR_FILENO, note, ::strlen(note));
+}
+
+} // namespace
+
+void install_shutdown_handlers()
+{
+    static const bool installed = [] {
+        struct sigaction action;
+        std::memset(&action, 0, sizeof action);
+        action.sa_handler = handle_shutdown_signal;
+        ::sigemptyset(&action.sa_mask);
+        // No SA_RESTART: blocking syscalls (waitpid, sleeps) should wake so
+        // the polling loops notice the flag promptly.
+        ::sigaction(SIGTERM, &action, nullptr);
+        ::sigaction(SIGINT, &action, nullptr);
+        return true;
+    }();
+    (void)installed;
+}
+
+int shutdown_signal() noexcept
+{
+    return g_signal.load(std::memory_order_acquire);
+}
+
+bool shutdown_requested() noexcept
+{
+    return shutdown_signal() != 0;
+}
+
+int shutdown_exit_code(int signum) noexcept
+{
+    return 128 + signum;
+}
+
+void reset_shutdown_for_tests() noexcept
+{
+    g_signal.store(0, std::memory_order_release);
+    g_signal_count.store(0, std::memory_order_release);
+}
+
+} // namespace fptc::util

@@ -16,7 +16,11 @@
 #   5. the telemetry gate (tests/run_telemetry.sh) against the tsan build:
 #      tracing + metrics armed on a threaded campaign must be race-free,
 #      keep stdout bit-identical and export valid trace/metrics JSON (the
-#      overhead micro-gate is skipped — sanitized timings are meaningless).
+#      overhead micro-gate is skipped — sanitized timings are meaningless),
+#   6. the sharded-execution gate (tests/run_shard_torture.sh --quick)
+#      against the optimized build: multi-process campaign with a worker
+#      SIGKILLed mid-unit must resume via lease stealing and produce stdout
+#      and table artifacts byte-identical to a sequential run.
 #
 # Usage, from the repo root:
 #
@@ -34,10 +38,10 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard
 ctest --preset tsan -j "$(nproc)" \
-    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation' \
-    -E 'MemBudgetQuick|TelemetryQuick'
+    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge' \
+    -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick'
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target table4_augmentations
@@ -50,3 +54,5 @@ tests/run_membudget.sh build/bench/table4_augmentations
 
 cmake --build --preset tsan -j "$(nproc)" --target table4_augmentations
 tests/run_telemetry.sh build-tsan/bench/table4_augmentations
+
+tests/run_shard_torture.sh --quick build/bench/table4_augmentations

@@ -1,0 +1,251 @@
+#!/usr/bin/env bash
+# Torture harness for sharded multi-process campaign execution.
+#
+# Runs a tiny table4 campaign (14 units) sequentially to establish a golden
+# baseline, then asserts that sharded runs reproduce it exactly:
+#
+#   * FPTC_SHARDS=2 and FPTC_SHARDS=4 clean runs: stdout tables and every
+#     CSV/table artifact byte-identical to the sequential run (only the
+#     executor summary / per-run artifact lines may differ),
+#   * crash-of-a-shard: FPTC_SHARDS=4 with FPTC_FAULT_KILL_SHARD=1:2 SIGKILLs
+#     worker 1 after its 2nd unit, before the journal commit — a sibling must
+#     steal the expired lease (FPTC_LEASE_TTL_S=2), redo the lost unit, and
+#     the campaign must still end byte-identical to sequential,
+#   * cooperative shutdown: a sequential campaign sent SIGTERM mid-run must
+#     exit 128+15, journal a __shutdown__ record and flush a valid metrics
+#     JSON (send-the-signal-then-inspect, no mocks),
+#   * (full mode only) crash-of-the-coordinator: the whole process group of a
+#     2-shard run is SIGKILLed mid-campaign; a relaunch with the same journal
+#     family must absorb the orphaned shard journals and stale leases and
+#     finish byte-identical to sequential.
+#
+# Also emits BENCH_shard_scaling.json (units/sec at 1, 2 and 4 shards) to
+# ${FPTC_ARTIFACTS_DIR:-.}.  Scaling on a one-core CI box is not asserted —
+# the rows are recorded for trend tracking, correctness is the gate.
+#
+# Usage, from the repo root (binary defaults to build/bench/table4_augmentations):
+#
+#   tests/run_shard_torture.sh [--quick] [path/to/table4_augmentations]
+#
+# --quick (wired as the ShardTortureQuick ctest) skips the coordinator-kill
+# scenario; everything else runs in both modes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+BIN=build/bench/table4_augmentations
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) BIN="$arg" ;;
+    esac
+done
+
+if [ ! -x "$BIN" ]; then
+    echo "run_shard_torture: bench binary '$BIN' not found (build the default preset first)" >&2
+    exit 1
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fptc_shard_torture.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# Same tiny campaign as run_torture.sh: 7 augmentations x {32,64}, 1 split x
+# 1 seed = 14 units on a shrunken dataset.
+SCALE="FPTC_SPLITS=1 FPTC_SEEDS=1 FPTC_EPOCHS=1 FPTC_SAMPLES=0.1 FPTC_PER_CLASS=25"
+UNITS=14
+JOBS="${FPTC_JOBS:-$(nproc)}"
+ARTIFACTS="table4_runs.csv table4_script.txt table4_human.txt table4_leftover.txt"
+BENCH_OUT="${FPTC_ARTIFACTS_DIR:-.}/BENCH_shard_scaling.json"
+
+now_ms() { date +%s%3N; }
+
+run_campaign() {
+    # $1 = work dir, $2.. = extra env (VAR=value) for this run
+    dir="$1"; shift
+    mkdir -p "$dir"
+    env $SCALE FPTC_JOBS="$JOBS" \
+        FPTC_JOURNAL="$dir/journal.jsonl" FPTC_ARTIFACTS_DIR="$dir" \
+        "$@" "$BIN" >"$dir/stdout.txt" 2>"$dir/stderr.txt"
+}
+
+# Lines that legitimately differ between runs: the executor summary
+# (executed vs resumed/adopted counts), the per-run artifact directory, and
+# the fault-tolerance summary (printed only when a fault plan is armed).
+filter_stdout() {
+    grep -v -e '^executor\[' -e '^per-run artifact written to ' \
+        -e '^fault tolerance:' "$1" > "$1.filtered"
+}
+
+check_identical() {
+    # $1 = run dir, $2 = label.  stdout tables + artifacts vs golden.
+    filter_stdout "$1/stdout.txt"
+    if ! cmp -s "$GOLD/stdout.txt.filtered" "$1/stdout.txt.filtered"; then
+        echo "run_shard_torture: FAIL: $2 stdout differs from sequential golden:" >&2
+        diff "$GOLD/stdout.txt.filtered" "$1/stdout.txt.filtered" >&2 || true
+        exit 1
+    fi
+    for artifact in $ARTIFACTS; do
+        if ! cmp -s "$GOLD/$artifact" "$1/$artifact"; then
+            echo "run_shard_torture: FAIL: $2 artifact $artifact differs from sequential golden" >&2
+            exit 1
+        fi
+    done
+}
+
+check_family_collapsed() {
+    # $1 = run dir, $2 = label.  After a coordinator finishes, the journal
+    # family must be folded back: no shard journals, leases or lock left.
+    for leftover in "$1"/journal.jsonl.shard[0-9] "$1"/journal.jsonl.leases \
+                    "$1"/journal.jsonl.lock; do
+        if [ -e "$leftover" ]; then
+            echo "run_shard_torture: FAIL: $2 left $leftover behind after the merge" >&2
+            exit 1
+        fi
+    done
+}
+
+# ---- golden sequential run (also the 1-shard scaling baseline) --------------
+echo "run_shard_torture: sequential golden run ($UNITS units, $JOBS jobs)..."
+GOLD="$WORK/golden"
+T0=$(now_ms)
+run_campaign "$GOLD"
+SEQ_MS=$(( $(now_ms) - T0 ))
+filter_stdout "$GOLD/stdout.txt"
+for artifact in $ARTIFACTS; do
+    if [ ! -s "$GOLD/$artifact" ]; then
+        echo "run_shard_torture: FAIL: golden run produced no $artifact" >&2
+        exit 1
+    fi
+done
+
+# ---- clean sharded runs (2 and 4 shards) ------------------------------------
+declare -A SHARD_MS
+SHARD_MS[1]=$SEQ_MS
+for shards in 2 4; do
+    echo "run_shard_torture: clean FPTC_SHARDS=$shards run..."
+    dir="$WORK/shards$shards"
+    T0=$(now_ms)
+    run_campaign "$dir" FPTC_SHARDS="$shards"
+    SHARD_MS[$shards]=$(( $(now_ms) - T0 ))
+    check_identical "$dir" "FPTC_SHARDS=$shards"
+    check_family_collapsed "$dir" "FPTC_SHARDS=$shards"
+    # Every worker's stdout capture must exist — proof the units really ran
+    # in worker processes, not the coordinator's fallback pool.
+    for i in $(seq 0 $((shards - 1))); do
+        if [ ! -f "$dir/journal.jsonl.shard$i.out" ]; then
+            echo "run_shard_torture: FAIL: no stdout capture for shard $i" >&2
+            exit 1
+        fi
+    done
+    echo "run_shard_torture: FPTC_SHARDS=$shards ok (byte-identical, ${SHARD_MS[$shards]} ms)"
+done
+
+# ---- crash-of-a-shard: SIGKILL worker 1 mid-unit, siblings must recover -----
+echo "run_shard_torture: FPTC_SHARDS=4 with worker 1 SIGKILLed after its 2nd unit..."
+dir="$WORK/killshard"
+run_campaign "$dir" FPTC_SHARDS=4 FPTC_FAULT_KILL_SHARD=1:2 FPTC_LEASE_TTL_S=2
+if ! grep -q 'killed by signal 9' "$dir/stderr.txt"; then
+    echo "run_shard_torture: FAIL: kill-shard run never reported a SIGKILLed worker" >&2
+    exit 1
+fi
+if ! grep -q 'stealing' "$dir/stderr.txt"; then
+    echo "run_shard_torture: FAIL: no sibling stole the dead worker's expired lease" >&2
+    exit 1
+fi
+check_identical "$dir" "kill-shard"
+check_family_collapsed "$dir" "kill-shard"
+echo "run_shard_torture: kill-shard ok (lease stolen, output byte-identical)"
+
+# ---- cooperative shutdown: SIGTERM mid-campaign, then inspect ---------------
+echo "run_shard_torture: SIGTERM mid-campaign (expect exit 143 + __shutdown__ record)..."
+dir="$WORK/sigterm"
+mkdir -p "$dir"
+env $SCALE FPTC_JOBS="$JOBS" \
+    FPTC_JOURNAL="$dir/journal.jsonl" FPTC_ARTIFACTS_DIR="$dir" \
+    FPTC_METRICS="$dir/metrics.json" \
+    "$BIN" >"$dir/stdout.txt" 2>"$dir/stderr.txt" &
+PID=$!
+# Wait until real progress is journaled, then interrupt.
+for _ in $(seq 1 300); do
+    journaled=$(grep -c '^{' "$dir/journal.jsonl" 2>/dev/null || true)
+    if [ "${journaled:-0}" -ge 1 ]; then
+        break
+    fi
+    sleep 0.1
+done
+kill -TERM "$PID" 2>/dev/null || true
+status=0
+wait "$PID" || status=$?
+if [ "$status" != 143 ]; then
+    echo "run_shard_torture: FAIL: SIGTERMed run exited $status (expected 143 = 128+SIGTERM)" >&2
+    exit 1
+fi
+if ! grep -q '"key":"table4|__shutdown__"' "$dir/journal.jsonl"; then
+    echo "run_shard_torture: FAIL: no __shutdown__ record in the journal after SIGTERM" >&2
+    exit 1
+fi
+if [ ! -s "$dir/metrics.json" ]; then
+    echo "run_shard_torture: FAIL: SIGTERMed run flushed no metrics.json" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$dir/metrics.json" || {
+        echo "run_shard_torture: FAIL: metrics.json is not valid JSON after SIGTERM" >&2
+        exit 1
+    }
+fi
+echo "run_shard_torture: shutdown ok (exit 143, journal + telemetry flushed)"
+
+# ---- full mode: crash-of-the-coordinator ------------------------------------
+if [ "$QUICK" = 0 ]; then
+    echo "run_shard_torture: SIGKILLing a 2-shard fleet's whole process group..."
+    dir="$WORK/killcoord"
+    mkdir -p "$dir"
+    setsid env $SCALE FPTC_JOBS="$JOBS" FPTC_SHARDS=2 FPTC_LEASE_TTL_S=2 \
+        FPTC_JOURNAL="$dir/journal.jsonl" FPTC_ARTIFACTS_DIR="$dir" \
+        "$BIN" >"$dir/stdout.txt" 2>"$dir/stderr.txt" &
+    PID=$!
+    for _ in $(seq 1 300); do
+        count=0
+        for shard_journal in "$dir"/journal.jsonl.shard[0-9]; do
+            [ -f "$shard_journal" ] || continue
+            count=$((count + $(grep -c '^{' "$shard_journal" || true)))
+        done
+        if [ "$count" -ge 2 ]; then
+            break
+        fi
+        sleep 0.1
+    done
+    # setsid gave the coordinator its own process group (PGID == PID):
+    # nuke coordinator and workers at once, like a container OOM kill.
+    kill -9 -- "-$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    # Relaunch the coordinator over the orphaned family: workers must replay
+    # the dead fleet's shard journals, re-claim or steal its stale leases
+    # (TTL 2s), finish the remaining units, and the merge must fold the
+    # family away and reproduce the golden output.
+    run_campaign "$dir" FPTC_SHARDS=2 FPTC_LEASE_TTL_S=2
+    check_identical "$dir" "coordinator-kill resume"
+    check_family_collapsed "$dir" "coordinator-kill resume"
+    echo "run_shard_torture: coordinator-kill ok (resume byte-identical)"
+fi
+
+# ---- scaling record ---------------------------------------------------------
+mkdir -p "$(dirname "$BENCH_OUT")"
+{
+    printf '{\n  "benchmark": "shard_scaling",\n  "units": %d,\n  "jobs": %s,\n  "rows": [\n' \
+        "$UNITS" "$JOBS"
+    sep=""
+    for shards in 1 2 4; do
+        ms=${SHARD_MS[$shards]}
+        ups=$(awk -v u="$UNITS" -v ms="$ms" 'BEGIN { printf "%.3f", (ms > 0) ? u * 1000.0 / ms : 0 }')
+        printf '%s    {"shards": %d, "wall_ms": %d, "units_per_s": %s}' \
+            "$sep" "$shards" "$ms" "$ups"
+        sep=$',\n'
+    done
+    printf '\n  ]\n}\n'
+} > "$BENCH_OUT"
+echo "run_shard_torture: wrote $BENCH_OUT"
+
+echo "run_shard_torture: PASS"

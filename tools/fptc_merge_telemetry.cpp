@@ -1,0 +1,60 @@
+// fptc_merge_telemetry: fold per-shard telemetry artifacts into one file.
+//
+// Usage:
+//   fptc_merge_telemetry --prom  <out.prom>  <in1.prom>  [in2.prom ...]
+//   fptc_merge_telemetry --trace <out.json>  <in1.json>  [in2.json ...]
+//
+// The coordinator of a sharded run calls the same library functions
+// automatically; this CLI exists for merging artifacts after the fact
+// (e.g. shard files salvaged from a killed fleet) and for scripting.
+#include "fptc/util/telemetry_merge.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --prom|--trace <output> <input> [input ...]\n"
+                 "  --prom   merge Prometheus text files (counters/histograms sum,\n"
+                 "           gauges take the max)\n"
+                 "  --trace  merge Chrome trace JSON files (input i's events get\n"
+                 "           pid i+1)\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 4) {
+        return usage(argv[0]);
+    }
+    const std::string mode = argv[1];
+    const std::string output = argv[2];
+    std::vector<std::string> inputs;
+    for (int i = 3; i < argc; ++i) {
+        inputs.emplace_back(argv[i]);
+    }
+    try {
+        std::size_t contributing = 0;
+        if (mode == "--prom") {
+            contributing = fptc::util::merge_prometheus_files(inputs, output);
+        } else if (mode == "--trace") {
+            contributing = fptc::util::merge_trace_files(inputs, output);
+        } else {
+            return usage(argv[0]);
+        }
+        std::fprintf(stderr, "merged %zu of %zu input(s) into %s\n", contributing,
+                     inputs.size(), output.c_str());
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "fptc_merge_telemetry: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}
