@@ -10,6 +10,7 @@
 // scraping stdout.
 #include "fptc/augment/augmentation.hpp"
 #include "fptc/core/data.hpp"
+#include "fptc/serve/backend.hpp"
 #include "fptc/flowpic/flowpic.hpp"
 #include "fptc/gbt/gbt.hpp"
 #include "fptc/nn/loss.hpp"
@@ -181,6 +182,35 @@ void BM_TrafficGeneration(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TrafficGeneration)->Arg(0)->Arg(4);
+
+/// One serve-stage classify batch (rasterize + CNN forward for 16 flows)
+/// through the full-tier backend at the given flowpic resolution — the
+/// latency unit the streaming service's deadline and breaker act on.
+void BM_ServeClassifyLatency(benchmark::State& state)
+{
+    const auto resolution = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kBatch = 16;
+    auto backend = serve::CnnBackend::untrained(resolution, 5, 17);
+    util::Rng rng(19);
+    std::vector<serve::ReadyFlow> batch;
+    batch.reserve(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        serve::ReadyFlow ready;
+        ready.flow_id = i + 1;
+        ready.label = static_cast<std::uint32_t>(i % 5);
+        ready.flow = trafficgen::generate_flow(trafficgen::ucdavis19_profile(i % 5, false),
+                                               i % 5, rng);
+        batch.push_back(std::move(ready));
+    }
+    const util::CancelToken token;
+    AllocPerOp alloc(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(backend->classify(batch, token));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_ServeClassifyLatency)->Arg(16)->Arg(32);
 
 /// Shared workload for the span-overhead pair: a short FNV-1a mixing loop,
 /// heavy enough that timer noise does not dominate but small enough that a

@@ -1,0 +1,174 @@
+// Open-loop streaming-serve load generator — the repo's traffic-facing
+// perf/robustness number.
+//
+// Drives an InterleavedStream (trafficgen-backed, deterministic per seed)
+// through the StreamingClassifier at full speed, prints the service report,
+// checks the robustness invariants the torture harness greps for, and emits
+// BENCH_serve.json (flows/sec, events/sec, p50/p99 classify latency, the
+// typed shed breakdown, breaker transitions, host parallelism).
+//
+// Knobs (all strictly validated):
+//   FPTC_SERVE_FLOWS=n        stream flows (default 300)
+//   FPTC_SERVE_ARRIVAL_S=x    flow-start window in stream seconds (default 30)
+//   FPTC_SERVE_SEED=n         stream + backend seed (default 1)
+//   FPTC_SERVE_TRAIN_FLOWS=n  per-class training flows for the backends
+//                             (default 0 = untrained CNNs, tiny-fit GBT)
+//   FPTC_SERVE_TRAIN_EPOCHS=n CNN training epochs when TRAIN_FLOWS > 0
+//   FPTC_SERVE_*              service knobs, see fptc/serve/service.hpp
+//   FPTC_FAULT_SERVE_*        fault classes, see fptc/util/fault.hpp
+//
+// Exit status: 0 iff the run completed with the flow accounting balanced
+// and every MemBudget byte credited back.
+
+#include "fptc/serve/service.hpp"
+
+#include "fptc/util/durable.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/membudget.hpp"
+#include "fptc/util/shutdown.hpp"
+#include "fptc/util/telemetry.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cstdio>
+#endif
+
+namespace {
+
+double load_average()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    double loads[1] = {0.0};
+    if (getloadavg(loads, 1) == 1) {
+        return loads[0];
+    }
+#endif
+    return 0.0;
+}
+
+std::string bench_json(const fptc::serve::ServeReport& report, std::size_t stream_flows,
+                       std::uint64_t quarantine_oracle)
+{
+    const double wall = report.wall_seconds > 0.0 ? report.wall_seconds : 1e-9;
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"flows\": " << stream_flows << ",\n"
+        << "  \"events\": " << report.events_total << ",\n"
+        << "  \"wall_seconds\": " << report.wall_seconds << ",\n"
+        << "  \"flows_per_sec\": " << static_cast<double>(report.flows_ingested) / wall << ",\n"
+        << "  \"events_per_sec\": " << static_cast<double>(report.events_total) / wall << ",\n"
+        << "  \"classified\": " << report.flows_classified << ",\n"
+        << "  \"correct\": " << report.flows_correct << ",\n"
+        << "  \"p50_latency_ms\": " << report.p50_latency_ms << ",\n"
+        << "  \"p99_latency_ms\": " << report.p99_latency_ms << ",\n"
+        << "  \"batches\": " << report.batches << ",\n"
+        << "  \"shed\": {\n"
+        << "    \"mem_budget\": " << report.shed_mem_budget << ",\n"
+        << "    \"queue_full\": " << report.shed_queue_full << ",\n"
+        << "    \"deadline\": " << report.shed_deadline << ",\n"
+        << "    \"breaker\": " << report.shed_breaker << "\n"
+        << "  },\n"
+        << "  \"events_quarantined\": " << report.events_quarantined << ",\n"
+        << "  \"events_mangled\": " << quarantine_oracle << ",\n"
+        << "  \"events_dropped_queue\": " << report.events_dropped_queue << ",\n"
+        << "  \"events_dropped_mem\": " << report.events_dropped_mem << ",\n"
+        << "  \"breaker\": {\n"
+        << "    \"trips\": " << report.breaker_trips << ",\n"
+        << "    \"recoveries\": " << report.breaker_recoveries << ",\n"
+        << "    \"final_tier\": " << report.final_tier << "\n"
+        << "  },\n"
+        << "  \"host\": {\n"
+        << "    \"nproc\": " << std::thread::hardware_concurrency() << ",\n"
+        << "    \"load1\": " << load_average() << "\n"
+        << "  }\n"
+        << "}\n";
+    return out.str();
+}
+
+} // namespace
+
+int main()
+{
+    using namespace fptc;
+    util::install_shutdown_handlers();
+
+    const std::size_t baseline_in_use = util::mem_budget().in_use();
+    serve::ServeReport report;
+    std::size_t stream_flows = 0;
+    std::uint64_t mangled = 0;
+    try {
+        const auto flows =
+            static_cast<std::size_t>(util::env_int("FPTC_SERVE_FLOWS").value_or(300));
+        const double arrival = util::env_double("FPTC_SERVE_ARRIVAL_S").value_or(30.0);
+        const auto seed =
+            static_cast<std::uint64_t>(util::env_int("FPTC_SERVE_SEED").value_or(1));
+        const auto train_flows =
+            static_cast<std::size_t>(util::env_int("FPTC_SERVE_TRAIN_FLOWS").value_or(0));
+        const auto train_epochs =
+            static_cast<int>(util::env_int("FPTC_SERVE_TRAIN_EPOCHS").value_or(0));
+        const serve::ServeConfig config = serve::ServeConfig::from_env();
+
+        serve::BackendBundle backends =
+            serve::make_backends(config.flowpic_dim, config.reduced_dim, config.num_classes,
+                                 seed, train_flows, train_epochs);
+        serve::InterleavedStream stream({.flows = flows,
+                                         .num_classes = config.num_classes,
+                                         .arrival_window = arrival,
+                                         .seed = seed});
+        stream_flows = stream.flow_count();
+        serve::StreamingClassifier service(config, *backends.full, *backends.reduced,
+                                           *backends.fallback);
+        report = service.run(stream);
+        mangled = stream.mangled();
+    } catch (const util::EnvError& error) {
+        std::cerr << "serve_throughput: " << error.what() << "\n";
+        return 2;
+    }
+    // Backends, stream and service are destroyed: every serve-side charge
+    // must be credited back before the balance check below.
+
+    std::cout << report.summary() << "\n";
+    std::cout << "serve_faults: " << util::fault_injector().summary() << "\n";
+
+    const std::size_t in_use = util::mem_budget().in_use();
+    std::cout << "serve_in_use_bytes=" << (in_use - baseline_in_use) << "\n";
+
+    const std::string json = bench_json(report, stream_flows, mangled);
+    try {
+        util::DurableFile::write_file("BENCH_serve.json", json);
+    } catch (const std::exception& error) {
+        std::cerr << "serve_throughput: BENCH_serve.json write failed: " << error.what()
+                  << "\n";
+    }
+    std::cout << json;
+    util::telemetry_flush();
+
+    bool ok = true;
+    if (!report.accounted()) {
+        std::cerr << "serve_throughput: FLOW ACCOUNTING BROKEN: " << report.summary() << "\n";
+        ok = false;
+    }
+    if (in_use != baseline_in_use) {
+        std::cerr << "serve_throughput: MemBudget leak: in_use=" << in_use
+                  << " baseline=" << baseline_in_use << "\n";
+        ok = false;
+    }
+    if (report.events_quarantined != mangled) {
+        std::cerr << "serve_throughput: quarantine oracle mismatch: quarantined="
+                  << report.events_quarantined << " mangled=" << mangled << "\n";
+        ok = false;
+    }
+    if (!std::isfinite(report.p99_latency_ms)) {
+        std::cerr << "serve_throughput: non-finite p99 latency\n";
+        ok = false;
+    }
+    std::cout << (ok ? "SERVE_OK" : "SERVE_FAIL") << "\n";
+    return ok ? 0 : 1;
+}

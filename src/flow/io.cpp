@@ -26,6 +26,11 @@ constexpr const char* kHeader = "flow_id,label,class_name,timestamp,size,directi
 /// the class vocabulary — and its allocation — without bound).
 constexpr std::size_t kMaxLabel = 1'000'000;
 
+/// Largest packet size a CSV row may carry: the maximum IP datagram.  The
+/// flowpic input representation caps at flow::kMaxPacketSize (1500) later;
+/// this bound only rejects values no packet on any wire can have.
+constexpr int kMaxCsvPacketSize = 65535;
+
 /// Split `line` on ',' into `fields`, reusing the vector's strings (and
 /// their heap buffers) across calls — the bulk-ingestion loop calls this
 /// once per row, so per-row allocations would dominate the parse.
@@ -218,6 +223,14 @@ Dataset read_dataset_csv(std::istream& in, const CsvReadOptions& options, CsvRea
             Packet packet;
             packet.timestamp = parse_double(fields[3], "timestamp", line_number);
             packet.size = parse_number<int>(fields[4], "size", line_number);
+            // from_chars accepts any int; constrain to the physical packet
+            // domain so a corrupted size column cannot smuggle negative or
+            // absurd values into the flowpic rasterizer.
+            if (packet.size < 0 || packet.size > kMaxCsvPacketSize) {
+                throw std::runtime_error(line_prefix(line_number) + "size " + fields[4] +
+                                         " outside [0, " + std::to_string(kMaxCsvPacketSize) +
+                                         "]");
+            }
             if (fields[5] == "up") {
                 packet.direction = Direction::upstream;
             } else if (fields[5] == "down") {

@@ -1,0 +1,137 @@
+#include "fptc/serve/backend.hpp"
+
+#include "fptc/core/data.hpp"
+#include "fptc/core/trainer.hpp"
+#include "fptc/flow/features.hpp"
+#include "fptc/flowpic/flowpic.hpp"
+#include "fptc/nn/loss.hpp"
+#include "fptc/nn/models.hpp"
+#include "fptc/trafficgen/ucdavis19.hpp"
+#include "fptc/util/rng.hpp"
+#include "fptc/util/telemetry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fptc::serve {
+
+CnnBackend::CnnBackend(std::size_t resolution, nn::Sequential network)
+    : resolution_(resolution), network_(std::move(network))
+{
+}
+
+std::unique_ptr<CnnBackend> CnnBackend::untrained(std::size_t resolution,
+                                                  std::size_t num_classes, std::uint64_t seed)
+{
+    nn::ModelConfig config;
+    config.flowpic_dim = resolution;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<CnnBackend>(resolution, nn::make_supervised_network(config));
+}
+
+const char* CnnBackend::name() const noexcept
+{
+    return resolution_ >= 32 ? "cnn_full" : "cnn_reduced";
+}
+
+std::vector<std::size_t> CnnBackend::classify(std::span<const ReadyFlow> batch,
+                                              const util::CancelToken& token)
+{
+    if (batch.empty()) {
+        return {};
+    }
+    FPTC_TRACE_SPAN("serve_rasterize");
+    const flowpic::FlowpicConfig config{
+        .resolution = resolution_,
+        .duration = 15.0,
+        // Stream timestamps are absolute; anchor each flowpic at the flow's
+        // own first packet, as a live tap must.
+        .origin_at_first_packet = true,
+    };
+    std::vector<float> data;
+    data.reserve(batch.size() * resolution_ * resolution_);
+    for (const ReadyFlow& ready : batch) {
+        token.poll();
+        flowpic::Flowpic pic = flowpic::Flowpic::from_flow(ready.flow, config);
+        pic.normalize_max();
+        data.insert(data.end(), pic.counts().begin(), pic.counts().end());
+    }
+    token.poll();
+    nn::Tensor input({batch.size(), 1, resolution_, resolution_}, std::move(data));
+    FPTC_TRACE_SPAN("serve_forward");
+    const nn::Tensor logits = network_.forward(input, false);
+    return nn::argmax_rows(logits);
+}
+
+GbtBackend::GbtBackend(gbt::GbtClassifier classifier) : classifier_(std::move(classifier)) {}
+
+const char* GbtBackend::name() const noexcept
+{
+    return "gbt_fallback";
+}
+
+std::vector<std::size_t> GbtBackend::classify(std::span<const ReadyFlow> batch,
+                                              const util::CancelToken& token)
+{
+    std::vector<std::size_t> predictions;
+    predictions.reserve(batch.size());
+    for (const ReadyFlow& ready : batch) {
+        token.poll();
+        const auto features = flow::early_time_series(ready.flow);
+        predictions.push_back(classifier_.predict(features));
+    }
+    return predictions;
+}
+
+BackendBundle make_backends(std::size_t full_dim, std::size_t reduced_dim,
+                            std::size_t num_classes, std::uint64_t seed,
+                            std::size_t train_flows_per_class, int cnn_epochs)
+{
+    BackendBundle bundle;
+    bundle.full = CnnBackend::untrained(full_dim, num_classes, seed);
+    bundle.reduced = CnnBackend::untrained(reduced_dim, num_classes, seed + 1);
+
+    gbt::GbtConfig gbt_config;
+    gbt_config.num_rounds = 20;
+    gbt_config.max_depth = 3;
+    gbt::GbtClassifier gbt(gbt_config, num_classes);
+
+    // The GBT is always fitted: an unfitted ensemble rejects every feature
+    // vector (feature-count mismatch), and the fallback tier must stay the
+    // ladder's reliable floor.  A handful of flows per class suffices.
+    const std::size_t gbt_flows = std::max<std::size_t>(train_flows_per_class, 8);
+    util::Rng rng(util::mix_seed(seed, 0x7124));
+    std::vector<flow::Flow> flows;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        const auto profile = trafficgen::ucdavis19_profile(c % 5, false);
+        auto class_flows = trafficgen::generate_flows(profile, c, gbt_flows, rng);
+        for (auto& f : class_flows) {
+            flows.push_back(std::move(f));
+        }
+    }
+    std::vector<std::vector<float>> features;
+    std::vector<std::size_t> labels;
+    features.reserve(flows.size());
+    for (const flow::Flow& f : flows) {
+        const auto early = flow::early_time_series(f);
+        features.emplace_back(early.begin(), early.end());
+        labels.push_back(f.label);
+    }
+    gbt.fit(features, labels);
+
+    if (train_flows_per_class > 0 && cnn_epochs > 0) {
+        core::TrainConfig train;
+        train.max_epochs = cnn_epochs;
+        train.seed = seed;
+        for (CnnBackend* backend : {bundle.full.get(), bundle.reduced.get()}) {
+            const core::SampleSet samples = core::rasterize(
+                flows, {.resolution = backend->resolution(), .duration = 15.0});
+            (void)core::train_supervised(backend->network(), samples, {}, train);
+        }
+    }
+    bundle.fallback = std::make_unique<GbtBackend>(std::move(gbt));
+    return bundle;
+}
+
+} // namespace fptc::serve

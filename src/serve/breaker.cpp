@@ -1,0 +1,85 @@
+#include "fptc/serve/breaker.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fptc::serve {
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config) : config_(config)
+{
+    config_.failure_threshold = std::max(1, config_.failure_threshold);
+    config_.cooldown_batches = std::max(1, config_.cooldown_batches);
+}
+
+Tier CircuitBreaker::plan_batch()
+{
+    if (tier_ != Tier::full && cooldown_ <= 0) {
+        probing_ = true;
+        return static_cast<Tier>(static_cast<int>(tier_) - 1);
+    }
+    if (cooldown_ > 0) {
+        --cooldown_;
+    }
+    return tier_;
+}
+
+void CircuitBreaker::trip()
+{
+    if (tier_ != Tier::shed) {
+        tier_ = static_cast<Tier>(static_cast<int>(tier_) + 1);
+        ++trips_;
+    }
+    cooldown_ = config_.cooldown_batches;
+    consecutive_failures_ = 0;
+    window_count_ = 0;
+    window_pos_ = 0;
+}
+
+double CircuitBreaker::window_p99() const
+{
+    std::vector<double> sorted(window_.begin(), window_.begin() + window_count_);
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t rank =
+        std::min(sorted.size() - 1,
+                 static_cast<std::size_t>(0.99 * static_cast<double>(sorted.size())));
+    return sorted[rank];
+}
+
+void CircuitBreaker::record_success(double latency_ms)
+{
+    if (probing_) {
+        // Half-open probe succeeded: recover one tier and hold it for a
+        // cooldown before probing further up.
+        probing_ = false;
+        tier_ = static_cast<Tier>(static_cast<int>(tier_) - 1);
+        ++recoveries_;
+        cooldown_ = config_.cooldown_batches;
+        consecutive_failures_ = 0;
+        window_count_ = 0;
+        window_pos_ = 0;
+        return;
+    }
+    consecutive_failures_ = 0;
+    window_[window_pos_] = latency_ms;
+    window_pos_ = (window_pos_ + 1) % kWindow;
+    window_count_ = std::min(window_count_ + 1, kWindow);
+    if (window_count_ >= kMinSamples && window_p99() > config_.p99_ms) {
+        trip();
+    }
+}
+
+void CircuitBreaker::record_failure(bool deadline)
+{
+    if (probing_) {
+        // Probe failed: stay at the degraded tier, re-open the cooldown.
+        probing_ = false;
+        cooldown_ = config_.cooldown_batches;
+        return;
+    }
+    ++consecutive_failures_;
+    if (deadline || consecutive_failures_ >= config_.failure_threshold) {
+        trip();
+    }
+}
+
+} // namespace fptc::serve

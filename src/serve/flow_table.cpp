@@ -1,0 +1,163 @@
+#include "fptc/serve/flow_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fptc::serve {
+
+FlowTable::FlowTable(std::size_t max_bytes, double window_seconds)
+    : max_bytes_(std::max<std::size_t>(max_bytes, kFlowOverhead + kPacketCost)),
+      window_(window_seconds)
+{
+}
+
+bool FlowTable::evict_one(std::uint64_t protect)
+{
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (*it == protect) {
+            continue;
+        }
+        const auto entry = table_.find(*it);
+        bytes_ -= std::min(bytes_, entry->second.charge.bytes());
+        lru_.erase(it);
+        table_.erase(entry);  // Charge destructor credits the MemBudget
+        ++evictions_;
+        return true;
+    }
+    return false;
+}
+
+AddOutcome FlowTable::add_packet(const PacketEvent& event)
+{
+    AddOutcome outcome;
+    auto it = table_.find(event.flow_id);
+
+    if (it == table_.end()) {
+        // Admit a new flow: its fixed overhead plus the first packet.
+        const std::size_t cost = kFlowOverhead + kPacketCost;
+        while (bytes_ + cost > max_bytes_ && evict_one(event.flow_id)) {
+            ++outcome.evicted;
+        }
+        if (bytes_ + cost > max_bytes_) {
+            return outcome;  // not admitted: the cap is smaller than one flow
+        }
+        Entry entry;
+        entry.label = event.label;
+        entry.first_ts = event.timestamp;
+        for (int attempt = 0;; ++attempt) {
+            try {
+                entry.charge = util::Charge(cost, "serve_flow");
+                break;
+            } catch (const util::BudgetExceeded&) {
+                if (attempt > 0 || !evict_one(event.flow_id)) {
+                    return outcome;  // process budget refuses even after eviction
+                }
+                ++outcome.evicted;
+            }
+        }
+        entry.flow.label = event.label;
+        entry.flow.packets.push_back(flow::Packet{
+            .timestamp = event.timestamp,
+            .size = static_cast<int>(event.size),
+            .direction = event.direction,
+            .is_ack = false,
+        });
+        lru_.push_back(event.flow_id);
+        entry.lru_it = std::prev(lru_.end());
+        bytes_ += cost;
+        close_fifo_.push_back(event.flow_id);
+        table_.emplace(event.flow_id, std::move(entry));
+        outcome.admitted = true;
+        outcome.new_flow = true;
+        return outcome;
+    }
+
+    // Grow an existing flow by one packet; evict colder flows when the
+    // table cap or the process budget pushes back, and as a last resort
+    // shed this flow itself (it stays a *typed* drop, never silent).
+    Entry& entry = it->second;
+    while (bytes_ + kPacketCost > max_bytes_ && evict_one(event.flow_id)) {
+        ++outcome.evicted;
+    }
+    if (bytes_ + kPacketCost > max_bytes_) {
+        bytes_ -= std::min(bytes_, entry.charge.bytes());
+        lru_.erase(entry.lru_it);
+        table_.erase(it);
+        outcome.shed_self = true;
+        return outcome;
+    }
+    for (int attempt = 0;; ++attempt) {
+        try {
+            entry.charge.grow(kPacketCost);
+            break;
+        } catch (const util::BudgetExceeded&) {
+            if (attempt > 0 || !evict_one(event.flow_id)) {
+                bytes_ -= std::min(bytes_, entry.charge.bytes());
+                lru_.erase(entry.lru_it);
+                table_.erase(it);
+                outcome.shed_self = true;
+                return outcome;
+            }
+            ++outcome.evicted;
+        }
+    }
+    entry.flow.packets.push_back(flow::Packet{
+        .timestamp = event.timestamp,
+        .size = static_cast<int>(event.size),
+        .direction = event.direction,
+        .is_ack = false,
+    });
+    bytes_ += kPacketCost;
+    lru_.splice(lru_.end(), lru_, entry.lru_it);  // touch: most recently active
+    outcome.admitted = true;
+    return outcome;
+}
+
+ReadyFlow FlowTable::release(std::unordered_map<std::uint64_t, Entry>::iterator it)
+{
+    Entry& entry = it->second;
+    ReadyFlow ready{
+        .flow_id = it->first,
+        .label = entry.label,
+        .first_ts = entry.first_ts,
+        .flow = std::move(entry.flow),
+        .charge = std::move(entry.charge),
+    };
+    bytes_ -= std::min(bytes_, ready.charge.bytes());
+    lru_.erase(entry.lru_it);
+    table_.erase(it);
+    return ready;
+}
+
+std::vector<ReadyFlow> FlowTable::pop_ready(double now)
+{
+    std::vector<ReadyFlow> ready;
+    while (!close_fifo_.empty()) {
+        const auto it = table_.find(close_fifo_.front());
+        if (it == table_.end()) {
+            close_fifo_.pop_front();  // already evicted
+            continue;
+        }
+        if (it->second.first_ts + window_ > now) {
+            break;  // FIFO: nothing behind this one has closed either
+        }
+        ready.push_back(release(it));
+        close_fifo_.pop_front();
+    }
+    return ready;
+}
+
+std::vector<ReadyFlow> FlowTable::flush_all()
+{
+    std::vector<ReadyFlow> ready;
+    while (!close_fifo_.empty()) {
+        const auto it = table_.find(close_fifo_.front());
+        if (it != table_.end()) {
+            ready.push_back(release(it));
+        }
+        close_fifo_.pop_front();
+    }
+    return ready;
+}
+
+} // namespace fptc::serve

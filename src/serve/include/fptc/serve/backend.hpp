@@ -1,0 +1,98 @@
+// Classification backends of the serve degradation ladder.
+//
+// Three interchangeable backends implement one interface; the circuit
+// breaker (breaker.hpp) decides which one a batch runs on:
+//
+//   * CnnBackend(full)    — rasterize a full-resolution flowpic per flow,
+//                           micro-batch into the supervised LeNet.
+//   * CnnBackend(reduced) — the same CNN at a reduced flowpic resolution:
+//                           ~(full/reduced)^2 cheaper rasterize + forward.
+//   * GbtBackend          — the paper's ML baseline: 30-element early
+//                           time-series into the GBT ensemble; no
+//                           rasterization, microseconds per flow.
+//
+// classify() polls its CancelToken per flow, so a batch deadline (or an
+// injected backend stall served through the token) unwinds with
+// CancelledError between flows — the service turns that into typed
+// `deadline` sheds and a breaker trip, never a hang.
+#pragma once
+
+#include "fptc/serve/flow_table.hpp"
+
+#include "fptc/gbt/gbt.hpp"
+#include "fptc/nn/sequential.hpp"
+#include "fptc/util/cancel.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace fptc::serve {
+
+class Backend {
+public:
+    virtual ~Backend() = default;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+    /// Predicted class per flow of the batch, in order.  Polls `token`
+    /// between flows; throws util::CancelledError when it trips.
+    [[nodiscard]] virtual std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
+                                                            const util::CancelToken& token) = 0;
+};
+
+/// Flowpic CNN backend at a fixed resolution.  Owns the network; construct
+/// untrained (deterministic weights from `seed`) or move a trained
+/// Sequential in.
+class CnnBackend final : public Backend {
+public:
+    CnnBackend(std::size_t resolution, nn::Sequential network);
+
+    [[nodiscard]] static std::unique_ptr<CnnBackend> untrained(std::size_t resolution,
+                                                               std::size_t num_classes,
+                                                               std::uint64_t seed);
+
+    [[nodiscard]] const char* name() const noexcept override;
+    [[nodiscard]] std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
+                                                    const util::CancelToken& token) override;
+
+    [[nodiscard]] std::size_t resolution() const noexcept { return resolution_; }
+    [[nodiscard]] nn::Sequential& network() noexcept { return network_; }
+
+private:
+    std::size_t resolution_;
+    nn::Sequential network_;
+};
+
+/// Early time-series GBT backend (the ladder's cheap fallback).
+class GbtBackend final : public Backend {
+public:
+    explicit GbtBackend(gbt::GbtClassifier classifier);
+
+    [[nodiscard]] const char* name() const noexcept override;
+    [[nodiscard]] std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
+                                                    const util::CancelToken& token) override;
+
+private:
+    gbt::GbtClassifier classifier_;
+};
+
+/// The three ladder backends, ready to hand to StreamingClassifier.
+struct BackendBundle {
+    std::unique_ptr<CnnBackend> full;
+    std::unique_ptr<CnnBackend> reduced;
+    std::unique_ptr<GbtBackend> fallback;
+};
+
+/// Build the ladder.  `train_flows_per_class` > 0 generates that many
+/// ucdavis19 flows per class and fits the GBT on them (always cheap) plus
+/// the two CNNs for `cnn_epochs` epochs (0 leaves the CNNs untrained —
+/// identical forward cost, the right trade for robustness harnesses).
+[[nodiscard]] BackendBundle make_backends(std::size_t full_dim, std::size_t reduced_dim,
+                                          std::size_t num_classes, std::uint64_t seed,
+                                          std::size_t train_flows_per_class = 0,
+                                          int cnn_epochs = 0);
+
+} // namespace fptc::serve

@@ -1,0 +1,91 @@
+// Circuit breaker over the classification backends.
+//
+// The degradation ladder (cheapest first to recover into):
+//
+//   tier 0  full      — full-resolution flowpic CNN
+//   tier 1  reduced   — reduced-resolution flowpic CNN (~4x cheaper rasterize
+//                       + forward)
+//   tier 2  fallback  — GBT over the 30-element early time-series (no
+//                       rasterization, microsecond predict)
+//   tier 3  shed      — classification suspended; flows are shed with the
+//                       typed `breaker` reason
+//
+// Trip conditions (any): a batch deadline expiry (trips immediately — a
+// stalled backend must not absorb a second batch), `failure_threshold`
+// consecutive non-deadline failures, or rolling-window p99 latency above
+// `p99_ms`.  Each trip moves one tier down the ladder and opens a cooldown;
+// when the cooldown expires the breaker goes *half-open*: the next batch
+// probes one tier up, and a successful probe recovers that tier (a failed
+// probe re-opens the cooldown).  Trips and recoveries are counted so the
+// torture gate can assert both happened.
+//
+// Thread safety: none — owned and driven by the classifier thread only.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fptc::serve {
+
+enum class Tier : int { full = 0, reduced = 1, fallback = 2, shed = 3 };
+
+[[nodiscard]] constexpr const char* tier_name(Tier tier) noexcept
+{
+    switch (tier) {
+    case Tier::full: return "full";
+    case Tier::reduced: return "reduced";
+    case Tier::fallback: return "fallback";
+    case Tier::shed: return "shed";
+    }
+    return "?";
+}
+
+struct BreakerConfig {
+    double p99_ms = 250.0;      ///< rolling p99 classify latency trip threshold
+    int failure_threshold = 3;  ///< consecutive non-deadline failures to trip
+    int cooldown_batches = 8;   ///< batches between a trip and the next probe
+};
+
+class CircuitBreaker {
+public:
+    explicit CircuitBreaker(const BreakerConfig& config);
+
+    /// Tier to run the next batch at.  Ticks the cooldown; when it has
+    /// expired at a degraded tier, returns the next tier *up* as a
+    /// half-open probe (record_* resolves it).
+    [[nodiscard]] Tier plan_batch();
+
+    /// The batch completed in `latency_ms`.  Resolves a probe (recovery),
+    /// feeds the latency window, and trips on a p99 breach.
+    void record_success(double latency_ms);
+
+    /// The batch failed.  `deadline` = the batch deadline expired (trips
+    /// immediately); otherwise counts toward failure_threshold.
+    void record_failure(bool deadline);
+
+    [[nodiscard]] Tier tier() const noexcept { return tier_; }
+    [[nodiscard]] bool probing() const noexcept { return probing_; }
+    [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }
+    [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+    static constexpr std::size_t kWindow = 64;     ///< latency ring size
+    static constexpr std::size_t kMinSamples = 16; ///< p99 needs this many
+
+private:
+    void trip();
+    [[nodiscard]] double window_p99() const;
+
+    BreakerConfig config_;
+    Tier tier_ = Tier::full;
+    bool probing_ = false;
+    int cooldown_ = 0;
+    int consecutive_failures_ = 0;
+    std::array<double, kWindow> window_{};
+    std::size_t window_count_ = 0;  ///< samples since last trip (capped at kWindow)
+    std::size_t window_pos_ = 0;
+    std::uint64_t trips_ = 0;
+    std::uint64_t recoveries_ = 0;
+};
+
+} // namespace fptc::serve

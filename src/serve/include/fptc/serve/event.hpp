@@ -1,0 +1,52 @@
+// Packet events on the streaming-serve ingest path.
+//
+// The offline pipeline consumes whole curated flows; the serve pipeline
+// consumes an *interleaved* stream of per-packet events for many concurrent
+// flows, tagged with the flow they belong to.  Events cross a process
+// boundary in a real deployment (a capture tap), so the service treats them
+// as untrusted input: every event is validated at ingest and malformed ones
+// are quarantined — never parsed into flow state — mirroring the CSV
+// quarantine-and-continue semantics of flow/io.
+#pragma once
+
+#include "fptc/flow/packet.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace fptc::serve {
+
+/// One packet observation of one flow, as seen on the wire.
+struct PacketEvent {
+    std::uint64_t flow_id = 0;   ///< stream-unique flow identity (0 = invalid)
+    std::uint32_t label = 0;     ///< ground-truth class, carried for the oracle
+    double timestamp = 0.0;      ///< seconds since the stream epoch (global clock)
+    double size = 0.0;           ///< L3 bytes; validated before narrowing to int
+    flow::Direction direction = flow::Direction::downstream;
+    bool flow_end = false;       ///< generator-marked last packet (advisory only)
+};
+
+/// Validate an event at the trust boundary.  Returns nullptr when the event
+/// is well-formed, otherwise a static reason string ("nan_timestamp",
+/// "negative_timestamp", "bad_size", "no_flow_id") for the quarantine
+/// counter.  The size range matches the flowpic representation's domain:
+/// (0, kMaxPacketSize] bytes.
+[[nodiscard]] inline const char* validate(const PacketEvent& event) noexcept
+{
+    if (event.flow_id == 0) {
+        return "no_flow_id";
+    }
+    if (std::isnan(event.timestamp) || std::isinf(event.timestamp)) {
+        return "nan_timestamp";
+    }
+    if (event.timestamp < 0.0) {
+        return "negative_timestamp";
+    }
+    if (std::isnan(event.size) || std::isinf(event.size) || event.size <= 0.0 ||
+        event.size > static_cast<double>(flow::kMaxPacketSize)) {
+        return "bad_size";
+    }
+    return nullptr;
+}
+
+} // namespace fptc::serve

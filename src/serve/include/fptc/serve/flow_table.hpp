@@ -1,0 +1,103 @@
+// Rolling per-flow state for the streaming classifier.
+//
+// The assembler thread folds validated packet events into per-flow packet
+// series and releases a flow for classification once its 15 s flowpic
+// window has elapsed in stream time.  Memory is the governed resource:
+// every tracked flow holds a util::Charge against the process-wide
+// MemBudget, the table enforces its own byte cap on top
+// (FPTC_SERVE_MEM_MB), and the degradation path under pressure is LRU flow
+// eviction — the least-recently-active flow is dropped and accounted as a
+// typed `mem_budget` shed, never an abort and never unaccounted growth.
+//
+// Single-threaded by design: only the assembler touches the table, so all
+// methods are unsynchronized (the bounded queues are the thread boundary).
+#pragma once
+
+#include "fptc/serve/event.hpp"
+
+#include "fptc/flow/packet.hpp"
+#include "fptc/util/membudget.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace fptc::serve {
+
+/// A flow whose window has closed, ready for classification.  Owns its
+/// memory charge: destroying a ReadyFlow (classified or shed) credits the
+/// bytes back, so accounting balances by construction.
+struct ReadyFlow {
+    std::uint64_t flow_id = 0;
+    std::uint32_t label = 0;     ///< ground-truth class (oracle/accuracy only)
+    double first_ts = 0.0;       ///< stream time of the flow's first packet
+    flow::Flow flow;             ///< packets with stream-absolute timestamps
+    util::Charge charge;
+};
+
+/// What add_packet did, for the service's shed accounting.
+struct AddOutcome {
+    bool admitted = false;   ///< the packet was recorded
+    bool new_flow = false;   ///< first packet of a newly tracked flow
+    bool shed_self = false;  ///< an already-tracked flow was evicted trying to grow it
+    std::size_t evicted = 0; ///< LRU flows evicted to make room (typed mem_budget sheds)
+};
+
+class FlowTable {
+public:
+    /// `max_bytes` caps the table's accounted footprint (its own cap, on
+    /// top of the process MemBudget); `window_seconds` is the flowpic
+    /// window after which a flow is released for classification.
+    FlowTable(std::size_t max_bytes, double window_seconds);
+
+    /// Fold one validated event into the table.  Under memory pressure
+    /// (table cap or MemBudget refusal) evicts LRU flows to make room; when
+    /// even that fails the packet (new flow) or the flow itself (existing
+    /// flow) is shed — see AddOutcome.
+    [[nodiscard]] AddOutcome add_packet(const PacketEvent& event);
+
+    /// Release every flow whose window has closed at stream time `now`.
+    /// Flows close in insertion order (the stream is time-sorted), so this
+    /// is a FIFO scan, not a table sweep.
+    [[nodiscard]] std::vector<ReadyFlow> pop_ready(double now);
+
+    /// Release everything (end of stream).
+    [[nodiscard]] std::vector<ReadyFlow> flush_all();
+
+    [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+    [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+    [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+    /// Accounted cost of one tracked packet / one tracked flow's fixed
+    /// overhead (map node, LRU node, FIFO slot, Flow header).
+    static constexpr std::size_t kPacketCost = sizeof(flow::Packet);
+    static constexpr std::size_t kFlowOverhead = 256;
+
+private:
+    struct Entry {
+        std::uint32_t label = 0;
+        double first_ts = 0.0;
+        flow::Flow flow;
+        util::Charge charge;
+        std::list<std::uint64_t>::iterator lru_it;
+    };
+
+    /// Evict the least-recently-active flow other than `protect`.  Returns
+    /// false when no evictable flow remains.
+    bool evict_one(std::uint64_t protect);
+
+    [[nodiscard]] ReadyFlow release(std::unordered_map<std::uint64_t, Entry>::iterator it);
+
+    std::size_t max_bytes_;
+    double window_;
+    std::size_t bytes_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::unordered_map<std::uint64_t, Entry> table_;
+    std::list<std::uint64_t> lru_;           ///< front = least recently active
+    std::deque<std::uint64_t> close_fifo_;   ///< insertion order = close order
+};
+
+} // namespace fptc::serve

@@ -1,0 +1,120 @@
+// The streaming classification service.
+//
+// Three-stage pipeline over two bounded queues, one thread per stage:
+//
+//   driver (caller)  --events-->  [ingest queue]  --assembler thread-->
+//   flow table (rolling 15 s windows, LRU eviction)  --ready flows-->
+//   [ready queue]  --classifier thread-->  breaker-picked backend --> labels
+//
+// Robustness contract (the torture gate's assertions):
+//
+//   * The service never aborts: malformed events are quarantined, overload
+//     is shed, backend stalls are cut by the batch deadline, repeated
+//     failures walk the breaker down the degradation ladder.
+//   * Every dropped *flow* carries exactly one typed shed reason —
+//     queue_full (ready queue backpressure), mem_budget (LRU eviction /
+//     budget refusal), deadline (batch deadline expired), breaker (ladder
+//     bottom) — and flows_ingested == flows_classified + sheds, checked by
+//     ServeReport::accounted().
+//   * Event-level drops are separate, also typed: quarantined (validation),
+//     queue_full (ingest queue), mem_budget (refused admission).
+//   * After run() returns and the report is dropped, every byte charged to
+//     the MemBudget has been credited back (in_use() returns to its
+//     pre-run level; 0 in a dedicated process).
+//
+// Metric names: the registry's JSON export does not escape instrument
+// names, so the shed taxonomy uses plain suffixed counters
+// (fptc_serve_shed_<reason>_total) instead of Prometheus-style labels.
+#pragma once
+
+#include "fptc/serve/backend.hpp"
+#include "fptc/serve/breaker.hpp"
+#include "fptc/serve/stream.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fptc::serve {
+
+/// Service knobs, each with an FPTC_SERVE_* environment override (strictly
+/// validated by from_env(); a malformed knob throws util::EnvError).
+struct ServeConfig {
+    std::size_t queue_depth = 4096;   ///< FPTC_SERVE_QUEUE_DEPTH: ingest events
+    std::size_t ready_depth = 64;     ///< FPTC_SERVE_READY_DEPTH: window-closed flows
+    std::size_t batch_size = 16;      ///< FPTC_SERVE_BATCH: flows per classify batch
+    double window_seconds = 15.0;     ///< FPTC_SERVE_WINDOW_S: flowpic window
+    double deadline_ms = 500.0;       ///< FPTC_SERVE_DEADLINE_MS: per-batch (0 = off)
+    std::size_t mem_mb = 64;          ///< FPTC_SERVE_MEM_MB: flow-table byte cap
+    double breaker_p99_ms = 250.0;    ///< FPTC_SERVE_BREAKER_P99_MS
+    int breaker_failures = 3;         ///< FPTC_SERVE_BREAKER_FAILURES
+    int breaker_cooldown = 8;         ///< FPTC_SERVE_BREAKER_COOLDOWN batches
+    std::size_t flowpic_dim = 32;     ///< full-tier flowpic resolution
+    std::size_t reduced_dim = 16;     ///< reduced-tier flowpic resolution
+    std::size_t num_classes = 5;
+
+    /// Defaults overridden by the FPTC_SERVE_* environment knobs.
+    [[nodiscard]] static ServeConfig from_env();
+};
+
+/// Everything the run did, for the harness and the bench emitter.
+struct ServeReport {
+    // Event-level accounting.
+    std::uint64_t events_total = 0;          ///< events pulled from the stream
+    std::uint64_t events_quarantined = 0;    ///< failed ingest validation
+    std::uint64_t events_dropped_queue = 0;  ///< ingest queue full
+    std::uint64_t events_dropped_mem = 0;    ///< new flow refused admission
+
+    // Flow-level accounting (the invariant).
+    std::uint64_t flows_ingested = 0;   ///< flows that entered the table
+    std::uint64_t flows_classified = 0; ///< labels emitted
+    std::uint64_t flows_correct = 0;    ///< labels matching ground truth
+    std::uint64_t shed_mem_budget = 0;  ///< LRU evicted / budget refused
+    std::uint64_t shed_queue_full = 0;  ///< ready-queue backpressure
+    std::uint64_t shed_deadline = 0;    ///< batch deadline expired
+    std::uint64_t shed_breaker = 0;     ///< shed tier or backend failure
+
+    // Pipeline health.
+    std::uint64_t batches = 0;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_recoveries = 0;
+    int final_tier = 0;
+    double p50_latency_ms = 0.0;  ///< per-batch classify latency
+    double p99_latency_ms = 0.0;
+    double wall_seconds = 0.0;
+
+    [[nodiscard]] std::uint64_t shed_total() const noexcept
+    {
+        return shed_mem_budget + shed_queue_full + shed_deadline + shed_breaker;
+    }
+
+    /// The flow-accounting invariant.
+    [[nodiscard]] bool accounted() const noexcept
+    {
+        return flows_ingested == flows_classified + shed_total();
+    }
+
+    /// One greppable line ("serve: ingested=... classified=... shed=...").
+    [[nodiscard]] std::string summary() const;
+};
+
+class StreamingClassifier {
+public:
+    /// Backends must outlive the classifier.
+    StreamingClassifier(const ServeConfig& config, Backend& full, Backend& reduced,
+                        Backend& fallback);
+
+    /// Drive `stream` to completion (or until a SIGTERM shutdown request),
+    /// then drain and join both pipeline threads.  Never throws for data-,
+    /// load- or backend-level failures; those become typed sheds in the
+    /// report.
+    [[nodiscard]] ServeReport run(InterleavedStream& stream);
+
+private:
+    ServeConfig config_;
+    Backend& full_;
+    Backend& reduced_;
+    Backend& fallback_;
+};
+
+} // namespace fptc::serve

@@ -1,0 +1,364 @@
+#include "fptc/serve/service.hpp"
+
+#include "fptc/serve/flow_table.hpp"
+#include "fptc/serve/queue.hpp"
+
+#include "fptc/util/cancel.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/fault.hpp"
+#include "fptc/util/shutdown.hpp"
+#include "fptc/util/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace fptc::serve {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback, std::size_t minimum)
+{
+    const auto value = util::env_int(name);
+    if (!value.has_value()) {
+        return fallback;
+    }
+    const auto parsed = static_cast<std::size_t>(*value);
+    if (parsed < minimum) {
+        throw util::EnvError(std::string(name) + " must be >= " + std::to_string(minimum) +
+                             ", got " + std::to_string(parsed));
+    }
+    return parsed;
+}
+
+double env_positive(const char* name, double fallback, bool allow_zero)
+{
+    const auto value = util::env_double(name);
+    if (!value.has_value()) {
+        return fallback;
+    }
+    if (*value <= 0.0 && !(allow_zero && *value == 0.0)) {
+        throw util::EnvError(std::string(name) + " must be positive, got " +
+                             std::to_string(*value));
+    }
+    return *value;
+}
+
+} // namespace
+
+ServeConfig ServeConfig::from_env()
+{
+    ServeConfig config;
+    config.queue_depth = env_size("FPTC_SERVE_QUEUE_DEPTH", config.queue_depth, 1);
+    config.ready_depth = env_size("FPTC_SERVE_READY_DEPTH", config.ready_depth, 1);
+    config.batch_size = env_size("FPTC_SERVE_BATCH", config.batch_size, 1);
+    config.window_seconds = env_positive("FPTC_SERVE_WINDOW_S", config.window_seconds, false);
+    config.deadline_ms = env_positive("FPTC_SERVE_DEADLINE_MS", config.deadline_ms, true);
+    config.mem_mb = env_size("FPTC_SERVE_MEM_MB", config.mem_mb, 1);
+    config.breaker_p99_ms = env_positive("FPTC_SERVE_BREAKER_P99_MS", config.breaker_p99_ms, false);
+    config.breaker_failures = static_cast<int>(
+        env_size("FPTC_SERVE_BREAKER_FAILURES", static_cast<std::size_t>(config.breaker_failures), 1));
+    config.breaker_cooldown = static_cast<int>(
+        env_size("FPTC_SERVE_BREAKER_COOLDOWN", static_cast<std::size_t>(config.breaker_cooldown), 1));
+    return config;
+}
+
+std::string ServeReport::summary() const
+{
+    std::ostringstream out;
+    out << "serve: ingested=" << flows_ingested << " classified=" << flows_classified
+        << " correct=" << flows_correct << " shed_mem_budget=" << shed_mem_budget
+        << " shed_queue_full=" << shed_queue_full << " shed_deadline=" << shed_deadline
+        << " shed_breaker=" << shed_breaker << " quarantined=" << events_quarantined
+        << " dropped_queue=" << events_dropped_queue << " dropped_mem=" << events_dropped_mem
+        << " batches=" << batches << " trips=" << breaker_trips
+        << " recoveries=" << breaker_recoveries << " tier=" << final_tier
+        << " accounted=" << (accounted() ? 1 : 0);
+    return out.str();
+}
+
+namespace {
+
+/// Counters shared across the three pipeline threads.  Each field has one
+/// writer stage, but the final report reads them after joins, so relaxed
+/// atomics keep tsan quiet at negligible cost.
+struct ServeState {
+    std::atomic<std::uint64_t> events_quarantined{0};
+    std::atomic<std::uint64_t> events_dropped_mem{0};
+    std::atomic<std::uint64_t> flows_ingested{0};
+    std::atomic<std::uint64_t> flows_classified{0};
+    std::atomic<std::uint64_t> flows_correct{0};
+    std::atomic<std::uint64_t> shed_mem_budget{0};
+    std::atomic<std::uint64_t> shed_queue_full{0};
+    std::atomic<std::uint64_t> shed_deadline{0};
+    std::atomic<std::uint64_t> shed_breaker{0};
+    std::atomic<std::uint64_t> batches{0};
+};
+
+/// Cached registry instruments (lookups mutex, instruments lock-free).
+struct ServeMetrics {
+    util::Counter& events = util::metrics().counter("fptc_serve_events_total");
+    util::Counter& quarantined = util::metrics().counter("fptc_serve_events_quarantined_total");
+    util::Counter& dropped_queue = util::metrics().counter("fptc_serve_events_dropped_queue_total");
+    util::Counter& dropped_mem = util::metrics().counter("fptc_serve_events_dropped_mem_total");
+    util::Counter& ingested = util::metrics().counter("fptc_serve_flows_ingested_total");
+    util::Counter& classified = util::metrics().counter("fptc_serve_flows_classified_total");
+    util::Counter& shed_mem = util::metrics().counter("fptc_serve_shed_mem_budget_total");
+    util::Counter& shed_queue = util::metrics().counter("fptc_serve_shed_queue_full_total");
+    util::Counter& shed_deadline = util::metrics().counter("fptc_serve_shed_deadline_total");
+    util::Counter& shed_breaker = util::metrics().counter("fptc_serve_shed_breaker_total");
+    util::Counter& trips = util::metrics().counter("fptc_serve_breaker_trips_total");
+    util::Counter& recoveries = util::metrics().counter("fptc_serve_breaker_recoveries_total");
+    util::Gauge& flows_active = util::metrics().gauge("fptc_serve_flows_active");
+    util::Gauge& breaker_state = util::metrics().gauge("fptc_serve_breaker_state");
+    util::Histogram& latency = util::metrics().histogram("fptc_serve_classify_latency_ns");
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+StreamingClassifier::StreamingClassifier(const ServeConfig& config, Backend& full,
+                                         Backend& reduced, Backend& fallback)
+    : config_(config), full_(full), reduced_(reduced), fallback_(fallback)
+{
+}
+
+ServeReport StreamingClassifier::run(InterleavedStream& stream)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    ServeState state;
+    ServeMetrics instruments;
+    BoundedQueue<PacketEvent> ingest(config_.queue_depth);
+    BoundedQueue<ReadyFlow> ready(config_.ready_depth);
+
+    // Written only by the classifier thread; read after join() (the join is
+    // the synchronization point, so plain variables suffice).
+    std::vector<double> latencies;
+    int breaker_final = 0;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_recoveries = 0;
+
+    // --- assembler: validate events, fold into the flow table, release
+    // window-closed flows into the ready queue -----------------------------
+    std::thread assembler([&] {
+        FPTC_TRACE_SPAN("serve_assembler");
+        FlowTable table(config_.mem_mb * 1024 * 1024, config_.window_seconds);
+        double stream_now = 0.0;
+        std::vector<PacketEvent> events;
+        const auto offer = [&](ReadyFlow&& flow, bool final_flush) {
+            // Bounded backpressure, like the ingest side: a busy classifier
+            // gets a grace window (longer at the final flush, when it is
+            // known to be draining), then the flow is shed with a typed
+            // reason.  A wedged classifier can never block shutdown.
+            const auto grace = std::chrono::milliseconds(final_flush ? 2000 : 200);
+            const bool queued = ready.push_wait(std::move(flow), grace);
+            if (!queued) {
+                // The refused ReadyFlow dies inside the push call; its
+                // Charge destructor credits the bytes back right here.
+                state.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+                instruments.shed_queue.add();
+            }
+        };
+        for (;;) {
+            events.clear();
+            const std::size_t taken =
+                ingest.drain(events, 256, std::chrono::milliseconds(20));
+            for (const PacketEvent& event : events) {
+                if (const char* reason = validate(event); reason != nullptr) {
+                    (void)reason;
+                    state.events_quarantined.fetch_add(1, std::memory_order_relaxed);
+                    instruments.quarantined.add();
+                    continue;
+                }
+                stream_now = std::max(stream_now, event.timestamp);
+                const AddOutcome outcome = table.add_packet(event);
+                if (outcome.new_flow) {
+                    state.flows_ingested.fetch_add(1, std::memory_order_relaxed);
+                    instruments.ingested.add();
+                }
+                if (outcome.evicted > 0 || outcome.shed_self) {
+                    const std::uint64_t shed =
+                        outcome.evicted + (outcome.shed_self ? 1 : 0);
+                    state.shed_mem_budget.fetch_add(shed, std::memory_order_relaxed);
+                    instruments.shed_mem.add(shed);
+                }
+                if (!outcome.admitted && !outcome.new_flow && !outcome.shed_self) {
+                    state.events_dropped_mem.fetch_add(1, std::memory_order_relaxed);
+                    instruments.dropped_mem.add();
+                }
+            }
+            for (ReadyFlow& flow : table.pop_ready(stream_now)) {
+                offer(std::move(flow), false);
+            }
+            instruments.flows_active.set(static_cast<std::int64_t>(table.size()));
+            if (taken == 0 && ingest.closed() && ingest.size() == 0) {
+                break;
+            }
+        }
+        for (ReadyFlow& flow : table.flush_all()) {
+            offer(std::move(flow), true);
+        }
+        instruments.flows_active.set(0);
+        ready.close();
+    });
+
+    // --- classifier: micro-batch ready flows into the breaker-picked
+    // backend under a per-batch deadline ------------------------------------
+    std::thread classifier([&] {
+        FPTC_TRACE_SPAN("serve_classifier");
+        CircuitBreaker breaker({.p99_ms = config_.breaker_p99_ms,
+                                .failure_threshold = config_.breaker_failures,
+                                .cooldown_batches = config_.breaker_cooldown});
+        std::uint64_t last_trips = 0;
+        std::uint64_t last_recoveries = 0;
+        std::vector<ReadyFlow> batch;
+        for (;;) {
+            batch.clear();
+            const std::size_t taken =
+                ready.drain(batch, config_.batch_size, std::chrono::milliseconds(20));
+            if (taken == 0) {
+                if (ready.closed() && ready.size() == 0) {
+                    break;
+                }
+                continue;
+            }
+            state.batches.fetch_add(1, std::memory_order_relaxed);
+            const Tier tier = breaker.plan_batch();
+            instruments.breaker_state.set(static_cast<std::int64_t>(breaker.tier()));
+            if (tier == Tier::shed) {
+                state.shed_breaker.fetch_add(batch.size(), std::memory_order_relaxed);
+                instruments.shed_breaker.add(batch.size());
+                continue;
+            }
+            Backend& backend = tier == Tier::full      ? full_
+                               : tier == Tier::reduced ? reduced_
+                                                       : fallback_;
+            util::CancelToken token;
+            if (config_.deadline_ms > 0.0) {
+                token.set_timeout(config_.deadline_ms / 1000.0);
+            }
+            if (util::fault_injector().inject_serve_backend_stall()) {
+                // Stall until the deadline trips the token, or a hard cap
+                // elapses so a deadline-less configuration cannot hang.
+                const auto cap = std::chrono::milliseconds(
+                    config_.deadline_ms > 0.0
+                        ? static_cast<std::int64_t>(config_.deadline_ms * 2.0) + 100
+                        : 250);
+                token.arm_stall(cap);
+            }
+            const auto batch_start = std::chrono::steady_clock::now();
+            bool deadline_hit = false;
+            bool failed = false;
+            std::vector<std::size_t> predictions;
+            try {
+                FPTC_TRACE_SPAN("serve_classify", {{"backend", backend.name()}});
+                predictions = backend.classify({batch.data(), batch.size()}, token);
+            } catch (const util::CancelledError&) {
+                deadline_hit = true;
+            } catch (const std::exception&) {
+                failed = true;
+            }
+            const double latency = elapsed_ms(batch_start);
+            instruments.latency.observe(static_cast<std::uint64_t>(latency * 1e6));
+            latencies.push_back(latency);
+            if (deadline_hit || failed) {
+                // deadline → typed deadline shed; any other backend failure
+                // rides the breaker reason (it is the breaker's trigger).
+                const auto reason_count = static_cast<std::uint64_t>(batch.size());
+                if (deadline_hit) {
+                    state.shed_deadline.fetch_add(reason_count, std::memory_order_relaxed);
+                    instruments.shed_deadline.add(reason_count);
+                } else {
+                    state.shed_breaker.fetch_add(reason_count, std::memory_order_relaxed);
+                    instruments.shed_breaker.add(reason_count);
+                }
+                breaker.record_failure(deadline_hit);
+            } else {
+                breaker.record_success(latency);
+                std::uint64_t correct = 0;
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    if (i < predictions.size() && predictions[i] == batch[i].label) {
+                        ++correct;
+                    }
+                }
+                state.flows_classified.fetch_add(batch.size(), std::memory_order_relaxed);
+                state.flows_correct.fetch_add(correct, std::memory_order_relaxed);
+                instruments.classified.add(batch.size());
+            }
+            instruments.breaker_state.set(static_cast<std::int64_t>(breaker.tier()));
+            if (breaker.trips() > last_trips) {
+                instruments.trips.add(breaker.trips() - last_trips);
+                last_trips = breaker.trips();
+            }
+            if (breaker.recoveries() > last_recoveries) {
+                instruments.recoveries.add(breaker.recoveries() - last_recoveries);
+                last_recoveries = breaker.recoveries();
+            }
+        }
+        breaker_final = static_cast<int>(breaker.tier());
+        breaker_trips = breaker.trips();
+        breaker_recoveries = breaker.recoveries();
+    });
+
+    // --- driver (this thread): pump the stream into the ingest queue -------
+    ServeReport report;
+    {
+        FPTC_TRACE_SPAN("serve_ingest");
+        while (auto event = stream.next()) {
+            ++report.events_total;
+            instruments.events.add();
+            // Bounded backpressure: tolerate a short stall (a capture
+            // buffer's worth), then shed the event with a typed reason —
+            // the driver never blocks indefinitely on a wedged assembler.
+            if (!ingest.push_wait(*event, std::chrono::milliseconds(20))) {
+                ++report.events_dropped_queue;
+                instruments.dropped_queue.add();
+            }
+            if (util::shutdown_requested()) {
+                break;
+            }
+        }
+    }
+    ingest.close();
+    assembler.join();
+    classifier.join();
+
+    report.events_quarantined = state.events_quarantined.load();
+    report.events_dropped_mem = state.events_dropped_mem.load();
+    report.flows_ingested = state.flows_ingested.load();
+    report.flows_classified = state.flows_classified.load();
+    report.flows_correct = state.flows_correct.load();
+    report.shed_mem_budget = state.shed_mem_budget.load();
+    report.shed_queue_full = state.shed_queue_full.load();
+    report.shed_deadline = state.shed_deadline.load();
+    report.shed_breaker = state.shed_breaker.load();
+    report.batches = state.batches.load();
+    report.breaker_trips = breaker_trips;
+    report.breaker_recoveries = breaker_recoveries;
+    report.final_tier = breaker_final;
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        const auto rank = [&](double q) {
+            return latencies[std::min(latencies.size() - 1,
+                                      static_cast<std::size_t>(q * static_cast<double>(
+                                                                       latencies.size())))];
+        };
+        report.p50_latency_ms = rank(0.50);
+        report.p99_latency_ms = rank(0.99);
+    }
+    return report;
+}
+
+} // namespace fptc::serve

@@ -24,6 +24,8 @@ void FaultInjector::configure(const FaultPlan& plan)
     durable_bytes_ = 0;
     durable_writes_ = 0;
     shard_unit_completions_ = 0;
+    serve_backend_calls_ = 0;
+    serve_stream_events_ = 0;
     const std::uint64_t threshold =
         plan.alloc_fail_after_mb > 0
             ? static_cast<std::uint64_t>(plan.alloc_fail_after_mb) * 1024 * 1024
@@ -42,7 +44,9 @@ bool FaultInjector::enabled() const noexcept
            plan_.enospc_after_bytes > 0 || plan_.short_writes > 0 ||
            plan_.fsync_failures > 0 || plan_.crash_at_write > 0 ||
            plan_.alloc_fail_after_mb > 0 || plan_.alloc_fail_units > 0 ||
-           (plan_.kill_shard >= 0 && plan_.kill_shard_at_unit > 0);
+           (plan_.kill_shard >= 0 && plan_.kill_shard_at_unit > 0) ||
+           plan_.serve_stall_backend > 0 || plan_.serve_mangle_percent > 0.0 ||
+           plan_.serve_burst > 0;
 }
 
 bool FaultInjector::inject_nan_loss()
@@ -217,6 +221,45 @@ bool FaultInjector::inject_shard_kill(int shard_id)
     return true;
 }
 
+bool FaultInjector::inject_serve_backend_stall()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.serve_stall_backend <= 0 ||
+        serve_backend_calls_ >= static_cast<std::uint64_t>(plan_.serve_stall_backend)) {
+        return false;
+    }
+    ++serve_backend_calls_;
+    ++counters_.serve_backend_stalls;
+    return true;
+}
+
+bool FaultInjector::inject_serve_mangle()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.serve_mangle_percent <= 0.0) {
+        return false;
+    }
+    if (!rng_.bernoulli(plan_.serve_mangle_percent / 100.0)) {
+        return false;
+    }
+    ++counters_.serve_mangled_packets;
+    return true;
+}
+
+int FaultInjector::inject_serve_burst()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.serve_burst <= 0) {
+        return 0;
+    }
+    ++serve_stream_events_;
+    if (serve_stream_events_ % 64 != 0) {
+        return 0;
+    }
+    ++counters_.serve_bursts;
+    return plan_.serve_burst;
+}
+
 FaultCounters FaultInjector::counters() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -236,7 +279,10 @@ std::string FaultInjector::summary() const
         << counts.short_write_clamps << " fsync_fail=" << counts.fsync_failures
         << " alloc_reject=" << counts.alloc_rejections
         << " alloc_units=" << counts.alloc_unit_failures
-        << " shard_kills=" << counts.shard_kills;
+        << " shard_kills=" << counts.shard_kills
+        << " serve_stalls=" << counts.serve_backend_stalls
+        << " serve_mangled=" << counts.serve_mangled_packets
+        << " serve_bursts=" << counts.serve_bursts;
     return out.str();
 }
 
@@ -256,6 +302,11 @@ FaultPlan fault_plan_from_env()
     plan.crash_at_write = static_cast<int>(env_int("FPTC_FAULT_CRASH_AT_WRITE").value_or(0));
     plan.alloc_fail_after_mb = env_int("FPTC_FAULT_ALLOC_FAIL_AFTER_MB").value_or(0);
     plan.alloc_fail_units = static_cast<int>(env_int("FPTC_FAULT_ALLOC_FAIL_UNITS").value_or(0));
+    plan.serve_stall_backend =
+        static_cast<int>(env_int("FPTC_FAULT_SERVE_STALL_BACKEND").value_or(0));
+    plan.serve_mangle_percent =
+        static_cast<double>(env_int("FPTC_FAULT_SERVE_MANGLE_PACKETS").value_or(0));
+    plan.serve_burst = static_cast<int>(env_int("FPTC_FAULT_SERVE_BURST").value_or(0));
     // "s:k" = kill shard s after its k-th unit; a plain "k" targets shard 0.
     if (const char* spec = std::getenv("FPTC_FAULT_KILL_SHARD");
         spec != nullptr && *spec != '\0') {

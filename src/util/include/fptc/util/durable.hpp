@@ -121,6 +121,22 @@ private:
 /// Directory of `path` ("." for a bare filename, "/" for root children).
 [[nodiscard]] std::string parent_dir_of(const std::string& path);
 
+/// Human-readable name of the filesystem hosting `path` ("nfs", "ext4",
+/// "tmpfs", ...), via statfs f_type; falls back to the parent directory
+/// when `path` does not exist yet and to "unknown(0x<f_type>)" for magics
+/// outside the mapped set.  Diagnostic only — never throws.
+[[nodiscard]] std::string filesystem_name_of(const std::string& path);
+
+/// Startup probe that flock() actually *works* on the filesystem hosting
+/// `path`: opens the file (O_CREAT), takes LOCK_EX | LOCK_NB and releases
+/// it.  A refusal with ENOLCK / ENOSYS / EOPNOTSUPP — the signatures of a
+/// filesystem without functional advisory locks, classically an NFS mount
+/// without lockd — throws EnvError naming the filesystem, because the shard
+/// lease protocol built on FileLock would silently stop excluding anything
+/// there.  EWOULDBLOCK (a sibling currently holds the lock) proves flock
+/// works and passes.  Open failures throw IoError like FileLock itself.
+void probe_flock(const std::string& path);
+
 /// Startup scavenge of crash debris: unlink `*.tmp.<pid>.<seq>` files in
 /// `dir` whose creating process is gone (kill(pid, 0) == ESRCH).  A crash
 /// between a DurableFile's write and its commit leaks exactly such a temp;

@@ -53,6 +53,18 @@
 //                                 its lease with maximal lost work (plain
 //                                 "k" targets shard 0; sequential runs and
 //                                 other shards are unaffected)
+//   FPTC_FAULT_SERVE_STALL_BACKEND=n  the first n streaming-serve backend
+//                                 classify calls stall until the batch
+//                                 deadline trips them (or a hard cap
+//                                 elapses) — exercises the circuit breaker's
+//                                 degradation ladder
+//   FPTC_FAULT_SERVE_MANGLE_PACKETS=p mangle ~p% of generated stream packet
+//                                 events (NaN/negative timestamps,
+//                                 out-of-range sizes); the serve ingest
+//                                 validation must quarantine every one
+//   FPTC_FAULT_SERVE_BURST=k      every 64th stream event erupts into k
+//                                 extra same-timestamp packets (a synthetic
+//                                 microburst driving queue_full shedding)
 //
 // All injections are counted per class so campaign summaries can report
 // exactly how many faults were injected and survived.
@@ -96,6 +108,9 @@ struct FaultPlan {
     int alloc_fail_units = 0;      ///< refuse the first reservation of units 0..n-1 (0 = off)
     int kill_shard = -1;           ///< shard id to SIGKILL (-1 = off)
     int kill_shard_at_unit = 0;    ///< kill after the target shard's k-th unit (0 = off)
+    int serve_stall_backend = 0;   ///< first n serve backend classify calls stall
+    double serve_mangle_percent = 0.0;  ///< % of stream packet events mangled
+    int serve_burst = 0;           ///< extra packets injected per burst point (0 = off)
 };
 
 /// Tallies of injected faults since the last configure().
@@ -111,12 +126,16 @@ struct FaultCounters {
     std::uint64_t alloc_rejections = 0;  ///< accountant reservations refused (AFTER_MB)
     std::uint64_t alloc_unit_failures = 0; ///< units targeted by ALLOC_FAIL_UNITS
     std::uint64_t shard_kills = 0;       ///< shard-kill trigger points reached
+    std::uint64_t serve_backend_stalls = 0;  ///< serve backend classify calls stalled
+    std::uint64_t serve_mangled_packets = 0; ///< stream packet events mangled
+    std::uint64_t serve_bursts = 0;          ///< burst points injected into the stream
 
     [[nodiscard]] std::uint64_t total() const noexcept
     {
         return nan_losses + truncated_writes + corrupted_csv_rows + stalled_units +
                transient_units + enospc_failures + short_write_clamps + fsync_failures +
-               alloc_rejections + alloc_unit_failures + shard_kills;
+               alloc_rejections + alloc_unit_failures + shard_kills + serve_backend_stalls +
+               serve_mangled_packets + serve_bursts;
     }
 };
 
@@ -197,6 +216,22 @@ public:
     /// finished work is lost, and a sibling must steal the unit.
     [[nodiscard]] bool inject_shard_kill(int shard_id);
 
+    /// Consulted once per streaming-serve backend classify call; true = this
+    /// call must stall (sleep polling its CancelToken) until the batch
+    /// deadline trips it or the caller's hard cap elapses.  First-n
+    /// semantics, like the unit stall class.
+    [[nodiscard]] bool inject_serve_backend_stall();
+
+    /// Consulted once per generated stream packet event; Bernoulli(p) from
+    /// the injector's own stream: true = the event must be mangled (NaN or
+    /// negative timestamp, out-of-range size) before it reaches ingest.
+    [[nodiscard]] bool inject_serve_mangle();
+
+    /// Consulted once per generated stream packet event; returns the number
+    /// of extra same-timestamp packets to inject at this point (0 almost
+    /// always; serve_burst at every 64th event when the class is armed).
+    [[nodiscard]] int inject_serve_burst();
+
     [[nodiscard]] FaultCounters counters() const;
 
     /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12
@@ -214,6 +249,8 @@ private:
     std::uint64_t durable_bytes_ = 0;   ///< cumulative bytes through the shim
     std::uint64_t durable_writes_ = 0;  ///< shim write calls (crash kill-point index)
     std::uint64_t shard_unit_completions_ = 0;  ///< kill-shard trigger index
+    std::uint64_t serve_backend_calls_ = 0;     ///< serve stall first-n index
+    std::uint64_t serve_stream_events_ = 0;     ///< burst cadence counter (every 64th)
 
     // Alloc-fault state lives outside the mutex: inject_alloc_fail sits on
     // the tensor-allocation hot path, so the armed check is a single relaxed

@@ -41,6 +41,11 @@ LeaseStore::LeaseStore(std::string base, int shard_id, double ttl_s)
       shard_id_(shard_id),
       ttl_s_(ttl_s > 0.0 ? ttl_s : 30.0)
 {
+    // The whole lease protocol rests on flock actually excluding; probe it
+    // once at startup so a filesystem with no-op locks (NFS without lockd)
+    // fails loudly as an EnvError naming the filesystem instead of
+    // silently double-claiming units.
+    probe_flock(lock_path_);
 }
 
 std::map<std::string, LeaseInfo> LeaseStore::load_locked()

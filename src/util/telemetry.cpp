@@ -713,6 +713,9 @@ void publish_fault_metrics()
     set("fptc_fault_fsync_failures", counters.fsync_failures);
     set("fptc_fault_alloc_rejections", counters.alloc_rejections);
     set("fptc_fault_alloc_unit_failures", counters.alloc_unit_failures);
+    set("fptc_fault_serve_backend_stalls", counters.serve_backend_stalls);
+    set("fptc_fault_serve_mangled_packets", counters.serve_mangled_packets);
+    set("fptc_fault_serve_bursts", counters.serve_bursts);
 }
 
 std::string profiler_report()

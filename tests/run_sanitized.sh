@@ -20,7 +20,12 @@
 #   6. the sharded-execution gate (tests/run_shard_torture.sh --quick)
 #      against the optimized build: multi-process campaign with a worker
 #      SIGKILLed mid-unit must resume via lease stealing and produce stdout
-#      and table artifacts byte-identical to a sequential run.
+#      and table artifacts byte-identical to a sequential run,
+#   7. the overload-resilience gate (tests/run_serve_torture.sh --quick)
+#      against BOTH sanitized builds: the streaming classifier under
+#      backend stalls, mangled packets and microbursts must never abort,
+#      type every shed and balance the MemBudget — race-free under tsan,
+#      leak-free under asan.
 #
 # Usage, from the repo root:
 #
@@ -35,13 +40,13 @@ cd "$(dirname "$0")/.."
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick' "$@"
+ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick|ServeTortureQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve
 ctest --preset tsan -j "$(nproc)" \
-    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge' \
-    -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick'
+    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge|Serve' \
+    -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick|ServeTortureQuick'
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target table4_augmentations
@@ -56,3 +61,8 @@ cmake --build --preset tsan -j "$(nproc)" --target table4_augmentations
 tests/run_telemetry.sh build-tsan/bench/table4_augmentations
 
 tests/run_shard_torture.sh --quick build/bench/table4_augmentations
+
+cmake --build --preset asan-ubsan -j "$(nproc)" --target serve_throughput
+cmake --build --preset tsan -j "$(nproc)" --target serve_throughput
+tests/run_serve_torture.sh --quick build-asan/bench/serve_throughput
+tests/run_serve_torture.sh --quick build-tsan/bench/serve_throughput

@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# Chaos torture harness for the streaming classification service.
+#
+# Drives the serve_throughput load generator through its fault classes and
+# asserts the overload-resilience contract end to end (real process, real
+# faults, no mocks):
+#
+#   * nominal: every flow classified, no sheds, accounting balanced,
+#     BENCH_serve.json emitted with nonzero flows/sec and a finite p99,
+#   * backend stall (FPTC_FAULT_SERVE_STALL_BACKEND): stalled batches are
+#     cut by the batch deadline as typed `deadline` sheds, the circuit
+#     breaker trips down the degradation ladder AND recovers via half-open
+#     probes once the stalls stop,
+#   * packet mangling (FPTC_FAULT_SERVE_MANGLE_PACKETS): every corrupted
+#     event is quarantined at ingest validation — the binary cross-checks
+#     quarantined == the stream's mangle oracle exactly,
+#   * microbursts into a tight flow table (FPTC_FAULT_SERVE_BURST +
+#     FPTC_SERVE_MEM_MB=1 + a window longer than the stream): LRU eviction
+#     fires and every evicted flow is a typed `mem_budget` shed,
+#   * combined chaos: all three fault classes at once — the service must
+#     still exit 0 with every dropped flow typed and every MemBudget byte
+#     credited back (serve_in_use_bytes=0).
+#
+# Every scenario asserts the run never aborts (exit 0, SERVE_OK printed)
+# and the flow-accounting invariant held (accounted=1 in the summary line).
+#
+# Usage, from the repo root (binary defaults to build/bench/serve_throughput):
+#
+#   tests/run_serve_torture.sh [--quick] [path/to/serve_throughput]
+#
+# --quick (wired as the ServeTortureQuick ctest) shrinks the stream and
+# skips the combined-chaos seed sweep; every scenario class still runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+BIN=build/bench/serve_throughput
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) BIN="$arg" ;;
+    esac
+done
+
+if [ ! -x "$BIN" ]; then
+    echo "run_serve_torture: bench binary '$BIN' not found (build the default preset first)" >&2
+    exit 1
+fi
+BIN=$(readlink -f "$BIN")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fptc_serve_torture.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+if [ "$QUICK" = 1 ]; then
+    FLOWS=120
+else
+    FLOWS=300
+fi
+BENCH_OUT="${FPTC_ARTIFACTS_DIR:-.}/BENCH_serve.json"
+
+run_serve() {
+    # $1 = scenario name, $2.. = extra env for this run.  The binary exits
+    # nonzero on any broken invariant (accounting, MemBudget balance,
+    # quarantine oracle, non-finite p99), so a plain status check is most of
+    # the gate; BENCH_serve.json lands in the scenario dir.
+    scenario="$1"; shift
+    dir="$WORK/$scenario"
+    mkdir -p "$dir"
+    if ! (cd "$dir" && env FPTC_SERVE_FLOWS="$FLOWS" "$@" "$BIN" \
+            >"$dir/stdout.txt" 2>"$dir/stderr.txt"); then
+        echo "run_serve_torture: FAIL: scenario '$scenario' exited nonzero:" >&2
+        tail -20 "$dir/stdout.txt" "$dir/stderr.txt" >&2 || true
+        exit 1
+    fi
+    if ! grep -q '^SERVE_OK$' "$dir/stdout.txt"; then
+        echo "run_serve_torture: FAIL: scenario '$scenario' printed no SERVE_OK" >&2
+        exit 1
+    fi
+    if ! grep -q ' accounted=1' "$dir/stdout.txt"; then
+        echo "run_serve_torture: FAIL: scenario '$scenario' accounting did not balance:" >&2
+        grep '^serve:' "$dir/stdout.txt" >&2 || true
+        exit 1
+    fi
+    if ! grep -q '^serve_in_use_bytes=0$' "$dir/stdout.txt"; then
+        echo "run_serve_torture: FAIL: scenario '$scenario' leaked MemBudget bytes:" >&2
+        grep '^serve_in_use_bytes=' "$dir/stdout.txt" >&2 || true
+        exit 1
+    fi
+    if [ ! -s "$dir/BENCH_serve.json" ]; then
+        echo "run_serve_torture: FAIL: scenario '$scenario' emitted no BENCH_serve.json" >&2
+        exit 1
+    fi
+}
+
+# summary_field <dir> <key>: pull one counter off the greppable summary line.
+summary_field() {
+    sed -n "s/.*[[:space:]]$2=\([0-9][0-9]*\).*/\1/p" "$1/stdout.txt" | head -1
+}
+
+require_pos() {
+    # $1 = scenario, $2 = key, $3 = value
+    if [ -z "$3" ] || [ "$3" -eq 0 ]; then
+        echo "run_serve_torture: FAIL: scenario '$1' expected $2 > 0, got '${3:-missing}':" >&2
+        grep '^serve:' "$WORK/$1/stdout.txt" >&2 || true
+        exit 1
+    fi
+}
+
+require_zero() {
+    if [ -z "$3" ] || [ "$3" -ne 0 ]; then
+        echo "run_serve_torture: FAIL: scenario '$1' expected $2 == 0, got '${3:-missing}':" >&2
+        grep '^serve:' "$WORK/$1/stdout.txt" >&2 || true
+        exit 1
+    fi
+}
+
+# ---- nominal: full service, no faults, nothing shed -------------------------
+echo "run_serve_torture: nominal run ($FLOWS flows)..."
+run_serve nominal
+ingested=$(summary_field "$WORK/nominal" ingested)
+classified=$(summary_field "$WORK/nominal" classified)
+require_pos nominal ingested "$ingested"
+if [ "$ingested" != "$classified" ]; then
+    echo "run_serve_torture: FAIL: nominal run shed flows (ingested=$ingested classified=$classified)" >&2
+    exit 1
+fi
+require_zero nominal quarantined "$(summary_field "$WORK/nominal" quarantined)"
+# The nominal run's BENCH_serve.json is the published perf record.
+mkdir -p "$(dirname "$BENCH_OUT")"
+cp "$WORK/nominal/BENCH_serve.json" "$BENCH_OUT"
+flows_per_sec=$(sed -n 's/.*"flows_per_sec": \([0-9.]*\).*/\1/p' "$BENCH_OUT")
+if ! awk -v f="${flows_per_sec:-0}" 'BEGIN { exit (f > 0) ? 0 : 1 }'; then
+    echo "run_serve_torture: FAIL: BENCH_serve.json flows_per_sec not positive ('$flows_per_sec')" >&2
+    exit 1
+fi
+echo "run_serve_torture: nominal ok ($classified/$ingested classified, $flows_per_sec flows/sec)"
+
+# ---- backend stall: deadline sheds + breaker trip AND recovery --------------
+echo "run_serve_torture: backend stall (first 3 batches wedge, 100 ms deadline)..."
+run_serve stall FPTC_FAULT_SERVE_STALL_BACKEND=3 \
+    FPTC_SERVE_DEADLINE_MS=100 FPTC_SERVE_BREAKER_COOLDOWN=2
+require_pos stall shed_deadline "$(summary_field "$WORK/stall" shed_deadline)"
+require_pos stall trips "$(summary_field "$WORK/stall" trips)"
+require_pos stall recoveries "$(summary_field "$WORK/stall" recoveries)"
+echo "run_serve_torture: stall ok (trips=$(summary_field "$WORK/stall" trips)," \
+     "recoveries=$(summary_field "$WORK/stall" recoveries)," \
+     "shed_deadline=$(summary_field "$WORK/stall" shed_deadline))"
+
+# ---- packet mangling: quarantine every corrupted event ----------------------
+echo "run_serve_torture: mangling ~10% of packet events..."
+run_serve mangle FPTC_FAULT_SERVE_MANGLE_PACKETS=10
+require_pos mangle quarantined "$(summary_field "$WORK/mangle" quarantined)"
+# quarantined == mangled oracle is asserted inside the binary (SERVE_OK);
+# double-check the json agrees for belt and braces.
+q=$(sed -n 's/.*"events_quarantined": \([0-9]*\).*/\1/p' "$WORK/mangle/BENCH_serve.json")
+m=$(sed -n 's/.*"events_mangled": \([0-9]*\).*/\1/p' "$WORK/mangle/BENCH_serve.json")
+if [ "$q" != "$m" ]; then
+    echo "run_serve_torture: FAIL: quarantined=$q != mangled=$m in BENCH_serve.json" >&2
+    exit 1
+fi
+echo "run_serve_torture: mangle ok ($q events quarantined, oracle exact)"
+
+# ---- microburst into a tight flow table: typed mem_budget sheds -------------
+echo "run_serve_torture: bursts into a 1 MB flow table (window pinned open)..."
+run_serve burst FPTC_FAULT_SERVE_BURST=64 \
+    FPTC_SERVE_MEM_MB=1 FPTC_SERVE_WINDOW_S=1000
+require_pos burst shed_mem_budget "$(summary_field "$WORK/burst" shed_mem_budget)"
+echo "run_serve_torture: burst ok (shed_mem_budget=$(summary_field "$WORK/burst" shed_mem_budget))"
+
+# ---- combined chaos: all fault classes at once ------------------------------
+if [ "$QUICK" = 1 ]; then
+    SEEDS="1"
+else
+    SEEDS="1 2 3"
+fi
+for seed in $SEEDS; do
+    echo "run_serve_torture: combined chaos (stall + mangle + burst, seed $seed)..."
+    run_serve "chaos$seed" FPTC_SERVE_SEED="$seed" FPTC_FAULT_SEED="$seed" \
+        FPTC_FAULT_SERVE_STALL_BACKEND=3 FPTC_FAULT_SERVE_MANGLE_PACKETS=5 \
+        FPTC_FAULT_SERVE_BURST=32 \
+        FPTC_SERVE_DEADLINE_MS=100 FPTC_SERVE_BREAKER_COOLDOWN=2 \
+        FPTC_SERVE_MEM_MB=1 FPTC_SERVE_WINDOW_S=1000
+    require_pos "chaos$seed" trips "$(summary_field "$WORK/chaos$seed" trips)"
+    require_pos "chaos$seed" quarantined "$(summary_field "$WORK/chaos$seed" quarantined)"
+    echo "run_serve_torture: chaos seed $seed ok:" \
+         "$(grep '^serve:' "$WORK/chaos$seed/stdout.txt")"
+done
+
+echo "run_serve_torture: PASS"

@@ -19,9 +19,11 @@
 #     family must absorb the orphaned shard journals and stale leases and
 #     finish byte-identical to sequential.
 #
-# Also emits BENCH_shard_scaling.json (units/sec at 1, 2 and 4 shards) to
+# Also emits BENCH_shard_scaling.json (units/sec at 1, 2 and 4 shards, plus
+# the host's nproc and 1-minute load so the rows can be interpreted) to
 # ${FPTC_ARTIFACTS_DIR:-.}.  Scaling on a one-core CI box is not asserted —
-# the rows are recorded for trend tracking, correctness is the gate.
+# the rows are recorded for trend tracking (a warning flags the 1-core
+# case), correctness is the gate.
 #
 # Usage, from the repo root (binary defaults to build/bench/table4_augmentations):
 #
@@ -232,10 +234,20 @@ if [ "$QUICK" = 0 ]; then
 fi
 
 # ---- scaling record ---------------------------------------------------------
+# Shard speedup is only meaningful relative to the cores actually available,
+# so the record carries the host's parallelism alongside the timings.
+NPROC=$(nproc)
+LOAD1=$(awk '{print $1}' /proc/loadavg 2>/dev/null || echo 0)
+if [ "$NPROC" -le 1 ]; then
+    echo "run_shard_torture: WARNING: single-core host (nproc=$NPROC, load1=$LOAD1):" \
+         "shard wall-times measure scheduling overhead, not scaling — treat the" \
+         "units_per_s rows as correctness artifacts only" >&2
+fi
 mkdir -p "$(dirname "$BENCH_OUT")"
 {
-    printf '{\n  "benchmark": "shard_scaling",\n  "units": %d,\n  "jobs": %s,\n  "rows": [\n' \
+    printf '{\n  "benchmark": "shard_scaling",\n  "units": %d,\n  "jobs": %s,\n' \
         "$UNITS" "$JOBS"
+    printf '  "host": {"nproc": %s, "load1": %s},\n  "rows": [\n' "$NPROC" "$LOAD1"
     sep=""
     for shards in 1 2 4; do
         ms=${SHARD_MS[$shards]}

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -278,6 +279,101 @@ TEST(FlowIo, NonFiniteTimestampsAreQuarantinedNotLoaded)
     EXPECT_EQ(report.quarantined.size(), 2u);
     ASSERT_EQ(dataset.flows.size(), 1u);
     EXPECT_DOUBLE_EQ(dataset.flows[0].packets.at(0).timestamp, 0.0);
+}
+
+TEST(FlowIo, RejectsOutOfRangePacketSizes)
+{
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    const char* bad[] = {"-1", "-40", "65536", "999999999", "2147483647"};
+    for (const char* value : bad) {
+        std::stringstream buffer(header + std::string("0,0,x,0.0,") + value + ",up,0,0\n");
+        try {
+            (void)read_dataset_csv(buffer);
+            FAIL() << "expected rejection of size '" << value << "'";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("size"), std::string::npos)
+                << value << ": " << e.what();
+        }
+    }
+    // The boundary values pass: 0 (a pure-ACK artifact) and the max datagram.
+    const char* good[] = {"0", "1", "1500", "65535"};
+    for (const char* value : good) {
+        std::stringstream buffer(header + std::string("0,0,x,0.0,") + value + ",up,0,0\n");
+        const auto dataset = read_dataset_csv(buffer);
+        ASSERT_EQ(dataset.flows.size(), 1u) << value;
+        EXPECT_EQ(dataset.flows[0].packets.at(0).size, std::atoi(value)) << value;
+    }
+}
+
+TEST(FlowIo, FuzzCorpusIsQuarantinedAndParsingContinues)
+{
+    // A deterministic fuzz corpus over the packet-row grammar: truncations,
+    // field deletions, out-of-domain numerics (negative sizes, NaN/overflow
+    // timestamps, label garbage).  Every entry must quarantine — never
+    // abort, never register flow state — and the good rows around the
+    // corpus must survive untouched.
+    const std::string header =
+        "flow_id,label,class_name,timestamp,size,direction,is_ack,background\n";
+    const std::string good_head = "0,0,alpha,0.0,100,up,0,0";
+    const std::string good_tail = "2,1,beta,0.5,200,down,1,0";
+
+    std::vector<std::string> corpus = {
+        "1,1,beta,nan,100,up,0,0",         // NaN timestamp
+        "1,1,beta,-nan,100,up,0,0",
+        "1,1,beta,inf,100,up,0,0",
+        "1,1,beta,1e999,100,up,0,0",       // overflow -> inf
+        "1,1,beta,0x1p3,100,up,0,0",       // hex float
+        "1,1,beta,,100,up,0,0",            // empty timestamp
+        "1,1,beta,0.5,-40,up,0,0",         // negative size
+        "1,1,beta,0.5,65536,up,0,0",       // beyond max datagram
+        "1,1,beta,0.5,2147483648,up,0,0",  // int overflow
+        "1,1,beta,0.5,1e3,up,0,0",         // float size
+        "1,1,beta,0.5,,up,0,0",            // empty size
+        "1,-1,beta,0.5,100,up,0,0",        // negative label
+        "1,9999999,beta,0.5,100,up,0,0",   // implausible label
+        "1,1,beta,0.5,100,sideways,0,0",   // bad direction
+        "x,1,beta,0.5,100,up,0,0",         // non-numeric flow id
+        ",,,,,,,",                         // all fields empty
+        "1,1,beta,0.5,100,up,0,0,9",       // extra field
+    };
+    // Every truncation of a valid row up to (and including) the text before
+    // its last comma has fewer than 8 fields and must quarantine.  (One
+    // character further — a trailing comma — would make an 8-field row with
+    // an empty background column, which parses.)
+    for (std::size_t len = 1; len <= good_tail.find_last_of(','); ++len) {
+        corpus.push_back(good_tail.substr(0, len));
+    }
+
+    std::string body = good_head + "\n";
+    for (const auto& row : corpus) {
+        body += row + "\n";
+    }
+    body += good_tail + "\n";
+
+    CsvReadReport report;
+    CsvReadOptions options;
+    options.quarantine = true;
+    std::stringstream buffer(header + body);
+    const auto dataset = read_dataset_csv(buffer, options, &report);
+
+    EXPECT_EQ(report.quarantined.size(), corpus.size());
+    EXPECT_EQ(report.rows_read, 2u);
+    ASSERT_EQ(dataset.flows.size(), 2u);
+    EXPECT_EQ(dataset.flows[0].label, 0u);
+    EXPECT_EQ(dataset.flows[1].label, 1u);
+    EXPECT_EQ(dataset.flows[1].packets.at(0).size, 200);
+    // Line numbers attribute each quarantined row exactly (header is line 1,
+    // good_head line 2, corpus starts at line 3).
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+        EXPECT_EQ(report.quarantined[i].line_number, i + 3) << report.quarantined[i].error;
+    }
+
+    // Strict mode refuses each corpus entry outright.
+    for (const auto& row : corpus) {
+        std::stringstream strict(header + row + "\n");
+        EXPECT_THROW((void)read_dataset_csv(strict), std::runtime_error) << row;
+    }
 }
 
 TEST(FlowIo, FillsVocabularyGaps)

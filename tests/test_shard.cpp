@@ -166,6 +166,29 @@ TEST(ShardMerge, UnionsShardFilesWithLaterShardsWinning)
 // Lease store
 // ---------------------------------------------------------------------------
 
+TEST(LeaseStore, StartupProbesFlockOnTheLockFile)
+{
+    TempDir dir("fptc_leaseprobe");
+    const std::string base = dir.file("run.journal");
+    // Construction probes flock on the lock file: on a functional local
+    // filesystem it must succeed and leave the lock file behind, unlocked
+    // (a later FileLock must not block).
+    util::LeaseStore store(base, 0, 30.0);
+    EXPECT_EQ(::access(util::shard_lock_path(base).c_str(), F_OK), 0);
+    const util::FileLock lock(util::shard_lock_path(base));
+    // A held lock does not fail the probe — EWOULDBLOCK proves flock works.
+    EXPECT_NO_THROW(util::probe_flock(util::shard_lock_path(base)));
+}
+
+TEST(LeaseStore, FilesystemNameIsNonEmptyForRealPaths)
+{
+    TempDir dir("fptc_leasefs");
+    const std::string name = util::filesystem_name_of(dir.path());
+    EXPECT_FALSE(name.empty());
+    // Never-created file: falls back to the parent directory.
+    EXPECT_EQ(util::filesystem_name_of(dir.file("missing.lock")), name);
+}
+
 TEST(LeaseStore, ForeignUnexpiredLeaseDeniesTheClaim)
 {
     TempDir dir("fptc_lease1");
