@@ -5,7 +5,16 @@
 // through the StreamingClassifier at full speed, prints the service report,
 // checks the robustness invariants the torture harness greps for, and emits
 // BENCH_serve.json (flows/sec, events/sec, p50/p99 classify latency, the
-// typed shed breakdown, breaker transitions, host parallelism).
+// typed shed breakdown, breaker transitions, SLO compliance, crash-recovery
+// accounting, host parallelism).
+//
+// With FPTC_SERVE_SUPERVISE=1 this binary becomes its own supervisor: the
+// parent process runs the restart loop (supervisor.hpp) and re-execs itself
+// as the worker (FPTC_SERVE_ROLE=worker), which then takes the normal path
+// below.  A crashed or hung worker is restarted from its last durable
+// snapshot; the final generation's report (and BENCH_serve.json) covers the
+// whole logical run because the restored counters are re-based on the
+// snapshot cut.
 //
 // Knobs (all strictly validated):
 //   FPTC_SERVE_FLOWS=n        stream flows (default 300)
@@ -14,6 +23,7 @@
 //   FPTC_SERVE_TRAIN_FLOWS=n  per-class training flows for the backends
 //                             (default 0 = untrained CNNs, tiny-fit GBT)
 //   FPTC_SERVE_TRAIN_EPOCHS=n CNN training epochs when TRAIN_FLOWS > 0
+//   FPTC_SERVE_SUPERVISE=1    run under the crash-recovery supervisor
 //   FPTC_SERVE_*              service knobs, see fptc/serve/service.hpp
 //   FPTC_FAULT_SERVE_*        fault classes, see fptc/util/fault.hpp
 //
@@ -21,6 +31,7 @@
 // and every MemBudget byte credited back.
 
 #include "fptc/serve/service.hpp"
+#include "fptc/serve/supervisor.hpp"
 
 #include "fptc/util/durable.hpp"
 #include "fptc/util/env.hpp"
@@ -29,6 +40,7 @@
 #include "fptc/util/shutdown.hpp"
 #include "fptc/util/telemetry.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -53,7 +65,8 @@ double load_average()
     return 0.0;
 }
 
-std::string bench_json(const fptc::serve::ServeReport& report, std::size_t stream_flows,
+std::string bench_json(const fptc::serve::ServeReport& report,
+                       const fptc::serve::ServeConfig& config, std::size_t stream_flows,
                        std::uint64_t quarantine_oracle)
 {
     const double wall = report.wall_seconds > 0.0 ? report.wall_seconds : 1e-9;
@@ -73,16 +86,34 @@ std::string bench_json(const fptc::serve::ServeReport& report, std::size_t strea
         << "    \"mem_budget\": " << report.shed_mem_budget << ",\n"
         << "    \"queue_full\": " << report.shed_queue_full << ",\n"
         << "    \"deadline\": " << report.shed_deadline << ",\n"
-        << "    \"breaker\": " << report.shed_breaker << "\n"
+        << "    \"breaker\": " << report.shed_breaker << ",\n"
+        << "    \"slo\": " << report.shed_slo << ",\n"
+        << "    \"restart_loss\": " << report.shed_restart_loss << "\n"
         << "  },\n"
         << "  \"events_quarantined\": " << report.events_quarantined << ",\n"
         << "  \"events_mangled\": " << quarantine_oracle << ",\n"
         << "  \"events_dropped_queue\": " << report.events_dropped_queue << ",\n"
         << "  \"events_dropped_mem\": " << report.events_dropped_mem << ",\n"
+        << "  \"events_dropped_slo\": " << report.events_dropped_slo << ",\n"
         << "  \"breaker\": {\n"
         << "    \"trips\": " << report.breaker_trips << ",\n"
         << "    \"recoveries\": " << report.breaker_recoveries << ",\n"
         << "    \"final_tier\": " << report.final_tier << "\n"
+        << "  },\n"
+        << "  \"slo\": {\n"
+        << "    \"target_ms\": " << config.slo_ms << ",\n"
+        << "    \"considered\": " << report.slo_considered << ",\n"
+        << "    \"violations\": " << report.slo_violations << ",\n"
+        << "    \"compliance\": " << report.slo_compliance() << "\n"
+        << "  },\n"
+        << "  \"recovery\": {\n"
+        << "    \"generation\": " << report.generation << ",\n"
+        << "    \"restored\": " << (report.restored ? "true" : "false") << ",\n"
+        << "    \"watermark\": " << report.watermark << ",\n"
+        << "    \"restored_flows\": " << report.restored_flows << ",\n"
+        << "    \"restore_refused\": " << report.restore_refused << ",\n"
+        << "    \"restart_loss\": " << report.shed_restart_loss << ",\n"
+        << "    \"snapshots_written\": " << report.snapshots_written << "\n"
         << "  },\n"
         << "  \"host\": {\n"
         << "    \"nproc\": " << std::thread::hardware_concurrency() << ",\n"
@@ -97,10 +128,23 @@ std::string bench_json(const fptc::serve::ServeReport& report, std::size_t strea
 int main()
 {
     using namespace fptc;
+
+    // Supervisor mode: the parent never serves — it spawns this same binary
+    // as the worker (FPTC_SERVE_ROLE=worker) and runs the restart loop.
+    if (util::env_int("FPTC_SERVE_SUPERVISE").value_or(0) != 0 && !serve::is_serve_worker()) {
+        try {
+            return serve::run_supervisor(serve::SupervisorConfig::from_env());
+        } catch (const util::EnvError& error) {
+            std::cerr << "serve_throughput: " << error.what() << "\n";
+            return 2;
+        }
+    }
+
     util::install_shutdown_handlers();
 
     const std::size_t baseline_in_use = util::mem_budget().in_use();
     serve::ServeReport report;
+    serve::ServeConfig config;
     std::size_t stream_flows = 0;
     std::uint64_t mangled = 0;
     try {
@@ -113,7 +157,12 @@ int main()
             static_cast<std::size_t>(util::env_int("FPTC_SERVE_TRAIN_FLOWS").value_or(0));
         const auto train_epochs =
             static_cast<int>(util::env_int("FPTC_SERVE_TRAIN_EPOCHS").value_or(0));
-        const serve::ServeConfig config = serve::ServeConfig::from_env();
+        config = serve::ServeConfig::from_env();
+        // A snapshot is only replayable against the identical deterministic
+        // stream: fold the stream identity into the config fingerprint so a
+        // changed seed/flows/arrival forces a cold start.
+        config.fingerprint_extra = seed ^ (static_cast<std::uint64_t>(flows) << 32) ^
+                                   std::bit_cast<std::uint64_t>(arrival);
 
         serve::BackendBundle backends =
             serve::make_backends(config.flowpic_dim, config.reduced_dim, config.num_classes,
@@ -140,7 +189,7 @@ int main()
     const std::size_t in_use = util::mem_budget().in_use();
     std::cout << "serve_in_use_bytes=" << (in_use - baseline_in_use) << "\n";
 
-    const std::string json = bench_json(report, stream_flows, mangled);
+    const std::string json = bench_json(report, config, stream_flows, mangled);
     try {
         util::DurableFile::write_file("BENCH_serve.json", json);
     } catch (const std::exception& error) {
@@ -160,13 +209,26 @@ int main()
                   << " baseline=" << baseline_in_use << "\n";
         ok = false;
     }
-    if (report.events_quarantined != mangled) {
+    // The quarantine oracle only holds for a single-generation run: after a
+    // restore, the fresh stream object re-draws (and re-counts) the mangles
+    // of the skipped prefix while the quarantine counter carries the crashed
+    // generation's view of them.
+    if (!report.restored && report.events_quarantined != mangled) {
         std::cerr << "serve_throughput: quarantine oracle mismatch: quarantined="
                   << report.events_quarantined << " mangled=" << mangled << "\n";
         ok = false;
     }
     if (!std::isfinite(report.p99_latency_ms)) {
         std::cerr << "serve_throughput: non-finite p99 latency\n";
+        ok = false;
+    }
+    const double compliance = report.slo_compliance();
+    if (!(compliance >= 0.0 && compliance <= 1.0)) {
+        std::cerr << "serve_throughput: SLO compliance out of range: " << compliance << "\n";
+        ok = false;
+    }
+    if (config.slo_ms <= 0.0 && (report.shed_slo != 0 || report.events_dropped_slo != 0)) {
+        std::cerr << "serve_throughput: SLO sheds recorded with the SLO off\n";
         ok = false;
     }
     std::cout << (ok ? "SERVE_OK" : "SERVE_FAIL") << "\n";

@@ -1,5 +1,6 @@
 #include "fptc/nn/serialize.hpp"
 
+#include "fptc/util/crc32.hpp"
 #include "fptc/util/fault.hpp"
 #include "fptc/util/journal.hpp"
 #include "fptc/util/log.hpp"
@@ -19,31 +20,9 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x46505443; // "FPTC"
 
-// ---- CRC32 (IEEE 802.3, reflected 0xEDB88320) ------------------------------
-
-[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc_table()
-{
-    std::array<std::uint32_t, 256> table{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-        std::uint32_t c = i;
-        for (int k = 0; k < 8; ++k) {
-            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-        }
-        table[i] = c;
-    }
-    return table;
-}
-
-constexpr auto kCrcTable = make_crc_table();
-
-[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const char* data, std::size_t size)
-{
-    crc ^= 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i) {
-        crc = kCrcTable[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
-    }
-    return crc ^ 0xFFFFFFFFu;
-}
+// CRC32 comes from the shared util/crc32.hpp (one table for every
+// checksummed on-disk format: checkpoints here, serve snapshots).
+using util::crc32_update;
 
 // ---- checksummed stream helpers --------------------------------------------
 

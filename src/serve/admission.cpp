@@ -1,0 +1,63 @@
+#include "fptc/serve/admission.hpp"
+
+#include <cmath>
+
+namespace fptc::serve {
+
+CoDelAdmission::CoDelAdmission(const CoDelConfig& config) : config_(config) {}
+
+double CoDelAdmission::control_law(double t) const
+{
+    return t + config_.interval_ms / std::sqrt(static_cast<double>(count_));
+}
+
+bool CoDelAdmission::should_drop(double sojourn_ms, double now_ms)
+{
+    if (!enabled()) {
+        return false;
+    }
+
+    bool ok_to_drop = false;
+    if (sojourn_ms < config_.target_ms) {
+        // One good sojourn resets the excursion: a standing queue that
+        // drains below target is healthy.
+        first_above_ms_ = -1.0;
+    } else if (first_above_ms_ < 0.0) {
+        // Start the excursion clock; dropping begins only if we stay above
+        // target for a full interval.
+        first_above_ms_ = now_ms + config_.interval_ms;
+    } else if (now_ms >= first_above_ms_) {
+        ok_to_drop = true;
+    }
+
+    if (dropping_) {
+        if (!ok_to_drop) {
+            dropping_ = false;
+            exited_dropping_ms_ = now_ms;
+            last_count_ = count_;
+            return false;
+        }
+        if (now_ms >= drop_next_ms_) {
+            ++count_;
+            ++drops_;
+            drop_next_ms_ = control_law(drop_next_ms_);
+            return true;
+        }
+        return false;
+    }
+
+    if (ok_to_drop) {
+        dropping_ = true;
+        // A relapse within two intervals of the last dropping state resumes
+        // near the previous drop rate instead of re-learning it from 1.
+        const bool recent = exited_dropping_ms_ >= 0.0 &&
+                            now_ms - exited_dropping_ms_ < 2.0 * config_.interval_ms;
+        count_ = (recent && last_count_ > 2) ? last_count_ - 2 : 1;
+        ++drops_;
+        drop_next_ms_ = control_law(now_ms);
+        return true;
+    }
+    return false;
+}
+
+} // namespace fptc::serve

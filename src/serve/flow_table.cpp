@@ -147,6 +147,57 @@ std::vector<ReadyFlow> FlowTable::pop_ready(double now)
     return ready;
 }
 
+std::vector<SnapshotFlow> FlowTable::snapshot_entries() const
+{
+    std::vector<SnapshotFlow> flows;
+    flows.reserve(table_.size());
+    for (const auto flow_id : close_fifo_) {
+        const auto it = table_.find(flow_id);
+        if (it == table_.end()) {
+            continue;  // evicted; its FIFO slot is a tombstone
+        }
+        flows.push_back(SnapshotFlow{
+            .flow_id = flow_id,
+            .label = it->second.label,
+            .first_ts = it->second.first_ts,
+            .packets = it->second.flow.packets,
+        });
+    }
+    return flows;
+}
+
+std::size_t FlowTable::restore(const std::vector<SnapshotFlow>& flows)
+{
+    std::size_t refused = 0;
+    for (const auto& snap : flows) {
+        const std::size_t cost = kFlowOverhead + snap.packets.size() * kPacketCost;
+        // No LRU eviction here: every restored flow is equally old, so
+        // evicting one to admit another is pure churn — refusal is the
+        // honest outcome when the post-restart cap is smaller.
+        if (bytes_ + cost > max_bytes_) {
+            ++refused;
+            continue;
+        }
+        Entry entry;
+        try {
+            entry.charge = util::Charge(cost, "serve_flow");
+        } catch (const util::BudgetExceeded&) {
+            ++refused;
+            continue;
+        }
+        entry.label = snap.label;
+        entry.first_ts = snap.first_ts;
+        entry.flow.label = snap.label;
+        entry.flow.packets = snap.packets;
+        lru_.push_back(snap.flow_id);
+        entry.lru_it = std::prev(lru_.end());
+        bytes_ += cost;
+        close_fifo_.push_back(snap.flow_id);
+        table_.emplace(snap.flow_id, std::move(entry));
+    }
+    return refused;
+}
+
 std::vector<ReadyFlow> FlowTable::flush_all()
 {
     std::vector<ReadyFlow> ready;

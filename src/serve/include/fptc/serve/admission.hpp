@@ -1,0 +1,73 @@
+// CoDel-style sojourn-time admission control for the serve queues.
+//
+// The deadline/breaker pair bounds how long a *batch* may compute, but says
+// nothing about how long work may *queue*: under sustained overload both
+// bounded queues fill, and every item that finally reaches its consumer has
+// already burned most of its latency budget standing in line — the
+// classic bufferbloat failure, where p99 latency pins at (queue depth ×
+// service time) and the deadline then sheds work that was doomed at
+// enqueue.  FPTC_SERVE_SLO_MS turns the latency target into an *admission*
+// decision using the CoDel controlled-delay discipline (Nichols & Jacobson,
+// CACM 2012):
+//
+//   * every queue item is stamped at enqueue;
+//   * the consumer measures sojourn time at dequeue;
+//   * one sojourn below target resets the controller (standing queues are
+//     fine as long as they drain);
+//   * sojourns continuously above target for a full `interval` enter the
+//     dropping state: the offending item is dropped, and while the
+//     excursion persists further items are dropped on a schedule that
+//     tightens with the square root of the drop count (interval/sqrt(n)),
+//     the controlled-delay law that steers the queue back to the target;
+//   * leaving the dropping state remembers recent pressure: a quick
+//     relapse resumes near the previous drop rate instead of restarting
+//     the full interval wait.
+//
+// Drops surface as typed sheds (`slo` for window-closed flows at the ready
+// queue, `events_dropped_slo` for packet events at the ingest queue) ahead
+// of the circuit breaker — the ladder never even sees work that could not
+// meet the SLO.
+//
+// The controller is a pure, deterministic state machine over caller-supplied
+// clocks (milliseconds; any monotonic origin), so unit tests drive it with
+// synthetic time and assert exact drop sequences.  Thread safety: none —
+// one instance lives on each consumer thread.
+#pragma once
+
+#include <cstdint>
+
+namespace fptc::serve {
+
+struct CoDelConfig {
+    double target_ms = 0.0;     ///< sojourn target (the SLO); <= 0 disables
+    double interval_ms = 100.0; ///< how long above target before dropping starts
+};
+
+class CoDelAdmission {
+public:
+    explicit CoDelAdmission(const CoDelConfig& config);
+
+    /// Decide the fate of the item about to be delivered: `sojourn_ms` is
+    /// its time in queue, `now_ms` the consumer's monotonic clock.  True =
+    /// drop the item (the caller owns the typed-shed bookkeeping).
+    [[nodiscard]] bool should_drop(double sojourn_ms, double now_ms);
+
+    [[nodiscard]] bool dropping() const noexcept { return dropping_; }
+    [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+    [[nodiscard]] bool enabled() const noexcept { return config_.target_ms > 0.0; }
+
+private:
+    /// Next drop time under the controlled-delay law.
+    [[nodiscard]] double control_law(double t) const;
+
+    CoDelConfig config_;
+    bool dropping_ = false;       ///< in the dropping state
+    double first_above_ms_ = -1.0; ///< when the current above-target excursion would mature
+    double drop_next_ms_ = 0.0;   ///< scheduled next drop while dropping
+    std::uint64_t count_ = 0;     ///< drops in the current dropping state
+    std::uint64_t last_count_ = 0; ///< count when the last dropping state ended
+    double exited_dropping_ms_ = -1.0; ///< when the last dropping state ended
+    std::uint64_t drops_ = 0;     ///< lifetime drops (telemetry)
+};
+
+} // namespace fptc::serve

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "fptc/serve/event.hpp"
+#include "fptc/serve/snapshot.hpp"
 
 #include "fptc/flow/packet.hpp"
 #include "fptc/util/membudget.hpp"
@@ -66,6 +67,18 @@ public:
 
     /// Release everything (end of stream).
     [[nodiscard]] std::vector<ReadyFlow> flush_all();
+
+    /// Export every tracked flow in close-FIFO order for a durable
+    /// snapshot.  Read-only; the table keeps serving.
+    [[nodiscard]] std::vector<SnapshotFlow> snapshot_entries() const;
+
+    /// Rebuild the table from snapshot_entries() output (restart path; the
+    /// table must be empty).  Charges every restored flow against the
+    /// MemBudget exactly like live admission; a flow the cap or budget
+    /// refuses is skipped and counted in the return value — the caller
+    /// accounts those as typed mem_budget sheds, so a *smaller* post-restart
+    /// budget degrades instead of crashing.
+    [[nodiscard]] std::size_t restore(const std::vector<SnapshotFlow>& flows);
 
     [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
     [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }

@@ -14,13 +14,27 @@
 //   * Every dropped *flow* carries exactly one typed shed reason —
 //     queue_full (ready queue backpressure), mem_budget (LRU eviction /
 //     budget refusal), deadline (batch deadline expired), breaker (ladder
-//     bottom) — and flows_ingested == flows_classified + sheds, checked by
-//     ServeReport::accounted().
+//     bottom), slo (sojourn-time admission control, admission.hpp),
+//     restart_loss (in flight across a crash, bounded by the snapshot
+//     period) — and flows_ingested == flows_classified + sheds, checked by
+//     ServeReport::accounted().  With snapshots enabled the invariant
+//     holds *across process generations*: a restarted worker re-bases its
+//     counters on the snapshot cut and types the loss window.
 //   * Event-level drops are separate, also typed: quarantined (validation),
-//     queue_full (ingest queue), mem_budget (refused admission).
+//     queue_full (ingest queue), mem_budget (refused admission), slo
+//     (sojourn admission at the ingest queue).
 //   * After run() returns and the report is dropped, every byte charged to
 //     the MemBudget has been credited back (in_use() returns to its
 //     pre-run level; 0 in a dedicated process).
+//
+// Crash recovery (snapshot.hpp, watchdog.hpp, supervisor.hpp): the driver
+// injects consistent-cut markers into the ingest queue; the assembler
+// serializes the flow table + counter cut through DurableFile when a marker
+// arrives; a restarted worker restores the snapshot, skips the
+// deterministic stream past the watermark, and accounts the bounded loss
+// window as restart_loss sheds.  A watchdog thread detects wedged pipeline
+// threads (FPTC_FAULT_SERVE_HANG) and hang-exits so the supervisor can
+// recover.
 //
 // Metric names: the registry's JSON export does not escape instrument
 // names, so the shed taxonomy uses plain suffixed counters
@@ -53,17 +67,45 @@ struct ServeConfig {
     std::size_t reduced_dim = 16;     ///< reduced-tier flowpic resolution
     std::size_t num_classes = 5;
 
+    // Hard latency SLO (CoDel sojourn admission at both queues; admission.hpp).
+    double slo_ms = 0.0;              ///< FPTC_SERVE_SLO_MS: queue-sojourn target (0 = off)
+    double slo_interval_ms = 100.0;   ///< FPTC_SERVE_SLO_INTERVAL_MS: CoDel interval
+
+    // Durable flow-state snapshots (snapshot.hpp).
+    std::string snapshot_path;        ///< FPTC_SERVE_SNAPSHOT: snapshot file (empty = off)
+    double snapshot_period_s = 1.0;   ///< FPTC_SERVE_SNAPSHOT_S: wall-clock cadence (0 = off)
+    std::uint64_t snapshot_every = 0; ///< FPTC_SERVE_SNAPSHOT_EVERY: event cadence (0 = off)
+
+    // Supervision (watchdog.hpp, supervisor.hpp).
+    double hang_stall_s = 0.0;        ///< FPTC_SERVE_HANG_S: watchdog stall budget (0 = off)
+    std::string heartbeat_path;       ///< FPTC_SERVE_HEARTBEAT: liveness file for supervisor
+    bool gbt_only = false;            ///< FPTC_SERVE_GBT_ONLY: clamp ladder to fallback tier
+    std::uint32_t generation = 0;     ///< FPTC_SERVE_GENERATION: worker restart count
+
+    /// Extra entropy mixed into fingerprint() — the bench sets this from the
+    /// stream identity (seed/flows/arrival), so a snapshot is never restored
+    /// against a *different* deterministic stream.
+    std::uint64_t fingerprint_extra = 0;
+
+    /// Replay-compatibility fingerprint persisted in snapshots: covers the
+    /// fields that must match for a watermark-skip resume to be sound.
+    /// Never 0 (0 means "don't check" to load_snapshot).
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
     /// Defaults overridden by the FPTC_SERVE_* environment knobs.
     [[nodiscard]] static ServeConfig from_env();
 };
 
-/// Everything the run did, for the harness and the bench emitter.
+/// Everything the run did, for the harness and the bench emitter.  With a
+/// restored snapshot, counters continue from the snapshot cut — the report
+/// describes the whole logical run, not just this process generation.
 struct ServeReport {
     // Event-level accounting.
     std::uint64_t events_total = 0;          ///< events pulled from the stream
     std::uint64_t events_quarantined = 0;    ///< failed ingest validation
     std::uint64_t events_dropped_queue = 0;  ///< ingest queue full
     std::uint64_t events_dropped_mem = 0;    ///< new flow refused admission
+    std::uint64_t events_dropped_slo = 0;    ///< CoDel drop at the ingest queue
 
     // Flow-level accounting (the invariant).
     std::uint64_t flows_ingested = 0;   ///< flows that entered the table
@@ -73,6 +115,8 @@ struct ServeReport {
     std::uint64_t shed_queue_full = 0;  ///< ready-queue backpressure
     std::uint64_t shed_deadline = 0;    ///< batch deadline expired
     std::uint64_t shed_breaker = 0;     ///< shed tier or backend failure
+    std::uint64_t shed_slo = 0;         ///< CoDel drop at the ready queue
+    std::uint64_t shed_restart_loss = 0; ///< in flight across a crash (typed loss window)
 
     // Pipeline health.
     std::uint64_t batches = 0;
@@ -83,15 +127,38 @@ struct ServeReport {
     double p99_latency_ms = 0.0;
     double wall_seconds = 0.0;
 
+    // SLO compliance (flows whose ready-queue sojourn was measured).
+    std::uint64_t slo_considered = 0;
+    std::uint64_t slo_violations = 0;   ///< sojourns over the target
+
+    // Crash recovery.
+    std::uint64_t snapshots_written = 0;
+    bool restored = false;              ///< this run resumed from a snapshot
+    std::uint64_t watermark = 0;        ///< stream events skipped on restore
+    std::uint64_t restored_flows = 0;   ///< flows rebuilt into the table
+    std::uint64_t restore_refused = 0;  ///< restored flows the budget refused (typed mem sheds)
+    std::uint32_t generation = 0;       ///< worker generation (restart count)
+
     [[nodiscard]] std::uint64_t shed_total() const noexcept
     {
-        return shed_mem_budget + shed_queue_full + shed_deadline + shed_breaker;
+        return shed_mem_budget + shed_queue_full + shed_deadline + shed_breaker + shed_slo +
+               shed_restart_loss;
     }
 
-    /// The flow-accounting invariant.
+    /// The flow-accounting invariant (holds across process generations).
     [[nodiscard]] bool accounted() const noexcept
     {
         return flows_ingested == flows_classified + shed_total();
+    }
+
+    /// Fraction of measured ready-queue sojourns that met the SLO target
+    /// (1.0 when the SLO is off or nothing was measured).
+    [[nodiscard]] double slo_compliance() const noexcept
+    {
+        if (slo_considered == 0) {
+            return 1.0;
+        }
+        return 1.0 - static_cast<double>(slo_violations) / static_cast<double>(slo_considered);
     }
 
     /// One greppable line ("serve: ingested=... classified=... shed=...").
@@ -107,7 +174,10 @@ public:
     /// Drive `stream` to completion (or until a SIGTERM shutdown request),
     /// then drain and join both pipeline threads.  Never throws for data-,
     /// load- or backend-level failures; those become typed sheds in the
-    /// report.
+    /// report.  When config.snapshot_path names a loadable snapshot, the run
+    /// first restores it and skips `stream` past the persisted watermark;
+    /// `stream` must be the same deterministic stream the crashed
+    /// generation was consuming (enforced via the config fingerprint).
     [[nodiscard]] ServeReport run(InterleavedStream& stream);
 
 private:

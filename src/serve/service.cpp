@@ -1,21 +1,33 @@
 #include "fptc/serve/service.hpp"
 
+#include "fptc/serve/admission.hpp"
 #include "fptc/serve/flow_table.hpp"
 #include "fptc/serve/queue.hpp"
+#include "fptc/serve/snapshot.hpp"
+#include "fptc/serve/supervisor.hpp"
+#include "fptc/serve/watchdog.hpp"
 
 #include "fptc/util/cancel.hpp"
+#include "fptc/util/durable.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
+#include "fptc/util/log.hpp"
 #include "fptc/util/shutdown.hpp"
 #include "fptc/util/telemetry.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include <signal.h>
+#include <unistd.h>
 
 namespace fptc::serve {
 
@@ -48,7 +60,31 @@ double env_positive(const char* name, double fallback, bool allow_zero)
     return *value;
 }
 
+[[nodiscard]] std::string env_string(const char* name)
+{
+    const char* value = std::getenv(name);
+    return value != nullptr ? std::string(value) : std::string();
+}
+
 } // namespace
+
+std::uint64_t ServeConfig::fingerprint() const
+{
+    // FNV-1a over the fields a watermark-skip resume depends on: the window
+    // decides which flows close when, the dims/classes decide what the
+    // backends see, and fingerprint_extra carries the stream identity.
+    const auto mix = [](std::uint64_t hash, std::uint64_t value) {
+        hash ^= value;
+        return hash * 1099511628211ULL;
+    };
+    std::uint64_t hash = 14695981039346656037ULL;
+    hash = mix(hash, std::bit_cast<std::uint64_t>(window_seconds));
+    hash = mix(hash, num_classes);
+    hash = mix(hash, flowpic_dim);
+    hash = mix(hash, reduced_dim);
+    hash = mix(hash, fingerprint_extra);
+    return hash | 1;  // 0 means "don't check" to load_snapshot
+}
 
 ServeConfig ServeConfig::from_env()
 {
@@ -64,6 +100,18 @@ ServeConfig ServeConfig::from_env()
         env_size("FPTC_SERVE_BREAKER_FAILURES", static_cast<std::size_t>(config.breaker_failures), 1));
     config.breaker_cooldown = static_cast<int>(
         env_size("FPTC_SERVE_BREAKER_COOLDOWN", static_cast<std::size_t>(config.breaker_cooldown), 1));
+    config.slo_ms = env_positive("FPTC_SERVE_SLO_MS", config.slo_ms, true);
+    config.slo_interval_ms =
+        env_positive("FPTC_SERVE_SLO_INTERVAL_MS", config.slo_interval_ms, false);
+    config.snapshot_path = env_string("FPTC_SERVE_SNAPSHOT");
+    config.snapshot_period_s =
+        env_positive("FPTC_SERVE_SNAPSHOT_S", config.snapshot_period_s, true);
+    config.snapshot_every = static_cast<std::uint64_t>(
+        util::env_int("FPTC_SERVE_SNAPSHOT_EVERY").value_or(0));
+    config.hang_stall_s = env_positive("FPTC_SERVE_HANG_S", config.hang_stall_s, true);
+    config.heartbeat_path = env_string("FPTC_SERVE_HEARTBEAT");
+    config.gbt_only = util::env_int("FPTC_SERVE_GBT_ONLY").value_or(0) != 0;
+    config.generation = serve_generation();
     return config;
 }
 
@@ -73,11 +121,14 @@ std::string ServeReport::summary() const
     out << "serve: ingested=" << flows_ingested << " classified=" << flows_classified
         << " correct=" << flows_correct << " shed_mem_budget=" << shed_mem_budget
         << " shed_queue_full=" << shed_queue_full << " shed_deadline=" << shed_deadline
-        << " shed_breaker=" << shed_breaker << " quarantined=" << events_quarantined
+        << " shed_breaker=" << shed_breaker << " shed_slo=" << shed_slo
+        << " shed_restart_loss=" << shed_restart_loss << " quarantined=" << events_quarantined
         << " dropped_queue=" << events_dropped_queue << " dropped_mem=" << events_dropped_mem
-        << " batches=" << batches << " trips=" << breaker_trips
-        << " recoveries=" << breaker_recoveries << " tier=" << final_tier
-        << " accounted=" << (accounted() ? 1 : 0);
+        << " dropped_slo=" << events_dropped_slo << " batches=" << batches
+        << " trips=" << breaker_trips << " recoveries=" << breaker_recoveries
+        << " tier=" << final_tier << " slo_violations=" << slo_violations
+        << " snapshots=" << snapshots_written << " restored=" << (restored ? 1 : 0)
+        << " generation=" << generation << " accounted=" << (accounted() ? 1 : 0);
     return out.str();
 }
 
@@ -85,10 +136,13 @@ namespace {
 
 /// Counters shared across the three pipeline threads.  Each field has one
 /// writer stage, but the final report reads them after joins, so relaxed
-/// atomics keep tsan quiet at negligible cost.
+/// atomics keep tsan quiet at negligible cost.  With a restored snapshot
+/// the fields are *seeded* from the persisted cut, so the report spans
+/// process generations.
 struct ServeState {
     std::atomic<std::uint64_t> events_quarantined{0};
     std::atomic<std::uint64_t> events_dropped_mem{0};
+    std::atomic<std::uint64_t> events_dropped_slo{0};
     std::atomic<std::uint64_t> flows_ingested{0};
     std::atomic<std::uint64_t> flows_classified{0};
     std::atomic<std::uint64_t> flows_correct{0};
@@ -96,7 +150,14 @@ struct ServeState {
     std::atomic<std::uint64_t> shed_queue_full{0};
     std::atomic<std::uint64_t> shed_deadline{0};
     std::atomic<std::uint64_t> shed_breaker{0};
+    std::atomic<std::uint64_t> shed_slo{0};
+    std::atomic<std::uint64_t> shed_restart_loss{0};
     std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> slo_considered{0};
+    std::atomic<std::uint64_t> slo_violations{0};
+    std::atomic<std::uint64_t> snapshots_written{0};
+    std::atomic<std::uint64_t> restored_flows{0};
+    std::atomic<std::uint64_t> restore_refused{0};
 };
 
 /// Cached registry instruments (lookups mutex, instruments lock-free).
@@ -105,16 +166,22 @@ struct ServeMetrics {
     util::Counter& quarantined = util::metrics().counter("fptc_serve_events_quarantined_total");
     util::Counter& dropped_queue = util::metrics().counter("fptc_serve_events_dropped_queue_total");
     util::Counter& dropped_mem = util::metrics().counter("fptc_serve_events_dropped_mem_total");
+    util::Counter& dropped_slo = util::metrics().counter("fptc_serve_events_dropped_slo_total");
     util::Counter& ingested = util::metrics().counter("fptc_serve_flows_ingested_total");
     util::Counter& classified = util::metrics().counter("fptc_serve_flows_classified_total");
     util::Counter& shed_mem = util::metrics().counter("fptc_serve_shed_mem_budget_total");
     util::Counter& shed_queue = util::metrics().counter("fptc_serve_shed_queue_full_total");
     util::Counter& shed_deadline = util::metrics().counter("fptc_serve_shed_deadline_total");
     util::Counter& shed_breaker = util::metrics().counter("fptc_serve_shed_breaker_total");
+    util::Counter& shed_slo = util::metrics().counter("fptc_serve_shed_slo_total");
+    util::Counter& shed_restart = util::metrics().counter("fptc_serve_shed_restart_loss_total");
+    util::Counter& slo_violations = util::metrics().counter("fptc_serve_slo_violations_total");
+    util::Counter& snapshots = util::metrics().counter("fptc_serve_snapshots_total");
     util::Counter& trips = util::metrics().counter("fptc_serve_breaker_trips_total");
     util::Counter& recoveries = util::metrics().counter("fptc_serve_breaker_recoveries_total");
     util::Gauge& flows_active = util::metrics().gauge("fptc_serve_flows_active");
     util::Gauge& breaker_state = util::metrics().gauge("fptc_serve_breaker_state");
+    util::Gauge& generation = util::metrics().gauge("fptc_serve_generation");
     util::Histogram& latency = util::metrics().histogram("fptc_serve_classify_latency_ns");
 };
 
@@ -123,6 +190,34 @@ double elapsed_ms(std::chrono::steady_clock::time_point since)
     return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
         .count();
 }
+
+double steady_now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// The driver's exact counter cut carried by a snapshot marker.
+struct SnapshotMarker {
+    std::uint64_t events_total = 0;
+    std::uint64_t events_dropped_queue = 0;
+};
+
+/// Ingest-queue payload: a packet event or a snapshot marker, stamped at
+/// enqueue for the sojourn-time admission controller.
+struct IngestItem {
+    PacketEvent event{};
+    bool is_marker = false;
+    SnapshotMarker cut{};
+    std::chrono::steady_clock::time_point enqueued{};
+};
+
+/// Ready-queue payload: a window-closed flow stamped at enqueue.
+struct StampedFlow {
+    ReadyFlow flow;
+    std::chrono::steady_clock::time_point enqueued{};
+};
 
 } // namespace
 
@@ -137,8 +232,65 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     const auto wall_start = std::chrono::steady_clock::now();
     ServeState state;
     ServeMetrics instruments;
-    BoundedQueue<PacketEvent> ingest(config_.queue_depth);
-    BoundedQueue<ReadyFlow> ready(config_.ready_depth);
+    instruments.generation.set(static_cast<std::int64_t>(config_.generation));
+    BoundedQueue<IngestItem> ingest(config_.queue_depth);
+    BoundedQueue<StampedFlow> ready(config_.ready_depth);
+
+    // ---- crash recovery: restore the previous generation's snapshot ------
+    std::optional<ServeSnapshot> snap;
+    if (!config_.snapshot_path.empty()) {
+        // Sweep half-written snapshot temps whose writer died mid-commit
+        // (same dead-pid-guarded scavenger the journal layer uses).
+        (void)util::scavenge_orphan_temps(util::parent_dir_of(config_.snapshot_path));
+        snap = load_snapshot(config_.snapshot_path, config_.fingerprint());
+    }
+    if (snap.has_value()) {
+        const SnapshotCounters& base = snap->counters;
+        // The loss window: flows the cut says were ingested but are neither
+        // classified, shed, nor in the persisted table — they sat in the
+        // ready queue or a half-classified batch when the process died.
+        // Classifier-side counters in the cut are relaxed samples that can
+        // only *lag* (under-count), so the deficit can only over-estimate —
+        // a conservative, typed bound on what the crash cost.
+        const std::uint64_t accounted_at_cut =
+            base.flows_classified + base.flow_sheds() + snap->flows.size();
+        const std::uint64_t loss = base.flows_ingested > accounted_at_cut
+                                       ? base.flows_ingested - accounted_at_cut
+                                       : 0;
+        state.events_quarantined.store(base.events_quarantined);
+        state.events_dropped_mem.store(base.events_dropped_mem);
+        state.events_dropped_slo.store(base.events_dropped_slo);
+        state.flows_ingested.store(base.flows_ingested);
+        state.flows_classified.store(base.flows_classified);
+        state.flows_correct.store(base.flows_correct);
+        state.shed_mem_budget.store(base.shed_mem_budget);
+        state.shed_queue_full.store(base.shed_queue_full);
+        state.shed_deadline.store(base.shed_deadline);
+        state.shed_breaker.store(base.shed_breaker);
+        state.shed_slo.store(base.shed_slo);
+        state.shed_restart_loss.store(base.shed_restart_loss + loss);
+        state.batches.store(base.batches);
+        state.slo_violations.store(base.slo_violations);
+        if (loss > 0) {
+            instruments.shed_restart.add(loss);
+        }
+        util::log_info("serve: restored snapshot (watermark=" + std::to_string(snap->watermark) +
+                       " flows=" + std::to_string(snap->flows.size()) +
+                       " restart_loss=" + std::to_string(loss) + " from generation " +
+                       std::to_string(snap->generation) + ")");
+    }
+
+    // ---- watchdog: per-thread stall detection + supervisor heartbeat ------
+    Watchdog watchdog(WatchdogConfig{
+        .stall_seconds = config_.hang_stall_s,
+        .poll_seconds = 0.25,
+        .heartbeat_path = config_.heartbeat_path,
+        .on_stall = {},
+    });
+    const std::size_t wd_driver = watchdog.add_thread("driver");
+    const std::size_t wd_assembler = watchdog.add_thread("assembler");
+    const std::size_t wd_classifier = watchdog.add_thread("classifier");
+    watchdog.start();
 
     // Written only by the classifier thread; read after join() (the join is
     // the synchronization point, so plain variables suffice).
@@ -153,14 +305,76 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         FPTC_TRACE_SPAN("serve_assembler");
         FlowTable table(config_.mem_mb * 1024 * 1024, config_.window_seconds);
         double stream_now = 0.0;
-        std::vector<PacketEvent> events;
+        if (snap.has_value()) {
+            // Charges go through the MemBudget exactly like live admission;
+            // a shrunken post-restart budget turns refusals into typed
+            // mem_budget sheds instead of a crash loop.
+            const std::size_t refused = table.restore(snap->flows);
+            state.restored_flows.store(snap->flows.size() - refused);
+            if (refused > 0) {
+                state.restore_refused.store(refused);
+                state.shed_mem_budget.fetch_add(refused, std::memory_order_relaxed);
+                instruments.shed_mem.add(refused);
+            }
+            stream_now = snap->stream_now;
+        }
+        CoDelAdmission admission(
+            {.target_ms = config_.slo_ms, .interval_ms = config_.slo_interval_ms});
+        const auto write_snapshot = [&](const SnapshotMarker& cut) {
+            ServeSnapshot out;
+            out.watermark = cut.events_total;
+            out.stream_now = stream_now;
+            out.generation = config_.generation;
+            out.config_fingerprint = config_.fingerprint();
+            SnapshotCounters& c = out.counters;
+            c.events_total = cut.events_total;
+            c.events_dropped_queue = cut.events_dropped_queue;
+            // Assembler-owned counters: exact at this point — FIFO order
+            // guarantees every surviving event before the watermark has
+            // been folded into the table already.
+            c.events_quarantined = state.events_quarantined.load(std::memory_order_relaxed);
+            c.events_dropped_mem = state.events_dropped_mem.load(std::memory_order_relaxed);
+            c.events_dropped_slo = state.events_dropped_slo.load(std::memory_order_relaxed);
+            c.flows_ingested = state.flows_ingested.load(std::memory_order_relaxed);
+            c.shed_mem_budget = state.shed_mem_budget.load(std::memory_order_relaxed);
+            c.shed_queue_full = state.shed_queue_full.load(std::memory_order_relaxed);
+            c.shed_restart_loss = state.shed_restart_loss.load(std::memory_order_relaxed);
+            // Classifier-owned counters: relaxed samples that may lag.  Lag
+            // only under-counts, which the restore-time deficit absorbs as
+            // restart_loss — never a broken invariant.
+            c.flows_classified = state.flows_classified.load(std::memory_order_relaxed);
+            c.flows_correct = state.flows_correct.load(std::memory_order_relaxed);
+            c.shed_deadline = state.shed_deadline.load(std::memory_order_relaxed);
+            c.shed_breaker = state.shed_breaker.load(std::memory_order_relaxed);
+            c.shed_slo = state.shed_slo.load(std::memory_order_relaxed);
+            c.batches = state.batches.load(std::memory_order_relaxed);
+            c.slo_violations = state.slo_violations.load(std::memory_order_relaxed);
+            out.flows = table.snapshot_entries();
+            try {
+                save_snapshot(config_.snapshot_path, out);
+            } catch (const std::exception& e) {
+                // A failed snapshot costs recovery freshness, never the
+                // stream: log and keep serving; the next marker retries.
+                util::log_info(std::string("serve: snapshot write failed (") + e.what() +
+                               "); continuing without");
+                return;
+            }
+            state.snapshots_written.fetch_add(1, std::memory_order_relaxed);
+            instruments.snapshots.add();
+            if (util::fault_injector().inject_serve_kill()) {
+                util::log_info("serve: fault injector SIGKILLing worker after snapshot commit");
+                ::raise(SIGKILL);
+            }
+        };
+        std::vector<IngestItem> items;
         const auto offer = [&](ReadyFlow&& flow, bool final_flush) {
             // Bounded backpressure, like the ingest side: a busy classifier
             // gets a grace window (longer at the final flush, when it is
             // known to be draining), then the flow is shed with a typed
             // reason.  A wedged classifier can never block shutdown.
             const auto grace = std::chrono::milliseconds(final_flush ? 2000 : 200);
-            const bool queued = ready.push_wait(std::move(flow), grace);
+            const bool queued = ready.push_wait(
+                StampedFlow{std::move(flow), std::chrono::steady_clock::now()}, grace);
             if (!queued) {
                 // The refused ReadyFlow dies inside the push call; its
                 // Charge destructor credits the bytes back right here.
@@ -169,10 +383,25 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             }
         };
         for (;;) {
-            events.clear();
+            watchdog.beat(wd_assembler);
+            items.clear();
             const std::size_t taken =
-                ingest.drain(events, 256, std::chrono::milliseconds(20));
-            for (const PacketEvent& event : events) {
+                ingest.drain(items, 256, std::chrono::milliseconds(20));
+            for (IngestItem& item : items) {
+                if (item.is_marker) {
+                    write_snapshot(item.cut);
+                    continue;
+                }
+                if (admission.enabled() &&
+                    admission.should_drop(elapsed_ms(item.enqueued), steady_now_ms())) {
+                    // Sojourn over the SLO for a sustained interval: the
+                    // event is doomed work — drop it before it costs table
+                    // space and classify time (event-level, typed).
+                    state.events_dropped_slo.fetch_add(1, std::memory_order_relaxed);
+                    instruments.dropped_slo.add();
+                    continue;
+                }
+                const PacketEvent& event = item.event;
                 if (const char* reason = validate(event); reason != nullptr) {
                     (void)reason;
                     state.events_quarantined.fetch_add(1, std::memory_order_relaxed);
@@ -204,11 +433,15 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                 break;
             }
         }
+        // The final flush blocks up to 2 s per flow by design (the
+        // classifier is draining) — tell the watchdog this is intentional.
+        watchdog.set_idle(wd_assembler, true);
         for (ReadyFlow& flow : table.flush_all()) {
             offer(std::move(flow), true);
         }
         instruments.flows_active.set(0);
         ready.close();
+        watchdog.mark_done(wd_assembler);
     });
 
     // --- classifier: micro-batch ready flows into the breaker-picked
@@ -218,21 +451,68 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         CircuitBreaker breaker({.p99_ms = config_.breaker_p99_ms,
                                 .failure_threshold = config_.breaker_failures,
                                 .cooldown_batches = config_.breaker_cooldown});
+        CoDelAdmission admission(
+            {.target_ms = config_.slo_ms, .interval_ms = config_.slo_interval_ms});
         std::uint64_t last_trips = 0;
         std::uint64_t last_recoveries = 0;
+        std::vector<StampedFlow> staged;
         std::vector<ReadyFlow> batch;
         for (;;) {
+            watchdog.beat(wd_classifier);
+            staged.clear();
             batch.clear();
             const std::size_t taken =
-                ready.drain(batch, config_.batch_size, std::chrono::milliseconds(20));
+                ready.drain(staged, config_.batch_size, std::chrono::milliseconds(20));
             if (taken == 0) {
                 if (ready.closed() && ready.size() == 0) {
                     break;
                 }
                 continue;
             }
+            for (StampedFlow& stamped : staged) {
+                const double sojourn = elapsed_ms(stamped.enqueued);
+                if (config_.slo_ms > 0.0) {
+                    state.slo_considered.fetch_add(1, std::memory_order_relaxed);
+                    if (sojourn > config_.slo_ms) {
+                        state.slo_violations.fetch_add(1, std::memory_order_relaxed);
+                        instruments.slo_violations.add();
+                    }
+                    if (admission.should_drop(sojourn, steady_now_ms())) {
+                        // Hard SLO: a flow that queued past the target for
+                        // a sustained interval is dropped *ahead of* the
+                        // breaker — the ladder never sees doomed work.  The
+                        // StampedFlow dies here; its Charge credits back.
+                        state.shed_slo.fetch_add(1, std::memory_order_relaxed);
+                        instruments.shed_slo.add();
+                        continue;
+                    }
+                }
+                batch.push_back(std::move(stamped.flow));
+            }
+            if (batch.empty()) {
+                continue;
+            }
+            if (util::fault_injector().inject_serve_hang()) {
+                // Wedge without heartbeating: the watchdog must detect the
+                // stall and hang-exit.  The failsafe cap below keeps an
+                // un-watched configuration from hanging forever.
+                util::log_info("serve: fault injector wedging classifier thread (serve_hang)");
+                const double cap_s =
+                    config_.hang_stall_s > 0.0 ? config_.hang_stall_s * 10.0 : 5.0;
+                const auto wedged_at = std::chrono::steady_clock::now();
+                while (elapsed_ms(wedged_at) < cap_s * 1000.0) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                }
+                util::log_info("serve: wedge failsafe cap elapsed; resuming");
+            }
             state.batches.fetch_add(1, std::memory_order_relaxed);
-            const Tier tier = breaker.plan_batch();
+            Tier tier = breaker.plan_batch();
+            if (config_.gbt_only && tier != Tier::shed) {
+                // Degraded mode (supervisor's last restart): the CNN tiers
+                // are suspected of the crash loop, so serve from the cheap
+                // GBT fallback only.
+                tier = Tier::fallback;
+            }
             instruments.breaker_state.set(static_cast<std::int64_t>(breaker.tier()));
             if (tier == Tier::shed) {
                 state.shed_breaker.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -307,33 +587,95 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         breaker_final = static_cast<int>(breaker.tier());
         breaker_trips = breaker.trips();
         breaker_recoveries = breaker.recoveries();
+        watchdog.mark_done(wd_classifier);
     });
 
     // --- driver (this thread): pump the stream into the ingest queue -------
     ServeReport report;
+    report.generation = config_.generation;
+    std::uint64_t events_total = 0;
+    std::uint64_t events_dropped_queue = 0;
+    if (snap.has_value()) {
+        report.restored = true;
+        report.watermark = snap->watermark;
+        events_total = snap->counters.events_total;
+        events_dropped_queue = snap->counters.events_dropped_queue;
+        // The stream is seed-deterministic (bursts and mangles included), so
+        // skipping exactly `watermark` draws resumes the identical sequence
+        // the crashed generation had not yet delivered.
+        for (std::uint64_t skipped = 0; skipped < snap->watermark; ++skipped) {
+            if (!stream.next().has_value()) {
+                break;
+            }
+            if ((skipped & 0x3FF) == 0) {
+                watchdog.beat(wd_driver);
+            }
+        }
+    }
     {
         FPTC_TRACE_SPAN("serve_ingest");
+        const bool snapshots_on =
+            !config_.snapshot_path.empty() &&
+            (config_.snapshot_period_s > 0.0 || config_.snapshot_every > 0);
+        auto last_marker = std::chrono::steady_clock::now();
+        std::uint64_t events_since_marker = 0;
         while (auto event = stream.next()) {
-            ++report.events_total;
+            watchdog.beat(wd_driver);
+            ++events_total;
             instruments.events.add();
             // Bounded backpressure: tolerate a short stall (a capture
             // buffer's worth), then shed the event with a typed reason —
             // the driver never blocks indefinitely on a wedged assembler.
-            if (!ingest.push_wait(*event, std::chrono::milliseconds(20))) {
-                ++report.events_dropped_queue;
+            if (!ingest.push_wait(
+                    IngestItem{*event, false, {}, std::chrono::steady_clock::now()},
+                    std::chrono::milliseconds(20))) {
+                ++events_dropped_queue;
                 instruments.dropped_queue.add();
+            }
+            ++events_since_marker;
+            if (snapshots_on &&
+                ((config_.snapshot_period_s > 0.0 &&
+                  elapsed_ms(last_marker) >= config_.snapshot_period_s * 1000.0) ||
+                 (config_.snapshot_every > 0 && events_since_marker >= config_.snapshot_every))) {
+                // Consistent cut: the marker rides the FIFO queue carrying
+                // the driver's exact counters, so when the assembler
+                // dequeues it, table + assembler counters agree with the
+                // watermark precisely.
+                IngestItem marker;
+                marker.is_marker = true;
+                marker.cut = SnapshotMarker{events_total, events_dropped_queue};
+                marker.enqueued = std::chrono::steady_clock::now();
+                // A refused marker just skips one snapshot period; the
+                // cadence clock resets either way so a saturated queue is
+                // not hammered with markers.
+                (void)ingest.push_wait(std::move(marker), std::chrono::milliseconds(200));
+                last_marker = std::chrono::steady_clock::now();
+                events_since_marker = 0;
             }
             if (util::shutdown_requested()) {
                 break;
             }
         }
     }
+    watchdog.mark_done(wd_driver);
     ingest.close();
     assembler.join();
     classifier.join();
+    watchdog.stop();
 
+    const bool clean_finish = !util::shutdown_requested();
+    if (!config_.snapshot_path.empty() && clean_finish) {
+        // The stream is fully served and accounted: a leftover snapshot
+        // would make the *next* run believe it crashed.  Remove it; only a
+        // crash leaves one behind.
+        ::unlink(config_.snapshot_path.c_str());
+    }
+
+    report.events_total = events_total;
+    report.events_dropped_queue = events_dropped_queue;
     report.events_quarantined = state.events_quarantined.load();
     report.events_dropped_mem = state.events_dropped_mem.load();
+    report.events_dropped_slo = state.events_dropped_slo.load();
     report.flows_ingested = state.flows_ingested.load();
     report.flows_classified = state.flows_classified.load();
     report.flows_correct = state.flows_correct.load();
@@ -341,7 +683,14 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     report.shed_queue_full = state.shed_queue_full.load();
     report.shed_deadline = state.shed_deadline.load();
     report.shed_breaker = state.shed_breaker.load();
+    report.shed_slo = state.shed_slo.load();
+    report.shed_restart_loss = state.shed_restart_loss.load();
     report.batches = state.batches.load();
+    report.slo_considered = state.slo_considered.load();
+    report.slo_violations = state.slo_violations.load();
+    report.snapshots_written = state.snapshots_written.load();
+    report.restored_flows = state.restored_flows.load();
+    report.restore_refused = state.restore_refused.load();
     report.breaker_trips = breaker_trips;
     report.breaker_recoveries = breaker_recoveries;
     report.final_tier = breaker_final;

@@ -1,0 +1,233 @@
+#include "fptc/serve/supervisor.hpp"
+
+#include "fptc/serve/watchdog.hpp"
+#include "fptc/util/durable.hpp"
+#include "fptc/util/env.hpp"
+#include "fptc/util/log.hpp"
+#include "fptc/util/shard.hpp"
+#include "fptc/util/shutdown.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fptc::serve {
+
+namespace {
+
+[[nodiscard]] std::string env_string(const char* name)
+{
+    const char* value = std::getenv(name);
+    return value != nullptr ? std::string(value) : std::string();
+}
+
+/// Wall-clock seconds (heartbeat staleness compares against file mtime,
+/// which is realtime).
+[[nodiscard]] double wall_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Heartbeat file mtime in wall seconds, or nullopt when absent.
+[[nodiscard]] std::optional<double> heartbeat_mtime(const std::string& path)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        return std::nullopt;
+    }
+    return static_cast<double>(st.st_mtim.tv_sec) +
+           static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+}
+
+/// Blocking waitpid that still honours the double-signal escape hatch in
+/// the shutdown handler (which _exits on the second SIGTERM/SIGINT).
+[[nodiscard]] int wait_for_exit(int pid)
+{
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    return status;
+}
+
+} // namespace
+
+SupervisorConfig SupervisorConfig::from_env()
+{
+    SupervisorConfig config;
+    if (const auto v = util::env_int("FPTC_SERVE_MAX_RESTARTS")) {
+        config.max_restarts = static_cast<int>(*v);
+    }
+    if (const auto v = util::env_double("FPTC_SERVE_BACKOFF_MS")) {
+        config.backoff_ms = *v;
+    }
+    if (const auto v = util::env_double("FPTC_SERVE_HEARTBEAT_STALE_S")) {
+        config.heartbeat_stale_s = *v;
+    }
+    config.heartbeat_path = env_string("FPTC_SERVE_HEARTBEAT");
+    config.snapshot_path = env_string("FPTC_SERVE_SNAPSHOT");
+    if (config.heartbeat_path.empty() && !config.snapshot_path.empty()) {
+        // Default the liveness file next to the snapshot so one knob
+        // (FPTC_SERVE_SNAPSHOT) yields a fully wired supervised setup.
+        config.heartbeat_path = config.snapshot_path + ".heartbeat";
+    }
+    return config;
+}
+
+double backoff_delay_ms(const SupervisorConfig& config, int restart)
+{
+    double delay = config.backoff_ms;
+    for (int i = 1; i < restart; ++i) {
+        delay *= 2.0;
+        if (delay >= config.backoff_cap_ms) {
+            return config.backoff_cap_ms;
+        }
+    }
+    return delay < config.backoff_cap_ms ? delay : config.backoff_cap_ms;
+}
+
+bool is_serve_worker()
+{
+    return env_string(kServeRoleEnv) == kServeRoleWorker;
+}
+
+std::uint32_t serve_generation()
+{
+    if (const auto v = util::env_int(kServeGenerationEnv)) {
+        return static_cast<std::uint32_t>(*v);
+    }
+    return 0;
+}
+
+int run_supervisor(const SupervisorConfig& config)
+{
+    util::install_shutdown_handlers();
+    if (!config.snapshot_path.empty()) {
+        // Crash debris from a previous incarnation: half-written snapshot
+        // temps whose writer is gone (same scavenger the journal/checkpoint
+        // layer uses at startup).
+        const std::size_t removed =
+            util::scavenge_orphan_temps(util::parent_dir_of(config.snapshot_path));
+        if (removed > 0) {
+            util::log_info("serve supervisor: scavenged " + std::to_string(removed) +
+                           " orphaned snapshot temp file(s)");
+        }
+    }
+    if (!config.heartbeat_path.empty()) {
+        ::unlink(config.heartbeat_path.c_str());  // stale liveness from a previous run
+    }
+
+    int restarts = 0;
+    bool degraded = false;
+    int last_status = 0;
+    while (true) {
+        const bool final_attempt = restarts == config.max_restarts && config.max_restarts > 0;
+        std::vector<util::EnvVar> env{
+            {kServeRoleEnv, kServeRoleWorker, false},
+            {kServeGenerationEnv, std::to_string(restarts), false},
+        };
+        if (!config.heartbeat_path.empty()) {
+            env.push_back({"FPTC_SERVE_HEARTBEAT", config.heartbeat_path, false});
+        }
+        if (restarts > 0) {
+            // Injected one-shot faults must not replay in the recovered
+            // generation — the point is to recover from the crash, not to
+            // loop it.
+            env.push_back({"FPTC_FAULT_KILL_SERVE", "", true});
+            env.push_back({"FPTC_FAULT_SERVE_HANG", "", true});
+        }
+        if (final_attempt) {
+            degraded = true;
+            env.push_back({"FPTC_SERVE_GBT_ONLY", "1", false});
+            util::log_info("serve supervisor: final restart — degrading worker to GBT-only");
+        }
+
+        const double spawned_at = wall_seconds();
+        const int pid = util::spawn_shard_worker(env, /*stdout_path=*/"");
+        util::log_info("serve supervisor: worker generation " + std::to_string(restarts) +
+                       " started (pid " + std::to_string(pid) + ")");
+
+        // Watch: death via waitpid, wedge via heartbeat staleness.
+        int status = 0;
+        bool beat_seen = false;
+        bool killed_for_stall = false;
+        while (true) {
+            const int reaped = ::waitpid(pid, &status, WNOHANG);
+            if (reaped == pid) {
+                break;
+            }
+            if (util::shutdown_requested()) {
+                ::kill(pid, SIGTERM);
+                status = wait_for_exit(pid);
+                util::log_info("serve supervisor: shutdown signal forwarded to worker");
+                return util::shutdown_exit_code(util::shutdown_signal());
+            }
+            if (!config.heartbeat_path.empty() && config.heartbeat_stale_s > 0.0 &&
+                !killed_for_stall) {
+                const auto mtime = heartbeat_mtime(config.heartbeat_path);
+                if (mtime.has_value() && *mtime > spawned_at - 1.0) {
+                    beat_seen = true;
+                }
+                if (beat_seen && mtime.has_value() &&
+                    wall_seconds() - *mtime > config.heartbeat_stale_s) {
+                    util::log_info("serve supervisor: worker heartbeat stale for over " +
+                                   std::to_string(config.heartbeat_stale_s) +
+                                   "s — SIGKILLing wedged worker");
+                    ::kill(pid, SIGKILL);
+                    killed_for_stall = true;
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+
+        if (WIFEXITED(status)) {
+            const int code = WEXITSTATUS(status);
+            if (code == 0) {
+                util::log_info("serve supervisor: worker finished cleanly after " +
+                               std::to_string(restarts) + " restart(s)" +
+                               (degraded ? " (degraded to GBT-only)" : ""));
+                util::log_raw("SUPERVISOR_OK restarts=" + std::to_string(restarts) +
+                              " degraded=" + std::to_string(degraded ? 1 : 0));
+                return 0;
+            }
+            if (code == 127) {
+                util::log_info("serve supervisor: worker exec failed (127); not retrying");
+                return 127;
+            }
+            last_status = code;
+            util::log_info(std::string("serve supervisor: worker ") +
+                           (code == kHangExitCode ? "hang-exited (watchdog)" : "crashed") +
+                           " with code " + std::to_string(code));
+        } else if (WIFSIGNALED(status)) {
+            const int signum = WTERMSIG(status);
+            last_status = 128 + signum;
+            util::log_info("serve supervisor: worker killed by signal " + std::to_string(signum) +
+                           (killed_for_stall ? " (supervisor stall kill)" : ""));
+        } else {
+            last_status = 1;
+        }
+
+        if (restarts >= config.max_restarts) {
+            util::log_info("serve supervisor: crash-loop budget exhausted (" +
+                           std::to_string(config.max_restarts) + " restart(s)); giving up");
+            return last_status;
+        }
+        ++restarts;
+        const double delay = backoff_delay_ms(config, restarts);
+        util::log_info("serve supervisor: restarting in " + std::to_string(delay) + "ms");
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+}
+
+} // namespace fptc::serve

@@ -26,6 +26,8 @@ void FaultInjector::configure(const FaultPlan& plan)
     shard_unit_completions_ = 0;
     serve_backend_calls_ = 0;
     serve_stream_events_ = 0;
+    serve_batches_ = 0;
+    serve_snapshot_commits_ = 0;
     const std::uint64_t threshold =
         plan.alloc_fail_after_mb > 0
             ? static_cast<std::uint64_t>(plan.alloc_fail_after_mb) * 1024 * 1024
@@ -46,7 +48,8 @@ bool FaultInjector::enabled() const noexcept
            plan_.alloc_fail_after_mb > 0 || plan_.alloc_fail_units > 0 ||
            (plan_.kill_shard >= 0 && plan_.kill_shard_at_unit > 0) ||
            plan_.serve_stall_backend > 0 || plan_.serve_mangle_percent > 0.0 ||
-           plan_.serve_burst > 0;
+           plan_.serve_burst > 0 || plan_.serve_hang_at_batch > 0 ||
+           plan_.kill_serve_at_snapshot > 0;
 }
 
 bool FaultInjector::inject_nan_loss()
@@ -260,6 +263,34 @@ int FaultInjector::inject_serve_burst()
     return plan_.serve_burst;
 }
 
+bool FaultInjector::inject_serve_hang()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.serve_hang_at_batch <= 0) {
+        return false;
+    }
+    ++serve_batches_;
+    if (serve_batches_ != static_cast<std::uint64_t>(plan_.serve_hang_at_batch)) {
+        return false;
+    }
+    ++counters_.serve_hangs;
+    return true;
+}
+
+bool FaultInjector::inject_serve_kill()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (plan_.kill_serve_at_snapshot <= 0) {
+        return false;
+    }
+    ++serve_snapshot_commits_;
+    if (serve_snapshot_commits_ != static_cast<std::uint64_t>(plan_.kill_serve_at_snapshot)) {
+        return false;
+    }
+    ++counters_.serve_kills;
+    return true;
+}
+
 FaultCounters FaultInjector::counters() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -282,7 +313,9 @@ std::string FaultInjector::summary() const
         << " shard_kills=" << counts.shard_kills
         << " serve_stalls=" << counts.serve_backend_stalls
         << " serve_mangled=" << counts.serve_mangled_packets
-        << " serve_bursts=" << counts.serve_bursts;
+        << " serve_bursts=" << counts.serve_bursts
+        << " serve_hangs=" << counts.serve_hangs
+        << " serve_kills=" << counts.serve_kills;
     return out.str();
 }
 
@@ -307,6 +340,9 @@ FaultPlan fault_plan_from_env()
     plan.serve_mangle_percent =
         static_cast<double>(env_int("FPTC_FAULT_SERVE_MANGLE_PACKETS").value_or(0));
     plan.serve_burst = static_cast<int>(env_int("FPTC_FAULT_SERVE_BURST").value_or(0));
+    plan.serve_hang_at_batch = static_cast<int>(env_int("FPTC_FAULT_SERVE_HANG").value_or(0));
+    plan.kill_serve_at_snapshot =
+        static_cast<int>(env_int("FPTC_FAULT_KILL_SERVE").value_or(0));
     // "s:k" = kill shard s after its k-th unit; a plain "k" targets shard 0.
     if (const char* spec = std::getenv("FPTC_FAULT_KILL_SHARD");
         spec != nullptr && *spec != '\0') {

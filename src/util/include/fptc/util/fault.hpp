@@ -65,6 +65,16 @@
 //   FPTC_FAULT_SERVE_BURST=k      every 64th stream event erupts into k
 //                                 extra same-timestamp packets (a synthetic
 //                                 microburst driving queue_full shedding)
+//   FPTC_FAULT_SERVE_HANG=k       the serve classifier thread wedges (stops
+//                                 heartbeating) at its k-th batch; the
+//                                 in-worker watchdog must detect the stall
+//                                 and hang-exit so the supervisor restarts
+//   FPTC_FAULT_KILL_SERVE=k       SIGKILL the serve worker right after its
+//                                 k-th flow-state snapshot *commits* — the
+//                                 restarted worker must restore that
+//                                 snapshot and keep the accounting invariant
+//                                 across generations (commit-indexed so a
+//                                 snapshot provably exists at the kill)
 //
 // All injections are counted per class so campaign summaries can report
 // exactly how many faults were injected and survived.
@@ -111,6 +121,8 @@ struct FaultPlan {
     int serve_stall_backend = 0;   ///< first n serve backend classify calls stall
     double serve_mangle_percent = 0.0;  ///< % of stream packet events mangled
     int serve_burst = 0;           ///< extra packets injected per burst point (0 = off)
+    int serve_hang_at_batch = 0;   ///< classifier wedges at its k-th batch (0 = off)
+    int kill_serve_at_snapshot = 0; ///< SIGKILL worker after its k-th snapshot commit (0 = off)
 };
 
 /// Tallies of injected faults since the last configure().
@@ -129,13 +141,15 @@ struct FaultCounters {
     std::uint64_t serve_backend_stalls = 0;  ///< serve backend classify calls stalled
     std::uint64_t serve_mangled_packets = 0; ///< stream packet events mangled
     std::uint64_t serve_bursts = 0;          ///< burst points injected into the stream
+    std::uint64_t serve_hangs = 0;           ///< classifier wedge points reached
+    std::uint64_t serve_kills = 0;           ///< post-snapshot SIGKILL points reached
 
     [[nodiscard]] std::uint64_t total() const noexcept
     {
         return nan_losses + truncated_writes + corrupted_csv_rows + stalled_units +
                transient_units + enospc_failures + short_write_clamps + fsync_failures +
                alloc_rejections + alloc_unit_failures + shard_kills + serve_backend_stalls +
-               serve_mangled_packets + serve_bursts;
+               serve_mangled_packets + serve_bursts + serve_hangs + serve_kills;
     }
 };
 
@@ -232,6 +246,17 @@ public:
     /// always; serve_burst at every 64th event when the class is armed).
     [[nodiscard]] int inject_serve_burst();
 
+    /// Consulted once per serve classifier batch; true exactly at the k-th
+    /// (serve_hang_at_batch) batch: the classifier must wedge — stop
+    /// heartbeating and spin — so the watchdog's stall detection fires.
+    [[nodiscard]] bool inject_serve_hang();
+
+    /// Consulted once per committed serve flow-state snapshot; true exactly
+    /// at the k-th (kill_serve_at_snapshot) commit: the worker must
+    /// raise(SIGKILL), leaving the just-committed snapshot as the restart
+    /// point with maximal in-flight loss.
+    [[nodiscard]] bool inject_serve_kill();
+
     [[nodiscard]] FaultCounters counters() const;
 
     /// One-line report, e.g. "nan_loss=3 truncated_writes=1 csv_rows=12
@@ -251,6 +276,8 @@ private:
     std::uint64_t shard_unit_completions_ = 0;  ///< kill-shard trigger index
     std::uint64_t serve_backend_calls_ = 0;     ///< serve stall first-n index
     std::uint64_t serve_stream_events_ = 0;     ///< burst cadence counter (every 64th)
+    std::uint64_t serve_batches_ = 0;           ///< serve-hang trigger index
+    std::uint64_t serve_snapshot_commits_ = 0;  ///< serve-kill trigger index
 
     // Alloc-fault state lives outside the mutex: inject_alloc_fail sits on
     // the tensor-allocation hot path, so the armed check is a single relaxed

@@ -133,10 +133,11 @@ struct EnvVar {
 
 /// Fork/exec a shard worker: re-runs this process's own binary and argv
 /// (/proc/self/exe, /proc/self/cmdline) with `env` applied and stdout
-/// redirected (append) to `stdout_path`.  Returns the child pid; throws
-/// IoError when the fork or the pre-exec setup fails.  Must be called
-/// before the coordinator starts its worker pool (fork in a single-threaded
-/// process).
+/// redirected (append) to `stdout_path`; an empty `stdout_path` inherits
+/// the parent's stdout (used by the serve supervisor, whose worker shares
+/// the terminal).  Returns the child pid; throws IoError when the fork or
+/// the pre-exec setup fails.  Must be called before the coordinator starts
+/// its worker pool (fork in a single-threaded process).
 [[nodiscard]] int spawn_shard_worker(const std::vector<EnvVar>& env,
                                      const std::string& stdout_path);
 

@@ -231,10 +231,13 @@ int spawn_shard_worker(const std::vector<EnvVar>& env, const std::string& stdout
             ::setenv(var.name.c_str(), var.value.c_str(), 1);
         }
     }
-    const int fd = ::open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-    if (fd >= 0) {
-        ::dup2(fd, STDOUT_FILENO);
-        ::close(fd);
+    if (!stdout_path.empty()) {
+        const int fd =
+            ::open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::close(fd);
+        }
     }
     std::vector<char*> argv;
     argv.reserve(argv_strings.size() + 1);

@@ -43,7 +43,7 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick|ServeTortureQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve test_serve_recovery
 ctest --preset tsan -j "$(nproc)" \
     -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge|Serve' \
     -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick|ServeTortureQuick'

@@ -116,8 +116,13 @@ require_zero() {
 }
 
 # ---- nominal: full service, no faults, nothing shed -------------------------
+# The zero-shed assertion must test the *logic* (no faults -> no spurious
+# sheds), not the machine: a sanitizer build classifies ~15x slower, and
+# with the default 64-slot ready queue that alone fills the queue and
+# forces queue_full sheds.  Provision the queue past the flow count so a
+# slow classifier can only ever delay, never shed.
 echo "run_serve_torture: nominal run ($FLOWS flows)..."
-run_serve nominal
+run_serve nominal FPTC_SERVE_READY_DEPTH=512
 ingested=$(summary_field "$WORK/nominal" ingested)
 classified=$(summary_field "$WORK/nominal" classified)
 require_pos nominal ingested "$ingested"
@@ -167,6 +172,81 @@ run_serve burst FPTC_FAULT_SERVE_BURST=64 \
     FPTC_SERVE_MEM_MB=1 FPTC_SERVE_WINDOW_S=1000
 require_pos burst shed_mem_budget "$(summary_field "$WORK/burst" shed_mem_budget)"
 echo "run_serve_torture: burst ok (shed_mem_budget=$(summary_field "$WORK/burst" shed_mem_budget))"
+
+# ---- hard SLO, nominal load: latency target met ----------------------------
+# This scenario pins the no-false-positive side of the SLO machinery
+# (violations stay zero, compliance == 1); slo_overload below pins the
+# positive side.  The target must be generous relative to the *build*: a
+# tsan classifier legitimately queues flows for tens of seconds, so a
+# wall-clock target tight enough to be interesting on -O2 would assert
+# machine speed, not admission logic.
+echo "run_serve_torture: nominal run under a generous 60 s SLO..."
+run_serve slo_nominal FPTC_SERVE_SLO_MS=60000 FPTC_SERVE_READY_DEPTH=512
+require_zero slo_nominal slo_violations "$(summary_field "$WORK/slo_nominal" slo_violations)"
+require_zero slo_nominal shed_slo "$(summary_field "$WORK/slo_nominal" shed_slo)"
+compliance=$(sed -n 's/.*"compliance": \([0-9.]*\).*/\1/p' "$WORK/slo_nominal/BENCH_serve.json")
+if ! awk -v c="${compliance:-0}" 'BEGIN { exit (c == 1) ? 0 : 1 }'; then
+    echo "run_serve_torture: FAIL: nominal SLO compliance != 1 ('$compliance')" >&2
+    exit 1
+fi
+echo "run_serve_torture: slo_nominal ok (compliance=$compliance)"
+
+# ---- hard SLO under overload: CoDel sheds ahead of the breaker --------------
+echo "run_serve_torture: 20 ms SLO while the backend wedges (6 batches)..."
+run_serve slo_overload FPTC_FAULT_SERVE_STALL_BACKEND=6 \
+    FPTC_SERVE_DEADLINE_MS=100 FPTC_SERVE_SLO_MS=20 FPTC_SERVE_BREAKER_COOLDOWN=2
+require_pos slo_overload slo_violations "$(summary_field "$WORK/slo_overload" slo_violations)"
+require_pos slo_overload shed_slo "$(summary_field "$WORK/slo_overload" shed_slo)"
+echo "run_serve_torture: slo_overload ok" \
+     "(violations=$(summary_field "$WORK/slo_overload" slo_violations)," \
+     "shed_slo=$(summary_field "$WORK/slo_overload" shed_slo))"
+
+# ---- supervised SIGKILL: restart from the durable snapshot ------------------
+echo "run_serve_torture: SIGKILL the worker after its first snapshot commit..."
+kill_dir="$WORK/kill"
+mkdir -p "$kill_dir"
+run_serve kill FPTC_SERVE_SUPERVISE=1 \
+    FPTC_SERVE_SNAPSHOT="$kill_dir/snapshot.bin" FPTC_SERVE_SNAPSHOT_EVERY=400 \
+    FPTC_FAULT_KILL_SERVE=1 FPTC_SERVE_MAX_RESTARTS=3 FPTC_SERVE_BACKOFF_MS=50
+if ! grep -q 'SUPERVISOR_OK restarts=1 degraded=0' "$kill_dir/stderr.txt"; then
+    echo "run_serve_torture: FAIL: kill scenario missing SUPERVISOR_OK restarts=1:" >&2
+    tail -10 "$kill_dir/stderr.txt" >&2 || true
+    exit 1
+fi
+require_pos kill generation "$(summary_field "$WORK/kill" generation)"
+require_pos kill restored "$(summary_field "$WORK/kill" restored)"
+if [ -e "$kill_dir/snapshot.bin" ]; then
+    echo "run_serve_torture: FAIL: kill scenario left its snapshot behind after a clean finish" >&2
+    exit 1
+fi
+echo "run_serve_torture: kill ok (restarted once, resumed from snapshot," \
+     "restart_loss=$(summary_field "$WORK/kill" shed_restart_loss))"
+
+# ---- wedged classifier: watchdog hang-exit + supervised restart -------------
+# The stall budget must sit well above one legitimate classify batch on the
+# slowest build we gate (tsan runs the CNN ~15x slower and the classifier
+# beats once per batch): a budget a fast machine would pick (~3 s) makes
+# the *restarted* healthy generation hang-exit too, and the restarts=1
+# assertion below then fails on machine speed rather than logic.
+echo "run_serve_torture: wedge the classifier thread (watchdog stall budget 10 s)..."
+hang_dir="$WORK/hang"
+mkdir -p "$hang_dir"
+run_serve hang FPTC_SERVE_SUPERVISE=1 \
+    FPTC_SERVE_SNAPSHOT="$hang_dir/snapshot.bin" FPTC_SERVE_SNAPSHOT_EVERY=400 \
+    FPTC_FAULT_SERVE_HANG=2 FPTC_SERVE_HANG_S=10 \
+    FPTC_SERVE_MAX_RESTARTS=3 FPTC_SERVE_BACKOFF_MS=50
+if ! grep -q 'SUPERVISOR_OK restarts=1 degraded=0' "$hang_dir/stderr.txt"; then
+    echo "run_serve_torture: FAIL: hang scenario missing SUPERVISOR_OK restarts=1:" >&2
+    tail -10 "$hang_dir/stderr.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q 'watchdog' "$hang_dir/stderr.txt"; then
+    echo "run_serve_torture: FAIL: hang scenario has no watchdog stall report" >&2
+    exit 1
+fi
+require_pos hang generation "$(summary_field "$WORK/hang" generation)"
+echo "run_serve_torture: hang ok (watchdog hang-exit, restarted once," \
+     "generation=$(summary_field "$WORK/hang" generation))"
 
 # ---- combined chaos: all fault classes at once ------------------------------
 if [ "$QUICK" = 1 ]; then
