@@ -11,6 +11,7 @@
 #include "fptc/augment/augmentation.hpp"
 #include "fptc/core/data.hpp"
 #include "fptc/serve/backend.hpp"
+#include "fptc/serve/reload.hpp"
 #include "fptc/flowpic/flowpic.hpp"
 #include "fptc/gbt/gbt.hpp"
 #include "fptc/nn/loss.hpp"
@@ -211,6 +212,29 @@ void BM_ServeClassifyLatency(benchmark::State& state)
                             static_cast<std::int64_t>(kBatch));
 }
 BENCHMARK(BM_ServeClassifyLatency)->Arg(16)->Arg(32);
+
+/// One golden-replay canary pass (reload.hpp): classify the fixed labeled
+/// buffer — `range(0)` flows per class across 5 classes — through the
+/// full-tier CNN and score it.  This is the pause the classifier thread
+/// takes between batches when vetting a reload candidate, so it bounds how
+/// large FPTC_SERVE_RELOAD_CANARY can be before canarying itself violates
+/// the latency SLO.
+void BM_ServeCanaryReplay(benchmark::State& state)
+{
+    const auto canary_flows = static_cast<std::size_t>(state.range(0));
+    auto backend = serve::CnnBackend::untrained(32, 5, 17);
+    serve::ReloadConfig config;
+    config.path = "unused-canary-bench.ckpt";  // never read: only golden_accuracy runs
+    config.canary_flows = canary_flows;
+    const serve::ModelReloader reloader(config, backend.get());
+    AllocPerOp alloc(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reloader.golden_accuracy(*backend));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(canary_flows * 5));
+}
+BENCHMARK(BM_ServeCanaryReplay)->Arg(4)->Arg(16);
 
 /// Shared workload for the span-overhead pair: a short FNV-1a mixing loop,
 /// heavy enough that timer noise does not dominate but small enough that a

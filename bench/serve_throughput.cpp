@@ -24,7 +24,15 @@
 //                             (default 0 = untrained CNNs, tiny-fit GBT)
 //   FPTC_SERVE_TRAIN_EPOCHS=n CNN training epochs when TRAIN_FLOWS > 0
 //   FPTC_SERVE_SUPERVISE=1    run under the crash-recovery supervisor
+//   FPTC_SERVE_SELFTEST_CANDIDATE=good|corrupt
+//                             write a reload candidate to FPTC_SERVE_RELOAD at
+//                             startup: `good` = a valid copy of the incumbent
+//                             (canary must accept), `corrupt` = a CRC-correct
+//                             checkpoint with a NaN weight (canary must reject
+//                             and roll back) — keeps the drift torture
+//                             scenarios self-contained
 //   FPTC_SERVE_*              service knobs, see fptc/serve/service.hpp
+//   FPTC_DRIFT_*              stream drift schedule, see fptc/trafficgen/drift.hpp
 //   FPTC_FAULT_SERVE_*        fault classes, see fptc/util/fault.hpp
 //
 // Exit status: 0 iff the run completed with the flow accounting balanced
@@ -33,6 +41,8 @@
 #include "fptc/serve/service.hpp"
 #include "fptc/serve/supervisor.hpp"
 
+#include "fptc/nn/serialize.hpp"
+#include "fptc/trafficgen/drift.hpp"
 #include "fptc/util/durable.hpp"
 #include "fptc/util/env.hpp"
 #include "fptc/util/fault.hpp"
@@ -43,7 +53,9 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -65,9 +77,38 @@ double load_average()
     return 0.0;
 }
 
+/// Drop a reload candidate at the FPTC_SERVE_RELOAD path so the canary
+/// torture scenarios are self-contained.  `good` publishes a valid copy of
+/// the incumbent; `corrupt` writes a structurally valid, CRC-correct
+/// checkpoint whose payload carries a NaN weight — the class of corruption
+/// only semantic validation catches (save_parameters is used directly
+/// because save_network would refuse to publish it).
+void write_selftest_candidate(const std::string& mode, const std::string& path,
+                              fptc::serve::CnnBackend& incumbent)
+{
+    using namespace fptc;
+    if (mode == "good") {
+        nn::save_network(incumbent.network(), path, incumbent.calibration());
+        return;
+    }
+    if (mode != "corrupt") {
+        throw util::EnvError("FPTC_SERVE_SELFTEST_CANDIDATE must be good|corrupt, got '" +
+                             mode + "'");
+    }
+    const auto params = incumbent.network().parameters();
+    float& poisoned = params.front()->value.data()[0];
+    const float saved = poisoned;
+    poisoned = std::numeric_limits<float>::quiet_NaN();
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        nn::save_parameters(params, out, nn::kSerializeVersion, incumbent.calibration());
+    }
+    poisoned = saved;
+}
+
 std::string bench_json(const fptc::serve::ServeReport& report,
                        const fptc::serve::ServeConfig& config, std::size_t stream_flows,
-                       std::uint64_t quarantine_oracle)
+                       std::uint64_t quarantine_oracle, std::uint64_t unknown_oracle)
 {
     const double wall = report.wall_seconds > 0.0 ? report.wall_seconds : 1e-9;
     std::ostringstream out;
@@ -91,6 +132,8 @@ std::string bench_json(const fptc::serve::ServeReport& report,
         << "    \"restart_loss\": " << report.shed_restart_loss << "\n"
         << "  },\n"
         << "  \"events_quarantined\": " << report.events_quarantined << ",\n"
+        << "  \"events_quarantined_backwards\": " << report.events_quarantined_backwards
+        << ",\n"
         << "  \"events_mangled\": " << quarantine_oracle << ",\n"
         << "  \"events_dropped_queue\": " << report.events_dropped_queue << ",\n"
         << "  \"events_dropped_mem\": " << report.events_dropped_mem << ",\n"
@@ -114,6 +157,31 @@ std::string bench_json(const fptc::serve::ServeReport& report,
         << "    \"restore_refused\": " << report.restore_refused << ",\n"
         << "    \"restart_loss\": " << report.shed_restart_loss << ",\n"
         << "    \"snapshots_written\": " << report.snapshots_written << "\n"
+        << "  },\n"
+        << "  \"openset\": {\n"
+        << "    \"threshold\": " << config.unknown_thresh << ",\n"
+        << "    \"flows_unknown\": " << report.flows_unknown << ",\n"
+        << "    \"unknown_truth_total\": " << report.unknown_truth_total << ",\n"
+        << "    \"unknown_truth_rejected\": " << report.unknown_truth_rejected << ",\n"
+        << "    \"stream_unknown_flows\": " << unknown_oracle << ",\n"
+        << "    \"confidence_mean\": " << report.confidence_mean << "\n"
+        << "  },\n"
+        << "  \"drift\": {\n"
+        << "    \"lambda\": " << config.drift_lambda << ",\n"
+        << "    \"rate_threshold\": " << config.drift_rate_thresh << ",\n"
+        << "    \"samples\": " << report.drift_samples << ",\n"
+        << "    \"alarms\": " << report.drift_alarms << ",\n"
+        << "    \"alarms_confidence\": " << report.drift_alarms_confidence << ",\n"
+        << "    \"alarms_input\": " << report.drift_alarms_input << ",\n"
+        << "    \"alarms_rate\": " << report.drift_alarms_rate << ",\n"
+        << "    \"first_alarm_sample\": " << report.drift_first_alarm_sample << "\n"
+        << "  },\n"
+        << "  \"reload\": {\n"
+        << "    \"enabled\": " << (config.reload_path.empty() ? "false" : "true") << ",\n"
+        << "    \"attempts\": " << report.reload_attempts << ",\n"
+        << "    \"reloads\": " << report.reloads << ",\n"
+        << "    \"rollbacks\": " << report.reload_rollbacks << ",\n"
+        << "    \"model_generation\": " << report.model_generation << "\n"
         << "  },\n"
         << "  \"host\": {\n"
         << "    \"nproc\": " << std::thread::hardware_concurrency() << ",\n"
@@ -147,6 +215,7 @@ int main()
     serve::ServeConfig config;
     std::size_t stream_flows = 0;
     std::uint64_t mangled = 0;
+    std::uint64_t unknown_oracle = 0;
     try {
         const auto flows =
             static_cast<std::size_t>(util::env_int("FPTC_SERVE_FLOWS").value_or(300));
@@ -167,11 +236,21 @@ int main()
         serve::BackendBundle backends =
             serve::make_backends(config.flowpic_dim, config.reduced_dim, config.num_classes,
                                  seed, train_flows, train_epochs);
+        if (const char* candidate = std::getenv("FPTC_SERVE_SELFTEST_CANDIDATE")) {
+            if (config.reload_path.empty()) {
+                throw util::EnvError(
+                    "FPTC_SERVE_SELFTEST_CANDIDATE requires FPTC_SERVE_RELOAD to name "
+                    "the candidate path");
+            }
+            write_selftest_candidate(candidate, config.reload_path, *backends.full);
+        }
         serve::InterleavedStream stream({.flows = flows,
                                          .num_classes = config.num_classes,
                                          .arrival_window = arrival,
-                                         .seed = seed});
+                                         .seed = seed,
+                                         .drift = trafficgen::DriftSchedule::from_env()});
         stream_flows = stream.flow_count();
+        unknown_oracle = stream.unknown_flows();
         serve::StreamingClassifier service(config, *backends.full, *backends.reduced,
                                            *backends.fallback);
         report = service.run(stream);
@@ -189,7 +268,7 @@ int main()
     const std::size_t in_use = util::mem_budget().in_use();
     std::cout << "serve_in_use_bytes=" << (in_use - baseline_in_use) << "\n";
 
-    const std::string json = bench_json(report, config, stream_flows, mangled);
+    const std::string json = bench_json(report, config, stream_flows, mangled, unknown_oracle);
     try {
         util::DurableFile::write_file("BENCH_serve.json", json);
     } catch (const std::exception& error) {
@@ -229,6 +308,19 @@ int main()
     }
     if (config.slo_ms <= 0.0 && (report.shed_slo != 0 || report.events_dropped_slo != 0)) {
         std::cerr << "serve_throughput: SLO sheds recorded with the SLO off\n";
+        ok = false;
+    }
+    if (config.unknown_thresh <= 0.0 && report.flows_unknown != 0) {
+        std::cerr << "serve_throughput: unknown outcomes recorded with open-set off\n";
+        ok = false;
+    }
+    if (config.drift_lambda <= 0.0 && config.drift_rate_thresh <= 0.0 &&
+        report.drift_alarms != 0) {
+        std::cerr << "serve_throughput: drift alarms recorded with the monitor off\n";
+        ok = false;
+    }
+    if (config.reload_path.empty() && (report.reloads != 0 || report.reload_rollbacks != 0)) {
+        std::cerr << "serve_throughput: reload activity recorded with reload off\n";
         ok = false;
     }
     std::cout << (ok ? "SERVE_OK" : "SERVE_FAIL") << "\n";

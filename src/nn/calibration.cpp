@@ -1,0 +1,114 @@
+#include "fptc/nn/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fptc::nn {
+
+std::vector<double> softmax_row(std::span<const float> logits, double temperature)
+{
+    if (temperature <= 0.0) {
+        throw std::invalid_argument("softmax_row: temperature must be positive");
+    }
+    std::vector<double> probs(logits.size(), 0.0);
+    if (logits.empty()) {
+        return probs;
+    }
+    double max_scaled = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < logits.size(); ++k) {
+        probs[k] = static_cast<double>(logits[k]) / temperature;
+        max_scaled = std::max(max_scaled, probs[k]);
+    }
+    double denom = 0.0;
+    for (double& p : probs) {
+        p = std::exp(p - max_scaled);
+        denom += p;
+    }
+    for (double& p : probs) {
+        p /= denom;
+    }
+    return probs;
+}
+
+double calibration_nll(const Tensor& logits, std::span<const std::size_t> labels,
+                       double temperature)
+{
+    const Shape& shape = logits.shape();
+    if (shape.size() != 2) {
+        throw std::invalid_argument("calibration_nll: expected [N, K] logits");
+    }
+    const std::size_t rows = shape[0];
+    const std::size_t classes = shape[1];
+    if (labels.size() != rows) {
+        throw std::invalid_argument("calibration_nll: label count mismatch");
+    }
+    if (rows == 0) {
+        return 0.0;
+    }
+    const auto data = logits.data();
+    double total = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+        if (labels[i] >= classes) {
+            throw std::invalid_argument("calibration_nll: label out of range");
+        }
+        // log-softmax evaluated directly: log p_y = (z_y - max)/T - log sum.
+        const auto row = data.subspan(i * classes, classes);
+        double max_scaled = -std::numeric_limits<double>::infinity();
+        for (const float z : row) {
+            max_scaled = std::max(max_scaled, static_cast<double>(z) / temperature);
+        }
+        double denom = 0.0;
+        for (const float z : row) {
+            denom += std::exp(static_cast<double>(z) / temperature - max_scaled);
+        }
+        total -= static_cast<double>(row[labels[i]]) / temperature - max_scaled - std::log(denom);
+    }
+    return total / static_cast<double>(rows);
+}
+
+double fit_temperature(const Tensor& logits, std::span<const std::size_t> labels)
+{
+    const Shape& shape = logits.shape();
+    if (shape.size() != 2 || shape[0] == 0 || labels.empty()) {
+        return 1.0;
+    }
+    // Golden-section search over u = log T: NLL(T) is smooth and unimodal
+    // in practice; the log parameterization keeps the search symmetric
+    // around T = 1.
+    const double lo_u = std::log(1.0 / kMaxTemperature);
+    const double hi_u = std::log(kMaxTemperature);
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    const auto nll_at = [&](double u) { return calibration_nll(logits, labels, std::exp(u)); };
+
+    double a = lo_u;
+    double b = hi_u;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    double fc = nll_at(c);
+    double fd = nll_at(d);
+    for (int iter = 0; iter < 80 && (b - a) > 1e-6; ++iter) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = nll_at(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = nll_at(d);
+        }
+    }
+    const double fitted = std::exp((a + b) / 2.0);
+    // The fitted temperature must never calibrate *worse* than doing
+    // nothing — guard against a pathological surface by comparing to T = 1.
+    if (calibration_nll(logits, labels, fitted) > calibration_nll(logits, labels, 1.0)) {
+        return 1.0;
+    }
+    return fitted;
+}
+
+} // namespace fptc::nn

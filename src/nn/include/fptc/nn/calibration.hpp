@@ -1,0 +1,51 @@
+// Temperature scaling for calibrated per-class scores (Guo et al., 2017).
+//
+// The serve path's open-set rejection thresholds the classifier's maximum
+// softmax probability, which is only meaningful if that probability is
+// *calibrated*: raw CNN logits are systematically overconfident.
+// Temperature scaling is the standard single-parameter fix — divide the
+// logits by a scalar T > 0 fitted to minimize validation NLL — and has the
+// property the rejection path depends on: it rescales confidence without
+// ever changing the argmax, so accuracy is untouched.
+//
+// The fitted temperature is persisted inside the checkpoint (serialize.hpp
+// format v3), so a hot-reloaded model arrives with the calibration it was
+// fitted with; a missing record (v1/v2 checkpoint) means T = 1 (uncalibrated).
+#pragma once
+
+#include "fptc/nn/tensor.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fptc::nn {
+
+/// Post-hoc calibration state attached to a trained network.
+struct Calibration {
+    double temperature = 1.0; ///< logits are divided by this before softmax
+
+    [[nodiscard]] bool calibrated() const noexcept { return temperature != 1.0; }
+};
+
+/// Softmax of one logit row at temperature T (numerically stable).  T must
+/// be > 0; T = 1 is the plain softmax.
+[[nodiscard]] std::vector<double> softmax_row(std::span<const float> logits, double temperature);
+
+/// Mean negative log-likelihood of `labels` under softmax(logits / T).
+/// `logits` is [N, K]; labels are class indices < K.
+[[nodiscard]] double calibration_nll(const Tensor& logits, std::span<const std::size_t> labels,
+                                     double temperature);
+
+/// Fit the temperature that minimizes validation NLL by golden-section
+/// search over log T in [1/kMaxTemperature, kMaxTemperature].  Deterministic
+/// (no RNG); returns 1.0 on degenerate input (empty batch).  The fitted
+/// NLL is never worse than the T = 1 NLL on the same batch.
+[[nodiscard]] double fit_temperature(const Tensor& logits, std::span<const std::size_t> labels);
+
+/// Search bounds for fit_temperature (wide enough for any network this repo
+/// trains; the bound also caps what a checkpoint may carry — see
+/// serialize.cpp's semantic validation).
+inline constexpr double kMaxTemperature = 1000.0;
+
+} // namespace fptc::nn

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -89,6 +90,34 @@ struct CrcReader {
 constexpr std::uint64_t kMaxElements = 1ULL << 33;
 constexpr std::uint64_t kMaxRank = 16;
 
+/// Semantic weight check: nullptr when `w` is a plausible model weight,
+/// otherwise a short defect name for the error message.
+[[nodiscard]] const char* weight_defect(float w) noexcept
+{
+    if (std::isnan(w)) {
+        return "NaN";
+    }
+    if (std::isinf(w)) {
+        return "infinite";
+    }
+    if (std::abs(w) > kMaxAbsWeight) {
+        return "out-of-range";
+    }
+    return nullptr;
+}
+
+/// Semantic calibration check (same contract as weight_defect).
+[[nodiscard]] const char* temperature_defect(double temperature) noexcept
+{
+    if (std::isnan(temperature) || std::isinf(temperature)) {
+        return "non-finite";
+    }
+    if (temperature <= 0.0 || temperature > kMaxTemperature) {
+        return "out-of-range";
+    }
+    return nullptr;
+}
+
 /// Parse version from the 8-byte header; throws on bad magic or version.
 [[nodiscard]] std::uint32_t read_header(std::istream& in, const char* who)
 {
@@ -112,7 +141,7 @@ constexpr std::uint64_t kMaxRank = 16;
 } // namespace
 
 void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out,
-                     std::uint32_t version)
+                     std::uint32_t version, const Calibration& calibration)
 {
     if (version < 1 || version > kSerializeVersion) {
         throw std::runtime_error("save_parameters: unsupported format version " +
@@ -131,6 +160,10 @@ void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& ou
         const auto data = p->value.data();
         writer.write(reinterpret_cast<const char*>(data.data()), data.size() * sizeof(float));
     }
+    if (version >= 3) {
+        writer.write(reinterpret_cast<const char*>(&calibration.temperature),
+                     sizeof calibration.temperature);
+    }
     if (version >= 2) {
         const std::uint64_t crc = writer.crc;
         out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
@@ -140,7 +173,8 @@ void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& ou
     }
 }
 
-void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in)
+void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in,
+                     Calibration* calibration)
 {
     const std::uint32_t version = read_header(in, "load_parameters");
     CrcReader reader{in, 0, version >= 2};
@@ -177,6 +211,11 @@ void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in
         reader.read(reinterpret_cast<char*>(staged[index].data()),
                     staged[index].size() * sizeof(float), context + " data");
     }
+    Calibration loaded;
+    if (version >= 3) {
+        reader.read(reinterpret_cast<char*>(&loaded.temperature), sizeof loaded.temperature,
+                    "calibration temperature");
+    }
     if (version >= 2) {
         const std::uint32_t computed = reader.crc;
         std::uint64_t stored = 0;
@@ -190,9 +229,31 @@ void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in
                 ", computed " + std::to_string(computed) + ") — checkpoint corrupt or truncated");
         }
     }
+    // Semantic validation, after the structural checks: the CRC proves the
+    // bytes are the writer's bytes, this proves the writer's bytes are a
+    // model.  Fails *typed* (CheckpointError) so callers know a retry
+    // cannot help — the file's content is garbage.
+    for (std::size_t index = 0; index < parameters.size(); ++index) {
+        for (const float w : staged[index]) {
+            if (const char* defect = weight_defect(w); defect != nullptr) {
+                throw CheckpointError("load_parameters: parameter " + std::to_string(index) +
+                                      " contains a " + defect + " weight (" +
+                                      std::to_string(w) + ") — checkpoint semantically invalid");
+            }
+        }
+    }
+    if (const char* defect = temperature_defect(loaded.temperature); defect != nullptr) {
+        throw CheckpointError("load_parameters: " + std::string(defect) +
+                              " calibration temperature (" +
+                              std::to_string(loaded.temperature) +
+                              ") — checkpoint semantically invalid");
+    }
     for (std::size_t index = 0; index < parameters.size(); ++index) {
         auto data = parameters[index]->value.data();
         std::copy(staged[index].begin(), staged[index].end(), data.begin());
+    }
+    if (calibration != nullptr) {
+        *calibration = loaded;
     }
 }
 
@@ -207,7 +268,11 @@ bool verify_checkpoint(std::istream& in, std::string* error)
             throw std::runtime_error("verify_checkpoint: implausible parameter count " +
                                      std::to_string(count));
         }
-        std::array<char, 4096> buffer;
+        // Semantic defects are recorded but reported only after the CRC
+        // verifies: a corrupt byte stream should fail as "checksum
+        // mismatch", not as whatever garbage float it happened to decode to.
+        std::string semantic_defect;
+        std::array<float, 1024> buffer;
         for (std::uint64_t index = 0; index < count; ++index) {
             const std::string context = "parameter " + std::to_string(index);
             const std::uint64_t rank = reader.read_u64(context + " rank");
@@ -224,12 +289,29 @@ bool verify_checkpoint(std::istream& in, std::string* error)
                 }
                 elements *= dim;
             }
-            std::uint64_t remaining = elements * sizeof(float);
+            std::uint64_t remaining = elements;
             while (remaining > 0) {
                 const std::size_t chunk =
                     static_cast<std::size_t>(std::min<std::uint64_t>(remaining, buffer.size()));
-                reader.read(buffer.data(), chunk, context + " data");
+                reader.read(reinterpret_cast<char*>(buffer.data()), chunk * sizeof(float),
+                            context + " data");
+                for (std::size_t i = 0; i < chunk && semantic_defect.empty(); ++i) {
+                    if (const char* defect = weight_defect(buffer[i]); defect != nullptr) {
+                        semantic_defect = "verify_checkpoint: " + context + " contains a " +
+                                          defect + " weight";
+                    }
+                }
                 remaining -= chunk;
+            }
+        }
+        if (version >= 3) {
+            double temperature = 1.0;
+            reader.read(reinterpret_cast<char*>(&temperature), sizeof temperature,
+                        "calibration temperature");
+            if (const char* defect = temperature_defect(temperature);
+                defect != nullptr && semantic_defect.empty()) {
+                semantic_defect = std::string("verify_checkpoint: ") + defect +
+                                  " calibration temperature";
             }
         }
         if (version >= 2) {
@@ -242,6 +324,9 @@ bool verify_checkpoint(std::istream& in, std::string* error)
                 throw std::runtime_error("verify_checkpoint: checksum mismatch");
             }
         }
+        if (!semantic_defect.empty()) {
+            throw CheckpointError(semantic_defect);
+        }
     } catch (const std::exception& e) {
         if (error != nullptr) {
             *error = e.what();
@@ -251,7 +336,7 @@ bool verify_checkpoint(std::istream& in, std::string* error)
     return true;
 }
 
-void save_network(Sequential& network, const std::string& path)
+void save_network(Sequential& network, const std::string& path, const Calibration& calibration)
 {
     // Serialize to memory first so a truncated write never leaves a partial
     // file at `path` (durable temp + fsync + rename + dir fsync via
@@ -262,7 +347,7 @@ void save_network(Sequential& network, const std::string& path)
     // executor retries and then degrades — the previous checkpoint at
     // `path`, if any, is left untouched.
     std::ostringstream buffer(std::ios::binary);
-    save_parameters(network.parameters(), buffer);
+    save_parameters(network.parameters(), buffer, kSerializeVersion, calibration);
     const std::string blob = buffer.str();
 
     constexpr int kAttempts = 2;
@@ -288,13 +373,13 @@ void save_network(Sequential& network, const std::string& path)
                              " failed verification after rewrite: " + last_error);
 }
 
-void load_network(Sequential& network, const std::string& path)
+void load_network(Sequential& network, const std::string& path, Calibration* calibration)
 {
     std::ifstream file(path, std::ios::binary);
     if (!file) {
         throw std::runtime_error("load_network: cannot open " + path);
     }
-    load_parameters(network.parameters(), file);
+    load_parameters(network.parameters(), file, calibration);
 }
 
 } // namespace fptc::nn

@@ -15,6 +15,18 @@
 
 namespace fptc::serve {
 
+std::vector<std::size_t> Backend::classify(std::span<const ReadyFlow> batch,
+                                           const util::CancelToken& token)
+{
+    const auto scored = classify_scored(batch, token);
+    std::vector<std::size_t> labels;
+    labels.reserve(scored.size());
+    for (const ScoredPrediction& prediction : scored) {
+        labels.push_back(prediction.label);
+    }
+    return labels;
+}
+
 CnnBackend::CnnBackend(std::size_t resolution, nn::Sequential network)
     : resolution_(resolution), network_(std::move(network))
 {
@@ -35,8 +47,8 @@ const char* CnnBackend::name() const noexcept
     return resolution_ >= 32 ? "cnn_full" : "cnn_reduced";
 }
 
-std::vector<std::size_t> CnnBackend::classify(std::span<const ReadyFlow> batch,
-                                              const util::CancelToken& token)
+std::vector<ScoredPrediction> CnnBackend::classify_scored(std::span<const ReadyFlow> batch,
+                                                          const util::CancelToken& token)
 {
     if (batch.empty()) {
         return {};
@@ -61,7 +73,23 @@ std::vector<std::size_t> CnnBackend::classify(std::span<const ReadyFlow> batch,
     nn::Tensor input({batch.size(), 1, resolution_, resolution_}, std::move(data));
     FPTC_TRACE_SPAN("serve_forward");
     const nn::Tensor logits = network_.forward(input, false);
-    return nn::argmax_rows(logits);
+    const std::size_t classes = logits.shape()[1];
+    const auto logit_data = logits.data();
+    std::vector<ScoredPrediction> scored;
+    scored.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto probs =
+            nn::softmax_row(logit_data.subspan(i * classes, classes), calibration_.temperature);
+        ScoredPrediction prediction;
+        for (std::size_t k = 0; k < probs.size(); ++k) {
+            if (probs[k] > probs[prediction.label]) {
+                prediction.label = k;
+            }
+        }
+        prediction.confidence = probs.empty() ? 0.0 : probs[prediction.label];
+        scored.push_back(prediction);
+    }
+    return scored;
 }
 
 GbtBackend::GbtBackend(gbt::GbtClassifier classifier) : classifier_(std::move(classifier)) {}
@@ -71,15 +99,23 @@ const char* GbtBackend::name() const noexcept
     return "gbt_fallback";
 }
 
-std::vector<std::size_t> GbtBackend::classify(std::span<const ReadyFlow> batch,
-                                              const util::CancelToken& token)
+std::vector<ScoredPrediction> GbtBackend::classify_scored(std::span<const ReadyFlow> batch,
+                                                          const util::CancelToken& token)
 {
-    std::vector<std::size_t> predictions;
+    std::vector<ScoredPrediction> predictions;
     predictions.reserve(batch.size());
     for (const ReadyFlow& ready : batch) {
         token.poll();
         const auto features = flow::early_time_series(ready.flow);
-        predictions.push_back(classifier_.predict(features));
+        const auto probs = classifier_.predict_proba(features);
+        ScoredPrediction prediction;
+        for (std::size_t k = 0; k < probs.size(); ++k) {
+            if (probs[k] > probs[prediction.label]) {
+                prediction.label = k;
+            }
+        }
+        prediction.confidence = probs.empty() ? 0.0 : probs[prediction.label];
+        predictions.push_back(prediction);
     }
     return predictions;
 }
@@ -128,6 +164,24 @@ BackendBundle make_backends(std::size_t full_dim, std::size_t reduced_dim,
             const core::SampleSet samples = core::rasterize(
                 flows, {.resolution = backend->resolution(), .duration = 15.0});
             (void)core::train_supervised(backend->network(), samples, {}, train);
+            // Fit the softmax temperature on the training set (Guo et al.
+            // 2017) so the scores classify_scored() reports — and the
+            // open-set threshold compares against — are calibrated
+            // probabilities, not raw softmax confidence.
+            if (!samples.images.empty()) {
+                const std::size_t dim = samples.dim;
+                std::vector<float> data;
+                data.reserve(samples.images.size() * samples.channels * dim * dim);
+                for (const auto& image : samples.images) {
+                    data.insert(data.end(), image.begin(), image.end());
+                }
+                nn::Tensor input({samples.images.size(), samples.channels, dim, dim},
+                                 std::move(data));
+                const nn::Tensor logits = backend->network().forward(input, false);
+                nn::Calibration calibration;
+                calibration.temperature = nn::fit_temperature(logits, samples.labels);
+                backend->set_calibration(calibration);
+            }
         }
     }
     bundle.fallback = std::make_unique<GbtBackend>(std::move(gbt));

@@ -1,0 +1,178 @@
+#include "fptc/serve/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace fptc::serve {
+
+bool PageHinkley::add(double x)
+{
+    ++samples_;
+    // Running mean first, then cumulative deviations against it — the
+    // classic PH recursion (Page 1954, Hinkley 1971).
+    mean_ += (x - mean_) / static_cast<double>(samples_);
+    cum_up_ += x - mean_ - config_.delta;
+    min_up_ = std::min(min_up_, cum_up_);
+    cum_down_ += x - mean_ + config_.delta;
+    max_down_ = std::max(max_down_, cum_down_);
+    if (samples_ < config_.min_samples) {
+        return false;
+    }
+    if (statistic() > config_.lambda) {
+        ++alarms_;
+        const std::uint64_t alarms = alarms_;
+        reset();
+        alarms_ = alarms;
+        return true;
+    }
+    return false;
+}
+
+double PageHinkley::statistic() const noexcept
+{
+    return std::max(cum_up_ - min_up_, max_down_ - cum_down_);
+}
+
+void PageHinkley::reset()
+{
+    samples_ = 0;
+    mean_ = 0.0;
+    cum_up_ = 0.0;
+    min_up_ = 0.0;
+    cum_down_ = 0.0;
+    max_down_ = 0.0;
+    alarms_ = 0;
+}
+
+double Standardizer::stddev() const noexcept
+{
+    if (n < 2) {
+        return 0.0;
+    }
+    return std::sqrt(std::max(m2 / static_cast<double>(n - 1), 0.0));
+}
+
+double Standardizer::z(double x) const noexcept
+{
+    if (n < 2) {
+        return 0.0;
+    }
+    // A near-constant warmup signal still standardizes: any later change is
+    // then a huge z-score, which is exactly the right verdict.
+    const double sd = std::max(stddev(), 1e-9);
+    return (x - mean) / sd;
+}
+
+namespace {
+
+PageHinkleyConfig scalar_config(const DriftMonitorConfig& config)
+{
+    // All channels see z-scores, so one sigma-unit delta/lambda pair
+    // governs every detector regardless of the raw signal's scale.
+    PageHinkleyConfig ph;
+    ph.delta = config.delta;
+    ph.lambda = config.lambda;
+    ph.min_samples = config.min_samples;
+    return ph;
+}
+
+} // namespace
+
+bool DriftMonitor::ScalarDetector::add(double x)
+{
+    // Learn the baseline during warmup, then freeze it: a regime shift must
+    // move the z-scores, not quietly inflate the baseline variance.
+    if (baseline.n < warmup) {
+        baseline.add(x);
+    }
+    if (ph.add(baseline.z(x))) {
+        // Re-learn the post-shift regime from scratch so a sustained shift
+        // alarms once and the next shift is judged against the new normal.
+        baseline.reset();
+        return true;
+    }
+    return false;
+}
+
+DriftMonitor::DriftMonitor(const DriftMonitorConfig& config)
+    : config_(config),
+      confidence_(scalar_config(config), config.min_samples),
+      size_(scalar_config(config), config.min_samples),
+      nnz_(scalar_config(config), config.min_samples),
+      reference_hist_(config.num_classes + 1, 0),
+      window_hist_(config.num_classes + 1, 0)
+{
+}
+
+bool DriftMonitor::observe(const DriftObservation& observation)
+{
+    if (!enabled()) {
+        return false;
+    }
+    ++stats_.samples;
+    const double n = static_cast<double>(stats_.samples);
+    stats_.confidence_mean += (observation.confidence - stats_.confidence_mean) / n;
+    stats_.size_mean += (observation.mean_packet_size - stats_.size_mean) / n;
+
+    bool alarm = false;
+    if (confidence_.add(observation.confidence)) {
+        ++stats_.alarms_confidence;
+        alarm = true;
+    }
+    if (size_.add(observation.mean_packet_size)) {
+        ++stats_.alarms_input;
+        alarm = true;
+    }
+    if (nnz_.add(static_cast<double>(observation.packet_count))) {
+        ++stats_.alarms_input;
+        alarm = true;
+    }
+
+    if (config_.rate_threshold > 0.0 && config_.rate_window > 0) {
+        const std::size_t bucket =
+            std::min(observation.predicted, config_.num_classes);
+        if (reference_total_ < config_.rate_window) {
+            // Still freezing the reference mix from the stream's head.
+            ++reference_hist_[bucket];
+            ++reference_total_;
+        } else {
+            window_.push_back(bucket);
+            ++window_hist_[bucket];
+            if (window_.size() > config_.rate_window) {
+                --window_hist_[window_.front()];
+                window_.pop_front();
+            }
+            if (window_.size() == config_.rate_window && rate_shifted()) {
+                ++stats_.alarms_rate;
+                alarm = true;
+                // Re-baseline: the shifted mix becomes the new reference so
+                // a persistent shift alarms once, like the PH detectors.
+                reference_hist_ = window_hist_;
+                reference_total_ = config_.rate_window;
+                std::fill(window_hist_.begin(), window_hist_.end(), 0);
+                window_.clear();
+            }
+        }
+    }
+
+    if (alarm && stats_.first_alarm_sample == 0) {
+        stats_.first_alarm_sample = stats_.samples;
+    }
+    return alarm;
+}
+
+bool DriftMonitor::rate_shifted()
+{
+    double l1 = 0.0;
+    for (std::size_t c = 0; c < reference_hist_.size(); ++c) {
+        const double ref = static_cast<double>(reference_hist_[c]) /
+                           static_cast<double>(reference_total_);
+        const double cur = static_cast<double>(window_hist_[c]) /
+                           static_cast<double>(window_.size());
+        l1 += std::abs(ref - cur);
+    }
+    return l1 > config_.rate_threshold;
+}
+
+} // namespace fptc::serve

@@ -76,6 +76,11 @@ AddOutcome FlowTable::add_packet(const PacketEvent& event)
     // table cap or the process budget pushes back, and as a last resort
     // shed this flow itself (it stays a *typed* drop, never silent).
     Entry& entry = it->second;
+    if (!entry.flow.packets.empty() &&
+        event.timestamp < entry.flow.packets.back().timestamp - kBackwardsTolerance) {
+        outcome.quarantined_backwards = true;
+        return outcome;
+    }
     while (bytes_ + kPacketCost > max_bytes_ && evict_one(event.flow_id)) {
         ++outcome.evicted;
     }

@@ -11,15 +11,23 @@
 //                           time-series into the GBT ensemble; no
 //                           rasterization, microseconds per flow.
 //
-// classify() polls its CancelToken per flow, so a batch deadline (or an
-// injected backend stall served through the token) unwinds with
+// classify_scored() polls its CancelToken per flow, so a batch deadline (or
+// an injected backend stall served through the token) unwinds with
 // CancelledError between flows — the service turns that into typed
 // `deadline` sheds and a breaker trip, never a hang.
+//
+// Every backend returns *calibrated scores*, not bare labels: the CNN path
+// applies its fitted softmax temperature (nn/calibration.hpp, persisted in
+// checkpoint v3) before taking the max class probability; the GBT path uses
+// the ensemble's margin softmax.  The service compares that confidence
+// against the open-set threshold to route low-score flows to the typed
+// `unknown` outcome, and feeds it to the drift monitor.
 #pragma once
 
 #include "fptc/serve/flow_table.hpp"
 
 #include "fptc/gbt/gbt.hpp"
+#include "fptc/nn/calibration.hpp"
 #include "fptc/nn/sequential.hpp"
 #include "fptc/util/cancel.hpp"
 
@@ -31,16 +39,27 @@
 
 namespace fptc::serve {
 
+/// One flow's verdict: the argmax class and its calibrated probability.
+struct ScoredPrediction {
+    std::size_t label = 0;
+    double confidence = 1.0;
+};
+
 class Backend {
 public:
     virtual ~Backend() = default;
 
     [[nodiscard]] virtual const char* name() const noexcept = 0;
 
-    /// Predicted class per flow of the batch, in order.  Polls `token`
-    /// between flows; throws util::CancelledError when it trips.
-    [[nodiscard]] virtual std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
-                                                            const util::CancelToken& token) = 0;
+    /// Predicted class + calibrated confidence per flow of the batch, in
+    /// order.  Polls `token` between flows; throws util::CancelledError
+    /// when it trips.
+    [[nodiscard]] virtual std::vector<ScoredPrediction>
+    classify_scored(std::span<const ReadyFlow> batch, const util::CancelToken& token) = 0;
+
+    /// Label-only convenience wrapper over classify_scored().
+    [[nodiscard]] std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
+                                                    const util::CancelToken& token);
 };
 
 /// Flowpic CNN backend at a fixed resolution.  Owns the network; construct
@@ -55,15 +74,33 @@ public:
                                                                std::uint64_t seed);
 
     [[nodiscard]] const char* name() const noexcept override;
-    [[nodiscard]] std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
-                                                    const util::CancelToken& token) override;
+    [[nodiscard]] std::vector<ScoredPrediction>
+    classify_scored(std::span<const ReadyFlow> batch, const util::CancelToken& token) override;
 
     [[nodiscard]] std::size_t resolution() const noexcept { return resolution_; }
     [[nodiscard]] nn::Sequential& network() noexcept { return network_; }
 
+    /// Calibration applied to logits before scoring (default T = 1).  The
+    /// hot-reload path swaps network and calibration together.
+    [[nodiscard]] const nn::Calibration& calibration() const noexcept { return calibration_; }
+    void set_calibration(const nn::Calibration& calibration) noexcept
+    {
+        calibration_ = calibration;
+    }
+
+    /// Atomically (from the classifier thread's perspective: it is the only
+    /// caller) replace the network and its calibration — the canary gate's
+    /// commit step.
+    void swap_model(nn::Sequential&& network, const nn::Calibration& calibration)
+    {
+        network_ = std::move(network);
+        calibration_ = calibration;
+    }
+
 private:
     std::size_t resolution_;
     nn::Sequential network_;
+    nn::Calibration calibration_;
 };
 
 /// Early time-series GBT backend (the ladder's cheap fallback).
@@ -72,8 +109,8 @@ public:
     explicit GbtBackend(gbt::GbtClassifier classifier);
 
     [[nodiscard]] const char* name() const noexcept override;
-    [[nodiscard]] std::vector<std::size_t> classify(std::span<const ReadyFlow> batch,
-                                                    const util::CancelToken& token) override;
+    [[nodiscard]] std::vector<ScoredPrediction>
+    classify_scored(std::span<const ReadyFlow> batch, const util::CancelToken& token) override;
 
 private:
     gbt::GbtClassifier classifier_;

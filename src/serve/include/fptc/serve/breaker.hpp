@@ -64,6 +64,12 @@ public:
     /// immediately); otherwise counts toward failure_threshold.
     void record_failure(bool deadline);
 
+    /// A drift alarm fired: step one tier down the ladder (same mechanics
+    /// as a latency trip, counted in trips()).  The cheaper tiers are less
+    /// wrong to be wrong with while a reload candidate is canaried; the
+    /// normal half-open probe path recovers once batches succeed again.
+    void drift_trip() { trip(); }
+
     [[nodiscard]] Tier tier() const noexcept { return tier_; }
     [[nodiscard]] bool probing() const noexcept { return probing_; }
     [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }

@@ -1,0 +1,179 @@
+// Online distribution-shift detection for the streaming classifier.
+//
+// The serve pipeline is robust to *process* faults (crash, hang, overload);
+// this module watches for *data* faults: traffic drifting away from what
+// the backends were trained on, which silently degrades accuracy while
+// every process-level invariant stays green (the paper's own script-vs-
+// human partition is exactly such a shift).  Three signal families are
+// monitored per classified flow:
+//
+//   * confidence  — the calibrated max-softmax score the open-set threshold
+//                   also uses; drift shows up as a falling mean,
+//   * input stats — mean packet size and packet count (the flowpic nnz
+//                   proxy); drift in the *input* fires even when the model
+//                   stays confidently wrong,
+//   * prediction rates — a sliding class-histogram compared (L1) against a
+//                   frozen reference window; a new app or imbalance shift
+//                   bends the prediction mix before accuracy is observable.
+//
+// Scalar signals run through Page–Hinkley detectors: sequential, O(1),
+// parameter-interpretable (delta = tolerated slack, lambda = alarm
+// threshold on the cumulative deviation statistic).  Raw serve signals are
+// high-variance class mixtures (packet sizes span orders of magnitude
+// between classes), so each one is standardized online first: a Welford
+// estimator learns mean/std during warmup, freezes, and the PH detector
+// sees z-scores — delta and lambda are in sigma units, identical across
+// signal families, and the delta drift bounds stationary excursions to
+// ~1/(2·delta) sigma regardless of the raw scale.  Everything is driven
+// by the observation counter — the "clock" is the sample index, injected by
+// the caller simply by calling observe(), so unit tests script exact
+// alarm-at-sample-N sequences with no wall clock and no RNG.
+//
+// Thread safety: none — owned and driven by the classifier thread only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace fptc::serve {
+
+/// Page–Hinkley change detector over a scalar stream (two-sided).
+struct PageHinkleyConfig {
+    double delta = 0.005;          ///< tolerated per-sample drift (slack)
+    double lambda = 5.0;           ///< alarm threshold on the PH statistic
+    std::uint64_t min_samples = 32; ///< warmup before an alarm may fire
+};
+
+class PageHinkley {
+public:
+    explicit PageHinkley(const PageHinkleyConfig& config) : config_(config) {}
+
+    /// Feed one observation; true when this sample raises an alarm.  After
+    /// an alarm the detector re-baselines on the new regime (full reset),
+    /// so a sustained shift raises one alarm, not one per sample.
+    bool add(double x);
+
+    /// Current statistic: max of the up/down cumulative deviations.
+    [[nodiscard]] double statistic() const noexcept;
+    [[nodiscard]] double mean() const noexcept { return samples_ > 0 ? mean_ : 0.0; }
+    [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+    [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
+
+    void reset();
+
+private:
+    PageHinkleyConfig config_;
+    std::uint64_t samples_ = 0;
+    double mean_ = 0.0;
+    double cum_up_ = 0.0;   ///< Σ (x - mean - delta), for upward shifts
+    double min_up_ = 0.0;
+    double cum_down_ = 0.0; ///< Σ (x - mean + delta), for downward shifts
+    double max_down_ = 0.0;
+    std::uint64_t alarms_ = 0;
+};
+
+/// Online Welford mean/variance used to standardize a raw signal before it
+/// reaches Page–Hinkley.  Updated during warmup, then frozen so a regime
+/// shift moves the z-scores instead of silently inflating the baseline.
+struct Standardizer {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+
+    void add(double x) noexcept
+    {
+        ++n;
+        const double d = x - mean;
+        mean += d / static_cast<double>(n);
+        m2 += d * (x - mean);
+    }
+
+    [[nodiscard]] double stddev() const noexcept;
+
+    /// z-score of x against the learned baseline (0 until two samples).
+    [[nodiscard]] double z(double x) const noexcept;
+
+    void reset() noexcept { *this = Standardizer{}; }
+};
+
+/// What the monitor watches and how sensitive it is.  `lambda == 0`
+/// disables the whole monitor (the service's FPTC_SERVE_DRIFT_LAMBDA=0
+/// default).  delta/lambda are in sigma units of the standardized signals.
+struct DriftMonitorConfig {
+    double lambda = 0.0;            ///< shared PH alarm threshold (0 = off)
+    double delta = 0.05;            ///< shared PH slack (sigma units)
+    std::uint64_t min_samples = 64; ///< shared PH warmup + standardizer freeze
+    std::size_t num_classes = 5;
+    std::size_t rate_window = 128;  ///< prediction-rate histogram window
+    double rate_threshold = 0.0;    ///< L1 distance alarm threshold (0 = off)
+};
+
+/// One classified flow's observation.
+struct DriftObservation {
+    double confidence = 0.0;     ///< calibrated max-class score
+    std::size_t predicted = 0;   ///< predicted class; num_classes = unknown
+    double mean_packet_size = 0.0;
+    std::size_t packet_count = 0; ///< flowpic nnz proxy
+};
+
+/// Alarm tallies by signal family, for the report and BENCH_serve.json.
+struct DriftStats {
+    std::uint64_t samples = 0;
+    std::uint64_t alarms_confidence = 0;
+    std::uint64_t alarms_input = 0;
+    std::uint64_t alarms_rate = 0;
+    std::uint64_t first_alarm_sample = 0; ///< 1-based; 0 = never alarmed
+    double confidence_mean = 0.0;
+    double size_mean = 0.0;
+
+    [[nodiscard]] std::uint64_t total() const noexcept
+    {
+        return alarms_confidence + alarms_input + alarms_rate;
+    }
+};
+
+class DriftMonitor {
+public:
+    explicit DriftMonitor(const DriftMonitorConfig& config);
+
+    [[nodiscard]] bool enabled() const noexcept { return config_.lambda > 0.0; }
+
+    /// Feed one classified flow; true when any detector alarms at this
+    /// sample.  A disabled monitor observes nothing and never alarms.
+    bool observe(const DriftObservation& observation);
+
+    [[nodiscard]] const DriftStats& stats() const noexcept { return stats_; }
+
+private:
+    /// One standardized scalar channel: Welford warmup, frozen baseline,
+    /// z-scored Page–Hinkley; an alarm re-learns both from scratch.
+    struct ScalarDetector {
+        Standardizer baseline;
+        PageHinkley ph;
+        std::uint64_t warmup;
+
+        ScalarDetector(const PageHinkleyConfig& config, std::uint64_t warmup_samples)
+            : ph(config), warmup(warmup_samples)
+        {
+        }
+
+        bool add(double x);
+    };
+
+    [[nodiscard]] bool rate_shifted();
+
+    DriftMonitorConfig config_;
+    DriftStats stats_;
+    ScalarDetector confidence_;
+    ScalarDetector size_;
+    ScalarDetector nnz_;
+    std::vector<std::uint64_t> reference_hist_;  ///< frozen first-window histogram
+    std::uint64_t reference_total_ = 0;
+    std::vector<std::uint64_t> window_hist_;     ///< sliding current histogram
+    std::deque<std::size_t> window_;             ///< predictions in the sliding window
+};
+
+} // namespace fptc::serve

@@ -44,6 +44,7 @@ struct AddOutcome {
     bool admitted = false;   ///< the packet was recorded
     bool new_flow = false;   ///< first packet of a newly tracked flow
     bool shed_self = false;  ///< an already-tracked flow was evicted trying to grow it
+    bool quarantined_backwards = false; ///< packet timestamp ran backwards; dropped
     std::size_t evicted = 0; ///< LRU flows evicted to make room (typed mem_budget sheds)
 };
 
@@ -58,7 +59,17 @@ public:
     /// (table cap or MemBudget refusal) evicts LRU flows to make room; when
     /// even that fails the packet (new flow) or the flow itself (existing
     /// flow) is shed — see AddOutcome.
+    ///
+    /// Trust boundary: a packet whose timestamp moves *backwards* within
+    /// its flow past kBackwardsTolerance is quarantined (dropped, flagged
+    /// in the outcome) rather than recorded — a time-warped packet would
+    /// poison the flowpic time axis and, worse, could reopen a closed
+    /// window.  The flow itself keeps serving.
     [[nodiscard]] AddOutcome add_packet(const PacketEvent& event);
+
+    /// Largest in-flow backwards timestamp step tolerated before
+    /// quarantine (absorbs benign reordering jitter at capture).
+    static constexpr double kBackwardsTolerance = 1e-3;
 
     /// Release every flow whose window has closed at stream time `now`.
     /// Flows close in insertion order (the stream is time-sorted), so this

@@ -16,8 +16,11 @@
 //     budget refusal), deadline (batch deadline expired), breaker (ladder
 //     bottom), slo (sojourn-time admission control, admission.hpp),
 //     restart_loss (in flight across a crash, bounded by the snapshot
-//     period) — and flows_ingested == flows_classified + sheds, checked by
-//     ServeReport::accounted().  With snapshots enabled the invariant
+//     period) — and flows_ingested == flows_classified + flows_unknown +
+//     sheds, checked by ServeReport::accounted() (flows_unknown is the
+//     typed open-set rejection outcome, not a shed: the flow *was* served,
+//     the service declined to force a label on it).  With snapshots
+//     enabled the invariant
 //     holds *across process generations*: a restarted worker re-bases its
 //     counters on the snapshot cut and types the loss window.
 //   * Event-level drops are separate, also typed: quarantined (validation),
@@ -76,6 +79,25 @@ struct ServeConfig {
     double snapshot_period_s = 1.0;   ///< FPTC_SERVE_SNAPSHOT_S: wall-clock cadence (0 = off)
     std::uint64_t snapshot_every = 0; ///< FPTC_SERVE_SNAPSHOT_EVERY: event cadence (0 = off)
 
+    // Open-set rejection (backend.hpp): a flow whose calibrated max-class
+    // score is below the threshold is routed to the typed `unknown` outcome
+    // instead of a forced label.  The accounting invariant becomes
+    // flows_ingested == flows_classified + flows_unknown + sheds.
+    double unknown_thresh = 0.0;      ///< FPTC_SERVE_UNKNOWN_THRESH: 0 = off
+
+    // Online drift detection (drift.hpp).  lambda = 0 disables the monitor.
+    double drift_lambda = 0.0;        ///< FPTC_SERVE_DRIFT_LAMBDA: PH alarm threshold
+    double drift_delta = 0.05;        ///< FPTC_SERVE_DRIFT_DELTA: PH slack (sigma units)
+    std::size_t drift_min_samples = 64; ///< FPTC_SERVE_DRIFT_MIN: PH warmup samples
+    std::size_t drift_rate_window = 128; ///< FPTC_SERVE_DRIFT_RATE_WINDOW
+    double drift_rate_thresh = 0.0;   ///< FPTC_SERVE_DRIFT_RATE_THRESH: L1 (0 = off)
+
+    // Canary-gated hot reload (reload.hpp).  Empty path disables.
+    std::string reload_path;          ///< FPTC_SERVE_RELOAD: candidate checkpoint
+    double reload_tolerance = 0.1;    ///< FPTC_SERVE_RELOAD_TOL: golden-accuracy slack
+    std::size_t reload_canary_flows = 12; ///< FPTC_SERVE_RELOAD_CANARY: flows/class
+    std::uint64_t reload_every = 8;   ///< FPTC_SERVE_RELOAD_EVERY: poll cadence (batches)
+
     // Supervision (watchdog.hpp, supervisor.hpp).
     double hang_stall_s = 0.0;        ///< FPTC_SERVE_HANG_S: watchdog stall budget (0 = off)
     std::string heartbeat_path;       ///< FPTC_SERVE_HEARTBEAT: liveness file for supervisor
@@ -109,8 +131,9 @@ struct ServeReport {
 
     // Flow-level accounting (the invariant).
     std::uint64_t flows_ingested = 0;   ///< flows that entered the table
-    std::uint64_t flows_classified = 0; ///< labels emitted
+    std::uint64_t flows_classified = 0; ///< confident labels emitted
     std::uint64_t flows_correct = 0;    ///< labels matching ground truth
+    std::uint64_t flows_unknown = 0;    ///< open-set rejected (below unknown_thresh)
     std::uint64_t shed_mem_budget = 0;  ///< LRU evicted / budget refused
     std::uint64_t shed_queue_full = 0;  ///< ready-queue backpressure
     std::uint64_t shed_deadline = 0;    ///< batch deadline expired
@@ -131,6 +154,31 @@ struct ServeReport {
     std::uint64_t slo_considered = 0;
     std::uint64_t slo_violations = 0;   ///< sojourns over the target
 
+    // Open-set oracle (flows whose *ground truth* is outside the trained
+    // classes, i.e. label >= num_classes — trafficgen drift schedules
+    // inject them).  Counted at classification time, so the unknown-flood
+    // gate can assert rejected/total without re-deriving the oracle.
+    std::uint64_t unknown_truth_total = 0;    ///< unknown-truth flows that reached a verdict
+    std::uint64_t unknown_truth_rejected = 0; ///< ... of which were routed to `unknown`
+
+    // Ingest trust boundary.
+    std::uint64_t events_quarantined_backwards = 0; ///< in-flow time-warped packets dropped
+
+    // Drift detection (drift.hpp).
+    std::uint64_t drift_alarms = 0;             ///< alarms across all signal families
+    std::uint64_t drift_alarms_confidence = 0;
+    std::uint64_t drift_alarms_input = 0;
+    std::uint64_t drift_alarms_rate = 0;
+    std::uint64_t drift_samples = 0;            ///< flows the monitor observed
+    std::uint64_t drift_first_alarm_sample = 0; ///< 1-based; 0 = never
+    double confidence_mean = 0.0;               ///< mean calibrated max-class score
+
+    // Hot reload (reload.hpp).
+    std::uint64_t reload_attempts = 0;
+    std::uint64_t reloads = 0;           ///< candidates accepted + swapped in
+    std::uint64_t reload_rollbacks = 0;  ///< candidates rejected by the canary gate
+    std::uint32_t model_generation = 0;  ///< accepted reloads (persists across restarts)
+
     // Crash recovery.
     std::uint64_t snapshots_written = 0;
     bool restored = false;              ///< this run resumed from a snapshot
@@ -145,10 +193,12 @@ struct ServeReport {
                shed_restart_loss;
     }
 
-    /// The flow-accounting invariant (holds across process generations).
+    /// The flow-accounting invariant (holds across process generations):
+    /// every ingested flow ends as exactly one of a confident label, a
+    /// typed `unknown` rejection, or a typed shed.
     [[nodiscard]] bool accounted() const noexcept
     {
-        return flows_ingested == flows_classified + shed_total();
+        return flows_ingested == flows_classified + flows_unknown + shed_total();
     }
 
     /// Fraction of measured ready-queue sojourns that met the SLO target

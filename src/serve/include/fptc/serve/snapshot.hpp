@@ -41,8 +41,9 @@ namespace fptc::serve {
 
 /// Current snapshot format version.  A loader seeing any other value
 /// treats the file as a cold start (forward/backward format changes must
-/// bump this).
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// bump this).  v2 added the open-set / drift / reload counters and the
+/// model generation.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// One tracked flow's replayable state.
 struct SnapshotFlow {
@@ -73,6 +74,14 @@ struct SnapshotCounters {
     std::uint64_t shed_restart_loss = 0;
     std::uint64_t batches = 0;
     std::uint64_t slo_violations = 0;
+    // v2: open-set rejection, backwards-timestamp quarantine, drift, reload.
+    std::uint64_t flows_unknown = 0;
+    std::uint64_t unknown_truth_total = 0;
+    std::uint64_t unknown_truth_rejected = 0;
+    std::uint64_t events_quarantined_backwards = 0;
+    std::uint64_t drift_alarms = 0;
+    std::uint64_t reloads = 0;
+    std::uint64_t reload_rollbacks = 0;
 
     /// Flow-level sheds recorded at the cut (restart_loss included).
     [[nodiscard]] std::uint64_t flow_sheds() const noexcept
@@ -87,6 +96,7 @@ struct ServeSnapshot {
     std::uint64_t watermark = 0;      ///< stream events the driver had emitted at the cut
     double stream_now = 0.0;          ///< assembler stream clock at the cut
     std::uint32_t generation = 0;     ///< worker generation that wrote the snapshot
+    std::uint32_t model_generation = 0; ///< accepted hot reloads at the cut
     std::uint64_t config_fingerprint = 0;  ///< serve config hash; mismatch = cold start
     SnapshotCounters counters;
     std::vector<SnapshotFlow> flows;  ///< in window-close (FIFO) order

@@ -13,9 +13,18 @@
 //   * FPTC_FAULT_SERVE_BURST=k — every 64th event erupts into k extra
 //     same-timestamp clones, a synthetic microburst that drives the bounded
 //     ingest queue into its queue_full shed path.
+// A DriftSchedule (trafficgen/drift.hpp) makes the stream non-stationary on
+// a scripted, seed-deterministic schedule: class profiles blend toward
+// their human-partition variants, unknown-class flows (ground-truth label
+// = num_classes) are injected, and the class mix can skew — the inputs the
+// serve drift monitor and open-set threshold are tortured against.  An
+// inactive schedule leaves the stream bit-identical to one built without
+// it.
 #pragma once
 
 #include "fptc/serve/event.hpp"
+
+#include "fptc/trafficgen/drift.hpp"
 
 #include <cstddef>
 #include <cstdint>
@@ -31,6 +40,7 @@ struct StreamConfig {
     double arrival_window = 30.0;    ///< flow start times ~ U[0, arrival_window)
     std::uint64_t seed = 1;          ///< generator seed (stream is deterministic)
     bool human_shift = false;        ///< use the human-partition profiles
+    trafficgen::DriftSchedule drift; ///< scripted non-stationarity (FPTC_DRIFT_*)
 };
 
 class InterleavedStream {
@@ -54,6 +64,10 @@ public:
     /// Flows materialized into the stream.
     [[nodiscard]] std::size_t flow_count() const noexcept { return flow_count_; }
 
+    /// Flows injected from outside the trained classes (label =
+    /// num_classes) — the open-set oracle for the unknown-flood gate.
+    [[nodiscard]] std::size_t unknown_flows() const noexcept { return unknown_flows_; }
+
     /// Total events in the base stream (before faults).
     [[nodiscard]] std::size_t base_events() const noexcept { return events_.size(); }
 
@@ -65,6 +79,7 @@ private:
     std::uint64_t mangled_ = 0;
     std::uint64_t burst_events_ = 0;
     std::size_t flow_count_ = 0;
+    std::size_t unknown_flows_ = 0;
     std::uint64_t mangle_rng_state_ = 0;  ///< cheap per-event corruption selector
 };
 

@@ -1,8 +1,10 @@
 #include "fptc/serve/service.hpp"
 
 #include "fptc/serve/admission.hpp"
+#include "fptc/serve/drift.hpp"
 #include "fptc/serve/flow_table.hpp"
 #include "fptc/serve/queue.hpp"
+#include "fptc/serve/reload.hpp"
 #include "fptc/serve/snapshot.hpp"
 #include "fptc/serve/supervisor.hpp"
 #include "fptc/serve/watchdog.hpp"
@@ -108,6 +110,21 @@ ServeConfig ServeConfig::from_env()
         env_positive("FPTC_SERVE_SNAPSHOT_S", config.snapshot_period_s, true);
     config.snapshot_every = static_cast<std::uint64_t>(
         util::env_int("FPTC_SERVE_SNAPSHOT_EVERY").value_or(0));
+    config.unknown_thresh = env_positive("FPTC_SERVE_UNKNOWN_THRESH", config.unknown_thresh, true);
+    if (config.unknown_thresh > 1.0) {
+        throw util::EnvError("FPTC_SERVE_UNKNOWN_THRESH must be in [0, 1], got " +
+                             std::to_string(config.unknown_thresh));
+    }
+    config.drift_lambda = env_positive("FPTC_SERVE_DRIFT_LAMBDA", config.drift_lambda, true);
+    config.drift_delta = env_positive("FPTC_SERVE_DRIFT_DELTA", config.drift_delta, false);
+    config.drift_min_samples = env_size("FPTC_SERVE_DRIFT_MIN", config.drift_min_samples, 1);
+    config.drift_rate_window = env_size("FPTC_SERVE_DRIFT_RATE_WINDOW", config.drift_rate_window, 8);
+    config.drift_rate_thresh =
+        env_positive("FPTC_SERVE_DRIFT_RATE_THRESH", config.drift_rate_thresh, true);
+    config.reload_path = env_string("FPTC_SERVE_RELOAD");
+    config.reload_tolerance = env_positive("FPTC_SERVE_RELOAD_TOL", config.reload_tolerance, true);
+    config.reload_canary_flows = env_size("FPTC_SERVE_RELOAD_CANARY", config.reload_canary_flows, 1);
+    config.reload_every = env_size("FPTC_SERVE_RELOAD_EVERY", config.reload_every, 1);
     config.hang_stall_s = env_positive("FPTC_SERVE_HANG_S", config.hang_stall_s, true);
     config.heartbeat_path = env_string("FPTC_SERVE_HEARTBEAT");
     config.gbt_only = util::env_int("FPTC_SERVE_GBT_ONLY").value_or(0) != 0;
@@ -128,7 +145,13 @@ std::string ServeReport::summary() const
         << " trips=" << breaker_trips << " recoveries=" << breaker_recoveries
         << " tier=" << final_tier << " slo_violations=" << slo_violations
         << " snapshots=" << snapshots_written << " restored=" << (restored ? 1 : 0)
-        << " generation=" << generation << " accounted=" << (accounted() ? 1 : 0);
+        << " generation=" << generation << " unknown=" << flows_unknown
+        << " unknown_truth=" << unknown_truth_total
+        << " unknown_rejected=" << unknown_truth_rejected
+        << " quarantined_backwards=" << events_quarantined_backwards
+        << " drift_alarms=" << drift_alarms << " reloads=" << reloads
+        << " rollbacks=" << reload_rollbacks << " model_generation=" << model_generation
+        << " accounted=" << (accounted() ? 1 : 0);
     return out.str();
 }
 
@@ -158,6 +181,14 @@ struct ServeState {
     std::atomic<std::uint64_t> snapshots_written{0};
     std::atomic<std::uint64_t> restored_flows{0};
     std::atomic<std::uint64_t> restore_refused{0};
+    std::atomic<std::uint64_t> flows_unknown{0};
+    std::atomic<std::uint64_t> unknown_truth_total{0};
+    std::atomic<std::uint64_t> unknown_truth_rejected{0};
+    std::atomic<std::uint64_t> events_quarantined_backwards{0};
+    std::atomic<std::uint64_t> drift_alarms{0};
+    std::atomic<std::uint64_t> reloads{0};
+    std::atomic<std::uint64_t> reload_rollbacks{0};
+    std::atomic<std::uint32_t> model_generation{0};
 };
 
 /// Cached registry instruments (lookups mutex, instruments lock-free).
@@ -179,9 +210,17 @@ struct ServeMetrics {
     util::Counter& snapshots = util::metrics().counter("fptc_serve_snapshots_total");
     util::Counter& trips = util::metrics().counter("fptc_serve_breaker_trips_total");
     util::Counter& recoveries = util::metrics().counter("fptc_serve_breaker_recoveries_total");
+    util::Counter& unknown = util::metrics().counter("fptc_serve_flows_unknown_total");
+    util::Counter& quarantined_backwards =
+        util::metrics().counter("fptc_serve_quarantined_backwards_ts_total");
+    util::Counter& drift_alarms = util::metrics().counter("fptc_serve_drift_alarms_total");
+    util::Counter& reloads = util::metrics().counter("fptc_serve_reloads_total");
+    util::Counter& reload_rollbacks =
+        util::metrics().counter("fptc_serve_reload_rollbacks_total");
     util::Gauge& flows_active = util::metrics().gauge("fptc_serve_flows_active");
     util::Gauge& breaker_state = util::metrics().gauge("fptc_serve_breaker_state");
     util::Gauge& generation = util::metrics().gauge("fptc_serve_generation");
+    util::Gauge& model_generation = util::metrics().gauge("fptc_serve_model_generation");
     util::Histogram& latency = util::metrics().histogram("fptc_serve_classify_latency_ns");
 };
 
@@ -253,7 +292,7 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         // only *lag* (under-count), so the deficit can only over-estimate —
         // a conservative, typed bound on what the crash cost.
         const std::uint64_t accounted_at_cut =
-            base.flows_classified + base.flow_sheds() + snap->flows.size();
+            base.flows_classified + base.flows_unknown + base.flow_sheds() + snap->flows.size();
         const std::uint64_t loss = base.flows_ingested > accounted_at_cut
                                        ? base.flows_ingested - accounted_at_cut
                                        : 0;
@@ -271,6 +310,14 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         state.shed_restart_loss.store(base.shed_restart_loss + loss);
         state.batches.store(base.batches);
         state.slo_violations.store(base.slo_violations);
+        state.flows_unknown.store(base.flows_unknown);
+        state.unknown_truth_total.store(base.unknown_truth_total);
+        state.unknown_truth_rejected.store(base.unknown_truth_rejected);
+        state.events_quarantined_backwards.store(base.events_quarantined_backwards);
+        state.drift_alarms.store(base.drift_alarms);
+        state.reloads.store(base.reloads);
+        state.reload_rollbacks.store(base.reload_rollbacks);
+        state.model_generation.store(snap->model_generation);
         if (loss > 0) {
             instruments.shed_restart.add(loss);
         }
@@ -298,6 +345,8 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     int breaker_final = 0;
     std::uint64_t breaker_trips = 0;
     std::uint64_t breaker_recoveries = 0;
+    DriftStats drift_final;
+    ReloadStats reload_final;
 
     // --- assembler: validate events, fold into the flow table, release
     // window-closed flows into the ready queue -----------------------------
@@ -325,6 +374,7 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             out.watermark = cut.events_total;
             out.stream_now = stream_now;
             out.generation = config_.generation;
+            out.model_generation = state.model_generation.load(std::memory_order_relaxed);
             out.config_fingerprint = config_.fingerprint();
             SnapshotCounters& c = out.counters;
             c.events_total = cut.events_total;
@@ -335,6 +385,8 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             c.events_quarantined = state.events_quarantined.load(std::memory_order_relaxed);
             c.events_dropped_mem = state.events_dropped_mem.load(std::memory_order_relaxed);
             c.events_dropped_slo = state.events_dropped_slo.load(std::memory_order_relaxed);
+            c.events_quarantined_backwards =
+                state.events_quarantined_backwards.load(std::memory_order_relaxed);
             c.flows_ingested = state.flows_ingested.load(std::memory_order_relaxed);
             c.shed_mem_budget = state.shed_mem_budget.load(std::memory_order_relaxed);
             c.shed_queue_full = state.shed_queue_full.load(std::memory_order_relaxed);
@@ -349,6 +401,13 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             c.shed_slo = state.shed_slo.load(std::memory_order_relaxed);
             c.batches = state.batches.load(std::memory_order_relaxed);
             c.slo_violations = state.slo_violations.load(std::memory_order_relaxed);
+            c.flows_unknown = state.flows_unknown.load(std::memory_order_relaxed);
+            c.unknown_truth_total = state.unknown_truth_total.load(std::memory_order_relaxed);
+            c.unknown_truth_rejected =
+                state.unknown_truth_rejected.load(std::memory_order_relaxed);
+            c.drift_alarms = state.drift_alarms.load(std::memory_order_relaxed);
+            c.reloads = state.reloads.load(std::memory_order_relaxed);
+            c.reload_rollbacks = state.reload_rollbacks.load(std::memory_order_relaxed);
             out.flows = table.snapshot_entries();
             try {
                 save_snapshot(config_.snapshot_path, out);
@@ -410,6 +469,14 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                 }
                 stream_now = std::max(stream_now, event.timestamp);
                 const AddOutcome outcome = table.add_packet(event);
+                if (outcome.quarantined_backwards) {
+                    // Trust boundary: a packet time-warping backwards inside
+                    // its flow is dropped before it can poison the window.
+                    // Event-level, typed; the flow itself keeps serving.
+                    state.events_quarantined_backwards.fetch_add(1, std::memory_order_relaxed);
+                    instruments.quarantined_backwards.add();
+                    continue;
+                }
                 if (outcome.new_flow) {
                     state.flows_ingested.fetch_add(1, std::memory_order_relaxed);
                     instruments.ingested.add();
@@ -453,6 +520,52 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                                 .cooldown_batches = config_.breaker_cooldown});
         CoDelAdmission admission(
             {.target_ms = config_.slo_ms, .interval_ms = config_.slo_interval_ms});
+        DriftMonitor drift(DriftMonitorConfig{
+            .lambda = config_.drift_lambda,
+            .delta = config_.drift_delta,
+            .min_samples = config_.drift_min_samples,
+            .num_classes = config_.num_classes,
+            .rate_window = config_.drift_rate_window,
+            .rate_threshold = config_.drift_rate_thresh,
+        });
+        // The reload target is the full-tier CNN; a non-CNN full tier (or
+        // the gbt_only degraded worker) leaves the reloader disabled.
+        ModelReloader reloader(
+            ReloadConfig{
+                .path = config_.reload_path,
+                .tolerance = config_.reload_tolerance,
+                .canary_flows = config_.reload_canary_flows,
+                .check_every = config_.reload_every,
+                .num_classes = config_.num_classes,
+                .seed = config_.fingerprint_extra != 0 ? config_.fingerprint_extra : 1,
+            },
+            config_.gbt_only ? nullptr : dynamic_cast<CnnBackend*>(&full_));
+        // Generations survive SIGKILL: the counter continues from the
+        // restored snapshot cut, so an accepted reload before the crash is
+        // still visible in the restarted worker's report.
+        reloader.set_model_generation(state.model_generation.load(std::memory_order_relaxed));
+        instruments.model_generation.set(
+            static_cast<std::int64_t>(reloader.model_generation()));
+        std::uint64_t last_drift_alarms = 0;
+        const auto apply_reload = [&](ModelReloader::Outcome outcome) {
+            if (outcome == ModelReloader::Outcome::reloaded) {
+                state.reloads.fetch_add(1, std::memory_order_relaxed);
+                state.model_generation.store(reloader.model_generation(),
+                                             std::memory_order_relaxed);
+                instruments.reloads.add();
+                instruments.model_generation.set(
+                    static_cast<std::int64_t>(reloader.model_generation()));
+                util::log_info("serve: hot-reloaded model (generation " +
+                               std::to_string(reloader.model_generation()) +
+                               ", candidate golden accuracy " +
+                               std::to_string(reloader.stats().candidate_accuracy) + ")");
+            } else if (outcome == ModelReloader::Outcome::rolled_back) {
+                state.reload_rollbacks.fetch_add(1, std::memory_order_relaxed);
+                instruments.reload_rollbacks.add();
+                util::log_info("serve: reload candidate rejected, incumbent kept (" +
+                               reloader.stats().last_error + ")");
+            }
+        };
         std::uint64_t last_trips = 0;
         std::uint64_t last_recoveries = 0;
         std::vector<StampedFlow> staged;
@@ -538,10 +651,10 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             const auto batch_start = std::chrono::steady_clock::now();
             bool deadline_hit = false;
             bool failed = false;
-            std::vector<std::size_t> predictions;
+            std::vector<ScoredPrediction> predictions;
             try {
                 FPTC_TRACE_SPAN("serve_classify", {{"backend", backend.name()}});
-                predictions = backend.classify({batch.data(), batch.size()}, token);
+                predictions = backend.classify_scored({batch.data(), batch.size()}, token);
             } catch (const util::CancelledError&) {
                 deadline_hit = true;
             } catch (const std::exception&) {
@@ -565,16 +678,78 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             } else {
                 breaker.record_success(latency);
                 std::uint64_t correct = 0;
+                std::uint64_t unknown = 0;
+                std::uint64_t unknown_truth = 0;
+                std::uint64_t unknown_rejected = 0;
                 for (std::size_t i = 0; i < batch.size(); ++i) {
-                    if (i < predictions.size() && predictions[i] == batch[i].label) {
+                    const ReadyFlow& flow = batch[i];
+                    const ScoredPrediction prediction =
+                        i < predictions.size() ? predictions[i] : ScoredPrediction{};
+                    // Open-set rejection: a score below the threshold means
+                    // "none of the trained classes" — the typed `unknown`
+                    // outcome, never a forced label.
+                    const bool rejected = config_.unknown_thresh > 0.0 &&
+                                          prediction.confidence < config_.unknown_thresh;
+                    const bool truth_unknown = flow.label >= config_.num_classes;
+                    if (truth_unknown) {
+                        ++unknown_truth;
+                        if (rejected) {
+                            ++unknown_rejected;
+                        }
+                    }
+                    if (rejected) {
+                        ++unknown;
+                    } else if (prediction.label == flow.label) {
                         ++correct;
                     }
+                    double mean_size = 0.0;
+                    for (const flow::Packet& packet : flow.flow.packets) {
+                        mean_size += static_cast<double>(packet.size);
+                    }
+                    if (!flow.flow.packets.empty()) {
+                        mean_size /= static_cast<double>(flow.flow.packets.size());
+                    }
+                    (void)drift.observe(DriftObservation{
+                        .confidence = prediction.confidence,
+                        .predicted = rejected ? config_.num_classes : prediction.label,
+                        .mean_packet_size = mean_size,
+                        .packet_count = flow.flow.packets.size(),
+                    });
                 }
-                state.flows_classified.fetch_add(batch.size(), std::memory_order_relaxed);
+                state.flows_classified.fetch_add(batch.size() - unknown,
+                                                 std::memory_order_relaxed);
                 state.flows_correct.fetch_add(correct, std::memory_order_relaxed);
-                instruments.classified.add(batch.size());
+                instruments.classified.add(batch.size() - unknown);
+                if (unknown > 0) {
+                    state.flows_unknown.fetch_add(unknown, std::memory_order_relaxed);
+                    instruments.unknown.add(unknown);
+                }
+                if (unknown_truth > 0) {
+                    state.unknown_truth_total.fetch_add(unknown_truth,
+                                                        std::memory_order_relaxed);
+                    state.unknown_truth_rejected.fetch_add(unknown_rejected,
+                                                           std::memory_order_relaxed);
+                }
             }
             instruments.breaker_state.set(static_cast<std::int64_t>(breaker.tier()));
+            // Drift response ladder: count the alarm, step the breaker one
+            // tier down (cheap tiers are cheaper to be wrong with), and
+            // canary any pending reload candidate immediately.  Without an
+            // alarm the candidate path is still polled on its cadence.
+            const std::uint64_t drift_total = drift.stats().total();
+            if (drift_total > last_drift_alarms) {
+                const std::uint64_t fired = drift_total - last_drift_alarms;
+                last_drift_alarms = drift_total;
+                state.drift_alarms.fetch_add(fired, std::memory_order_relaxed);
+                instruments.drift_alarms.add(fired);
+                util::log_info("serve: drift alarm at sample " +
+                               std::to_string(drift.stats().samples) + " (confidence mean " +
+                               std::to_string(drift.stats().confidence_mean) + ")");
+                breaker.drift_trip();
+                apply_reload(reloader.check_now());
+            } else {
+                apply_reload(reloader.poll());
+            }
             if (breaker.trips() > last_trips) {
                 instruments.trips.add(breaker.trips() - last_trips);
                 last_trips = breaker.trips();
@@ -587,6 +762,8 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         breaker_final = static_cast<int>(breaker.tier());
         breaker_trips = breaker.trips();
         breaker_recoveries = breaker.recoveries();
+        drift_final = drift.stats();
+        reload_final = reloader.stats();
         watchdog.mark_done(wd_classifier);
     });
 
@@ -691,6 +868,21 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     report.snapshots_written = state.snapshots_written.load();
     report.restored_flows = state.restored_flows.load();
     report.restore_refused = state.restore_refused.load();
+    report.flows_unknown = state.flows_unknown.load();
+    report.unknown_truth_total = state.unknown_truth_total.load();
+    report.unknown_truth_rejected = state.unknown_truth_rejected.load();
+    report.events_quarantined_backwards = state.events_quarantined_backwards.load();
+    report.drift_alarms = state.drift_alarms.load();
+    report.drift_alarms_confidence = drift_final.alarms_confidence;
+    report.drift_alarms_input = drift_final.alarms_input;
+    report.drift_alarms_rate = drift_final.alarms_rate;
+    report.drift_samples = drift_final.samples;
+    report.drift_first_alarm_sample = drift_final.first_alarm_sample;
+    report.confidence_mean = drift_final.confidence_mean;
+    report.reload_attempts = reload_final.attempts;
+    report.reloads = state.reloads.load();
+    report.reload_rollbacks = state.reload_rollbacks.load();
+    report.model_generation = state.model_generation.load();
     report.breaker_trips = breaker_trips;
     report.breaker_recoveries = breaker_recoveries;
     report.final_tier = breaker_final;

@@ -64,6 +64,13 @@ void put_counters(std::string& out, const SnapshotCounters& c)
     put_u64(out, c.shed_restart_loss);
     put_u64(out, c.batches);
     put_u64(out, c.slo_violations);
+    put_u64(out, c.flows_unknown);
+    put_u64(out, c.unknown_truth_total);
+    put_u64(out, c.unknown_truth_rejected);
+    put_u64(out, c.events_quarantined_backwards);
+    put_u64(out, c.drift_alarms);
+    put_u64(out, c.reloads);
+    put_u64(out, c.reload_rollbacks);
 }
 
 bool get_counters(Reader& in, SnapshotCounters& c)
@@ -74,7 +81,9 @@ bool get_counters(Reader& in, SnapshotCounters& c)
            in.u64(c.flows_classified) && in.u64(c.flows_correct) && in.u64(c.shed_mem_budget) &&
            in.u64(c.shed_queue_full) && in.u64(c.shed_deadline) && in.u64(c.shed_breaker) &&
            in.u64(c.shed_slo) && in.u64(c.shed_restart_loss) && in.u64(c.batches) &&
-           in.u64(c.slo_violations);
+           in.u64(c.slo_violations) && in.u64(c.flows_unknown) && in.u64(c.unknown_truth_total) &&
+           in.u64(c.unknown_truth_rejected) && in.u64(c.events_quarantined_backwards) &&
+           in.u64(c.drift_alarms) && in.u64(c.reloads) && in.u64(c.reload_rollbacks);
 }
 
 } // namespace
@@ -85,6 +94,7 @@ std::string encode_snapshot(const ServeSnapshot& snapshot)
     put_u64(payload, snapshot.watermark);
     put_f64(payload, snapshot.stream_now);
     put_u32(payload, snapshot.generation);
+    put_u32(payload, snapshot.model_generation);
     put_u64(payload, snapshot.config_fingerprint);
     put_counters(payload, snapshot.counters);
     put_u64(payload, snapshot.flows.size());
@@ -133,8 +143,8 @@ std::optional<ServeSnapshot> decode_snapshot(std::string_view data)
 
     ServeSnapshot snapshot;
     if (!in.u64(snapshot.watermark) || !in.f64(snapshot.stream_now) ||
-        !in.u32(snapshot.generation) || !in.u64(snapshot.config_fingerprint) ||
-        !get_counters(in, snapshot.counters)) {
+        !in.u32(snapshot.generation) || !in.u32(snapshot.model_generation) ||
+        !in.u64(snapshot.config_fingerprint) || !get_counters(in, snapshot.counters)) {
         return std::nullopt;
     }
     std::uint64_t flow_count = 0;

@@ -19,14 +19,75 @@ InterleavedStream::InterleavedStream(const StreamConfig& config)
     for (std::size_t c = 0; c < num_classes; ++c) {
         profiles.push_back(trafficgen::ucdavis19_profile(c % 5, config.human_shift));
     }
+    // Drift targets, built lazily only when a schedule is active so an
+    // inactive schedule draws nothing extra from the RNG and the stream
+    // stays bit-identical to the pre-drift one.
+    const trafficgen::DriftSchedule& drift = config.drift;
+    std::vector<trafficgen::ClassProfile> shifted;
+    trafficgen::ClassProfile unknown_profile;
+    std::vector<double> class_cdf;
+    if (drift.active()) {
+        shifted.reserve(num_classes);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            // The shift target is the *other* partition of the same class —
+            // the paper's script-vs-human drift.
+            shifted.push_back(trafficgen::ucdavis19_profile(c % 5, !config.human_shift));
+        }
+        unknown_profile = trafficgen::unknown_app_profile(config.seed);
+        if (drift.imbalance > 0.0) {
+            // Geometric class weights s^c, normalized into a CDF.
+            double total = 0.0;
+            double weight = 1.0;
+            for (std::size_t c = 0; c < num_classes; ++c) {
+                total += weight;
+                class_cdf.push_back(total);
+                weight *= drift.imbalance;
+            }
+            for (double& edge : class_cdf) {
+                edge /= total;
+            }
+        }
+    }
 
     for (std::size_t i = 0; i < config.flows; ++i) {
-        const std::size_t label = i % num_classes;
-        const flow::Flow flow = trafficgen::generate_flow(profiles[label], label, rng);
+        std::size_t label = i % num_classes;
+        flow::Flow flow;
+        double start = 0.0;
+        if (!drift.active()) {
+            flow = trafficgen::generate_flow(profiles[label], label, rng);
+            start = rng.uniform(0.0, std::max(config.arrival_window, 0.0));
+        } else {
+            // Start time first: the schedule keys off arrival progress.
+            start = rng.uniform(0.0, std::max(config.arrival_window, 0.0));
+            const double progress =
+                config.arrival_window > 0.0 ? start / config.arrival_window : 0.0;
+            if (!class_cdf.empty()) {
+                const double u = rng.uniform(0.0, 1.0);
+                label = 0;
+                while (label + 1 < num_classes && u > class_cdf[label]) {
+                    ++label;
+                }
+            }
+            const bool inject_unknown = drift.unknown_rate > 0.0 && progress >= drift.at &&
+                                        rng.uniform(0.0, 1.0) < drift.unknown_rate;
+            if (inject_unknown) {
+                label = num_classes;  // ground truth: outside every trained class
+                flow = trafficgen::generate_flow(unknown_profile, label, rng);
+            } else {
+                const double w = drift.shift_weight(progress);
+                flow = w > 0.0
+                           ? trafficgen::generate_flow(
+                                 trafficgen::blend_profiles(profiles[label], shifted[label], w),
+                                 label, rng)
+                           : trafficgen::generate_flow(profiles[label], label, rng);
+            }
+        }
         if (flow.packets.empty()) {
             continue;
         }
-        const double start = rng.uniform(0.0, std::max(config.arrival_window, 0.0));
+        if (label == num_classes) {
+            ++unknown_flows_;
+        }
         const std::uint64_t flow_id = static_cast<std::uint64_t>(i) + 1;  // 0 is invalid
         for (std::size_t p = 0; p < flow.packets.size(); ++p) {
             const flow::Packet& packet = flow.packets[p];

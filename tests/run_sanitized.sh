@@ -25,7 +25,13 @@
 #      against BOTH sanitized builds: the streaming classifier under
 #      backend stalls, mangled packets and microbursts must never abort,
 #      type every shed and balance the MemBudget — race-free under tsan,
-#      leak-free under asan.
+#      leak-free under asan,
+#   8. the drift / model-lifecycle gate (tests/run_serve_torture.sh
+#      --quick --drift) against BOTH sanitized builds: no false drift
+#      alarms on a stationary stream, alarms after a scripted shift,
+#      unknown-flood open-set rejection, and the canary reload/rollback
+#      paths — the hot model swap must be race-free under tsan and the
+#      scratch canary network leak-free under asan.
 #
 # Usage, from the repo root:
 #
@@ -40,13 +46,13 @@ cd "$(dirname "$0")/.."
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick|ServeTortureQuick' "$@"
+ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick|ServeTortureQuick|ServeDriftQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve test_serve_recovery
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve test_serve_recovery test_serve_drift
 ctest --preset tsan -j "$(nproc)" \
-    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge|Serve' \
-    -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick|ServeTortureQuick'
+    -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge|Serve|ServeDrift|Drift|Calibration' \
+    -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick|ServeTortureQuick|ServeDriftQuick'
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target table4_augmentations
@@ -66,3 +72,6 @@ cmake --build --preset asan-ubsan -j "$(nproc)" --target serve_throughput
 cmake --build --preset tsan -j "$(nproc)" --target serve_throughput
 tests/run_serve_torture.sh --quick build-asan/bench/serve_throughput
 tests/run_serve_torture.sh --quick build-tsan/bench/serve_throughput
+
+tests/run_serve_torture.sh --quick --drift build-asan/bench/serve_throughput
+tests/run_serve_torture.sh --quick --drift build-tsan/bench/serve_throughput

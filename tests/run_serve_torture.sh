@@ -26,19 +26,37 @@
 #
 # Usage, from the repo root (binary defaults to build/bench/serve_throughput):
 #
-#   tests/run_serve_torture.sh [--quick] [path/to/serve_throughput]
+#   tests/run_serve_torture.sh [--quick] [--drift] [path/to/serve_throughput]
 #
 # --quick (wired as the ServeTortureQuick ctest) shrinks the stream and
 # skips the combined-chaos seed sweep; every scenario class still runs.
+#
+# --drift (wired as the ServeDriftQuick ctest) runs the drift/model-
+# lifecycle suite INSTEAD of the fault suite:
+#   * drift_nominal: drift monitor armed on a stationary stream — zero
+#     alarms (the no-false-alarm side of the detector contract),
+#   * drift_alarm: scripted step shift (FPTC_DRIFT_MODE=step) — the monitor
+#     must alarm after the shift and the breaker ladder must respond,
+#   * unknown_flood: unknown-app injection + open-set threshold — >= 90% of
+#     unknown-truth flows routed to the typed `unknown` outcome, never
+#     silently misclassified,
+#   * canary_rollback / canary_reload: a corrupt (NaN-poisoned, CRC-valid)
+#     candidate is rejected with a counted rollback and zero generation
+#     bump; a good candidate is accepted exactly once,
+#   * drift_kill: unknown flood + supervised SIGKILL — the extended
+#     invariant (ingested == classified + unknown + sheds) holds across the
+#     snapshot restore.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 QUICK=0
+DRIFT=0
 BIN=build/bench/serve_throughput
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
+        --drift) DRIFT=1 ;;
         *) BIN="$arg" ;;
     esac
 done
@@ -114,6 +132,103 @@ require_zero() {
         exit 1
     fi
 }
+
+# json_field <dir> <key>: pull one numeric field out of BENCH_serve.json.
+json_field() {
+    sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1/BENCH_serve.json" | head -1
+}
+
+# ---- drift / model-lifecycle suite (--drift) --------------------------------
+if [ "$DRIFT" = 1 ]; then
+    # The detector operating point (lambda/delta/rate threshold) is tuned
+    # against this exact deterministic stream: seed 1, 300 flows.  Keep the
+    # flow count pinned even under --quick — the env list's *last*
+    # FPTC_SERVE_FLOWS assignment wins over run_serve's default.
+    DRIFT_ENV="FPTC_SERVE_FLOWS=300 FPTC_SERVE_SEED=1 FPTC_SERVE_READY_DEPTH=512
+               FPTC_SERVE_DRIFT_LAMBDA=25 FPTC_SERVE_DRIFT_DELTA=0.1
+               FPTC_SERVE_DRIFT_MIN=48
+               FPTC_SERVE_DRIFT_RATE_THRESH=0.6 FPTC_SERVE_DRIFT_RATE_WINDOW=64"
+
+    echo "run_serve_torture: drift monitor armed, stationary stream (no false alarms)..."
+    run_serve drift_nominal $DRIFT_ENV
+    require_zero drift_nominal drift_alarms \
+        "$(summary_field "$WORK/drift_nominal" drift_alarms)"
+    echo "run_serve_torture: drift_nominal ok (0 alarms on a stationary stream)"
+
+    echo "run_serve_torture: scripted step shift at 50% of the arrival window..."
+    run_serve drift_alarm $DRIFT_ENV \
+        FPTC_DRIFT_MODE=step FPTC_DRIFT_AT=0.5 FPTC_DRIFT_MAGNITUDE=1.0
+    require_pos drift_alarm drift_alarms "$(summary_field "$WORK/drift_alarm" drift_alarms)"
+    # The breaker-ladder response: at least one drift-driven trip.
+    require_pos drift_alarm trips "$(summary_field "$WORK/drift_alarm" trips)"
+    first=$(json_field "$WORK/drift_alarm" first_alarm_sample)
+    if [ -z "$first" ] || [ "$first" -lt 48 ]; then
+        echo "run_serve_torture: FAIL: drift alarm before the warmup gate (first=$first)" >&2
+        exit 1
+    fi
+    echo "run_serve_torture: drift_alarm ok" \
+         "(alarms=$(summary_field "$WORK/drift_alarm" drift_alarms), first at sample $first)"
+
+    echo "run_serve_torture: unknown-app flood against the open-set threshold..."
+    run_serve unknown_flood $DRIFT_ENV \
+        FPTC_DRIFT_UNKNOWN=0.5 FPTC_DRIFT_AT=0 FPTC_SERVE_UNKNOWN_THRESH=0.9
+    total=$(json_field "$WORK/unknown_flood" unknown_truth_total)
+    rejected=$(json_field "$WORK/unknown_flood" unknown_truth_rejected)
+    require_pos unknown_flood unknown_truth "$total"
+    if ! awk -v r="${rejected:-0}" -v t="${total:-1}" 'BEGIN { exit (r >= 0.9 * t) ? 0 : 1 }'; then
+        echo "run_serve_torture: FAIL: unknown flood leaked past the threshold" \
+             "(rejected=$rejected of $total)" >&2
+        exit 1
+    fi
+    echo "run_serve_torture: unknown_flood ok ($rejected/$total unknown-truth flows rejected)"
+
+    echo "run_serve_torture: corrupt reload candidate (NaN weight, valid CRC)..."
+    rollback_dir="$WORK/canary_rollback"
+    mkdir -p "$rollback_dir"
+    run_serve canary_rollback $DRIFT_ENV \
+        FPTC_SERVE_RELOAD="$rollback_dir/candidate.ckpt" FPTC_SERVE_RELOAD_EVERY=4 \
+        FPTC_SERVE_SELFTEST_CANDIDATE=corrupt
+    require_pos canary_rollback rollbacks "$(summary_field "$WORK/canary_rollback" rollbacks)"
+    require_zero canary_rollback reloads "$(summary_field "$WORK/canary_rollback" reloads)"
+    require_zero canary_rollback model_generation \
+        "$(summary_field "$WORK/canary_rollback" model_generation)"
+    echo "run_serve_torture: canary_rollback ok (corrupt candidate rejected," \
+         "incumbent kept serving)"
+
+    echo "run_serve_torture: good reload candidate (identical copy of the incumbent)..."
+    reload_dir="$WORK/canary_reload"
+    mkdir -p "$reload_dir"
+    run_serve canary_reload $DRIFT_ENV \
+        FPTC_SERVE_RELOAD="$reload_dir/candidate.ckpt" FPTC_SERVE_RELOAD_EVERY=4 \
+        FPTC_SERVE_SELFTEST_CANDIDATE=good
+    require_pos canary_reload reloads "$(summary_field "$WORK/canary_reload" reloads)"
+    require_zero canary_reload rollbacks "$(summary_field "$WORK/canary_reload" rollbacks)"
+    require_pos canary_reload model_generation \
+        "$(summary_field "$WORK/canary_reload" model_generation)"
+    echo "run_serve_torture: canary_reload ok (accepted once," \
+         "model_generation=$(summary_field "$WORK/canary_reload" model_generation))"
+
+    echo "run_serve_torture: unknown flood + supervised SIGKILL (invariant across restore)..."
+    dk_dir="$WORK/drift_kill"
+    mkdir -p "$dk_dir"
+    run_serve drift_kill $DRIFT_ENV \
+        FPTC_DRIFT_UNKNOWN=0.5 FPTC_DRIFT_AT=0 FPTC_SERVE_UNKNOWN_THRESH=0.9 \
+        FPTC_SERVE_SUPERVISE=1 \
+        FPTC_SERVE_SNAPSHOT="$dk_dir/snapshot.bin" FPTC_SERVE_SNAPSHOT_EVERY=400 \
+        FPTC_FAULT_KILL_SERVE=1 FPTC_SERVE_MAX_RESTARTS=3 FPTC_SERVE_BACKOFF_MS=50
+    if ! grep -q 'SUPERVISOR_OK restarts=1 degraded=0' "$dk_dir/stderr.txt"; then
+        echo "run_serve_torture: FAIL: drift_kill missing SUPERVISOR_OK restarts=1:" >&2
+        tail -10 "$dk_dir/stderr.txt" >&2 || true
+        exit 1
+    fi
+    require_pos drift_kill restored "$(summary_field "$WORK/drift_kill" restored)"
+    require_pos drift_kill unknown "$(summary_field "$WORK/drift_kill" unknown)"
+    echo "run_serve_torture: drift_kill ok (restored, accounting balanced with" \
+         "unknown=$(summary_field "$WORK/drift_kill" unknown))"
+
+    echo "run_serve_torture: PASS (drift suite)"
+    exit 0
+fi
 
 # ---- nominal: full service, no faults, nothing shed -------------------------
 # The zero-shed assertion must test the *logic* (no faults -> no spurious

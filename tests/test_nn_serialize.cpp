@@ -108,7 +108,7 @@ TEST(Serialize, RejectsUnknownSaveVersion)
 {
     auto params = make_params();
     std::ostringstream out(std::ios::binary);
-    EXPECT_THROW(nn::save_parameters(pointers(params), out, 3), std::runtime_error);
+    EXPECT_THROW(nn::save_parameters(pointers(params), out, 4), std::runtime_error);
     EXPECT_THROW(nn::save_parameters(pointers(params), out, 0), std::runtime_error);
 }
 
