@@ -11,6 +11,7 @@
 #include "fptc/augment/augmentation.hpp"
 #include "fptc/core/data.hpp"
 #include "fptc/serve/backend.hpp"
+#include "fptc/serve/flightrec.hpp"
 #include "fptc/serve/reload.hpp"
 #include "fptc/flowpic/flowpic.hpp"
 #include "fptc/gbt/gbt.hpp"
@@ -270,6 +271,37 @@ void BM_TelemetryDisabledSpan(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TelemetryDisabledSpan);
+
+/// The flight-recorder overhead pair, same fnv workload and same contract
+/// as the span pair: with no recorder installed a frec_note call site is
+/// one relaxed load + predicted branch, gated <= 2% (+2 ns slack) against
+/// BM_SpanOverheadBaseline by tests/run_serve_torture.sh.
+void BM_FlightRecDisabled(benchmark::State& state)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    AllocPerOp alloc(state);
+    for (auto _ : state) {
+        serve::frec_note(serve::FrecRing::driver, serve::FrecKind::ingest, h, h);
+        h = fnv_mix(h);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_FlightRecDisabled);
+
+/// Enabled cost for context (not gated): one steady-clock read plus five
+/// relaxed/release stores into a private-memory ring.
+void BM_FlightRecEnabled(benchmark::State& state)
+{
+    serve::FlightRecorder recorder({.ring_path = "", .ring_capacity = 4096});
+    std::uint64_t h = 1469598103934665603ULL;
+    AllocPerOp alloc(state);
+    for (auto _ : state) {
+        serve::frec_note(serve::FrecRing::driver, serve::FrecKind::ingest, h, h);
+        h = fnv_mix(h);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_FlightRecEnabled);
 
 /// Console output as usual, plus a machine-readable capture of every
 /// per-iteration run for BENCH_micro.json.  Aggregate rows (when

@@ -38,6 +38,7 @@
 // Exit status: 0 iff the run completed with the flow accounting balanced
 // and every MemBudget byte credited back.
 
+#include "fptc/serve/flightrec.hpp"
 #include "fptc/serve/service.hpp"
 #include "fptc/serve/supervisor.hpp"
 
@@ -183,6 +184,29 @@ std::string bench_json(const fptc::serve::ServeReport& report,
         << "    \"rollbacks\": " << report.reload_rollbacks << ",\n"
         << "    \"model_generation\": " << report.model_generation << "\n"
         << "  },\n"
+        << "  \"flightrec\": {\n"
+        << "    \"enabled\": " << (config.flightrec ? "true" : "false") << ",\n"
+        << "    \"events\": " << report.frec_events << ",\n"
+        << "    \"dropped\": " << report.frec_dropped << ",\n"
+        << "    \"postmortems\": " << report.postmortems_written << ",\n"
+        << "    \"status_writes\": " << report.status_writes << "\n"
+        << "  },\n"
+        << "  \"latency_breakdown\": {\n";
+    // Per-stage sub-histograms live in the registry (observed by the worker
+    // threads that just joined); backend_compute reconciles exactly with
+    // the classify-latency histogram by construction.
+    for (std::size_t s = 0; s < fptc::serve::kFrecStageCount; ++s) {
+        const auto stage = static_cast<fptc::serve::FrecStage>(s);
+        const fptc::util::Histogram& h =
+            fptc::util::metrics().histogram(fptc::serve::frec_stage_metric_name(stage));
+        out << "    \"" << fptc::serve::frec_stage_name(static_cast<std::uint32_t>(s))
+            << "\": {\"count\": " << h.count() << ", \"p50_ns\": "
+            << static_cast<std::uint64_t>(h.quantile(0.50)) << ", \"p95_ns\": "
+            << static_cast<std::uint64_t>(h.quantile(0.95)) << ", \"p99_ns\": "
+            << static_cast<std::uint64_t>(h.quantile(0.99)) << "}"
+            << (s + 1 < fptc::serve::kFrecStageCount ? "," : "") << "\n";
+    }
+    out << "  },\n"
         << "  \"host\": {\n"
         << "    \"nproc\": " << std::thread::hardware_concurrency() << ",\n"
         << "    \"load1\": " << load_average() << "\n"
@@ -321,6 +345,10 @@ int main()
     }
     if (config.reload_path.empty() && (report.reloads != 0 || report.reload_rollbacks != 0)) {
         std::cerr << "serve_throughput: reload activity recorded with reload off\n";
+        ok = false;
+    }
+    if (!config.flightrec && (report.frec_events != 0 || report.postmortems_written != 0)) {
+        std::cerr << "serve_throughput: flight-recorder activity with the recorder off\n";
         ok = false;
     }
     std::cout << (ok ? "SERVE_OK" : "SERVE_FAIL") << "\n";

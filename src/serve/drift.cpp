@@ -1,5 +1,7 @@
 #include "fptc/serve/drift.hpp"
 
+#include "fptc/util/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -110,6 +112,7 @@ bool DriftMonitor::observe(const DriftObservation& observation)
     if (!enabled()) {
         return false;
     }
+    FPTC_TRACE_SPAN("serve_drift_update");
     ++stats_.samples;
     const double n = static_cast<double>(stats_.samples);
     stats_.confidence_mean += (observation.confidence - stats_.confidence_mean) / n;

@@ -1,5 +1,7 @@
 #include "fptc/serve/flow_table.hpp"
 
+#include "fptc/util/telemetry.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -13,6 +15,7 @@ FlowTable::FlowTable(std::size_t max_bytes, double window_seconds)
 
 bool FlowTable::evict_one(std::uint64_t protect)
 {
+    FPTC_TRACE_SPAN("serve_flow_evict");
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
         if (*it == protect) {
             continue;
@@ -34,6 +37,7 @@ AddOutcome FlowTable::add_packet(const PacketEvent& event)
 
     if (it == table_.end()) {
         // Admit a new flow: its fixed overhead plus the first packet.
+        FPTC_TRACE_SPAN("serve_flow_insert");
         const std::size_t cost = kFlowOverhead + kPacketCost;
         while (bytes_ + cost > max_bytes_ && evict_one(event.flow_id)) {
             ++outcome.evicted;
@@ -44,6 +48,7 @@ AddOutcome FlowTable::add_packet(const PacketEvent& event)
         Entry entry;
         entry.label = event.label;
         entry.first_ts = event.timestamp;
+        entry.first_seen = std::chrono::steady_clock::now();
         for (int attempt = 0;; ++attempt) {
             try {
                 entry.charge = util::Charge(cost, "serve_flow");
@@ -125,6 +130,7 @@ ReadyFlow FlowTable::release(std::unordered_map<std::uint64_t, Entry>::iterator 
         .flow_id = it->first,
         .label = entry.label,
         .first_ts = entry.first_ts,
+        .first_seen = entry.first_seen,
         .flow = std::move(entry.flow),
         .charge = std::move(entry.charge),
     };
@@ -173,6 +179,8 @@ std::vector<SnapshotFlow> FlowTable::snapshot_entries() const
 
 std::size_t FlowTable::restore(const std::vector<SnapshotFlow>& flows)
 {
+    FPTC_TRACE_SPAN("serve_table_restore");
+    const auto restored_at = std::chrono::steady_clock::now();
     std::size_t refused = 0;
     for (const auto& snap : flows) {
         const std::size_t cost = kFlowOverhead + snap.packets.size() * kPacketCost;
@@ -192,6 +200,7 @@ std::size_t FlowTable::restore(const std::vector<SnapshotFlow>& flows)
         }
         entry.label = snap.label;
         entry.first_ts = snap.first_ts;
+        entry.first_seen = restored_at;
         entry.flow.label = snap.label;
         entry.flow.packets = snap.packets;
         lru_.push_back(snap.flow_id);

@@ -19,6 +19,7 @@
 #include "fptc/flow/packet.hpp"
 #include "fptc/util/membudget.hpp"
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -35,6 +36,11 @@ struct ReadyFlow {
     std::uint64_t flow_id = 0;
     std::uint32_t label = 0;     ///< ground-truth class (oracle/accuracy only)
     double first_ts = 0.0;       ///< stream time of the flow's first packet
+    /// Wall (steady) time the table first saw the flow — the start of the
+    /// `assembly` stage for latency attribution (flightrec.hpp).  Restored
+    /// flows are stamped at restore time: their pre-crash wait is already
+    /// typed as restart loss, not assembly time.
+    std::chrono::steady_clock::time_point first_seen{};
     flow::Flow flow;             ///< packets with stream-absolute timestamps
     util::Charge charge;
 };
@@ -104,6 +110,7 @@ private:
     struct Entry {
         std::uint32_t label = 0;
         double first_ts = 0.0;
+        std::chrono::steady_clock::time_point first_seen{};
         flow::Flow flow;
         util::Charge charge;
         std::list<std::uint64_t>::iterator lru_it;

@@ -104,6 +104,17 @@ struct ServeConfig {
     bool gbt_only = false;            ///< FPTC_SERVE_GBT_ONLY: clamp ladder to fallback tier
     std::uint32_t generation = 0;     ///< FPTC_SERVE_GENERATION: worker restart count
 
+    // Flight recorder + crash postmortems (flightrec.hpp).  A non-empty
+    // postmortem path implies the recorder: a crash dump needs rings.
+    bool flightrec = false;           ///< FPTC_SERVE_FLIGHTREC: record lifecycle events
+    std::size_t flightrec_events = 4096; ///< FPTC_SERVE_FLIGHTREC_EVENTS: per-ring capacity
+    std::string flightrec_ring;       ///< FPTC_SERVE_FLIGHTREC_RING: mmap backing file
+    std::string postmortem_path;      ///< FPTC_SERVE_POSTMORTEM: crash dump file ("" = off)
+
+    // Live introspection (status.hpp).
+    std::string status_path;          ///< FPTC_SERVE_STATUS: status file ("" = off)
+    double status_period_s = 1.0;     ///< FPTC_SERVE_STATUS_S: export cadence
+
     /// Extra entropy mixed into fingerprint() — the bench sets this from the
     /// stream identity (seed/flows/arrival), so a snapshot is never restored
     /// against a *different* deterministic stream.
@@ -186,6 +197,12 @@ struct ServeReport {
     std::uint64_t restored_flows = 0;   ///< flows rebuilt into the table
     std::uint64_t restore_refused = 0;  ///< restored flows the budget refused (typed mem sheds)
     std::uint32_t generation = 0;       ///< worker generation (restart count)
+
+    // Flight recorder + live status (flightrec.hpp, status.hpp).
+    std::uint64_t frec_events = 0;      ///< lifecycle events recorded across rings
+    std::uint64_t frec_dropped = 0;     ///< events overwritten by ring wrap-around
+    std::uint64_t postmortems_written = 0; ///< in-process crash dumps this generation
+    std::uint64_t status_writes = 0;    ///< status-file exports this generation
 
     [[nodiscard]] std::uint64_t shed_total() const noexcept
     {

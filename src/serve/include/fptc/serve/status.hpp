@@ -1,0 +1,62 @@
+// Live serve introspection: periodic atomic status-file export.
+//
+// A background thread renders a caller-supplied JSON snapshot (breaker
+// state, drift alarms, SLO compliance, flows_active, model generation,
+// stage-latency quantiles + exemplars — whatever the render callback
+// bakes in) and publishes it with the temp + rename idiom, so a concurrent
+// reader (`tools/fptc_servestat`, a curl loop, a human with cat) always
+// sees a complete document and never a half-written one.  Plain writes, no
+// fsync: the status file is a freshness artifact, not a durability one —
+// losing the last second of status to a power cut costs nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace fptc::serve {
+
+struct StatusWriterConfig {
+    std::string path;       ///< FPTC_SERVE_STATUS ("" = disabled, writer inert)
+    double period_s = 1.0;  ///< FPTC_SERVE_STATUS_S (clamped to >= 0.05)
+};
+
+/// Periodic atomic status export.  The render callback runs on the writer
+/// thread and must be safe against the pipeline threads (read atomics /
+/// registry instruments only).  stop() publishes one final snapshot so the
+/// file always reflects the end state of the run.
+class StatusWriter {
+public:
+    StatusWriter(StatusWriterConfig config, std::function<std::string()> render);
+    ~StatusWriter();
+    StatusWriter(const StatusWriter&) = delete;
+    StatusWriter& operator=(const StatusWriter&) = delete;
+
+    /// Join the writer thread after one final export.  Idempotent.
+    void stop();
+
+    [[nodiscard]] bool enabled() const noexcept { return !config_.path.empty(); }
+    [[nodiscard]] std::uint64_t writes() const noexcept
+    {
+        return writes_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void write_once();
+
+    StatusWriterConfig config_;
+    std::function<std::string()> render_;
+    std::atomic<std::uint64_t> writes_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    bool warned_ = false;
+    std::thread thread_;
+};
+
+} // namespace fptc::serve

@@ -56,6 +56,8 @@ struct SupervisorConfig {
     double heartbeat_stale_s = 20.0; ///< heartbeat file older than this => SIGKILL the worker
     std::string heartbeat_path;      ///< FPTC_SERVE_HEARTBEAT: liveness file shared with worker
     std::string snapshot_path;       ///< FPTC_SERVE_SNAPSHOT: scavenged + preserved across restarts
+    std::string postmortem_path;     ///< FPTC_SERVE_POSTMORTEM: sealed from a signalled worker's rings
+    std::string flightrec_ring;      ///< ring backing shared with worker (default <postmortem>.ring)
 
     /// Build from FPTC_SERVE_* environment (strict parsing — EnvError on
     /// malformed values, like every other knob).

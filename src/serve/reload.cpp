@@ -6,6 +6,7 @@
 #include "fptc/trafficgen/ucdavis19.hpp"
 #include "fptc/util/crc32.hpp"
 #include "fptc/util/rng.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <fstream>
 #include <sstream>
@@ -72,6 +73,7 @@ double ModelReloader::golden_accuracy(Backend& backend) const
     if (golden_.empty()) {
         return 0.0;
     }
+    FPTC_TRACE_SPAN("serve_canary_replay", {{"backend", backend.name()}});
     const util::CancelToken token;
     const auto scored = backend.classify_scored({golden_.data(), golden_.size()}, token);
     std::size_t correct = 0;

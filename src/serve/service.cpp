@@ -2,10 +2,12 @@
 
 #include "fptc/serve/admission.hpp"
 #include "fptc/serve/drift.hpp"
+#include "fptc/serve/flightrec.hpp"
 #include "fptc/serve/flow_table.hpp"
 #include "fptc/serve/queue.hpp"
 #include "fptc/serve/reload.hpp"
 #include "fptc/serve/snapshot.hpp"
+#include "fptc/serve/status.hpp"
 #include "fptc/serve/supervisor.hpp"
 #include "fptc/serve/watchdog.hpp"
 
@@ -129,6 +131,22 @@ ServeConfig ServeConfig::from_env()
     config.heartbeat_path = env_string("FPTC_SERVE_HEARTBEAT");
     config.gbt_only = util::env_int("FPTC_SERVE_GBT_ONLY").value_or(0) != 0;
     config.generation = serve_generation();
+    config.flightrec = util::env_int("FPTC_SERVE_FLIGHTREC").value_or(0) != 0;
+    config.flightrec_events =
+        env_size("FPTC_SERVE_FLIGHTREC_EVENTS", config.flightrec_events, 64);
+    config.flightrec_ring = env_string("FPTC_SERVE_FLIGHTREC_RING");
+    config.postmortem_path = env_string("FPTC_SERVE_POSTMORTEM");
+    if (!config.postmortem_path.empty()) {
+        // A crash dump needs rings to dump: the postmortem knob implies the
+        // recorder, and the ring backing defaults next to the postmortem so
+        // supervisor and worker agree on it without a second knob.
+        config.flightrec = true;
+        if (config.flightrec_ring.empty()) {
+            config.flightrec_ring = config.postmortem_path + ".ring";
+        }
+    }
+    config.status_path = env_string("FPTC_SERVE_STATUS");
+    config.status_period_s = env_positive("FPTC_SERVE_STATUS_S", config.status_period_s, false);
     return config;
 }
 
@@ -151,6 +169,8 @@ std::string ServeReport::summary() const
         << " quarantined_backwards=" << events_quarantined_backwards
         << " drift_alarms=" << drift_alarms << " reloads=" << reloads
         << " rollbacks=" << reload_rollbacks << " model_generation=" << model_generation
+        << " frec_events=" << frec_events << " frec_dropped=" << frec_dropped
+        << " postmortems=" << postmortems_written << " status_writes=" << status_writes
         << " accounted=" << (accounted() ? 1 : 0);
     return out.str();
 }
@@ -189,6 +209,7 @@ struct ServeState {
     std::atomic<std::uint64_t> reloads{0};
     std::atomic<std::uint64_t> reload_rollbacks{0};
     std::atomic<std::uint32_t> model_generation{0};
+    std::atomic<std::uint64_t> postmortems_written{0};
 };
 
 /// Cached registry instruments (lookups mutex, instruments lock-free).
@@ -217,11 +238,25 @@ struct ServeMetrics {
     util::Counter& reloads = util::metrics().counter("fptc_serve_reloads_total");
     util::Counter& reload_rollbacks =
         util::metrics().counter("fptc_serve_reload_rollbacks_total");
+    util::Counter& postmortems = util::metrics().counter("fptc_serve_postmortems_total");
     util::Gauge& flows_active = util::metrics().gauge("fptc_serve_flows_active");
     util::Gauge& breaker_state = util::metrics().gauge("fptc_serve_breaker_state");
     util::Gauge& generation = util::metrics().gauge("fptc_serve_generation");
     util::Gauge& model_generation = util::metrics().gauge("fptc_serve_model_generation");
+    util::Gauge& frec_events = util::metrics().gauge("fptc_serve_flightrec_events");
+    util::Gauge& frec_dropped = util::metrics().gauge("fptc_serve_flightrec_dropped");
     util::Histogram& latency = util::metrics().histogram("fptc_serve_classify_latency_ns");
+    // Stage attribution sub-histograms (ns, same bit-width buckets as the
+    // end-to-end latency histogram).  backend_compute observes the *same*
+    // value as `latency`, so the two reconcile exactly in count and sum.
+    util::Histogram& stage_ingest_wait =
+        util::metrics().histogram(frec_stage_metric_name(FrecStage::ingest_wait));
+    util::Histogram& stage_assembly =
+        util::metrics().histogram(frec_stage_metric_name(FrecStage::assembly));
+    util::Histogram& stage_ready_wait =
+        util::metrics().histogram(frec_stage_metric_name(FrecStage::ready_wait));
+    util::Histogram& stage_backend =
+        util::metrics().histogram(frec_stage_metric_name(FrecStage::backend_compute));
 };
 
 double elapsed_ms(std::chrono::steady_clock::time_point since)
@@ -235,6 +270,18 @@ double steady_now_ms()
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+/// Nanoseconds since a steady stamp; 0 for a default-constructed (unset)
+/// stamp so a missing origin never inflates a stage histogram.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since)
+{
+    if (since.time_since_epoch().count() == 0) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - since)
+                                          .count());
 }
 
 /// The driver's exact counter cut carried by a snapshot marker.
@@ -274,6 +321,33 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     instruments.generation.set(static_cast<std::int64_t>(config_.generation));
     BoundedQueue<IngestItem> ingest(config_.queue_depth);
     BoundedQueue<StampedFlow> ready(config_.ready_depth);
+
+    // ---- flight recorder: per-thread lifecycle rings ----------------------
+    // Constructed before any pipeline thread so every frec_note() in the
+    // stages sees an armed gate; when disabled, each call site costs one
+    // relaxed load + predicted branch (the <=2% contract).
+    std::optional<FlightRecorder> recorder;
+    if (config_.flightrec) {
+        recorder.emplace(FrecConfig{
+            .ring_path = config_.flightrec_ring,
+            .ring_capacity = config_.flightrec_events,
+            .generation = config_.generation,
+        });
+    }
+    // One postmortem per process: watchdog stall and breaker hard-trip race
+    // only in pathological runs, and the first dump is the interesting one.
+    std::atomic<bool> postmortem_taken{false};
+    const auto take_postmortem = [&](PostmortemReason reason, const std::string& detail) {
+        if (!recorder.has_value() || config_.postmortem_path.empty() ||
+            postmortem_taken.exchange(true)) {
+            return;
+        }
+        state.postmortems_written.fetch_add(1, std::memory_order_relaxed);
+        instruments.postmortems.add();
+        instruments.frec_events.set(static_cast<std::int64_t>(recorder->recorded_total()));
+        instruments.frec_dropped.set(static_cast<std::int64_t>(recorder->dropped_total()));
+        recorder->dump(config_.postmortem_path, reason, detail);
+    };
 
     // ---- crash recovery: restore the previous generation's snapshot ------
     std::optional<ServeSnapshot> snap;
@@ -328,12 +402,23 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     }
 
     // ---- watchdog: per-thread stall detection + supervisor heartbeat ------
-    Watchdog watchdog(WatchdogConfig{
+    WatchdogConfig wd_config{
         .stall_seconds = config_.hang_stall_s,
         .poll_seconds = 0.25,
         .heartbeat_path = config_.heartbeat_path,
         .on_stall = {},
-    });
+    };
+    if (recorder.has_value() && !config_.postmortem_path.empty()) {
+        // Mirror the default stall action (log + _Exit) but seal a
+        // postmortem first: the rings hold the stalled thread's last steps.
+        wd_config.on_stall = [&take_postmortem](const std::string& name) {
+            take_postmortem(PostmortemReason::watchdog_stall, "stalled thread: " + name);
+            util::log_info("serve watchdog: thread '" + name +
+                           "' stalled; postmortem sealed; hang-exiting");
+            std::_Exit(kHangExitCode);
+        };
+    }
+    Watchdog watchdog(wd_config);
     const std::size_t wd_driver = watchdog.add_thread("driver");
     const std::size_t wd_assembler = watchdog.add_thread("assembler");
     const std::size_t wd_classifier = watchdog.add_thread("classifier");
@@ -420,6 +505,11 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             }
             state.snapshots_written.fetch_add(1, std::memory_order_relaxed);
             instruments.snapshots.add();
+            // Recorded after the durable commit and before the injected
+            // SIGKILL below: a postmortem sealed from the ring file always
+            // ends at (or after) the watermark the restarted worker resumes
+            // from.
+            frec_note(FrecRing::assembler, FrecKind::snapshot_marker, 0, cut.events_total);
             if (util::fault_injector().inject_serve_kill()) {
                 util::log_info("serve: fault injector SIGKILLing worker after snapshot commit");
                 ::raise(SIGKILL);
@@ -427,6 +517,13 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         };
         std::vector<IngestItem> items;
         const auto offer = [&](ReadyFlow&& flow, bool final_flush) {
+            // The assembly stage ends here: first packet seen -> window
+            // closed and offered downstream.
+            const std::uint64_t flow_id = flow.flow_id;
+            const std::uint64_t assembly_ns = elapsed_ns(flow.first_seen);
+            instruments.stage_assembly.observe(assembly_ns);
+            frec_exemplar(FrecStage::assembly, assembly_ns, flow_id);
+            frec_note(FrecRing::assembler, FrecKind::window_close, flow_id, assembly_ns);
             // Bounded backpressure, like the ingest side: a busy classifier
             // gets a grace window (longer at the final flush, when it is
             // known to be draining), then the flow is shed with a typed
@@ -439,6 +536,11 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                 // Charge destructor credits the bytes back right here.
                 state.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
                 instruments.shed_queue.add();
+                frec_note(FrecRing::assembler, FrecKind::shed, flow_id, 1,
+                          static_cast<std::uint32_t>(FrecShed::queue_full));
+            } else {
+                frec_note(FrecRing::assembler, FrecKind::batch_enqueue, flow_id,
+                          ready.size());
             }
         };
         for (;;) {
@@ -451,6 +553,11 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                     write_snapshot(item.cut);
                     continue;
                 }
+                // The ingest-wait stage ends at dequeue, whatever the
+                // event's fate below.
+                const std::uint64_t wait_ns = elapsed_ns(item.enqueued);
+                instruments.stage_ingest_wait.observe(wait_ns);
+                frec_exemplar(FrecStage::ingest_wait, wait_ns, item.event.flow_id);
                 if (admission.enabled() &&
                     admission.should_drop(elapsed_ms(item.enqueued), steady_now_ms())) {
                     // Sojourn over the SLO for a sustained interval: the
@@ -458,6 +565,8 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                     // space and classify time (event-level, typed).
                     state.events_dropped_slo.fetch_add(1, std::memory_order_relaxed);
                     instruments.dropped_slo.add();
+                    frec_note(FrecRing::assembler, FrecKind::codel_drop, item.event.flow_id,
+                              wait_ns);
                     continue;
                 }
                 const PacketEvent& event = item.event;
@@ -465,6 +574,7 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                     (void)reason;
                     state.events_quarantined.fetch_add(1, std::memory_order_relaxed);
                     instruments.quarantined.add();
+                    frec_note(FrecRing::assembler, FrecKind::quarantine, event.flow_id);
                     continue;
                 }
                 stream_now = std::max(stream_now, event.timestamp);
@@ -475,17 +585,22 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                     // Event-level, typed; the flow itself keeps serving.
                     state.events_quarantined_backwards.fetch_add(1, std::memory_order_relaxed);
                     instruments.quarantined_backwards.add();
+                    frec_note(FrecRing::assembler, FrecKind::quarantine, event.flow_id, 0, 1);
                     continue;
                 }
                 if (outcome.new_flow) {
                     state.flows_ingested.fetch_add(1, std::memory_order_relaxed);
                     instruments.ingested.add();
+                    frec_note(FrecRing::assembler, FrecKind::admit, event.flow_id,
+                              table.size());
                 }
                 if (outcome.evicted > 0 || outcome.shed_self) {
                     const std::uint64_t shed =
                         outcome.evicted + (outcome.shed_self ? 1 : 0);
                     state.shed_mem_budget.fetch_add(shed, std::memory_order_relaxed);
                     instruments.shed_mem.add(shed);
+                    frec_note(FrecRing::assembler, FrecKind::shed, event.flow_id, shed,
+                              static_cast<std::uint32_t>(FrecShed::mem_budget));
                 }
                 if (!outcome.admitted && !outcome.new_flow && !outcome.shed_self) {
                     state.events_dropped_mem.fetch_add(1, std::memory_order_relaxed);
@@ -583,7 +698,12 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                 continue;
             }
             for (StampedFlow& stamped : staged) {
-                const double sojourn = elapsed_ms(stamped.enqueued);
+                // The ready-wait stage ends at dequeue (the existing
+                // sojourn, now also attributed in ns).
+                const std::uint64_t sojourn_ns = elapsed_ns(stamped.enqueued);
+                const double sojourn = static_cast<double>(sojourn_ns) / 1e6;
+                instruments.stage_ready_wait.observe(sojourn_ns);
+                frec_exemplar(FrecStage::ready_wait, sojourn_ns, stamped.flow.flow_id);
                 if (config_.slo_ms > 0.0) {
                     state.slo_considered.fetch_add(1, std::memory_order_relaxed);
                     if (sojourn > config_.slo_ms) {
@@ -597,6 +717,9 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                         // StampedFlow dies here; its Charge credits back.
                         state.shed_slo.fetch_add(1, std::memory_order_relaxed);
                         instruments.shed_slo.add();
+                        frec_note(FrecRing::classifier, FrecKind::shed,
+                                  stamped.flow.flow_id, 1,
+                                  static_cast<std::uint32_t>(FrecShed::slo));
                         continue;
                     }
                 }
@@ -630,6 +753,15 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
             if (tier == Tier::shed) {
                 state.shed_breaker.fetch_add(batch.size(), std::memory_order_relaxed);
                 instruments.shed_breaker.add(batch.size());
+                for (const ReadyFlow& flow : batch) {
+                    frec_note(FrecRing::classifier, FrecKind::shed, flow.flow_id, 1,
+                              static_cast<std::uint32_t>(FrecShed::breaker));
+                }
+                // Hard trip: the ladder has run out of cheaper tiers and is
+                // refusing whole batches — exactly the state a postmortem
+                // should capture while the evidence is still in the rings.
+                take_postmortem(PostmortemReason::breaker_hard_trip,
+                                "breaker ladder at shed tier");
                 continue;
             }
             Backend& backend = tier == Tier::full      ? full_
@@ -648,6 +780,8 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                         : 250);
                 token.arm_stall(cap);
             }
+            frec_note(FrecRing::classifier, FrecKind::classify_start, batch.front().flow_id,
+                      batch.size(), static_cast<std::uint32_t>(tier));
             const auto batch_start = std::chrono::steady_clock::now();
             bool deadline_hit = false;
             bool failed = false;
@@ -661,7 +795,14 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                 failed = true;
             }
             const double latency = elapsed_ms(batch_start);
-            instruments.latency.observe(static_cast<std::uint64_t>(latency * 1e6));
+            const auto latency_ns = static_cast<std::uint64_t>(latency * 1e6);
+            instruments.latency.observe(latency_ns);
+            // The backend-compute stage observes the identical value as the
+            // end-to-end histogram: the two reconcile exactly.
+            instruments.stage_backend.observe(latency_ns);
+            frec_exemplar(FrecStage::backend_compute, latency_ns, batch.front().flow_id);
+            frec_note(FrecRing::classifier, FrecKind::classify_end, batch.front().flow_id,
+                      latency_ns, static_cast<std::uint32_t>(tier));
             latencies.push_back(latency);
             if (deadline_hit || failed) {
                 // deadline → typed deadline shed; any other backend failure
@@ -673,6 +814,11 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                 } else {
                     state.shed_breaker.fetch_add(reason_count, std::memory_order_relaxed);
                     instruments.shed_breaker.add(reason_count);
+                }
+                for (const ReadyFlow& flow : batch) {
+                    frec_note(FrecRing::classifier, FrecKind::shed, flow.flow_id, 1,
+                              static_cast<std::uint32_t>(deadline_hit ? FrecShed::deadline
+                                                                      : FrecShed::breaker));
                 }
                 breaker.record_failure(deadline_hit);
             } else {
@@ -699,6 +845,8 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                     }
                     if (rejected) {
                         ++unknown;
+                        frec_note(FrecRing::classifier, FrecKind::unknown_route,
+                                  flow.flow_id);
                     } else if (prediction.label == flow.label) {
                         ++correct;
                     }
@@ -767,6 +915,86 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         watchdog.mark_done(wd_classifier);
     });
 
+    // ---- live introspection: periodic atomic status-file export -----------
+    // The render callback reads only lock-free instruments and relaxed
+    // atomics, so the writer thread never contends with the pipeline.
+    const auto render_status = [&]() {
+        util::Histogram* stages[kFrecStageCount] = {
+            &instruments.stage_ingest_wait, &instruments.stage_assembly,
+            &instruments.stage_ready_wait, &instruments.stage_backend};
+        const std::uint64_t shed_total =
+            state.shed_mem_budget.load(std::memory_order_relaxed) +
+            state.shed_queue_full.load(std::memory_order_relaxed) +
+            state.shed_deadline.load(std::memory_order_relaxed) +
+            state.shed_breaker.load(std::memory_order_relaxed) +
+            state.shed_slo.load(std::memory_order_relaxed) +
+            state.shed_restart_loss.load(std::memory_order_relaxed);
+        const std::uint64_t considered = state.slo_considered.load(std::memory_order_relaxed);
+        const std::uint64_t violations = state.slo_violations.load(std::memory_order_relaxed);
+        const auto tier = static_cast<Tier>(instruments.breaker_state.value());
+        std::ostringstream out;
+        out << "{\n";
+        out << "  \"pid\": " << ::getpid() << ",\n";
+        out << "  \"generation\": " << config_.generation << ",\n";
+        out << "  \"model_generation\": "
+            << state.model_generation.load(std::memory_order_relaxed) << ",\n";
+        out << "  \"uptime_s\": "
+            << std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                   .count()
+            << ",\n";
+        out << "  \"breaker_tier\": " << static_cast<int>(tier) << ",\n";
+        out << "  \"breaker_tier_name\": \"" << tier_name(tier) << "\",\n";
+        out << "  \"flows_active\": " << instruments.flows_active.value() << ",\n";
+        out << "  \"flows_ingested\": " << state.flows_ingested.load(std::memory_order_relaxed)
+            << ",\n";
+        out << "  \"flows_classified\": "
+            << state.flows_classified.load(std::memory_order_relaxed) << ",\n";
+        out << "  \"flows_unknown\": " << state.flows_unknown.load(std::memory_order_relaxed)
+            << ",\n";
+        out << "  \"shed_total\": " << shed_total << ",\n";
+        out << "  \"drift_alarms\": " << state.drift_alarms.load(std::memory_order_relaxed)
+            << ",\n";
+        out << "  \"slo_considered\": " << considered << ",\n";
+        out << "  \"slo_violations\": " << violations << ",\n";
+        out << "  \"slo_compliance\": "
+            << (considered > 0
+                    ? 1.0 - static_cast<double>(violations) / static_cast<double>(considered)
+                    : 1.0)
+            << ",\n";
+        out << "  \"snapshots\": " << state.snapshots_written.load(std::memory_order_relaxed)
+            << ",\n";
+        out << "  \"postmortems\": "
+            << state.postmortems_written.load(std::memory_order_relaxed) << ",\n";
+        out << "  \"flightrec\": {\"enabled\": " << (recorder.has_value() ? "true" : "false")
+            << ", \"events\": " << (recorder.has_value() ? recorder->recorded_total() : 0)
+            << ", \"dropped\": " << (recorder.has_value() ? recorder->dropped_total() : 0)
+            << "},\n";
+        out << "  \"stages\": [";
+        for (std::size_t s = 0; s < kFrecStageCount; ++s) {
+            const util::Histogram& h = *stages[s];
+            const auto p99 = static_cast<std::uint64_t>(h.quantile(0.99));
+            out << (s == 0 ? "\n" : ",\n");
+            out << "    {\"stage\": \"" << frec_stage_name(static_cast<std::uint32_t>(s))
+                << "\", \"count\": " << h.count() << ", \"p50_ns\": "
+                << static_cast<std::uint64_t>(h.quantile(0.50))
+                << ", \"p95_ns\": " << static_cast<std::uint64_t>(h.quantile(0.95))
+                << ", \"p99_ns\": " << p99
+                << ", \"p99_exemplar_flow\": "
+                << (recorder.has_value()
+                        ? recorder->exemplar(static_cast<FrecStage>(s), frec_bucket(p99))
+                        : 0)
+                << "}";
+        }
+        out << "\n  ]\n}\n";
+        return out.str();
+    };
+    std::optional<StatusWriter> status;
+    if (!config_.status_path.empty()) {
+        status.emplace(
+            StatusWriterConfig{.path = config_.status_path, .period_s = config_.status_period_s},
+            render_status);
+    }
+
     // --- driver (this thread): pump the stream into the ingest queue -------
     ServeReport report;
     report.generation = config_.generation;
@@ -808,6 +1036,10 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
                     std::chrono::milliseconds(20))) {
                 ++events_dropped_queue;
                 instruments.dropped_queue.add();
+                frec_note(FrecRing::driver, FrecKind::shed, event->flow_id, 1,
+                          static_cast<std::uint32_t>(FrecShed::queue_full));
+            } else {
+                frec_note(FrecRing::driver, FrecKind::ingest, event->flow_id, events_total);
             }
             ++events_since_marker;
             if (snapshots_on &&
@@ -839,6 +1071,16 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
     assembler.join();
     classifier.join();
     watchdog.stop();
+    if (recorder.has_value()) {
+        instruments.frec_events.set(static_cast<std::int64_t>(recorder->recorded_total()));
+        instruments.frec_dropped.set(static_cast<std::int64_t>(recorder->dropped_total()));
+        report.frec_events = recorder->recorded_total();
+        report.frec_dropped = recorder->dropped_total();
+    }
+    if (status.has_value()) {
+        status->stop();  // the final export reflects the fully drained pipeline
+        report.status_writes = status->writes();
+    }
 
     const bool clean_finish = !util::shutdown_requested();
     if (!config_.snapshot_path.empty() && clean_finish) {
@@ -847,6 +1089,12 @@ ServeReport StreamingClassifier::run(InterleavedStream& stream)
         // crash leaves one behind.
         ::unlink(config_.snapshot_path.c_str());
     }
+    if (recorder.has_value() && clean_finish) {
+        // A leftover ring file would let a later seal describe a run that
+        // finished fine; only a crash leaves one behind (that is the point).
+        recorder->remove_backing();
+    }
+    report.postmortems_written = state.postmortems_written.load();
 
     report.events_total = events_total;
     report.events_dropped_queue = events_dropped_queue;

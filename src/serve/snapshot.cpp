@@ -2,6 +2,7 @@
 
 #include "fptc/util/crc32.hpp"
 #include "fptc/util/durable.hpp"
+#include "fptc/util/telemetry.hpp"
 
 #include <cstring>
 #include <fstream>
@@ -90,6 +91,7 @@ bool get_counters(Reader& in, SnapshotCounters& c)
 
 std::string encode_snapshot(const ServeSnapshot& snapshot)
 {
+    FPTC_TRACE_SPAN("serve_snapshot_encode");
     std::string payload;
     put_u64(payload, snapshot.watermark);
     put_f64(payload, snapshot.stream_now);
@@ -121,6 +123,7 @@ std::string encode_snapshot(const ServeSnapshot& snapshot)
 
 std::optional<ServeSnapshot> decode_snapshot(std::string_view data)
 {
+    FPTC_TRACE_SPAN("serve_snapshot_decode");
     constexpr std::size_t header = sizeof(kMagic) + sizeof(std::uint32_t);
     constexpr std::size_t trailer = sizeof(std::uint32_t);
     if (data.size() < header + trailer) {

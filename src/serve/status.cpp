@@ -1,0 +1,93 @@
+#include "fptc/serve/status.hpp"
+
+#include "fptc/util/log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace fptc::serve {
+
+StatusWriter::StatusWriter(StatusWriterConfig config, std::function<std::string()> render)
+    : config_(std::move(config)), render_(std::move(render))
+{
+    config_.period_s = std::max(config_.period_s, 0.05);
+    if (!enabled()) {
+        stopped_ = true;
+        return;
+    }
+    thread_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            // Export first, then sleep: the file exists within one render of
+            // startup, not one period.
+            lock.unlock();
+            write_once();
+            lock.lock();
+            if (stopping_) {
+                return;
+            }
+            cv_.wait_for(lock,
+                         std::chrono::duration<double>(config_.period_s),
+                         [this] { return stopping_; });
+            if (stopping_) {
+                return;
+            }
+        }
+    });
+}
+
+StatusWriter::~StatusWriter()
+{
+    stop();
+}
+
+void StatusWriter::stop()
+{
+    if (stopped_) {
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+    write_once();  // final snapshot: the file reflects the run's end state
+    stopped_ = true;
+}
+
+void StatusWriter::write_once()
+{
+    const std::string body = render_();
+    // temp + rename: a reader opening `path` sees the previous complete
+    // document or this one, never a prefix.  The temp name carries the pid
+    // so the orphan scavenger can identify dead writers.
+    const std::string temp = config_.path + ".tmp." + std::to_string(::getpid());
+    std::FILE* out = std::fopen(temp.c_str(), "wb");
+    if (out == nullptr) {
+        if (!warned_) {
+            warned_ = true;
+            util::log_info("serve: status export failed to open " + temp + "; disabling");
+        }
+        return;
+    }
+    const std::size_t written = std::fwrite(body.data(), 1, body.size(), out);
+    const bool closed = std::fclose(out) == 0;
+    if (written != body.size() || !closed ||
+        std::rename(temp.c_str(), config_.path.c_str()) != 0) {
+        ::unlink(temp.c_str());
+        if (!warned_) {
+            warned_ = true;
+            util::log_info("serve: status export to " + config_.path + " failed; continuing");
+        }
+        return;
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace fptc::serve

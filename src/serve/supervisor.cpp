@@ -1,5 +1,6 @@
 #include "fptc/serve/supervisor.hpp"
 
+#include "fptc/serve/flightrec.hpp"
 #include "fptc/serve/watchdog.hpp"
 #include "fptc/util/durable.hpp"
 #include "fptc/util/env.hpp"
@@ -82,6 +83,13 @@ SupervisorConfig SupervisorConfig::from_env()
         // (FPTC_SERVE_SNAPSHOT) yields a fully wired supervised setup.
         config.heartbeat_path = config.snapshot_path + ".heartbeat";
     }
+    config.postmortem_path = env_string("FPTC_SERVE_POSTMORTEM");
+    config.flightrec_ring = env_string("FPTC_SERVE_FLIGHTREC_RING");
+    if (config.flightrec_ring.empty() && !config.postmortem_path.empty()) {
+        // Must mirror ServeConfig::from_env so the supervisor seals the
+        // same ring file the worker maps.
+        config.flightrec_ring = config.postmortem_path + ".ring";
+    }
     return config;
 }
 
@@ -139,6 +147,12 @@ int run_supervisor(const SupervisorConfig& config)
         };
         if (!config.heartbeat_path.empty()) {
             env.push_back({"FPTC_SERVE_HEARTBEAT", config.heartbeat_path, false});
+        }
+        if (!config.postmortem_path.empty()) {
+            // Explicit so worker and supervisor agree on the ring file even
+            // when the paths were defaulted rather than taken from the env.
+            env.push_back({"FPTC_SERVE_POSTMORTEM", config.postmortem_path, false});
+            env.push_back({"FPTC_SERVE_FLIGHTREC_RING", config.flightrec_ring, false});
         }
         if (restarts > 0) {
             // Injected one-shot faults must not replay in the recovered
@@ -214,6 +228,19 @@ int run_supervisor(const SupervisorConfig& config)
             last_status = 128 + signum;
             util::log_info("serve supervisor: worker killed by signal " + std::to_string(signum) +
                            (killed_for_stall ? " (supervisor stall kill)" : ""));
+            // A signalled worker ran no handlers, but its flight-recorder
+            // stores landed in the mmap'd ring file: seal them into a
+            // postmortem *before* the next generation reinitializes the
+            // rings.  Sealing failure (no recorder armed, corrupt file)
+            // costs diagnostics, never the restart.
+            if (!config.postmortem_path.empty() && !config.flightrec_ring.empty() &&
+                !FlightRecorder::seal_from_ring_file(
+                    config.flightrec_ring, config.postmortem_path,
+                    PostmortemReason::sigkill_reap, static_cast<std::uint32_t>(restarts),
+                    "signal " + std::to_string(signum))) {
+                util::log_info("serve supervisor: no sealable ring file at " +
+                               config.flightrec_ring);
+            }
         } else {
             last_status = 1;
         }

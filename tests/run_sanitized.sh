@@ -25,7 +25,9 @@
 #      against BOTH sanitized builds: the streaming classifier under
 #      backend stalls, mangled packets and microbursts must never abort,
 #      type every shed and balance the MemBudget — race-free under tsan,
-#      leak-free under asan,
+#      leak-free under asan; the flight-recorder postmortem seal/decode
+#      and live-status scenarios run in the same sweep (the overhead
+#      micro-gate is skipped — no micro_benchmarks arg is passed),
 #   8. the drift / model-lifecycle gate (tests/run_serve_torture.sh
 #      --quick --drift) against BOTH sanitized builds: no false drift
 #      alarms on a stationary stream, alarms after a scripted shift,
@@ -49,7 +51,7 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" -E 'CrashTortureQuick|MemBudgetQuick|TelemetryQuick|ServeTortureQuick|ServeDriftQuick' "$@"
 
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve test_serve_recovery test_serve_drift
+cmake --build --preset tsan -j "$(nproc)" --target test_executor test_util test_membudget test_telemetry test_shard test_serve test_serve_recovery test_serve_drift test_serve_flightrec
 ctest --preset tsan -j "$(nproc)" \
     -R 'Executor|CancelToken|Journal|Backoff|ExceptionTaxonomy|MemBudget|Charge|Tracing|Histogram|Metrics|EnvValidation|Shard|Lease|Scavenge|Shutdown|FaultKillShard|TelemetryMerge|Serve|ServeDrift|Drift|Calibration' \
     -E 'MemBudgetQuick|TelemetryQuick|ShardTortureQuick|ServeTortureQuick|ServeDriftQuick'
@@ -68,8 +70,8 @@ tests/run_telemetry.sh build-tsan/bench/table4_augmentations
 
 tests/run_shard_torture.sh --quick build/bench/table4_augmentations
 
-cmake --build --preset asan-ubsan -j "$(nproc)" --target serve_throughput
-cmake --build --preset tsan -j "$(nproc)" --target serve_throughput
+cmake --build --preset asan-ubsan -j "$(nproc)" --target serve_throughput fptc_flightrec fptc_servestat
+cmake --build --preset tsan -j "$(nproc)" --target serve_throughput fptc_flightrec fptc_servestat
 tests/run_serve_torture.sh --quick build-asan/bench/serve_throughput
 tests/run_serve_torture.sh --quick build-tsan/bench/serve_throughput
 

@@ -19,14 +19,27 @@
 #     fires and every evicted flow is a typed `mem_budget` shed,
 #   * combined chaos: all three fault classes at once — the service must
 #     still exit 0 with every dropped flow typed and every MemBudget byte
-#     credited back (serve_in_use_bytes=0).
+#     credited back (serve_in_use_bytes=0),
+#   * flight recorder: a SIGKILLed worker with FPTC_SERVE_POSTMORTEM set
+#     must leave a sealable mmap ring that the supervisor turns into a
+#     CRC-valid postmortem — fptc_flightrec must decode it and its
+#     last_watermark (the snapshot-marker event) must equal the watermark
+#     the restarted generation resumed from (BENCH_serve.json recovery),
+#   * live status: a nominal run with FPTC_SERVE_STATUS must export an
+#     atomically-published JSON status file that fptc_servestat renders
+#     (pid, tier, flows, per-stage latency lines).
 #
 # Every scenario asserts the run never aborts (exit 0, SERVE_OK printed)
 # and the flow-accounting invariant held (accounted=1 in the summary line).
 #
 # Usage, from the repo root (binary defaults to build/bench/serve_throughput):
 #
-#   tests/run_serve_torture.sh [--quick] [--drift] [path/to/serve_throughput]
+#   tests/run_serve_torture.sh [--quick] [--drift] [path/to/serve_throughput] \
+#       [path/to/micro_benchmarks]
+#
+# When the optional micro_benchmarks binary is given, the fault suite also
+# gates the *disabled* flight-recorder hot path within 2% (+2 ns slack) of
+# the span-free baseline workload (same idiom as run_telemetry.sh).
 #
 # --quick (wired as the ServeTortureQuick ctest) shrinks the stream and
 # skips the combined-chaos seed sweep; every scenario class still runs.
@@ -53,11 +66,16 @@ cd "$(dirname "$0")/.."
 QUICK=0
 DRIFT=0
 BIN=build/bench/serve_throughput
+MICRO=""
+NPOS=0
 for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --drift) DRIFT=1 ;;
-        *) BIN="$arg" ;;
+        *)
+            if [ "$NPOS" -eq 0 ]; then BIN="$arg"; else MICRO="$arg"; fi
+            NPOS=$((NPOS + 1))
+            ;;
     esac
 done
 
@@ -66,6 +84,8 @@ if [ ! -x "$BIN" ]; then
     exit 1
 fi
 BIN=$(readlink -f "$BIN")
+# The introspection tools live next to the bench tree: build/bench -> build/tools.
+TOOLS=$(dirname "$(dirname "$BIN")")/tools
 
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/fptc_serve_torture.XXXXXX")
 trap 'rm -rf "$WORK"' EXIT INT TERM
@@ -363,6 +383,97 @@ require_pos hang generation "$(summary_field "$WORK/hang" generation)"
 echo "run_serve_torture: hang ok (watchdog hang-exit, restarted once," \
      "generation=$(summary_field "$WORK/hang" generation))"
 
+# ---- flight recorder: SIGKILL -> sealed postmortem, decodable timeline ------
+# FPTC_SERVE_POSTMORTEM arms the flight recorder with a file-backed mmap
+# ring; when the supervisor reaps the SIGKILLed worker it seals that ring
+# into a CRC-checked postmortem.  fptc_flightrec must decode it, and the
+# last snapshot-marker event it recorded (last_watermark) must equal the
+# watermark the restarted generation restored from — the consistent-cut
+# contract between the recorder and the durable snapshot.
+echo "run_serve_torture: SIGKILL with the flight recorder armed (postmortem seal)..."
+pm_dir="$WORK/flightrec_kill"
+mkdir -p "$pm_dir"
+run_serve flightrec_kill FPTC_SERVE_SUPERVISE=1 \
+    FPTC_SERVE_SNAPSHOT="$pm_dir/snapshot.bin" FPTC_SERVE_SNAPSHOT_EVERY=400 \
+    FPTC_SERVE_POSTMORTEM="$pm_dir/postmortem.bin" \
+    FPTC_FAULT_KILL_SERVE=1 FPTC_SERVE_MAX_RESTARTS=3 FPTC_SERVE_BACKOFF_MS=50
+if ! grep -q 'SUPERVISOR_OK restarts=1 degraded=0' "$pm_dir/stderr.txt"; then
+    echo "run_serve_torture: FAIL: flightrec_kill missing SUPERVISOR_OK restarts=1:" >&2
+    tail -10 "$pm_dir/stderr.txt" >&2 || true
+    exit 1
+fi
+if [ ! -s "$pm_dir/postmortem.bin" ]; then
+    echo "run_serve_torture: FAIL: flightrec_kill left no postmortem file" >&2
+    exit 1
+fi
+if [ ! -x "$TOOLS/fptc_flightrec" ]; then
+    echo "run_serve_torture: FAIL: fptc_flightrec not built at $TOOLS/fptc_flightrec" >&2
+    exit 1
+fi
+if ! "$TOOLS/fptc_flightrec" "$pm_dir/postmortem.bin" >"$pm_dir/flightrec.txt" 2>&1; then
+    echo "run_serve_torture: FAIL: fptc_flightrec refused the sealed postmortem:" >&2
+    tail -5 "$pm_dir/flightrec.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q '^postmortem: reason=sigkill_reap' "$pm_dir/flightrec.txt"; then
+    echo "run_serve_torture: FAIL: decoded postmortem reason is not sigkill_reap:" >&2
+    head -1 "$pm_dir/flightrec.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q '^event ring=' "$pm_dir/flightrec.txt"; then
+    echo "run_serve_torture: FAIL: decoded postmortem holds no flow events" >&2
+    exit 1
+fi
+pm_watermark=$(sed -n 's/.*last_watermark=\([0-9][0-9]*\).*/\1/p' "$pm_dir/flightrec.txt" | head -1)
+restored_watermark=$(json_field "$pm_dir" watermark)
+if [ -z "$pm_watermark" ] || [ "$pm_watermark" != "$restored_watermark" ]; then
+    echo "run_serve_torture: FAIL: postmortem last_watermark '$pm_watermark' !=" \
+         "restored snapshot watermark '$restored_watermark'" >&2
+    exit 1
+fi
+if [ -e "$pm_dir/postmortem.bin.ring" ]; then
+    echo "run_serve_torture: FAIL: clean finish left the flight-recorder ring file behind" >&2
+    exit 1
+fi
+echo "run_serve_torture: flightrec_kill ok (postmortem sealed + decoded," \
+     "last_watermark=$pm_watermark matches the restored snapshot)"
+
+# ---- live status: atomic JSON export + fptc_servestat rendering -------------
+echo "run_serve_torture: nominal run exporting live status (fptc_servestat)..."
+st_dir="$WORK/status"
+mkdir -p "$st_dir"
+run_serve status FPTC_SERVE_READY_DEPTH=512 FPTC_SERVE_FLIGHTREC=1 \
+    FPTC_SERVE_STATUS="$st_dir/status.json" FPTC_SERVE_STATUS_S=0.05
+status_writes=$(summary_field "$WORK/status" status_writes)
+require_pos status status_writes "$status_writes"
+if [ ! -s "$st_dir/status.json" ]; then
+    echo "run_serve_torture: FAIL: status scenario exported no status file" >&2
+    exit 1
+fi
+if [ ! -x "$TOOLS/fptc_servestat" ]; then
+    echo "run_serve_torture: FAIL: fptc_servestat not built at $TOOLS/fptc_servestat" >&2
+    exit 1
+fi
+if ! "$TOOLS/fptc_servestat" "$st_dir/status.json" >"$st_dir/servestat.txt" 2>&1; then
+    echo "run_serve_torture: FAIL: fptc_servestat refused the status file:" >&2
+    tail -5 "$st_dir/servestat.txt" >&2 || true
+    exit 1
+fi
+for key in pid= tier= flows_classified= frec_events=; do
+    if ! grep -q "$key" "$st_dir/servestat.txt"; then
+        echo "run_serve_torture: FAIL: fptc_servestat output missing '$key':" >&2
+        cat "$st_dir/servestat.txt" >&2 || true
+        exit 1
+    fi
+done
+stage_lines=$(grep -c '^stage name=' "$st_dir/servestat.txt" || true)
+if [ "$stage_lines" -ne 4 ]; then
+    echo "run_serve_torture: FAIL: expected 4 stage latency lines, got $stage_lines" >&2
+    exit 1
+fi
+echo "run_serve_torture: status ok ($status_writes status writes," \
+     "$(grep '^servestat:' "$st_dir/servestat.txt" | head -1 | cut -c1-70)...)"
+
 # ---- combined chaos: all fault classes at once ------------------------------
 if [ "$QUICK" = 1 ]; then
     SEEDS="1"
@@ -381,5 +492,46 @@ for seed in $SEEDS; do
     echo "run_serve_torture: chaos seed $seed ok:" \
          "$(grep '^serve:' "$WORK/chaos$seed/stdout.txt")"
 done
+
+# ---- disabled-recorder overhead gate (micro_benchmarks pair) ----------------
+# BM_FlightRecDisabled runs the real frec_note() call with the gate off on
+# top of the span-free BM_SpanOverheadBaseline workload; the disabled hot
+# path must stay within 2% (+2 ns slack) of that baseline — the same
+# contract and gate idiom as the telemetry span pair in run_telemetry.sh.
+if [ -n "$MICRO" ]; then
+    if [ ! -x "$MICRO" ]; then
+        echo "run_serve_torture: FAIL: micro benchmark binary '$MICRO' not found" >&2
+        exit 1
+    fi
+    echo "run_serve_torture: disabled flight-recorder overhead gate (3 reps, min ns/op)..."
+    micro_dir="$WORK/micro"
+    mkdir -p "$micro_dir"
+    env FPTC_ARTIFACTS_DIR="$micro_dir" "$MICRO" \
+        --benchmark_filter='BM_SpanOverheadBaseline|BM_FlightRecDisabled' \
+        --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+        >"$micro_dir/micro_stdout.txt" 2>&1
+    if [ ! -s "$micro_dir/BENCH_micro.json" ]; then
+        echo "run_serve_torture: FAIL: micro_benchmarks wrote no BENCH_micro.json" >&2
+        exit 1
+    fi
+    python3 - "$micro_dir/BENCH_micro.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    runs = json.load(f)["benchmarks"]
+def best(name):
+    times = [r["ns_per_op"] for r in runs if r["name"] == name]
+    assert times, f"benchmark {name} missing from BENCH_micro.json"
+    return min(times)
+baseline = best("BM_SpanOverheadBaseline")
+disabled = best("BM_FlightRecDisabled")
+limit = baseline * 1.02 + 2.0
+print(f"run_serve_torture: baseline {baseline:.1f} ns/op, disabled recorder "
+      f"{disabled:.1f} ns/op, limit {limit:.1f}")
+assert disabled <= limit, (
+    f"disabled flight-recorder overhead regressed: {disabled:.1f} ns/op > "
+    f"{limit:.1f} ns/op (baseline {baseline:.1f} * 1.02 + 2 ns)")
+EOF
+fi
 
 echo "run_serve_torture: PASS"

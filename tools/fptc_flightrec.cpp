@@ -1,0 +1,149 @@
+// fptc_flightrec: decode a serve flight-recorder postmortem (or a raw ring
+// file left behind by a dead worker) into human-readable timelines.
+//
+// Usage:
+//   fptc_flightrec <postmortem> [--flow <id>] [--ring]
+//
+//   --flow <id>  print only the named flow's lifecycle timeline
+//   --ring       treat the input as a raw ring file (unsealed), not a
+//                CRC-checked postmortem
+//
+// Output shape (greppable, one record per line):
+//   postmortem: reason=<name> generation=<n> events=<n> dropped=<n>
+//               last_watermark=<n|none>
+//   event ring=<name> ts_ns=<n> kind=<name> flow=<id> arg=<n> detail=<n>
+//   exemplar stage=<name> bucket=<b> upper_ns=<n> flow=<id>
+#include "fptc/serve/flightrec.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+int usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <postmortem> [--flow <id>] [--ring]\n"
+                 "  --flow <id>  print only that flow's lifecycle timeline\n"
+                 "  --ring       input is a raw (unsealed) ring file\n",
+                 argv0);
+    return 2;
+}
+
+/// kind-aware rendering of the detail word: the shed reason taxonomy for
+/// shed events, the backend tier for classify events, raw otherwise.
+std::string detail_text(const fptc::serve::FlightEvent& event)
+{
+    using fptc::serve::FrecKind;
+    switch (static_cast<FrecKind>(event.kind)) {
+    case FrecKind::shed:
+        return fptc::serve::frec_shed_name(event.detail);
+    case FrecKind::classify_start:
+    case FrecKind::classify_end:
+        return "tier" + std::to_string(event.detail);
+    case FrecKind::quarantine:
+        return event.detail == 1 ? "backwards_ts" : "invalid";
+    default:
+        return std::to_string(event.detail);
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string path;
+    std::optional<std::uint64_t> flow_filter;
+    bool raw_ring = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--flow") == 0) {
+            if (i + 1 >= argc) {
+                return usage(argv[0]);
+            }
+            flow_filter = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--ring") == 0) {
+            raw_ring = true;
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty()) {
+        return usage(argv[0]);
+    }
+
+    const auto postmortem = raw_ring
+                                ? fptc::serve::FlightRecorder::read_ring_file(path)
+                                : fptc::serve::load_postmortem(path);
+    if (!postmortem.has_value()) {
+        std::fprintf(stderr, "fptc_flightrec: cannot decode %s (%s)\n", path.c_str(),
+                     raw_ring ? "bad ring file" : "missing, corrupt, or version skew");
+        return 1;
+    }
+
+    std::uint64_t dropped = 0;
+    for (const auto& ring : postmortem->rings) {
+        dropped += ring.dropped;
+    }
+    const auto watermark = postmortem->last_watermark();
+    std::printf("postmortem: reason=%s generation=%u events=%llu dropped=%llu "
+                "last_watermark=%s detail=\"%s\"\n",
+                fptc::serve::postmortem_reason_name(postmortem->reason),
+                postmortem->generation,
+                static_cast<unsigned long long>(postmortem->event_count()),
+                static_cast<unsigned long long>(dropped),
+                watermark.has_value() ? std::to_string(*watermark).c_str() : "none",
+                postmortem->detail.c_str());
+
+    // Flatten, then order by timestamp: a flow's timeline crosses rings
+    // (driver ingest -> assembler window -> classifier verdict).
+    struct Line {
+        std::uint32_t ring;
+        fptc::serve::FlightEvent event;
+    };
+    std::vector<Line> lines;
+    for (const auto& ring : postmortem->rings) {
+        for (const auto& event : ring.events) {
+            if (flow_filter.has_value() && event.flow_id != *flow_filter) {
+                continue;
+            }
+            lines.push_back({ring.ring, event});
+        }
+    }
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const Line& a, const Line& b) { return a.event.ts_ns < b.event.ts_ns; });
+    for (const Line& line : lines) {
+        std::printf("event ring=%s ts_ns=%llu kind=%s flow=%llu arg=%llu detail=%s\n",
+                    fptc::serve::frec_ring_name(line.ring),
+                    static_cast<unsigned long long>(line.event.ts_ns),
+                    fptc::serve::frec_kind_name(line.event.kind),
+                    static_cast<unsigned long long>(line.event.flow_id),
+                    static_cast<unsigned long long>(line.event.arg),
+                    detail_text(line.event).c_str());
+    }
+
+    if (!flow_filter.has_value()) {
+        for (const auto& exemplar : postmortem->exemplars) {
+            // bucket b holds values of bit width b: upper bound 2^b - 1.
+            const std::uint64_t upper =
+                exemplar.bucket == 0
+                    ? 0
+                    : (exemplar.bucket >= 64 ? ~0ULL : (1ULL << exemplar.bucket) - 1);
+            std::printf("exemplar stage=%s bucket=%u upper_ns=%llu flow=%llu\n",
+                        fptc::serve::frec_stage_name(exemplar.stage), exemplar.bucket,
+                        static_cast<unsigned long long>(upper),
+                        static_cast<unsigned long long>(exemplar.flow_id));
+        }
+        if (!postmortem->metrics_text.empty()) {
+            std::printf("metrics_snapshot_bytes=%zu\n", postmortem->metrics_text.size());
+        }
+    }
+    return 0;
+}
